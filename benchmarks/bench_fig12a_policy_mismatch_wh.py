@@ -1,0 +1,41 @@
+"""Figure 12a: running a policy trained on the wrong warehouse count.
+
+Paper shape: fixed policies (trained on 1 or 4 warehouses) are near the
+always-retrained optimum close to their training point and degrade
+gracefully away from it; the 1-warehouse policy is notably suboptimal at
+the uncontended end.
+"""
+
+from repro.workloads.tpcc import make_tpcc_factory
+
+from .common import PROF, measure, sim_config, table, trained_tpcc
+
+WAREHOUSES = [1, 2, 4, 8]
+
+
+def run_experiment():
+    fixed_1, backoff_1 = trained_tpcc(1)
+    fixed_4, backoff_4 = trained_tpcc(4)
+    rows = []
+    for n_warehouses in WAREHOUSES:
+        factory = make_tpcc_factory(n_warehouses=n_warehouses, seed=PROF.seed)
+        config = sim_config()
+        silo = measure(factory, "silo", config).throughput
+        p1 = measure(factory, "polyjuice", config, policy=fixed_1,
+                     backoff=backoff_1).throughput
+        p4 = measure(factory, "polyjuice", config, policy=fixed_4,
+                     backoff=backoff_4).throughput
+        rows.append([n_warehouses, silo, p1, p4])
+    return rows
+
+
+def test_fig12a_policy_mismatch_warehouses(once):
+    rows = once(run_experiment)
+    table("Fig 12a: fixed policies across warehouse counts",
+          ["warehouses", "silo", "polyjuice(1wh)", "polyjuice(4wh)"], rows)
+    # each fixed policy is strong at its own training point
+    at_1 = rows[0]
+    assert at_1[2] > at_1[1], "1wh policy must beat Silo at 1 warehouse"
+    # and degrades gracefully rather than collapsing off-distribution
+    for row in rows:
+        assert row[2] > 0 and row[3] > 0

@@ -1,0 +1,40 @@
+"""Figure 12b: running a policy trained with the wrong thread count.
+
+Paper shape: policies trained at 48 and at 16 threads perform similarly
+across the whole thread sweep — learned policies are robust to a
+training/evaluation thread-count mismatch.
+"""
+
+from repro.workloads.tpcc import make_tpcc_factory
+
+from .common import PROF, measure, sim_config, table, trained_tpcc_threads
+
+THREADS = [2, 4, 8, 16]
+
+
+def run_experiment():
+    full, full_backoff = trained_tpcc_threads(1, PROF.n_workers)
+    half, half_backoff = trained_tpcc_threads(1, max(2, PROF.n_workers // 2))
+    factory = make_tpcc_factory(n_warehouses=1, seed=PROF.seed)
+    rows = []
+    for n_workers in THREADS:
+        config = sim_config(n_workers=n_workers)
+        silo = measure(factory, "silo", config).throughput
+        p_full = measure(factory, "polyjuice", config, policy=full,
+                         backoff=full_backoff).throughput
+        p_half = measure(factory, "polyjuice", config, policy=half,
+                         backoff=half_backoff).throughput
+        rows.append([n_workers, silo, p_full, p_half])
+    return rows
+
+
+def test_fig12b_policy_mismatch_threads(once):
+    rows = once(run_experiment)
+    table("Fig 12b: fixed policies across thread counts",
+          ["threads", "silo",
+           f"polyjuice({PROF.n_workers}thr)",
+           f"polyjuice({max(2, PROF.n_workers // 2)}thr)"], rows)
+    # robustness: the two fixed policies stay within 2x of each other
+    for row in rows:
+        ratio = row[2] / row[3] if row[3] else float("inf")
+        assert 0.5 < ratio < 2.0

@@ -1,0 +1,37 @@
+"""Figure 1: IC3, OCC, 2PL throughput on TPC-C as warehouses vary.
+
+Paper shape: OCC (Silo) wins under low contention (many warehouses);
+IC3 wins under high contention (few warehouses); 2PL sits near OCC at the
+high-warehouse end.  The crossover falls between the contended and
+uncontended regimes.
+"""
+
+from repro.workloads.tpcc import make_tpcc_factory
+
+from .common import PROF, measure, sim_config, table
+
+WAREHOUSES = [1, 2, 4, 8, 16]
+CCS = ["silo", "2pl", "ic3"]
+
+
+def run_experiment():
+    rows = []
+    for n_warehouses in WAREHOUSES:
+        config = sim_config()
+        row = [n_warehouses]
+        for cc in CCS:
+            result = measure(make_tpcc_factory(n_warehouses=n_warehouses,
+                                               seed=PROF.seed), cc, config)
+            row.append(result.throughput)
+        rows.append(row)
+    return rows
+
+
+def test_fig1_motivation(once):
+    rows = once(run_experiment)
+    table("Fig 1: TPC-C throughput vs #warehouses",
+          ["warehouses"] + CCS, rows)
+    # shape assertions: IC3 wins at 1 warehouse, OCC wins at the high end
+    first, last = rows[0], rows[-1]
+    assert first[3] > first[1], "IC3 should beat OCC at 1 warehouse"
+    assert last[1] > last[3], "OCC should beat IC3 at low contention"

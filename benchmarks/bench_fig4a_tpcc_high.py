@@ -1,0 +1,44 @@
+"""Figure 4a: TPC-C throughput under high contention (1-4 warehouses).
+
+Paper shape: Polyjuice > IC3 = Tebaldi > Silo/2PL/CormCC, with Polyjuice's
+margin largest at the most contended points.
+"""
+
+from repro.workloads.tpcc import make_tpcc_factory
+from repro.bench.reporting import speedup_summary
+
+from .common import PROF, emit, measure, sim_config, table, trained_tpcc
+
+WAREHOUSES = [1, 2, 4]
+BASELINES = ["silo", "2pl", "ic3", "tebaldi", "cormcc"]
+
+
+def run_experiment():
+    rows = []
+    summaries = []
+    for n_warehouses in WAREHOUSES:
+        config = sim_config()
+        factory = make_tpcc_factory(n_warehouses=n_warehouses, seed=PROF.seed)
+        results = {}
+        for cc in BASELINES:
+            results[cc] = measure(factory, cc, config).throughput
+        policy, backoff = trained_tpcc(n_warehouses)
+        results["polyjuice"] = measure(factory, "polyjuice", config,
+                                       policy=policy,
+                                       backoff=backoff).throughput
+        rows.append([n_warehouses] + [results[cc]
+                                      for cc in BASELINES + ["polyjuice"]])
+        summaries.append(f"wh={n_warehouses}: {speedup_summary(results)}")
+    return rows, summaries
+
+
+def test_fig4a_tpcc_high_contention(once):
+    rows, summaries = once(run_experiment)
+    table("Fig 4a: TPC-C high contention",
+          ["warehouses"] + BASELINES + ["polyjuice"], rows)
+    emit("Fig 4a summaries", "\n".join(summaries))
+    for row in rows:
+        polyjuice = row[-1]
+        best_traditional = max(row[1], row[2])  # silo, 2pl
+        assert polyjuice > best_traditional, \
+            "Polyjuice must beat the traditional algorithms under contention"

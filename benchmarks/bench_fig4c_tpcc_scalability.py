@@ -1,0 +1,40 @@
+"""Figure 4c: TPC-C scalability at 1 warehouse.
+
+Paper shape: Silo and 2PL stop scaling almost immediately (~4 threads);
+IC3/Tebaldi scale to ~16 threads; Polyjuice tracks or beats IC3.
+"""
+
+from repro.workloads.tpcc import make_tpcc_factory
+
+from .common import PROF, measure, sim_config, table, trained_tpcc
+
+THREADS = [1, 2, 4, 8, 16, 24]
+CCS = ["silo", "2pl", "ic3"]
+
+
+def run_experiment():
+    policy, backoff = trained_tpcc(1)
+    factory = make_tpcc_factory(n_warehouses=1, seed=PROF.seed)
+    rows = []
+    for n_workers in THREADS:
+        config = sim_config(n_workers=n_workers)
+        row = [n_workers]
+        for cc in CCS:
+            row.append(measure(factory, cc, config).throughput)
+        row.append(measure(factory, "polyjuice", config, policy=policy,
+                           backoff=backoff).throughput)
+        rows.append(row)
+    return rows
+
+
+def test_fig4c_scalability(once):
+    rows = once(run_experiment)
+    table("Fig 4c: TPC-C scalability (1 warehouse)",
+          ["threads"] + CCS + ["polyjuice"], rows)
+    # Silo must plateau: going from 4 to max threads gains little
+    silo_4 = next(r[1] for r in rows if r[0] == 4)
+    silo_max = rows[-1][1]
+    assert silo_max < silo_4 * 2.0, "Silo should not scale past ~4 threads"
+    # the pipelined approaches must scale further than Silo
+    ic3_max = rows[-1][3]
+    assert ic3_max > silo_max

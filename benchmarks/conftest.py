@@ -1,0 +1,11 @@
+"""Bench-suite configuration: run every bench exactly once."""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment a single time under pytest-benchmark timing."""
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+    return runner

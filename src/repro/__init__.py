@@ -1,0 +1,52 @@
+"""Polyjuice: High-Performance Transactions via Learned Concurrency Control.
+
+Simulation-based reproduction of the OSDI 2021 paper.  The package builds
+everything the paper's evaluation needs:
+
+* a discrete-event simulated multi-core in-memory database
+  (:mod:`repro.sim`, :mod:`repro.storage`);
+* the learnable CC policy space and policy-driven executor
+  (:mod:`repro.core`);
+* the baseline algorithms — Silo/OCC, 2PL, IC3, Tebaldi, CormCC
+  (:mod:`repro.cc`);
+* TPC-C, a TPC-E subset and the 10-type micro-benchmark
+  (:mod:`repro.workloads`);
+* evolutionary and policy-gradient trainers (:mod:`repro.training`);
+* the e-commerce trace analysis of §7.6 (:mod:`repro.trace`);
+* the experiment harness regenerating every figure and table
+  (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import SimConfig, run_named
+    from repro.workloads.tpcc import make_tpcc_factory
+
+    config = SimConfig(n_workers=16, duration=30_000)
+    result = run_named(make_tpcc_factory(n_warehouses=1), "silo", config)
+    print(result.throughput)
+"""
+
+from .config import CostModel, SimConfig, TICKS_PER_SECOND
+from .errors import ReproError, TransactionAborted
+from .bench.runner import ExperimentResult, run_named, run_protocol
+from .cc import make_cc
+from .core import BackoffPolicy, CCPolicy, PolicyExecutor, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BackoffPolicy",
+    "CCPolicy",
+    "CostModel",
+    "ExperimentResult",
+    "PolicyExecutor",
+    "ReproError",
+    "SimConfig",
+    "TICKS_PER_SECOND",
+    "TransactionAborted",
+    "WorkloadSpec",
+    "make_cc",
+    "run_named",
+    "run_protocol",
+    "__version__",
+]

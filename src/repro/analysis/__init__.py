@@ -1,0 +1,5 @@
+"""Offline analyses: the serializability oracle and policy inspection."""
+
+from .serializability import HistoryRecorder, SerializabilityChecker
+
+__all__ = ["HistoryRecorder", "SerializabilityChecker"]

@@ -1,0 +1,177 @@
+"""Machine-checked serializability: the repository's correctness oracle.
+
+The paper proves (Appendix A) that Polyjuice only commits serializable
+histories.  Here we *check* that theorem on every simulated run the tests
+drive — including runs under random and adversarial policies:
+
+1. :class:`HistoryRecorder` captures, for every committed transaction, the
+   version id of each read and the version id each of its writes installed.
+2. :class:`SerializabilityChecker` reconstructs the per-key version chains
+   (installs are serialised by the commit locks, so install order = version
+   order) and builds the precedence graph with the three classic edges:
+
+   * ww: consecutive writers of the same key;
+   * wr: the writer of a version → every reader of it;
+   * rw: every reader of a version → the writer of the next version.
+
+   The history is serializable iff the graph is acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.context import TxnContext
+
+Key = Tuple[str, tuple]
+Vid = tuple
+
+
+class CommittedTxn:
+    """The footprint of one committed transaction."""
+
+    __slots__ = ("txn_id", "type_name", "reads", "writes")
+
+    def __init__(self, txn_id: int, type_name: str,
+                 reads: List[Tuple[Key, Vid]],
+                 writes: List[Tuple[Key, Vid]]) -> None:
+        self.txn_id = txn_id
+        self.type_name = type_name
+        self.reads = reads
+        self.writes = writes
+
+
+class HistoryRecorder:
+    """Collects committed transactions; attach via ``cc.recorder``."""
+
+    def __init__(self) -> None:
+        self.committed: List[CommittedTxn] = []
+        #: per-key install order (append order == commit-lock order)
+        self.version_chain: Dict[Key, List[Vid]] = {}
+
+    def on_commit(self, ctx: TxnContext) -> None:
+        reads = []
+        for (table, key), rentry in ctx.rset.items():
+            if rentry.version_id is None:
+                continue  # read of a never-existing key
+            reads.append(((table, key), rentry.version_id))
+        writes = []
+        for (table, key), wentry in ctx.wset.items():
+            if wentry.installed_vid is None:
+                continue
+            writes.append(((table, key), wentry.installed_vid))
+            self.version_chain.setdefault((table, key), []).append(
+                wentry.installed_vid)
+        self.committed.append(CommittedTxn(ctx.txn_id, ctx.type_name,
+                                           reads, writes))
+
+    def __len__(self) -> int:
+        return len(self.committed)
+
+
+class SerializabilityChecker:
+    """Builds the precedence graph from a recorded history and checks it."""
+
+    def __init__(self, recorder: HistoryRecorder) -> None:
+        self.recorder = recorder
+        self.errors: List[str] = []
+
+    # ------------------------------------------------------------------ #
+
+    def _positions(self) -> Dict[Key, Dict[Vid, int]]:
+        """Position of each installed vid in its key's version chain.
+        Initial versions (txn id 0) sit at position -1."""
+        positions: Dict[Key, Dict[Vid, int]] = {}
+        for key, chain in self.recorder.version_chain.items():
+            positions[key] = {vid: i for i, vid in enumerate(chain)}
+        return positions
+
+    def build_graph(self) -> Dict[int, Set[int]]:
+        """Adjacency map txn_id -> set of txn_ids it must precede."""
+        positions = self._positions()
+        writer_of: Dict[Vid, int] = {}
+        for txn in self.recorder.committed:
+            for _, vid in txn.writes:
+                writer_of[vid] = txn.txn_id
+        graph: Dict[int, Set[int]] = {t.txn_id: set() for t in self.recorder.committed}
+
+        # ww edges: consecutive writers of each key
+        for key, chain in self.recorder.version_chain.items():
+            for earlier, later in zip(chain, chain[1:]):
+                a, b = writer_of[earlier], writer_of[later]
+                if a != b:
+                    graph[a].add(b)
+
+        # wr and rw edges from reads
+        for txn in self.recorder.committed:
+            for key, vid in txn.reads:
+                key_positions = positions.get(key, {})
+                if vid[0] == 0:
+                    position = -1  # initial version
+                elif vid in key_positions:
+                    position = key_positions[vid]
+                    writer = writer_of[vid]
+                    if writer != txn.txn_id:
+                        graph[writer].add(txn.txn_id)  # wr
+                else:
+                    self.errors.append(
+                        f"txn {txn.txn_id} read version {vid} of {key} that "
+                        f"no committed transaction installed")
+                    continue
+                chain = self.recorder.version_chain.get(key, [])
+                next_position = position + 1
+                if next_position < len(chain):
+                    overwriter = writer_of[chain[next_position]]
+                    if overwriter != txn.txn_id:
+                        graph[txn.txn_id].add(overwriter)  # rw
+        return graph
+
+    def find_cycle(self) -> Optional[List[int]]:
+        """Return one cycle (list of txn ids) if the graph has any."""
+        graph = self.build_graph()
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in graph}
+        parent: Dict[int, Optional[int]] = {}
+
+        for root in graph:
+            if color[root] != WHITE:
+                continue
+            stack = [(root, iter(graph[root]))]
+            color[root] = GRAY
+            parent[root] = None
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        parent[child] = node
+                        stack.append((child, iter(graph[child])))
+                        advanced = True
+                        break
+                    if color[child] == GRAY:
+                        cycle = [child, node]
+                        walker = parent[node]
+                        while walker is not None and walker != child:
+                            cycle.append(walker)
+                            walker = parent[walker]
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    def check(self) -> bool:
+        """True iff the recorded history is serializable and well formed."""
+        cycle = self.find_cycle()
+        if cycle is not None:
+            self.errors.append(f"precedence cycle: {cycle}")
+        return not self.errors
+
+
+def assert_serializable(recorder: HistoryRecorder) -> None:
+    """Raise ``AssertionError`` with diagnostics if the history is bad."""
+    checker = SerializabilityChecker(recorder)
+    if not checker.check():
+        raise AssertionError("; ".join(checker.errors))

@@ -1,0 +1,6 @@
+"""Experiment harness: run workloads under CC protocols, sweep parameters,
+format the paper's tables."""
+
+from .runner import ExperimentResult, run_protocol, run_named
+
+__all__ = ["ExperimentResult", "run_protocol", "run_named"]

@@ -1,0 +1,56 @@
+"""Plain-text tables for experiment output (the benches print these)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table; floats get thousands separators."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            if value >= 1000:
+                return f"{value:,.0f}"
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(value.rjust(widths[i])
+                               for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object],
+                  ys: Sequence[float]) -> str:
+    """One figure series as 'name: x=y, x=y, ...'."""
+    points = ", ".join(f"{x}={y:,.0f}" for x, y in zip(xs, ys))
+    return f"{name}: {points}"
+
+
+def speedup_summary(results: Dict[str, float],
+                    subject: str = "polyjuice") -> str:
+    """'polyjuice beats best baseline (ic3) by 23%' style line."""
+    if subject not in results:
+        return "subject missing from results"
+    baselines = {k: v for k, v in results.items() if k != subject}
+    if not baselines:
+        return "no baselines"
+    best_name = max(baselines, key=baselines.get)
+    best = baselines[best_name]
+    if best <= 0:
+        return "baseline throughput was zero"
+    gain = (results[subject] - best) / best * 100.0
+    return (f"{subject}: {results[subject]:,.0f} TPS vs best baseline "
+            f"{best_name}: {best:,.0f} TPS ({gain:+.1f}%)")

@@ -1,0 +1,118 @@
+"""Run one simulated experiment: workload x CC protocol x configuration.
+
+Handles the CormCC probe-and-pick federation (§7.2: measure OCC and 2PL,
+run the better one) and supports scheduled callbacks (the Fig 10 policy
+switch) and history recording (the serializability oracle).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..config import SimConfig
+from ..errors import ConfigError
+from ..rng import spawn_rng
+from ..sim.scheduler import Scheduler
+from ..sim.stats import RunStats
+from ..sim.worker import Worker
+from ..core.backoff import BackoffPolicy
+from ..core.policy import CCPolicy
+from ..cc.registry import make_cc
+from ..workloads.base import Workload
+
+WorkloadFactory = Callable[[], Workload]
+CCFactory = Callable[[], object]
+
+
+class ExperimentResult:
+    """Outcome of one experiment."""
+
+    __slots__ = ("cc_name", "stats", "invariant_violations", "detail")
+
+    def __init__(self, cc_name: str, stats: RunStats,
+                 invariant_violations: List[str],
+                 detail: Optional[str] = None) -> None:
+        self.cc_name = cc_name
+        self.stats = stats
+        self.invariant_violations = invariant_violations
+        self.detail = detail
+
+    @property
+    def throughput(self) -> float:
+        return self.stats.throughput()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ExperimentResult({self.cc_name}, {self.throughput:.0f} TPS)"
+
+
+def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
+                 recorder=None, timeline_bucket: Optional[float] = None,
+                 callbacks: Sequence[Tuple[float, Callable]] = (),
+                 check_invariants: bool = True) -> ExperimentResult:
+    """Execute one run of ``cc`` (an instantiated protocol) over a fresh
+    database built by ``workload_factory``.
+
+    ``callbacks`` are (time, fn(cc)) pairs — e.g. a mid-run policy switch.
+    """
+    if getattr(cc, "requires_probe", False):
+        return _run_probed(workload_factory, cc, config, recorder,
+                           timeline_bucket, check_invariants)
+    workload = workload_factory()
+    db = workload.build_database()
+    cc.setup(db, workload.spec, config)
+    if recorder is not None:
+        cc.recorder = recorder
+    stats = RunStats(workload.type_names(), warmup_end=config.warmup,
+                     collect_latency=config.collect_latency,
+                     timeline_bucket=timeline_bucket)
+    scheduler = Scheduler(config)
+    for worker_id in range(config.n_workers):
+        worker = Worker(worker_id, scheduler, cc, workload, stats, config,
+                        spawn_rng(config.seed, worker_id))
+        scheduler.add_worker(worker)
+    for time, fn in callbacks:
+        scheduler.schedule_callback(time, lambda fn=fn: fn(cc))
+    scheduler.run(config.duration)
+    stats.start_time = 0.0
+    stats.end_time = config.duration
+    violations = workload.check_invariants() if check_invariants else []
+    return ExperimentResult(getattr(cc, "name", "cc"), stats, violations)
+
+
+def _run_probed(workload_factory: WorkloadFactory, descriptor,
+                config: SimConfig, recorder, timeline_bucket,
+                check_invariants: bool) -> ExperimentResult:
+    """CormCC-style probe-and-pick: short probe per candidate, full run of
+    the winner."""
+    probe_duration = max(config.duration * descriptor.probe_fraction, 1000.0)
+    probe_config = dataclasses.replace(
+        config, duration=probe_duration,
+        warmup=min(config.warmup, probe_duration / 2),
+        collect_latency=False)
+    best_factory = None
+    best_throughput = -1.0
+    for factory in descriptor.candidates:
+        result = run_protocol(workload_factory, factory(), probe_config,
+                              check_invariants=False)
+        if result.throughput > best_throughput:
+            best_throughput = result.throughput
+            best_factory = factory
+    winner = best_factory()
+    result = run_protocol(workload_factory, winner, config, recorder,
+                          timeline_bucket, check_invariants=check_invariants)
+    return ExperimentResult(descriptor.name, result.stats,
+                            result.invariant_violations,
+                            detail=f"picked {winner.name}")
+
+
+def run_named(workload_factory: WorkloadFactory, cc_name: str,
+              config: SimConfig, policy: Optional[CCPolicy] = None,
+              backoff_policy: Optional[BackoffPolicy] = None,
+              groups=None, **kwargs) -> ExperimentResult:
+    """Convenience wrapper: instantiate a protocol by registry name and run."""
+    if cc_name == "polyjuice" and policy is None:
+        raise ConfigError("polyjuice requires a trained policy")
+    cc = make_cc(cc_name, policy=policy, backoff_policy=backoff_policy,
+                 groups=groups)
+    return run_protocol(workload_factory, cc, config, **kwargs)

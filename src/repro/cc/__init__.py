@@ -1,0 +1,38 @@
+"""Baseline concurrency-control algorithms (§7.1's comparison set).
+
+* :class:`~repro.cc.occ.SiloOCC` — raw Silo/OCC fast path (no access-list
+  bookkeeping, no policy overhead).
+* :class:`~repro.cc.two_pl.TwoPL` — native 2PL with optimised WAIT-DIE.
+* :func:`~repro.cc.seeds.occ_policy` / :func:`~repro.cc.seeds.two_pl_star_policy`
+  / :func:`~repro.cc.ic3.ic3_policy` — the Table 1 encodings of existing
+  algorithms inside Polyjuice's action space (also the EA's warm start).
+* :class:`~repro.cc.ic3.IC3` — IC3/Callas-RP as a fixed-policy executor.
+* :class:`~repro.cc.tebaldi.Tebaldi` — transaction-group federation.
+* :class:`~repro.cc.cormcc.CormCC` — data-partition federation with
+  probe-and-pick between OCC and 2PL.
+* :func:`~repro.cc.registry.make_cc` — name → instance factory.
+"""
+
+from .cormcc import CormCC
+from .ic3 import IC3, ic3_policy, ic3_wait_table
+from .occ import SiloOCC
+from .registry import available_cc_names, make_cc
+from .seeds import occ_policy, seed_policies, two_pl_star_policy
+from .tebaldi import Tebaldi, tebaldi_policy
+from .two_pl import TwoPL
+
+__all__ = [
+    "CormCC",
+    "IC3",
+    "SiloOCC",
+    "Tebaldi",
+    "TwoPL",
+    "available_cc_names",
+    "ic3_policy",
+    "ic3_wait_table",
+    "make_cc",
+    "occ_policy",
+    "seed_policies",
+    "tebaldi_policy",
+    "two_pl_star_policy",
+]

@@ -1,0 +1,49 @@
+"""CormCC-style federated CC (§7.1/§7.2 baseline, Tang & Elmore ATC'18).
+
+CormCC partitions the *data* (TPC-C: by warehouse) and runs a possibly
+different protocol per partition, choosing by runtime statistics.  The
+paper simulates it: because all warehouses are interchangeable, every
+partition ends up with the same protocol, so they "measure the performance
+of 2PL and OCC, and pick the one with the better performance as the CC
+protocol for each partition" (§7.2) — CormCC's curve is the upper envelope
+of 2PL and OCC (as Fig. 4 and Table 2 show).
+
+We reproduce that faithfully with a probe-and-pick harness: the bench
+runner executes short probe runs of each candidate protocol and then runs
+the winner for the full measurement.  :class:`CormCC` carries the candidate
+factories and the probe parameters; :mod:`repro.bench.runner` understands
+``requires_probe``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..core.protocol import ConcurrencyControl
+from .occ import SiloOCC
+from .two_pl import TwoPL
+
+
+class CormCC:
+    """Descriptor for the probe-and-pick federation.
+
+    Not itself a :class:`ConcurrencyControl`; the bench runner probes each
+    candidate and promotes the winner.  ``probe_fraction`` scales the probe
+    run's duration relative to the full measurement.
+    """
+
+    name = "cormcc"
+    requires_probe = True
+
+    def __init__(self, candidates: Sequence[Callable[[], ConcurrencyControl]] = (),
+                 probe_fraction: float = 0.2) -> None:
+        if not candidates:
+            candidates = [SiloOCC, TwoPL]
+        self.candidates: List[Callable[[], ConcurrencyControl]] = list(candidates)
+        self.probe_fraction = probe_fraction
+
+    def candidate_names(self) -> List[str]:
+        return [factory().name for factory in self.candidates]
+
+    def describe(self) -> str:
+        return f"cormcc(best of {', '.join(self.candidate_names())})"

@@ -1,0 +1,47 @@
+"""Name → concurrency-control factory registry for the bench harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..errors import ConfigError
+from ..core.backoff import BackoffPolicy
+from ..core.executor import PolicyExecutor
+from ..core.policy import CCPolicy
+from .cormcc import CormCC
+from .ic3 import IC3
+from .occ import SiloOCC
+from .tebaldi import Tebaldi
+from .two_pl import TwoPL
+
+_FACTORIES: Dict[str, Callable[..., object]] = {
+    "silo": lambda **kw: SiloOCC(),
+    "occ": lambda **kw: SiloOCC(),
+    "2pl": lambda **kw: TwoPL(assume_ordered=kw.get("assume_ordered", True)),
+    "ic3": lambda **kw: IC3(),
+    "tebaldi": lambda **kw: Tebaldi(groups=kw.get("groups")),
+    "cormcc": lambda **kw: CormCC(),
+}
+
+
+def available_cc_names() -> list:
+    return sorted(set(_FACTORIES) | {"polyjuice"})
+
+
+def make_cc(name: str, policy: Optional[CCPolicy] = None,
+            backoff_policy: Optional[BackoffPolicy] = None,
+            groups: Optional[Sequence[Sequence[str]]] = None,
+            **kwargs):
+    """Instantiate a CC protocol by name.
+
+    ``polyjuice`` takes a trained :class:`CCPolicy` (and optionally a
+    :class:`BackoffPolicy`); the baselines ignore those arguments.
+    """
+    if name == "polyjuice":
+        return PolicyExecutor(policy=policy, backoff_policy=backoff_policy,
+                              name="polyjuice")
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ConfigError(
+            f"unknown CC {name!r}; available: {available_cc_names()}")
+    return factory(groups=groups, **kwargs)

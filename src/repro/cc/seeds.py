@@ -1,0 +1,50 @@
+"""Fixed policies encoding existing CC algorithms (paper Table 1).
+
+These serve two purposes: they are baselines in their own right (executed
+through the same :class:`~repro.core.executor.PolicyExecutor`, which is how
+the paper runs its decomposition argument), and they seed the evolutionary
+trainer's initial population (§5.1's warm start).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import actions
+from ..core.policy import CCPolicy
+from ..core.spec import WorkloadSpec
+
+
+def occ_policy(spec: WorkloadSpec) -> CCPolicy:
+    """OCC / Silo (Table 1): no waits, committed reads, private writes,
+    validation only at commit."""
+    policy = CCPolicy(spec, name="occ")
+    return policy.fill(
+        wait=lambda row, dep: actions.NO_WAIT,
+        read_dirty=actions.CLEAN_READ,
+        write_public=actions.PRIVATE,
+        early_validate=actions.NO_EARLY_VALIDATE,
+    )
+
+
+def two_pl_star_policy(spec: WorkloadSpec) -> CCPolicy:
+    """2PL* (Table 1): wait for all dependent transactions to commit before
+    every access, expose writes to block future conflicting accesses,
+    committed reads, early validation at every access."""
+    policy = CCPolicy(spec, name="2pl*")
+    return policy.fill(
+        wait=lambda row, dep: actions.wait_commit_value(spec.n_accesses(dep)),
+        read_dirty=actions.CLEAN_READ,
+        write_public=actions.PUBLIC,
+        early_validate=actions.EARLY_VALIDATE,
+    )
+
+
+def seed_policies(spec: WorkloadSpec) -> List[CCPolicy]:
+    """The warm-start population of §5.1: OCC, 2PL*, and IC3/Callas-RP."""
+    from .ic3 import ic3_policy  # local import: ic3 imports from this module
+    return [occ_policy(spec), two_pl_star_policy(spec), ic3_policy(spec)]
+
+
+def seed_policy_map(spec: WorkloadSpec) -> Dict[str, CCPolicy]:
+    return {policy.name: policy for policy in seed_policies(spec)}

@@ -1,0 +1,84 @@
+"""Tebaldi-style federated CC (§7.1/§7.2 baseline, Su et al. SIGMOD'17).
+
+Tebaldi groups transaction *types* and mediates conflicts hierarchically:
+a coarse protocol isolates the groups from each other and a finer protocol
+runs within each group.  The paper's 3-layer TPC-C configuration puts
+{NewOrder, Payment} in one group and {Delivery} in another, isolated by
+2PL, with pipelined (IC3-style) execution inside the first group.
+
+Inside Polyjuice's action space this federation is a fixed policy (which
+is the point of §3.2's decomposition): for dependencies on *same-group*
+types a row uses the IC3 static wait, and for *cross-group* types it uses
+the 2PL*-style wait-for-commit.  Reads/writes take the group's intra-group
+actions (dirty reads + exposed writes for IC3 groups).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import WorkloadError
+from ..core import actions
+from ..core.executor import PolicyExecutor
+from ..core.policy import CCPolicy
+from ..core.spec import WorkloadSpec
+from .ic3 import ic3_wait_table
+
+
+def tebaldi_policy(spec: WorkloadSpec,
+                   groups: Sequence[Sequence[str]]) -> CCPolicy:
+    """Build the federated policy for the given type-name groups."""
+    group_of = {}
+    for group_index, group in enumerate(groups):
+        for type_name in group:
+            type_index = spec.type_index(type_name)
+            if type_index in group_of:
+                raise WorkloadError(f"type {type_name!r} appears in two groups")
+            group_of[type_index] = group_index
+    missing = [t.name for i, t in enumerate(spec.types) if i not in group_of]
+    if missing:
+        raise WorkloadError(f"types not assigned to any group: {missing}")
+
+    ic3_waits = ic3_wait_table(spec)
+    policy = CCPolicy(spec, name="tebaldi")
+
+    def wait(row: int, dep_type: int) -> int:
+        own_type, _ = spec.state_of_row(row)
+        if group_of[own_type] == group_of[dep_type]:
+            return ic3_waits[row][dep_type]
+        return actions.wait_commit_value(spec.n_accesses(dep_type))
+
+    return policy.fill(
+        wait=wait,
+        read_dirty=actions.DIRTY_READ,
+        write_public=actions.PUBLIC,
+        early_validate=actions.EARLY_VALIDATE,
+    )
+
+
+class Tebaldi(PolicyExecutor):
+    """Tebaldi executed as a fixed federated policy."""
+
+    name = "tebaldi"
+
+    def __init__(self, groups: Optional[Sequence[Sequence[str]]] = None) -> None:
+        super().__init__(policy=None, name="tebaldi")
+        self.groups = groups
+
+    def setup(self, db, spec, config) -> None:
+        groups: Sequence[Sequence[str]]
+        if self.groups is not None:
+            groups = self.groups
+        elif {t.name for t in spec.types} == {"neworder", "payment", "delivery"}:
+            # the paper's 3-layer TPC-C configuration (§7.2)
+            groups = default_tpcc_groups()
+        else:
+            # default: every type in its own group (pure cross-type 2PL)
+            groups = [[t.name] for t in spec.types]
+        self.policy = tebaldi_policy(spec, groups)
+        super().setup(db, spec, config)
+
+
+def default_tpcc_groups() -> List[List[str]]:
+    """The paper's 3-layer TPC-C grouping (§7.2)."""
+    return [["neworder", "payment"], ["delivery"]]

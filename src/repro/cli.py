@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — run one workload under one CC protocol, print statistics;
+* ``compare``  — run several protocols on the same workload side by side;
+* ``train``    — train a Polyjuice policy (EA) and write it to disk;
+* ``trace``    — the §7.6 trace-predictability analysis;
+* ``inspect``  — pretty-print a saved policy and diff it against the seeds.
+
+Examples::
+
+    python -m repro run --workload tpcc --warehouses 1 --cc ic3
+    python -m repro compare --workload tpce --theta 3 --ccs silo,2pl,ic3
+    python -m repro train --workload tpcc --warehouses 1 --iterations 20 \\
+        --policy-out policy.json --backoff-out backoff.json
+    python -m repro run --workload tpcc --cc polyjuice --policy policy.json
+    python -m repro inspect --workload tpcc --policy policy.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .config import SimConfig
+from .bench.reporting import format_table
+from .bench.runner import run_named
+from .core.backoff import BackoffPolicy
+from .core.policy import CCPolicy
+from .errors import ReproError
+
+
+def _workload(args):
+    """Resolve (spec, workload factory) from CLI arguments."""
+    if args.workload == "tpcc":
+        from .workloads.tpcc import make_tpcc_factory, tpcc_spec
+        return tpcc_spec(), make_tpcc_factory(n_warehouses=args.warehouses,
+                                              seed=args.seed)
+    if args.workload == "tpce":
+        from .workloads.tpce import make_tpce_factory, tpce_spec
+        return tpce_spec(), make_tpce_factory(theta=args.theta,
+                                              seed=args.seed)
+    if args.workload == "micro":
+        from .workloads.micro import make_micro_factory
+        from .workloads.micro.workload import micro_spec
+        return micro_spec(), make_micro_factory(theta=args.theta,
+                                                seed=args.seed)
+    raise ReproError(f"unknown workload {args.workload!r}")
+
+
+def _sim_config(args) -> SimConfig:
+    return SimConfig(n_workers=args.workers, duration=args.duration,
+                     warmup=args.warmup, seed=args.seed)
+
+
+def _load_policy(args, spec):
+    policy: Optional[CCPolicy] = None
+    backoff: Optional[BackoffPolicy] = None
+    if getattr(args, "policy", None):
+        policy = CCPolicy.load(spec, args.policy)
+    if getattr(args, "backoff", None):
+        with open(args.backoff) as f:
+            backoff = BackoffPolicy.from_json(f.read())
+    return policy, backoff
+
+
+def _print_result(cc_name, result) -> None:
+    stats = result.stats
+    print(f"\n{cc_name}: {stats.throughput():,.0f} TPS  "
+          f"(commits {stats.total_commits:,}, abort rate "
+          f"{stats.abort_rate():.2f})")
+    rows = []
+    for type_name, digest in stats.latency.items():
+        if digest.count == 0:
+            continue
+        summary = digest.summary()
+        rows.append([type_name, stats.commits[type_name],
+                     round(summary["avg"], 1), round(summary["p50"], 1),
+                     round(summary["p90"], 1), round(summary["p99"], 1)])
+    if rows:
+        print(format_table(["type", "commits", "avg us", "p50", "p90", "p99"],
+                           rows))
+    if result.invariant_violations:
+        print("INVARIANT VIOLATIONS:")
+        for violation in result.invariant_violations[:10]:
+            print(" ", violation)
+
+
+def cmd_run(args) -> int:
+    spec, factory = _workload(args)
+    policy, backoff = _load_policy(args, spec)
+    result = run_named(factory, args.cc, _sim_config(args), policy=policy,
+                       backoff_policy=backoff)
+    _print_result(result.cc_name, result)
+    return 1 if result.invariant_violations else 0
+
+
+def cmd_compare(args) -> int:
+    spec, factory = _workload(args)
+    policy, backoff = _load_policy(args, spec)
+    rows = []
+    for cc in args.ccs.split(","):
+        cc = cc.strip()
+        result = run_named(factory, cc, _sim_config(args),
+                           policy=policy, backoff_policy=backoff)
+        rows.append([cc, result.throughput, result.stats.abort_rate(),
+                     result.stats.total_commits])
+    print(format_table(["cc", "TPS", "abort rate", "commits"], rows,
+                       title=f"{args.workload} comparison"))
+    return 0
+
+
+def cmd_train(args) -> int:
+    from .training import EAConfig, EvolutionaryTrainer, FitnessEvaluator
+    spec, factory = _workload(args)
+    fitness_cfg = SimConfig(n_workers=args.workers,
+                            duration=args.fitness_duration,
+                            seed=args.seed, collect_latency=False)
+    trainer = EvolutionaryTrainer(
+        spec, FitnessEvaluator(factory, fitness_cfg),
+        EAConfig(iterations=args.iterations,
+                 population_size=args.population,
+                 children_per_parent=args.children, seed=args.seed))
+    result = trainer.train(progress=lambda i, best, mean: print(
+        f"iter {i:3d}: best {best:10,.0f} TPS  mean {mean:10,.0f} TPS"))
+    result.best_policy.save(args.policy_out)
+    print(f"\nwrote {args.policy_out}")
+    if args.backoff_out:
+        with open(args.backoff_out, "w") as f:
+            f.write(result.best_backoff.to_json())
+        print(f"wrote {args.backoff_out}")
+    print(f"best fitness: {result.best_fitness:,.0f} TPS "
+          f"({result.evaluations} evaluations)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .trace import EcommerceTraceGenerator, TraceAnalysis, TraceConfig
+    generator = EcommerceTraceGenerator(TraceConfig(n_days=args.days,
+                                                    seed=args.seed))
+    analysis = TraceAnalysis(generator).run(threshold=args.threshold)
+    print(f"days analysed:          {len(analysis.daily_rates)}")
+    print(f"days with >20% error:   {analysis.days_with_error_above(0.20)}")
+    print(f"retrains ({args.threshold:.0%} deferral): "
+          f"{analysis.n_retrains()}  on days {analysis.retrain_days}")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from .cc.seeds import seed_policy_map
+    spec, _factory = _workload(args)
+    policy = CCPolicy.load(spec, args.policy)
+    print(policy.describe())
+    print()
+    for name, seed in seed_policy_map(spec).items():
+        changed = seed.diff(policy)
+        print(f"vs {name}: {len(changed)} of {policy.n_rows} rows differ")
+    return 0
+
+
+def _add_common(parser) -> None:
+    parser.add_argument("--workload", default="tpcc",
+                        choices=["tpcc", "tpce", "micro"])
+    parser.add_argument("--warehouses", type=int, default=1,
+                        help="TPC-C warehouse count")
+    parser.add_argument("--theta", type=float, default=0.8,
+                        help="Zipf skew for tpce/micro")
+    parser.add_argument("--workers", type=int, default=16)
+    parser.add_argument("--duration", type=float, default=10_000.0,
+                        help="simulated ticks (1 tick = 1 us)")
+    parser.add_argument("--warmup", type=float, default=1_000.0)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one protocol")
+    _add_common(run_parser)
+    run_parser.add_argument("--cc", default="silo")
+    run_parser.add_argument("--policy", help="policy JSON (for polyjuice)")
+    run_parser.add_argument("--backoff", help="backoff JSON")
+    run_parser.set_defaults(fn=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="compare protocols")
+    _add_common(compare_parser)
+    compare_parser.add_argument("--ccs", default="silo,2pl,ic3,tebaldi")
+    compare_parser.add_argument("--policy")
+    compare_parser.add_argument("--backoff")
+    compare_parser.set_defaults(fn=cmd_compare)
+
+    train_parser = sub.add_parser("train", help="train a policy")
+    _add_common(train_parser)
+    train_parser.add_argument("--iterations", type=int, default=10)
+    train_parser.add_argument("--population", type=int, default=5)
+    train_parser.add_argument("--children", type=int, default=3)
+    train_parser.add_argument("--fitness-duration", type=float,
+                              default=3_000.0)
+    train_parser.add_argument("--policy-out", default="policy.json")
+    train_parser.add_argument("--backoff-out", default="backoff.json")
+    train_parser.set_defaults(fn=cmd_train)
+
+    trace_parser = sub.add_parser("trace", help="trace predictability")
+    trace_parser.add_argument("--days", type=int, default=120)
+    trace_parser.add_argument("--threshold", type=float, default=0.15)
+    trace_parser.add_argument("--seed", type=int, default=2019)
+    trace_parser.set_defaults(fn=cmd_trace)
+
+    inspect_parser = sub.add_parser("inspect", help="inspect a policy file")
+    _add_common(inspect_parser)
+    inspect_parser.add_argument("--policy", required=True)
+    inspect_parser.set_defaults(fn=cmd_inspect)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Configuration objects: simulation cost model and run parameters.
+
+The discrete-event simulator charges *simulated time* for each primitive the
+database performs.  One simulated tick is interpreted as one microsecond, so
+committed-transactions / simulated-seconds is directly comparable (in shape)
+to the paper's TPS figures.
+
+The defaults below were calibrated so that an uncontended 48-worker TPC-C
+run lands in the paper's ballpark (on the order of a million TPS) and so
+that the *relative* costs — an abort wastes everything executed so far, a
+wait costs idle time, validation is cheaper than execution — mirror the
+Silo-derived C++ engine the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulated-time cost (in ticks; 1 tick = 1 microsecond) of primitives.
+
+    Attributes:
+        access: executing one Get/Put/Insert, including index lookup and the
+            transaction logic attached to it.
+        scan_per_row: incremental cost per row returned by a range scan.
+        policy_overhead: extra per-access cost paid by the policy-driven
+            executor for policy lookup and access-list bookkeeping.  This is
+            the overhead that makes Polyjuice ~8% slower than raw Silo when
+            it learns the OCC policy (§7.2, 48 warehouses).
+        lock_acquire: acquiring one record lock in the commit protocol.
+        validate_read: validating one read-set entry.
+        install_write: installing one write at commit.
+        commit_base: fixed commit bookkeeping cost.
+        abort_base: fixed abort bookkeeping cost.
+        early_validate_entry: early-validating one buffered entry (§4.3).
+        wait_poll: bookkeeping charged each time a blocked worker re-checks
+            its wait condition (models the pause/spin loop).
+        backoff_initial: initial retry backoff.
+        backoff_max: upper bound on any backoff interval.
+        wait_timeout: a safety valve — a worker blocked longer than this
+            aborts (execution waits give up and proceed instead; commit-phase
+            dependency waits abort).
+    """
+
+    access: float = 1.0
+    scan_per_row: float = 0.12
+    policy_overhead: float = 0.12
+    lock_acquire: float = 0.25
+    validate_read: float = 0.12
+    install_write: float = 0.25
+    commit_base: float = 1.0
+    abort_base: float = 1.0
+    early_validate_entry: float = 0.08
+    wait_poll: float = 0.05
+    backoff_initial: float = 4.0
+    backoff_max: float = 4000.0
+    wait_timeout: float = 20000.0
+
+    def __post_init__(self) -> None:
+        for name in ("access", "scan_per_row", "policy_overhead", "lock_acquire",
+                     "validate_read", "install_write", "commit_base", "abort_base",
+                     "early_validate_entry", "wait_poll"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"cost model field {name!r} must be >= 0")
+        if self.backoff_initial <= 0 or self.backoff_max < self.backoff_initial:
+            raise ConfigError("backoff bounds must satisfy 0 < initial <= max")
+        if self.wait_timeout <= 0:
+            raise ConfigError("wait_timeout must be positive")
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Return a copy with all execution costs multiplied by ``factor``."""
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        return replace(
+            self,
+            access=self.access * factor,
+            scan_per_row=self.scan_per_row * factor,
+            policy_overhead=self.policy_overhead * factor,
+            lock_acquire=self.lock_acquire * factor,
+            validate_read=self.validate_read * factor,
+            install_write=self.install_write * factor,
+            commit_base=self.commit_base * factor,
+            abort_base=self.abort_base * factor,
+            early_validate_entry=self.early_validate_entry * factor,
+        )
+
+
+#: ticks per simulated second (1 tick = 1 microsecond)
+TICKS_PER_SECOND = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Parameters of one simulated run.
+
+    Attributes:
+        n_workers: number of simulated worker threads (the paper's
+            ``--threads``).
+        duration: simulated run length in ticks.
+        warmup: simulated warm-up period excluded from statistics.
+        seed: root seed; every worker / generator derives from it.
+        cost: the cost model.
+        collect_latency: record per-transaction latencies (needed for
+            Table 2; slight memory cost otherwise).
+        deadlock_check_interval: how often (ticks) the scheduler scans the
+            wait-for graph for commit-wait cycles.
+        max_retries: safety valve for tests; ``None`` retries forever as in
+            the paper's methodology.
+    """
+
+    n_workers: int = 8
+    duration: float = 50_000.0
+    warmup: float = 0.0
+    seed: int = 42
+    cost: CostModel = field(default_factory=CostModel)
+    collect_latency: bool = True
+    deadlock_check_interval: float = 50.0
+    max_retries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0:
+            raise ConfigError("n_workers must be positive")
+        if self.duration <= 0:
+            raise ConfigError("duration must be positive")
+        if self.warmup < 0 or self.warmup >= self.duration:
+            raise ConfigError("warmup must lie in [0, duration)")
+        if self.deadlock_check_interval <= 0:
+            raise ConfigError("deadlock_check_interval must be positive")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ConfigError("max_retries must be None or >= 0")

@@ -1,0 +1,50 @@
+"""Polyjuice's core contribution: the learnable concurrency-control policy
+space and the policy-driven transaction executor (paper §3-§4).
+
+Public surface:
+
+* operation descriptors yielded by transaction programs
+  (:class:`ReadOp`, :class:`WriteOp`, :class:`InsertOp`, :class:`ScanOp`);
+* the static workload description (:class:`AccessSpec`,
+  :class:`TxnTypeSpec`, :class:`WorkloadSpec`) that defines the state space;
+* the policy tables (:class:`CCPolicy`, :class:`BackoffPolicy`) and action
+  constants (:mod:`repro.core.actions`);
+* the policy-driven executor (:class:`PolicyExecutor`) implementing
+  Algorithm 1 with Silo-style final validation (§4.4);
+* the abstract protocol every CC implementation plugs into
+  (:class:`ConcurrencyControl`).
+"""
+
+from . import actions
+from .backoff import (BackoffPolicy, ExponentialBackoffManager,
+                      LearnedBackoffManager, NoBackoffManager)
+from .context import TxnContext, TxnStatus
+from .executor import PolicyExecutor
+from .ops import InsertOp, ReadOp, ScanOp, UpdateOp, WriteOp
+from .policy import CCPolicy, PolicyRow
+from .protocol import ConcurrencyControl, TxnIdAllocator, TxnInvocation
+from .spec import AccessSpec, TxnTypeSpec, WorkloadSpec
+
+__all__ = [
+    "AccessSpec",
+    "BackoffPolicy",
+    "CCPolicy",
+    "ConcurrencyControl",
+    "ExponentialBackoffManager",
+    "InsertOp",
+    "LearnedBackoffManager",
+    "NoBackoffManager",
+    "PolicyExecutor",
+    "PolicyRow",
+    "ReadOp",
+    "ScanOp",
+    "TxnContext",
+    "TxnIdAllocator",
+    "TxnInvocation",
+    "TxnStatus",
+    "TxnTypeSpec",
+    "UpdateOp",
+    "WorkloadSpec",
+    "WriteOp",
+    "actions",
+]

@@ -1,0 +1,54 @@
+"""Action-space constants (§4.3).
+
+Wait actions are encoded per dependent transaction type as a single integer:
+
+* ``NO_WAIT`` (-1): do not wait for transactions of that type;
+* ``0 .. d_X - 1``: wait until dependent transactions of type X have
+  finished executing up to and including that access-id;
+* ``d_X`` (= :func:`wait_commit_value`): wait until they commit or abort —
+  the 2PL*-style coarse wait.
+
+Read-version and write-visibility are the paper's binary actions, and
+``early_validate`` is the binary validate-after-access action.
+"""
+
+from __future__ import annotations
+
+#: wait-action value meaning "do not wait for this type"
+NO_WAIT = -1
+
+#: read-version action values
+CLEAN_READ = 0
+DIRTY_READ = 1
+
+#: write-visibility action values
+PRIVATE = 0
+PUBLIC = 1
+
+#: early-validation action values
+NO_EARLY_VALIDATE = 0
+EARLY_VALIDATE = 1
+
+#: sentinel used in wait *conditions* (not stored in tables) meaning the
+#: dependent transaction must be terminal (committed or aborted)
+REQUIRE_COMMIT = 1 << 30
+
+
+def wait_commit_value(n_accesses_of_dep_type: int) -> int:
+    """The stored wait value meaning "wait until commit" for a type with
+    ``n_accesses_of_dep_type`` accesses (one past its last access-id)."""
+    return n_accesses_of_dep_type
+
+
+def wait_value_range(n_accesses_of_dep_type: int) -> tuple:
+    """Inclusive (lo, hi) legal range of a stored wait value."""
+    return (NO_WAIT, n_accesses_of_dep_type)
+
+
+def describe_wait(value: int, n_accesses_of_dep_type: int) -> str:
+    """Human-readable form of a stored wait value (for policy dumps)."""
+    if value == NO_WAIT:
+        return "no-wait"
+    if value >= n_accesses_of_dep_type:
+        return "commit"
+    return f"access<={value}"

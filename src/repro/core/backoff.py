@@ -1,0 +1,175 @@
+"""Backoff policies: the learned table (§4.5) and the Silo baseline.
+
+The learned backoff table's state space is (transaction type, execution
+status commit/abort, number of prior aborted attempts bucketed 0/1/2+);
+its action is a bounded discrete multiplier alpha.  A worker adjusts its
+per-type backoff multiplicatively on every commit/abort:
+
+    backoff *= (1 + alpha[t, i, aborted])    on abort
+    backoff /= (1 + alpha[t, i, committed])  on commit
+
+Silo's baseline is binary exponential backoff, which the paper criticises
+for being too short early and too long after several retries, and for not
+distinguishing transaction types.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from ..config import CostModel
+from ..errors import PolicyFormatError, PolicyShapeError, PolicyValueError
+
+#: discrete alpha choices (bounded, includes 0 = "leave backoff unchanged")
+ALPHA_CHOICES = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+#: prior-abort buckets: 0, 1, 2-or-more (§4.5)
+N_ABORT_BUCKETS = 3
+
+STATUS_COMMITTED = 0
+STATUS_ABORTED = 1
+N_STATUSES = 2
+
+
+def abort_bucket(prior_aborts: int) -> int:
+    """Bucket the number of prior aborted attempts as 0 / 1 / 2+."""
+    return min(max(prior_aborts, 0), N_ABORT_BUCKETS - 1)
+
+
+class BackoffPolicy:
+    """The learned backoff table: alpha indices per (type, status, bucket)."""
+
+    def __init__(self, n_types: int,
+                 alpha_indices: Optional[List[List[List[int]]]] = None) -> None:
+        if n_types <= 0:
+            raise PolicyShapeError("backoff policy needs n_types > 0")
+        self.n_types = n_types
+        if alpha_indices is None:
+            alpha_indices = [[[0] * N_ABORT_BUCKETS for _ in range(N_STATUSES)]
+                             for _ in range(n_types)]
+        self.alpha_indices = alpha_indices
+        self.validate()
+
+    def validate(self) -> None:
+        if len(self.alpha_indices) != self.n_types:
+            raise PolicyShapeError("backoff table has wrong number of types")
+        for per_type in self.alpha_indices:
+            if len(per_type) != N_STATUSES:
+                raise PolicyShapeError("backoff table has wrong status arity")
+            for per_status in per_type:
+                if len(per_status) != N_ABORT_BUCKETS:
+                    raise PolicyShapeError("backoff table has wrong bucket arity")
+                for idx in per_status:
+                    if not 0 <= idx < len(ALPHA_CHOICES):
+                        raise PolicyValueError(f"alpha index {idx} out of range")
+
+    def alpha(self, type_index: int, status: int, prior_aborts: int) -> float:
+        return ALPHA_CHOICES[
+            self.alpha_indices[type_index][status][abort_bucket(prior_aborts)]]
+
+    def clone(self) -> "BackoffPolicy":
+        return BackoffPolicy(
+            self.n_types,
+            [[list(bucket) for bucket in per_type]
+             for per_type in self.alpha_indices])
+
+    def as_tuple(self) -> tuple:
+        return tuple(tuple(tuple(b) for b in t) for t in self.alpha_indices)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BackoffPolicy) and self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        return {"n_types": self.n_types, "alpha_indices": self.alpha_indices}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BackoffPolicy":
+        try:
+            return cls(int(data["n_types"]),
+                       [[[int(i) for i in bucket] for bucket in per_type]
+                        for per_type in data["alpha_indices"]])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PolicyFormatError(f"malformed backoff policy: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "BackoffPolicy":
+        try:
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise PolicyFormatError(f"invalid backoff JSON: {exc}") from exc
+
+
+class LearnedBackoffManager:
+    """Per-worker runtime state applying a :class:`BackoffPolicy`."""
+
+    __slots__ = ("policy", "cost", "_backoff")
+
+    def __init__(self, policy: BackoffPolicy, cost: CostModel) -> None:
+        self.policy = policy
+        self.cost = cost
+        self._backoff = [cost.backoff_initial] * policy.n_types
+
+    def on_abort(self, type_index: int, attempt: int) -> float:
+        """Called after an aborted attempt; returns the pause before retry.
+
+        ``attempt`` counts aborts so far for this invocation (1 = first
+        abort), so the prior-abort count for this execution is attempt - 1.
+        """
+        alpha = self.policy.alpha(type_index, STATUS_ABORTED, attempt - 1)
+        updated = self._backoff[type_index] * (1.0 + alpha)
+        self._backoff[type_index] = min(updated, self.cost.backoff_max)
+        return self._backoff[type_index]
+
+    def on_commit(self, type_index: int, attempts: int) -> None:
+        alpha = self.policy.alpha(type_index, STATUS_COMMITTED, attempts)
+        updated = self._backoff[type_index] / (1.0 + alpha)
+        self._backoff[type_index] = max(updated, self.cost.backoff_initial)
+
+    def current(self, type_index: int) -> float:
+        return self._backoff[type_index]
+
+
+class ExponentialBackoffManager:
+    """Silo-style binary exponential backoff (doubles per failed attempt)."""
+
+    __slots__ = ("cost",)
+
+    def __init__(self, cost: CostModel) -> None:
+        self.cost = cost
+
+    def on_abort(self, type_index: int, attempt: int) -> float:
+        pause = self.cost.backoff_initial * (2.0 ** (attempt - 1))
+        return min(pause, self.cost.backoff_max)
+
+    def on_commit(self, type_index: int, attempts: int) -> None:
+        pass  # stateless: each invocation starts over
+
+    def current(self, type_index: int) -> float:
+        return self.cost.backoff_initial
+
+
+class NoBackoffManager:
+    """Retry immediately (used by blocking protocols such as 2PL)."""
+
+    __slots__ = ("pause",)
+
+    def __init__(self, pause: float = 0.0) -> None:
+        self.pause = pause
+
+    def on_abort(self, type_index: int, attempt: int) -> float:
+        return self.pause
+
+    def on_commit(self, type_index: int, attempts: int) -> None:
+        pass
+
+    def current(self, type_index: int) -> float:
+        return self.pause

@@ -1,0 +1,547 @@
+"""The policy-driven transaction executor — the paper's Algorithm 1.
+
+``PolicyExecutor`` executes transaction programs under an arbitrary
+:class:`~repro.core.policy.CCPolicy`:
+
+* before every access it consults the policy row for (transaction type,
+  access-id) and performs the *wait* action over the conflict set — the
+  active transactions present in the target record's access list plus the
+  transactions it already depends on;
+* reads honour the *read-version* action (committed vs latest visible
+  uncommitted version);
+* writes honour the *write-visibility* action — a PUBLIC write triggers an
+  early validation and then exposes all pending writes cumulatively;
+* reads with the *early-validation* bit set validate the buffered accesses
+  (after the consolidated wait keyed by the next access-id, §4.3) and only
+  then append them to the access lists, as Algorithm 1 prescribes;
+* commit runs the Silo-style final validation with the two Polyjuice
+  additions (§4.4): wait for all dependencies to finish committing, and
+  validate dirty reads through globally-unique version ids.
+
+Early-validation failures trigger *piece-level retry* exactly as §4.3
+prescribes: the transaction re-executes from the point of its last
+successful validation.  The already-validated prefix stays published in the
+access lists (so dependent transactions are unaffected) and is *replayed*
+deterministically from a result log — programs are generators and cannot be
+rewound, but they are pure functions of their inputs and observed values,
+so feeding back the logged results reproduces the prefix without cost.
+The unvalidated suffix (tracked in an undo log) is rolled back.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional, TYPE_CHECKING
+
+from ..errors import AbortReason, PieceRetry, TransactionAborted, WorkloadError
+from ..sim.events import Cost, WaitFor, WaitKind
+from ..storage.access_list import AccessEntry, AccessKind
+from . import validation
+from .actions import NO_WAIT, REQUIRE_COMMIT
+from .backoff import (BackoffPolicy, ExponentialBackoffManager,
+                      LearnedBackoffManager)
+from .context import ReadEntry, TxnContext, TxnStatus, WriteEntry
+from .ops import InsertOp, ReadOp, ScanOp, UpdateOp, WriteOp
+from .policy import CCPolicy, PolicyRow
+from .protocol import ConcurrencyControl, TxnInvocation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.worker import Worker
+    from ..storage.record import Record
+
+
+#: safety valve: a transaction whose early validations keep failing falls
+#: back to a full abort after this many piece retries
+MAX_PIECE_RETRIES = 200
+
+
+class PolicyExecutor(ConcurrencyControl):
+    """Executes transactions according to a learned (or seeded) CC policy."""
+
+    name = "polyjuice"
+
+    def __init__(self, policy: Optional[CCPolicy] = None,
+                 backoff_policy: Optional[BackoffPolicy] = None,
+                 name: Optional[str] = None,
+                 extra_access_cost: Optional[float] = None) -> None:
+        super().__init__()
+        self.policy = policy
+        self.backoff_policy = backoff_policy
+        if name is not None:
+            self.name = name
+        #: per-access metadata overhead; defaults to the cost model's
+        #: ``policy_overhead`` (None = use config default)
+        self._extra_access_cost = extra_access_cost
+        self._overhead = 0.0
+        self._progress_tables = []
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def setup(self, db, spec, config) -> None:
+        super().setup(db, spec, config)
+        if self.policy is None:
+            self.policy = CCPolicy(spec, name="default-occ")
+        elif self.policy.spec.n_states != spec.n_states:
+            raise WorkloadError("policy does not match workload state space")
+        self._overhead = (config.cost.policy_overhead
+                          if self._extra_access_cost is None
+                          else self._extra_access_cost)
+        self._progress_tables = [t.progress_at_start for t in spec.types]
+
+    def set_policy(self, policy: CCPolicy,
+                   backoff_policy: Optional[BackoffPolicy] = None) -> None:
+        """Swap the policy pointer (Fig 10's live policy switch, §6).
+
+        In-flight transactions keep the policy they started with; new
+        attempts pick up the new one.  Correctness never depends on which
+        policy executed which transaction (§6).
+        """
+        policy.validate()
+        self.policy = policy
+        if backoff_policy is not None:
+            self.backoff_policy = backoff_policy
+
+    def make_backoff(self, worker: "Worker"):
+        if self.backoff_policy is not None:
+            return LearnedBackoffManager(self.backoff_policy, self.config.cost)
+        return ExponentialBackoffManager(self.config.cost)
+
+    # ------------------------------------------------------------------ #
+    # transaction driver
+
+    def run_transaction(self, worker: "Worker", invocation: TxnInvocation,
+                        attempt: int, first_start: float) -> Generator:
+        txn_id = self.ids.next()
+        ctx = TxnContext(txn_id, invocation.type_index, invocation.type_name,
+                         worker, (first_start, txn_id), worker.scheduler.now)
+        worker.current_ctx = ctx
+        policy = self.policy  # pointer snapshot: policy switches are per-txn
+        result_log: list = []   # results of validated-prefix operations
+        checkpoint = 0          # ops [0, checkpoint) are validated & replayable
+        piece_retries = 0
+        try:
+            while True:  # one pass per piece retry
+                program = invocation.program()
+                op_seq = 0
+                result = None
+                try:
+                    while True:
+                        try:
+                            op = program.send(result)
+                        except StopIteration:
+                            break
+                        if op_seq < checkpoint:
+                            # validated prefix: replay the logged result;
+                            # no cost, no effects (state is already in place)
+                            result = result_log[op_seq]
+                        else:
+                            result = yield from self._execute_op(ctx, policy, op)
+                            if op_seq < len(result_log):
+                                result_log[op_seq] = result
+                            else:
+                                result_log.append(result)
+                            if not ctx.undo_log and not ctx.buffer:
+                                # everything up to here is validated and
+                                # published: advance the retry point
+                                checkpoint = op_seq + 1
+                        op_seq += 1
+                    yield from self._commit(ctx)
+                    return
+                except PieceRetry as retry:
+                    piece_retries += 1
+                    worker.stats.record_piece_retry(ctx.type_name)
+                    if piece_retries > MAX_PIECE_RETRIES:
+                        raise TransactionAborted(
+                            AbortReason.EARLY_VALIDATION,
+                            f"piece retry limit: {retry.detail}")
+                    self._rollback_to_checkpoint(ctx)
+                    del result_log[checkpoint:]
+                    yield Cost(self.config.cost.early_validate_entry)
+        except TransactionAborted as exc:
+            validation.finish(ctx, TxnStatus.ABORTED, exc.reason)
+            yield Cost(self.config.cost.abort_base)
+            raise
+        except BaseException:
+            validation.finish(ctx, TxnStatus.ABORTED, AbortReason.USER)
+            raise
+
+    @staticmethod
+    def _rollback_to_checkpoint(ctx: TxnContext) -> None:
+        """Undo every read/write recorded since the last successful
+        validation; none of them has been published to access lists."""
+        for entry in reversed(ctx.undo_log):
+            kind = entry[0]
+            if kind == "read":
+                ctx.rset.pop(entry[1], None)
+            elif kind == "wnew":
+                ctx.wset.pop(entry[1], None)
+            else:  # "wmod"
+                _, key, old_value, old_dirty = entry
+                wentry = ctx.wset[key]
+                wentry.value = old_value
+                wentry.dirty_since_expose = old_dirty
+        ctx.undo_log.clear()
+        ctx.buffer.clear()
+
+    # ------------------------------------------------------------------ #
+    # operations
+
+    def _execute_op(self, ctx: TxnContext, policy: CCPolicy, op) -> Generator:
+        if ctx.doomed:
+            raise TransactionAborted(AbortReason.DIRTY_READ_OF_ABORTED,
+                                     "dirty-read source aborted")
+        # starting this access proves every access whose completion barrier
+        # lies before it has finished (loop-aware progress; §4.3's "finish
+        # execution up to and including a")
+        ctx.note_progress(self._progress_tables[ctx.type_index][op.access_id])
+        if isinstance(op, ReadOp):
+            return (yield from self._do_read(ctx, policy, op))
+        if isinstance(op, UpdateOp):
+            return (yield from self._do_update(ctx, policy, op))
+        if isinstance(op, WriteOp):
+            return (yield from self._do_write(ctx, policy, op, is_insert=False))
+        if isinstance(op, InsertOp):
+            return (yield from self._do_write(ctx, policy, op, is_insert=True))
+        if isinstance(op, ScanOp):
+            return (yield from self._do_scan(ctx, op))
+        raise WorkloadError(f"unknown operation: {op!r}")
+
+    def _do_read(self, ctx: TxnContext, policy: CCPolicy, op: ReadOp) -> Generator:
+        row = policy.row(ctx.type_index, op.access_id)
+        record = self.db.table(op.table).get_record(op.key)
+        yield from self._access_wait(ctx, row, record)
+        yield Cost(self.config.cost.access + self._overhead)
+
+        key = (op.table, op.key)
+        wentry = ctx.wset.get(key)
+        if wentry is not None:
+            # read-your-writes: no read-set entry needed
+            value = dict(wentry.value) if wentry.value is not None else None
+        else:
+            rentry = ctx.rset.get(key)
+            if rentry is None:
+                rentry = self._observe(ctx, row, record, op.table, op.key)
+            value = dict(rentry.value) if rentry.value is not None else None
+
+        if row.early_validate:
+            yield from self._early_validate(ctx, policy, op.access_id,
+                                            publish_writes=False)
+        return value
+
+    def _observe(self, ctx: TxnContext, row: PolicyRow,
+                 record: Optional["Record"], table: str, key: tuple) -> ReadEntry:
+        """Perform the version choice of a first read and record it."""
+        if record is None:
+            # reading a key that has never existed: nothing to validate
+            # against (no phantom protection; see DESIGN.md)
+            rentry = ReadEntry(table, key, record, None, None, None)
+            ctx.rset[(table, key)] = rentry
+            return rentry
+        from_ctx = None
+        observed_value = record.value
+        observed_vid = record.version_id
+        if row.read_dirty:
+            latest = record.access_list.latest_visible_write()
+            if latest is not None and latest.ctx is not ctx:
+                from_ctx = latest.ctx
+                observed_value = latest.value
+                observed_vid = latest.version_id
+        stored = dict(observed_value) if observed_value is not None else None
+        rentry = ReadEntry(table, key, record, observed_vid, stored, from_ctx,
+                           intended_dirty=bool(row.read_dirty))
+        ctx.rset[(table, key)] = rentry
+        ctx.buffer.append(("read", rentry))
+        ctx.undo_log.append(("read", (table, key)))
+        ctx.touched_records.add(record)
+        if from_ctx is not None:
+            ctx.deps.add(from_ctx)
+            from_ctx.readers.add(ctx)
+        return rentry
+
+    def _do_write(self, ctx: TxnContext, policy: CCPolicy, op,
+                  is_insert: bool) -> Generator:
+        row = policy.row(ctx.type_index, op.access_id)
+        table = self.db.table(op.table)
+        if is_insert:
+            record = table.ensure_record(op.key, self.db.allocator.next_initial())
+            if record.value is not None:
+                # the key is already committed: this insert can never win
+                raise TransactionAborted(AbortReason.VALIDATION,
+                                         f"duplicate insert {op.table}{op.key}")
+        else:
+            record = table.get_record(op.key)
+            if record is None:
+                record = table.ensure_record(op.key, self.db.allocator.next_initial())
+        yield from self._access_wait(ctx, row, record)
+        yield Cost(self.config.cost.access + self._overhead)
+
+        key = (op.table, op.key)
+        if is_insert and key not in ctx.rset:
+            # record the key's absence; validated at commit so two racing
+            # inserters conflict like a write-write pair
+            rentry = ReadEntry(op.table, op.key, record, record.version_id,
+                               None, None)
+            ctx.rset[key] = rentry
+            ctx.buffer.append(("read", rentry))
+            ctx.undo_log.append(("read", key))
+
+        wentry = ctx.wset.get(key)
+        if wentry is None:
+            wentry = WriteEntry(op.table, op.key, record, op.value, is_insert,
+                                order=len(ctx.wset))
+            ctx.wset[key] = wentry
+            ctx.undo_log.append(("wnew", key))
+        else:
+            ctx.undo_log.append(("wmod", key, wentry.value,
+                                 wentry.dirty_since_expose))
+            wentry.value = op.value
+            wentry.dirty_since_expose = True
+        ctx.touched_records.add(record)
+
+        if row.write_public:
+            yield from self._early_validate(ctx, policy, op.access_id,
+                                            publish_writes=True)
+        return None
+
+    def _do_update(self, ctx: TxnContext, policy: CCPolicy,
+                   op: UpdateOp) -> Generator:
+        """Read-modify-write at one access site: the read honours the
+        read-version action, the write honours write-visibility."""
+        row = policy.row(ctx.type_index, op.access_id)
+        table = self.db.table(op.table)
+        record = table.get_record(op.key)
+        if record is None:
+            record = table.ensure_record(op.key, self.db.allocator.next_initial())
+        yield from self._access_wait(ctx, row, record)
+        yield Cost(self.config.cost.access + self._overhead)
+
+        key = (op.table, op.key)
+        wentry = ctx.wset.get(key)
+        if wentry is not None:
+            old = dict(wentry.value) if wentry.value is not None else None
+        else:
+            rentry = ctx.rset.get(key)
+            if rentry is None:
+                rentry = self._observe(ctx, row, record, op.table, op.key)
+            old = dict(rentry.value) if rentry.value is not None else None
+        new_value = op.update_fn(old)
+        if wentry is None:
+            wentry = WriteEntry(op.table, op.key, record, new_value, False,
+                                order=len(ctx.wset))
+            ctx.wset[key] = wentry
+            ctx.undo_log.append(("wnew", key))
+        else:
+            ctx.undo_log.append(("wmod", key, wentry.value,
+                                 wentry.dirty_since_expose))
+            wentry.value = new_value
+            wentry.dirty_since_expose = True
+        ctx.touched_records.add(record)
+
+        if row.write_public:
+            yield from self._early_validate(ctx, policy, op.access_id,
+                                            publish_writes=True)
+        elif row.early_validate:
+            yield from self._early_validate(ctx, policy, op.access_id,
+                                            publish_writes=False)
+        return dict(new_value) if new_value is not None else None
+
+    def _do_scan(self, ctx: TxnContext, op: ScanOp) -> Generator:
+        """Committed-read range scan (§6: Silo's mechanism, no policy
+        actions apply)."""
+        table = self.db.table(op.table)
+        # snapshot values and version ids NOW — simulated time passes at the
+        # next yield and rows may be deleted under us meanwhile.  Rows with
+        # an exposed (uncommitted) delete are skipped: the deleter has
+        # already claimed them, so picking them would be a guaranteed
+        # conflict (this mirrors in-flight delete visibility in the index).
+        rows = []
+        for key, record in table.scan_committed(op.lo, op.hi, limit=None,
+                                                reverse=op.reverse):
+            latest = record.access_list.latest_visible_write()
+            if latest is not None and latest.value is None \
+                    and latest.ctx is not ctx:
+                continue
+            rows.append((key, record, record.version_id, dict(record.value)))
+            if op.limit is not None and len(rows) >= op.limit:
+                break
+        yield Cost(self.config.cost.access + self._overhead
+                   + self.config.cost.scan_per_row * len(rows))
+        results = []
+        for key, record, version_id, value in rows:
+            entry_key = (op.table, key)
+            if entry_key not in ctx.rset and entry_key not in ctx.wset:
+                rentry = ReadEntry(op.table, key, record, version_id,
+                                   dict(value), None)
+                ctx.rset[entry_key] = rentry
+                ctx.buffer.append(("read", rentry))
+                ctx.undo_log.append(("read", entry_key))
+                ctx.touched_records.add(record)
+            results.append((key, value))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # waits
+
+    def _access_wait(self, ctx: TxnContext, row: PolicyRow,
+                     record: Optional["Record"]) -> Generator:
+        """The wait action before a data access (§4.3): wait for the
+        transactions T already depends on (T_dep) to reach the policy's
+        per-type progress targets — Algorithm 1's ``WaitUntil(action.waits)``.
+
+        Dependency *order* with not-yet-dependent transactions is
+        established by the access itself (reading an exposed version /
+        publishing after predecessors); the wait maintains the established
+        order at every later conflicting access, exactly as IC3-style
+        pipelining prescribes.
+        """
+        if not ctx.deps:
+            return
+        wait = self._build_wait(ctx, ctx.deps, row)
+        if wait is not None:
+            yield wait
+
+    def _build_wait(self, ctx: TxnContext, targets: Iterable[TxnContext],
+                    row: PolicyRow) -> Optional[WaitFor]:
+        reqs = []
+        for dep in targets:
+            if dep is ctx or not dep.is_active():
+                continue
+            if dep in ctx.wait_exempt:
+                continue  # a broken wait cycle involved this dependency
+            spec_value = row.wait[dep.type_index]
+            if spec_value == NO_WAIT:
+                continue
+            if spec_value >= self.spec.n_accesses(dep.type_index):
+                required = REQUIRE_COMMIT
+            else:
+                required = spec_value
+            if required == REQUIRE_COMMIT or dep.progress < required:
+                reqs.append((dep, required))
+        if not reqs:
+            return None
+
+        def satisfied() -> bool:
+            if ctx.doomed:
+                return True  # wake up to die
+            for dep, required in reqs:
+                if dep.is_active() and (required == REQUIRE_COMMIT
+                                        or dep.progress < required):
+                    return False
+            return True
+
+        return WaitFor(satisfied, WaitKind.PROGRESS,
+                       [dep for dep, _ in reqs])
+
+    # ------------------------------------------------------------------ #
+    # early validation and publication (Algorithm 1 lines 8-16 / 28-36)
+
+    def _early_validate(self, ctx: TxnContext, policy: CCPolicy,
+                        access_id: int, publish_writes: bool) -> Generator:
+        cost = self.config.cost
+        # consolidated wait: use the wait action of the *next* access-id
+        n_accesses = self.spec.n_accesses(ctx.type_index)
+        next_id = min(access_id + 1, n_accesses - 1)
+        row = policy.row(ctx.type_index, next_id)
+        wait = self._build_wait(ctx, ctx.deps, row)
+        if wait is not None:
+            yield wait
+        pending_writes = sum(1 for w in ctx.wset.values() if w.dirty_since_expose)
+        n_entries = len(ctx.buffer) + (pending_writes if publish_writes else 0)
+        yield Cost(cost.early_validate_entry * max(1, n_entries))
+        for kind, entry in ctx.buffer:
+            if kind != "read":
+                continue
+            doom = validation.read_entry_doomed(ctx, entry)
+            if doom is not None:
+                raise PieceRetry(doom)
+        self._publish(ctx, publish_writes)
+        ctx.undo_log.clear()  # the window is validated: new retry point
+
+    def _publish(self, ctx: TxnContext, publish_writes: bool) -> None:
+        """Append buffered reads (and, on a PUBLIC write, all pending
+        writes) to access lists, accumulating the induced dependencies."""
+        for kind, rentry in ctx.buffer:
+            if kind != "read" or rentry.record is None:
+                continue
+            access_list = rentry.record.access_list
+            entry = AccessEntry(ctx, AccessKind.READ, rentry.version_id)
+            if rentry.from_ctx is None:
+                # committed-version read: ordered before every exposed write
+                access_list.insert_read_before_writes(entry)
+            else:
+                # dirty read: ordered right after the version it observed,
+                # taking wr-dependencies on that writer and its predecessors
+                deps = access_list.insert_read_after_version(
+                    entry, rentry.version_id)
+                for dep in deps:
+                    if dep is not ctx:
+                        ctx.deps.add(dep)
+            ctx.touched_records.add(rentry.record)
+        ctx.buffer.clear()
+        if not publish_writes:
+            return
+        for wentry in sorted(ctx.wset.values(), key=lambda w: w.order):
+            if not wentry.dirty_since_expose:
+                continue
+            access_list = wentry.record.access_list
+            for dep in access_list.predecessors_of_tail(ctx, writes_only=False):
+                ctx.deps.add(dep)
+            vid = ctx.next_version_id()
+            value = dict(wentry.value) if wentry.value is not None else None
+            access_list.append(AccessEntry(ctx, AccessKind.WRITE, vid, value))
+            wentry.exposed_vid = vid
+            wentry.dirty_since_expose = False
+            ctx.touched_records.add(wentry.record)
+
+    # ------------------------------------------------------------------ #
+    # final commit (§4.4)
+
+    def _commit(self, ctx: TxnContext) -> Generator:
+        cost = self.config.cost
+        # reaching the commit phase completes every access site
+        ctx.note_progress(self.spec.n_accesses(ctx.type_index) - 1)
+        # step 1: wait for every dependency to finish committing/aborting
+        deps = {dep for dep in ctx.deps if dep.is_active()}
+        if deps:
+            yield WaitFor(
+                lambda deps=frozenset(deps): ctx.doomed or
+                all(not d.is_active() for d in deps),
+                WaitKind.COMMIT_DEPS, deps)
+        if ctx.doomed:
+            raise TransactionAborted(AbortReason.DIRTY_READ_OF_ABORTED,
+                                     "dirty-read source aborted")
+        # step 2: lock the write set in a global order (no deadlocks),
+        # accumulating the cost and flushing only when we must block
+        pending = cost.commit_base
+        for wentry in sorted(ctx.wset.values(), key=lambda w: (w.table, w.key)):
+            record = wentry.record
+            while not record.try_lock(ctx):
+                if pending:
+                    yield Cost(pending)
+                    pending = 0.0
+                owner = record.lock_owner
+                yield WaitFor(
+                    lambda record=record: not record.is_locked_by_other(ctx),
+                    WaitKind.LOCK, (owner,) if owner is not None else ())
+            pending += cost.lock_acquire
+        pending += cost.validate_read * len(ctx.rset)
+        pending += cost.install_write * len(ctx.wset)
+        yield Cost(pending)
+        # step 3: validate the read set
+        for rentry in ctx.rset.values():
+            if rentry.record is None:
+                continue
+            if not validation.read_entry_final_ok(ctx, rentry):
+                raise TransactionAborted(
+                    AbortReason.VALIDATION,
+                    f"read of {rentry.table}{rentry.key} invalidated")
+        # step 4: install writes, then release locks / scrub access lists
+        for wentry in sorted(ctx.wset.values(), key=lambda w: w.order):
+            if wentry.dirty_since_expose or wentry.exposed_vid is None:
+                vid = ctx.next_version_id()
+            else:
+                vid = wentry.exposed_vid
+            value = dict(wentry.value) if wentry.value is not None else None
+            wentry.record.install(value, vid, ctx)
+            wentry.installed_vid = vid
+        validation.finish(ctx, TxnStatus.COMMITTED, recorder=self.recorder)

@@ -1,0 +1,120 @@
+"""Operation descriptors yielded by transaction programs.
+
+Transaction logic is written as a Python generator; each data access yields
+one of these descriptors and receives the access result via ``send``::
+
+    def payment(inputs):
+        wh = yield ReadOp("WAREHOUSE", (inputs.w_id,), access_id=0)
+        wh = dict(wh, w_ytd=wh["w_ytd"] + inputs.amount)
+        yield WriteOp("WAREHOUSE", (inputs.w_id,), wh, access_id=1)
+
+The ``access_id`` is the paper's static access identifier (§4.2): it is
+determined by the static code location of the call, identifies the policy
+row consulted for the access, and is reused across loop iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReadOp:
+    """Read one record; the program receives the value (or ``None``)."""
+
+    __slots__ = ("table", "key", "access_id")
+
+    def __init__(self, table: str, key: tuple, access_id: int) -> None:
+        self.table = table
+        self.key = key
+        self.access_id = access_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ReadOp({self.table}, {self.key}, a{self.access_id})"
+
+
+class WriteOp:
+    """Write (update or delete) one record.
+
+    ``value is None`` deletes the record (installs a tombstone at commit).
+    """
+
+    __slots__ = ("table", "key", "value", "access_id")
+
+    def __init__(self, table: str, key: tuple, value: Optional[dict],
+                 access_id: int) -> None:
+        self.table = table
+        self.key = key
+        self.value = value
+        self.access_id = access_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WriteOp({self.table}, {self.key}, a{self.access_id})"
+
+
+class UpdateOp:
+    """Read-modify-write at a single access site.
+
+    This matches how the paper counts accesses (e.g. Fig. 7's ``rw(STOCK)``
+    is one access): the executor reads the record (honouring the row's
+    read-version action), applies ``update_fn(old_value) -> new_value`` and
+    buffers the write (honouring write-visibility).  The program receives
+    the *new* value.
+
+    ``update_fn`` must be a pure function of the observed value — retries
+    re-execute it against whatever version is then observed.
+    """
+
+    __slots__ = ("table", "key", "update_fn", "access_id")
+
+    def __init__(self, table: str, key: tuple, update_fn, access_id: int) -> None:
+        self.table = table
+        self.key = key
+        self.update_fn = update_fn
+        self.access_id = access_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UpdateOp({self.table}, {self.key}, a{self.access_id})"
+
+
+class InsertOp:
+    """Insert a new record.
+
+    The executor records the absence of the key at insert time and
+    re-validates it at commit, so two transactions racing to insert the same
+    key conflict like a write-write pair.
+    """
+
+    __slots__ = ("table", "key", "value", "access_id")
+
+    def __init__(self, table: str, key: tuple, value: dict, access_id: int) -> None:
+        self.table = table
+        self.key = key
+        self.value = value
+        self.access_id = access_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"InsertOp({self.table}, {self.key}, a{self.access_id})"
+
+
+class ScanOp:
+    """Committed-read range scan over ``lo <= key < hi``.
+
+    Per the paper (§6) range queries reuse Silo's mechanism and always read
+    committed values; returned rows are added to the read set and validated
+    at commit.  There is no phantom (node-set) protection — none of the
+    paper's workloads needs it (documented in DESIGN.md).
+    """
+
+    __slots__ = ("table", "lo", "hi", "limit", "reverse", "access_id")
+
+    def __init__(self, table: str, lo: tuple, hi: tuple, access_id: int,
+                 limit: Optional[int] = None, reverse: bool = False) -> None:
+        self.table = table
+        self.lo = lo
+        self.hi = hi
+        self.limit = limit
+        self.reverse = reverse
+        self.access_id = access_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ScanOp({self.table}, [{self.lo}, {self.hi}), a{self.access_id})"

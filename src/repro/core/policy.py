@@ -1,0 +1,242 @@
+"""The CC policy table (§4.1-§4.3, Fig. 3).
+
+Rows correspond to states — one per (transaction type, access-id) pair —
+and columns to action dimensions:
+
+* ``wait``: one integer per transaction type in the workload (how far a
+  dependent transaction of that type must have progressed before this
+  access proceeds; see :mod:`repro.core.actions` for the encoding);
+* ``read_dirty``: CLEAN_READ / DIRTY_READ;
+* ``write_public``: PRIVATE / PUBLIC;
+* ``early_validate``: whether to validate right after this access.
+
+A policy knows its :class:`~repro.core.spec.WorkloadSpec`, validates every
+cell against it, serialises to/from JSON (the paper writes trained policies
+to disk for the database to load, §6), and hashes by content so trainers
+can cache fitness evaluations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional
+
+from ..errors import PolicyFormatError, PolicyShapeError, PolicyValueError
+from . import actions
+from .spec import WorkloadSpec
+
+#: current on-disk format version
+POLICY_FORMAT_VERSION = 1
+
+
+class PolicyRow:
+    """Actions for one state (one row of the policy table)."""
+
+    __slots__ = ("wait", "read_dirty", "write_public", "early_validate")
+
+    def __init__(self, wait: List[int], read_dirty: int, write_public: int,
+                 early_validate: int) -> None:
+        self.wait = wait
+        self.read_dirty = read_dirty
+        self.write_public = write_public
+        self.early_validate = early_validate
+
+    def clone(self) -> "PolicyRow":
+        return PolicyRow(list(self.wait), self.read_dirty, self.write_public,
+                         self.early_validate)
+
+    def as_tuple(self) -> tuple:
+        return (tuple(self.wait), self.read_dirty, self.write_public,
+                self.early_validate)
+
+
+class CCPolicy:
+    """A complete concurrency-control policy for a workload."""
+
+    def __init__(self, spec: WorkloadSpec, rows: Optional[List[PolicyRow]] = None,
+                 name: str = "unnamed") -> None:
+        self.spec = spec
+        self.name = name
+        if rows is None:
+            rows = [PolicyRow([actions.NO_WAIT] * spec.n_types,
+                              actions.CLEAN_READ, actions.PRIVATE,
+                              actions.NO_EARLY_VALIDATE)
+                    for _ in range(spec.n_states)]
+        self.rows = rows
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # access
+
+    def row(self, type_index: int, access_id: int) -> PolicyRow:
+        return self.rows[self.spec.state_index(type_index, access_id)]
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------ #
+    # integrity
+
+    def validate(self) -> None:
+        """Raise if the table shape or any cell value is illegal."""
+        if len(self.rows) != self.spec.n_states:
+            raise PolicyShapeError(
+                f"policy has {len(self.rows)} rows, workload has "
+                f"{self.spec.n_states} states")
+        for row_index, row in enumerate(self.rows):
+            if len(row.wait) != self.spec.n_types:
+                raise PolicyShapeError(
+                    f"row {row_index}: {len(row.wait)} wait cells for "
+                    f"{self.spec.n_types} types")
+            for dep_type, value in enumerate(row.wait):
+                lo, hi = actions.wait_value_range(self.spec.n_accesses(dep_type))
+                if not lo <= value <= hi:
+                    raise PolicyValueError(
+                        f"row {row_index}: wait[{dep_type}]={value} outside "
+                        f"[{lo}, {hi}]")
+            for field in ("read_dirty", "write_public", "early_validate"):
+                if getattr(row, field) not in (0, 1):
+                    raise PolicyValueError(
+                        f"row {row_index}: {field} must be 0 or 1")
+
+    # ------------------------------------------------------------------ #
+    # content identity
+
+    def as_tuple(self) -> tuple:
+        return tuple(row.as_tuple() for row in self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CCPolicy) and self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def clone(self, name: Optional[str] = None) -> "CCPolicy":
+        return CCPolicy(self.spec, [row.clone() for row in self.rows],
+                        name=name or self.name)
+
+    # ------------------------------------------------------------------ #
+    # bulk edits (used by seeds and the factor-analysis ablation)
+
+    def fill(self, wait: Optional[Callable[[int, int], int]] = None,
+             read_dirty: Optional[int] = None,
+             write_public: Optional[int] = None,
+             early_validate: Optional[int] = None) -> "CCPolicy":
+        """Set columns across all rows; ``wait`` is a fn(row, dep_type)->value.
+
+        Returns ``self`` for chaining.
+        """
+        for row_index, row in enumerate(self.rows):
+            if wait is not None:
+                row.wait = [wait(row_index, dep) for dep in range(self.spec.n_types)]
+            if read_dirty is not None:
+                row.read_dirty = read_dirty
+            if write_public is not None:
+                row.write_public = write_public
+            if early_validate is not None:
+                row.early_validate = early_validate
+        self.validate()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # serialization (§6: the trainer writes the table to disk, the database
+    # loads it)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": POLICY_FORMAT_VERSION,
+            "name": self.name,
+            "types": [{"name": t.name, "n_accesses": t.n_accesses}
+                      for t in self.spec.types],
+            "rows": [
+                {
+                    "wait": list(row.wait),
+                    "read_dirty": row.read_dirty,
+                    "write_public": row.write_public,
+                    "early_validate": row.early_validate,
+                }
+                for row in self.rows
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, spec: WorkloadSpec, data: dict) -> "CCPolicy":
+        if not isinstance(data, dict) or "rows" not in data:
+            raise PolicyFormatError("policy document missing 'rows'")
+        if data.get("format") != POLICY_FORMAT_VERSION:
+            raise PolicyFormatError(
+                f"unsupported policy format: {data.get('format')!r}")
+        declared = data.get("types", [])
+        expected = [{"name": t.name, "n_accesses": t.n_accesses} for t in spec.types]
+        if declared != expected:
+            raise PolicyFormatError(
+                "policy was trained for a different workload shape: "
+                f"{declared} != {expected}")
+        rows = []
+        try:
+            for row_data in data["rows"]:
+                rows.append(PolicyRow(
+                    [int(v) for v in row_data["wait"]],
+                    int(row_data["read_dirty"]),
+                    int(row_data["write_public"]),
+                    int(row_data["early_validate"]),
+                ))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PolicyFormatError(f"malformed policy row: {exc}") from exc
+        return cls(spec, rows, name=data.get("name", "loaded"))
+
+    @classmethod
+    def from_json(cls, spec: WorkloadSpec, text: str) -> "CCPolicy":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PolicyFormatError(f"invalid policy JSON: {exc}") from exc
+        return cls.from_dict(spec, data)
+
+    @classmethod
+    def load(cls, spec: WorkloadSpec, path: str) -> "CCPolicy":
+        with open(path) as f:
+            return cls.from_json(spec, f.read())
+
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> str:
+        """Human-readable dump (used by the case-study example)."""
+        lines = [f"policy {self.name!r} ({self.n_rows} states)"]
+        for row_index, row in enumerate(self.rows):
+            type_index, access_id = self.spec.state_of_row(row_index)
+            type_spec = self.spec.type_of(type_index)
+            access = type_spec.accesses[access_id]
+            waits = ", ".join(
+                f"{self.spec.type_of(dep).name}:"
+                f"{actions.describe_wait(v, self.spec.n_accesses(dep))}"
+                for dep, v in enumerate(row.wait))
+            lines.append(
+                f"  [{type_spec.name} a{access_id} {access.kind}@{access.table}] "
+                f"wait({waits}) "
+                f"read={'dirty' if row.read_dirty else 'clean'} "
+                f"write={'public' if row.write_public else 'private'} "
+                f"ev={'yes' if row.early_validate else 'no'}")
+        return "\n".join(lines)
+
+    def diff(self, other: "CCPolicy") -> List[str]:
+        """Rows where two policies differ (used in analyses/tests)."""
+        if self.spec is not other.spec and self.spec.n_states != other.spec.n_states:
+            raise PolicyShapeError("cannot diff policies over different specs")
+        changed = []
+        for row_index, (a, b) in enumerate(zip(self.rows, other.rows)):
+            if a.as_tuple() != b.as_tuple():
+                type_index, access_id = self.spec.state_of_row(row_index)
+                changed.append(f"{self.spec.type_of(type_index).name}:a{access_id}")
+        return changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CCPolicy(name={self.name!r}, rows={self.n_rows})"

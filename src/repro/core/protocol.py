@@ -1,0 +1,93 @@
+"""The interface every concurrency-control implementation plugs into.
+
+The simulator is CC-agnostic: a worker hands each transaction invocation to
+the installed :class:`ConcurrencyControl`, which returns a generator of
+simulation directives.  Polyjuice's policy executor, raw Silo OCC, native
+2PL, IC3, Tebaldi and CormCC all implement this interface, which is what
+makes the paper's apples-to-apples comparison possible in one harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Generator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import SimConfig
+    from ..sim.worker import Worker
+    from ..storage.database import Database
+    from .spec import WorkloadSpec
+
+
+class TxnIdAllocator:
+    """Globally-unique transaction ids (ids start at 1; 0 is initial data)."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def next(self) -> int:
+        txn_id = self._next
+        self._next += 1
+        return txn_id
+
+
+class TxnInvocation:
+    """One transaction instance: its type plus a replayable program factory.
+
+    ``program()`` must return a *fresh* generator each call — retries replay
+    the same logical transaction with the same inputs (§7.1).
+    """
+
+    __slots__ = ("type_index", "type_name", "program", "tag")
+
+    def __init__(self, type_index: int, type_name: str,
+                 program: Callable[[], Generator], tag: Optional[object] = None) -> None:
+        self.type_index = type_index
+        self.type_name = type_name
+        self.program = program
+        #: optional opaque payload (used by trace replay and tests)
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TxnInvocation({self.type_name})"
+
+
+class ConcurrencyControl(abc.ABC):
+    """Base class for CC protocols runnable by the simulator."""
+
+    #: short name used by the registry and in reports
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.db: Optional["Database"] = None
+        self.spec: Optional["WorkloadSpec"] = None
+        self.config: Optional["SimConfig"] = None
+        self.ids = TxnIdAllocator()
+        #: optional commit-history recorder (serializability oracle hook)
+        self.recorder = None
+
+    def setup(self, db: "Database", spec: "WorkloadSpec",
+              config: "SimConfig") -> None:
+        """Bind the protocol to a database and workload before the run."""
+        self.db = db
+        self.spec = spec
+        self.config = config
+        self.ids = TxnIdAllocator()
+
+    @abc.abstractmethod
+    def run_transaction(self, worker: "Worker", invocation: TxnInvocation,
+                        attempt: int, first_start: float) -> Generator:
+        """Execute one attempt; a generator of Cost/WaitFor directives.
+
+        Must raise :class:`~repro.errors.TransactionAborted` (after cleaning
+        up all shared state it touched) if the attempt dies.
+        """
+
+    @abc.abstractmethod
+    def make_backoff(self, worker: "Worker"):
+        """Create the per-worker backoff manager for this protocol."""
+
+    def describe(self) -> str:
+        return self.name

@@ -1,0 +1,199 @@
+"""Static workload description — the policy's state space (§4.2).
+
+A workload declares its transaction types and, for each type, the list of
+static data accesses (one per static code location that issues a
+Get/Put/Insert/Scan).  The paper's state space is exactly the union of these
+(transaction type, access-id) pairs: for types with d_1 ... d_n accesses the
+policy table has d_1 + ... + d_n rows.
+
+The spec also records the table and kind of every access; this powers the
+IC3 static conflict analysis and lets the policy know which action columns
+are meaningful for a row (read-version only matters for reads, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..errors import WorkloadError
+
+
+class AccessKinds:
+    READ = "read"
+    WRITE = "write"
+    UPDATE = "update"  # read-modify-write at one site (Fig. 7's rw(...))
+    INSERT = "insert"
+    SCAN = "scan"
+    ALL = (READ, WRITE, UPDATE, INSERT, SCAN)
+
+
+class AccessSpec:
+    """One static access site within a transaction type."""
+
+    __slots__ = ("access_id", "table", "kind")
+
+    def __init__(self, access_id: int, table: str, kind: str) -> None:
+        if kind not in AccessKinds.ALL:
+            raise WorkloadError(f"unknown access kind: {kind!r}")
+        self.access_id = access_id
+        self.table = table
+        self.kind = kind
+
+    @property
+    def is_read_like(self) -> bool:
+        return self.kind in (AccessKinds.READ, AccessKinds.UPDATE,
+                             AccessKinds.SCAN)
+
+    @property
+    def is_write_like(self) -> bool:
+        return self.kind in (AccessKinds.WRITE, AccessKinds.UPDATE,
+                             AccessKinds.INSERT)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AccessSpec(a{self.access_id}, {self.table}, {self.kind})"
+
+
+class TxnTypeSpec:
+    """Static description of one transaction type.
+
+    ``loops`` declares which access-id ranges sit inside program loops
+    (contiguous, possibly nested — only the outermost matters).  Loop
+    structure determines when an access-id counts as *finished* for the
+    wait actions: an access inside a loop is only complete once the program
+    has moved past the whole loop, because a later iteration may revisit
+    the same access-id (§4.3's "finish execution up to and including a" is
+    about execution progress, not a single invocation of the site).
+    """
+
+    def __init__(self, name: str, accesses: Sequence[AccessSpec],
+                 loops: Sequence[Sequence[int]] = ()) -> None:
+        if not accesses:
+            raise WorkloadError(f"transaction type {name!r} has no accesses")
+        ids = [a.access_id for a in accesses]
+        if ids != list(range(len(accesses))):
+            raise WorkloadError(
+                f"{name!r}: access ids must be 0..{len(accesses) - 1} in order, got {ids}")
+        self.name = name
+        self.accesses = list(accesses)
+        self.loops = [tuple(sorted(loop)) for loop in loops]
+        for loop in self.loops:
+            if not loop:
+                raise WorkloadError(f"{name!r}: empty loop group")
+            if loop != tuple(range(loop[0], loop[-1] + 1)):
+                raise WorkloadError(
+                    f"{name!r}: loop group {loop} must be contiguous")
+            if loop[-1] >= len(accesses):
+                raise WorkloadError(
+                    f"{name!r}: loop group {loop} out of range")
+        #: completion barrier per access-id: access ``a`` is finished once
+        #: an access-id strictly greater than ``barrier[a]`` has started
+        #: (or the transaction reached its commit phase)
+        self.barriers = list(range(len(accesses)))
+        for loop in self.loops:
+            for access_id in loop:
+                self.barriers[access_id] = max(self.barriers[access_id],
+                                               loop[-1])
+        #: progress_at_start[b] = largest access-id known complete when an
+        #: op with access-id b starts (-1 = none); requires barriers to be
+        #: non-decreasing, which contiguous loop groups guarantee
+        self.progress_at_start = []
+        for b in range(len(accesses) + 1):
+            progress = -1
+            for a in range(len(accesses)):
+                if self.barriers[a] < b:
+                    progress = a
+                else:
+                    break
+            self.progress_at_start.append(progress)
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.accesses)
+
+    def tables_touched(self) -> Set[str]:
+        return {a.table for a in self.accesses}
+
+    def last_access_to_table(self, table: str) -> Optional[int]:
+        """Highest access-id touching ``table`` (IC3 piece-end analysis)."""
+        last = None
+        for access in self.accesses:
+            if access.table == table:
+                last = access.access_id
+        return last
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TxnTypeSpec({self.name!r}, d={self.n_accesses})"
+
+
+class WorkloadSpec:
+    """The full static description: all types, and the state-space indexing.
+
+    ``state_index(type_index, access_id)`` maps a (type, access) pair to the
+    policy-table row; rows are laid out type-major.
+    """
+
+    def __init__(self, types: Sequence[TxnTypeSpec]) -> None:
+        if not types:
+            raise WorkloadError("a workload needs at least one transaction type")
+        names = [t.name for t in types]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate transaction type names: {names}")
+        self.types = list(types)
+        self._offsets: List[int] = []
+        offset = 0
+        for t in self.types:
+            self._offsets.append(offset)
+            offset += t.n_accesses
+        self._n_states = offset
+        self._index_by_name: Dict[str, int] = {t.name: i for i, t in enumerate(self.types)}
+
+    @property
+    def n_types(self) -> int:
+        return len(self.types)
+
+    @property
+    def n_states(self) -> int:
+        """Total number of policy rows: d_1 + d_2 + ... + d_n (§4.2)."""
+        return self._n_states
+
+    def type_index(self, name: str) -> int:
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise WorkloadError(f"unknown transaction type: {name!r}") from None
+
+    def type_of(self, index: int) -> TxnTypeSpec:
+        return self.types[index]
+
+    def n_accesses(self, type_index: int) -> int:
+        return self.types[type_index].n_accesses
+
+    def state_index(self, type_index: int, access_id: int) -> int:
+        t = self.types[type_index]
+        if not 0 <= access_id < t.n_accesses:
+            raise WorkloadError(
+                f"{t.name}: access id {access_id} out of range [0, {t.n_accesses})")
+        return self._offsets[type_index] + access_id
+
+    def state_of_row(self, row: int) -> tuple:
+        """Inverse of :meth:`state_index` → (type_index, access_id)."""
+        if not 0 <= row < self._n_states:
+            raise WorkloadError(f"row {row} out of range [0, {self._n_states})")
+        for type_index in range(self.n_types - 1, -1, -1):
+            if row >= self._offsets[type_index]:
+                return type_index, row - self._offsets[type_index]
+        raise AssertionError("unreachable")
+
+    def access_of_row(self, row: int) -> AccessSpec:
+        type_index, access_id = self.state_of_row(row)
+        return self.types[type_index].accesses[access_id]
+
+    def all_tables(self) -> Set[str]:
+        tables: Set[str] = set()
+        for t in self.types:
+            tables |= t.tables_touched()
+        return tables
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"WorkloadSpec(types={[t.name for t in self.types]}, "
+                f"states={self.n_states})")

@@ -1,0 +1,106 @@
+"""Validation logic (§4.4 and the early-validation action of §4.3).
+
+Final validation is Silo's protocol plus the paper's two additions: unique
+version ids across committed *and* uncommitted versions (so dirty reads can
+be validated at all), and a commit-phase wait for all dependent
+transactions to finish committing (step 1), which the correctness proof
+reduces to Silo.
+
+Early validation checks whether any read made so far is already doomed —
+its observed version can no longer be the committed version at our commit:
+
+* the writer of a dirty-read version aborted, or overwrote that version
+  with a newer one, or committed a different version;
+* a clean-read version has been overwritten by a newer commit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from .context import ReadEntry, TxnContext, TxnStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+def read_entry_doomed(ctx: TxnContext, entry: ReadEntry) -> Optional[str]:
+    """Return a failure description if ``entry`` can no longer validate,
+    else ``None``.  Used by early validation (cheap, lock-free checks)."""
+    writer = entry.from_ctx
+    record = entry.record
+    if writer is None:
+        # clean read: doomed once a newer version commits
+        if record.version_id != entry.version_id:
+            return "clean read overwritten by a newer commit"
+        if entry.intended_dirty:
+            # a DIRTY_READ that fell back to the committed version claims
+            # to be ordered after every exposed write; if someone exposed
+            # since, the read missed it and must be retried
+            latest = record.access_list.latest_visible_write()
+            if latest is not None and latest.ctx is not ctx:
+                return "dirty-read intent missed a newer exposed version"
+        return None
+    if writer.status == TxnStatus.ABORTED:
+        return "dirty read from an aborted transaction"
+    if writer.status == TxnStatus.COMMITTED:
+        if record.version_id != entry.version_id:
+            return "dirty-read version was not the one committed"
+        return None
+    # writer still active: doomed if it has exposed a newer version since
+    latest_of_writer = record.access_list.latest_write_of(writer)
+    if latest_of_writer is None or \
+            latest_of_writer.version_id != entry.version_id:
+        return "dirty-read version superseded by the writer"
+    if (entry.table, entry.key) in ctx.wset:
+        # read-modify-write: writing over anything but the record's latest
+        # visible version is a guaranteed lost update — one of the two
+        # writers would fail validation, so retry the piece now (this is
+        # IC3's piece validation rule)
+        latest = record.access_list.latest_visible_write()
+        if latest is not None and latest.ctx is not ctx and \
+                latest.version_id != entry.version_id:
+            return "read-modify-write lost the latest exposed version"
+    return None
+
+
+def read_entry_final_ok(ctx: TxnContext, entry: ReadEntry) -> bool:
+    """Silo read validation: current committed version matches what we read
+    and no other transaction holds the record's commit lock (§4.4 step 3)."""
+    record = entry.record
+    if record.is_locked_by_other(ctx):
+        return False
+    return record.version_id == entry.version_id
+
+
+def scrub(ctx: TxnContext) -> None:
+    """Remove every trace of ``ctx`` from shared storage state: access-list
+    entries and commit locks.  Safe to call multiple times; called on both
+    commit and abort."""
+    for record in ctx.touched_records:
+        record.access_list.remove_txn(ctx)
+        record.unlock(ctx)
+    ctx.touched_records.clear()
+
+
+def finish(ctx: TxnContext, status: str, reason: Optional[str] = None,
+           recorder=None) -> None:
+    """Transition ``ctx`` to a terminal status and scrub shared state.
+
+    If a history ``recorder`` is supplied (see
+    :mod:`repro.analysis.serializability`) every commit is reported to it,
+    which lets tests machine-check serializability of whole runs.
+    """
+    ctx.status = status
+    ctx.abort_reason = reason
+    scrub(ctx)
+    if status == TxnStatus.ABORTED:
+        # eager cascade (§4.3): transactions that dirty-read our discarded
+        # writes can never validate — doom them now so they stop wasting
+        # work and stop spreading the poisoned versions further
+        for reader in ctx.readers:
+            if reader.is_active():
+                reader.doomed = True
+    ctx.readers.clear()
+    if recorder is not None and status == TxnStatus.COMMITTED:
+        recorder.on_commit(ctx)

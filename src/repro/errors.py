@@ -1,0 +1,116 @@
+"""Exception hierarchy for the Polyjuice reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures without catching unrelated bugs.
+Transaction aborts are *not* exceptions in the public API (aborted
+transactions are retried by the simulator), but internally the executor
+signals an abort by raising :class:`TransactionAborted`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer errors."""
+
+
+class UnknownTableError(StorageError):
+    """A transaction referenced a table that does not exist."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert collided with an existing committed key."""
+
+
+class MissingKeyError(StorageError):
+    """A read or update referenced a key with no committed version."""
+
+
+class PolicyError(ReproError):
+    """Base class for policy-table errors."""
+
+
+class PolicyShapeError(PolicyError):
+    """A policy table does not match the workload's state space."""
+
+
+class PolicyValueError(PolicyError):
+    """A policy cell holds a value outside its legal range."""
+
+
+class PolicyFormatError(PolicyError):
+    """A serialized policy file could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulator errors."""
+
+
+class SchedulerError(SimulationError):
+    """The scheduler was driven in an illegal way (e.g. time regression)."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is inconsistent or was misused."""
+
+
+class TrainingError(ReproError):
+    """A trainer was configured or driven incorrectly."""
+
+
+class AbortReason:
+    """Symbolic reasons a transaction attempt aborted (for statistics)."""
+
+    VALIDATION = "validation"
+    EARLY_VALIDATION = "early_validation"
+    DIRTY_READ_OF_ABORTED = "dirty_read_of_aborted"
+    LOCK_DIE = "lock_die"
+    WAIT_CYCLE = "wait_cycle"
+    WAIT_TIMEOUT = "wait_timeout"
+    USER = "user"
+
+    ALL = (
+        VALIDATION,
+        EARLY_VALIDATION,
+        DIRTY_READ_OF_ABORTED,
+        LOCK_DIE,
+        WAIT_CYCLE,
+        WAIT_TIMEOUT,
+        USER,
+    )
+
+
+class PieceRetry(ReproError):
+    """Internal control-flow signal: early validation failed and the
+    transaction must re-execute from its last successful validation point
+    (§4.3).  Never escapes the policy executor — the already-validated,
+    already-published prefix stays in place and only the unvalidated suffix
+    is rolled back and re-executed."""
+
+    def __init__(self, detail: str = "") -> None:
+        super().__init__(f"early validation failed: {detail}")
+        self.detail = detail
+
+
+class TransactionAborted(ReproError):
+    """Internal control-flow signal: the current transaction attempt died.
+
+    The simulator catches this, runs the abort path (release locks, scrub
+    access lists, back off) and retries the same transaction input, matching
+    the paper's retry-until-commit methodology (§7.1).
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        if reason not in AbortReason.ALL:
+            raise ValueError(f"unknown abort reason: {reason!r}")
+        super().__init__(f"transaction aborted: {reason}" + (f" ({detail})" if detail else ""))
+        self.reason = reason
+        self.detail = detail

@@ -1,0 +1,24 @@
+"""Discrete-event simulation of a multi-core in-memory database.
+
+This package is the substitute for the paper's 56-core testbed: each worker
+thread becomes a simulated worker whose data accesses, waits, validation
+steps and backoffs consume simulated time (1 tick = 1 microsecond).  The
+scheduler interleaves workers in simulated time, so contention appears as
+aborted (wasted) work and blocking — exactly the quantities the paper's
+throughput figures measure.
+"""
+
+from .events import Cost, WaitFor, WaitKind
+from .scheduler import Scheduler
+from .stats import LatencyDigest, RunStats
+from .worker import Worker
+
+__all__ = [
+    "Cost",
+    "LatencyDigest",
+    "RunStats",
+    "Scheduler",
+    "WaitFor",
+    "WaitKind",
+    "Worker",
+]

@@ -1,0 +1,78 @@
+"""Directives yielded by concurrency-control executors to the simulator.
+
+A CC executor (`repro.core.executor`, `repro.cc.two_pl`, ...) is written as
+a Python generator.  It *yields* directives and the scheduler interprets
+them:
+
+* :class:`Cost` — consume a span of simulated time (an access, a validation
+  step, a backoff interval ...).
+* :class:`WaitFor` — block until a predicate over other transactions'
+  progress becomes true (the paper's wait actions, dependency-commit waits
+  and lock waits).
+
+Directive objects are allocated on the hot path, so they are ``__slots__``
+classes with no behaviour beyond carrying data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.context import TxnContext
+
+
+class WaitKind:
+    """What a :class:`WaitFor` is waiting on — determines cycle handling."""
+
+    #: execution-time wait action (§4.3); on a cycle/timeout the waiter may
+    #: simply proceed (the wait is a performance hint, not correctness).
+    PROGRESS = "progress"
+    #: commit-phase wait for dependent transactions to finish committing
+    #: (§4.4 step 1); on a cycle the waiter must abort.
+    COMMIT_DEPS = "commit_deps"
+    #: waiting for a record lock (commit phase or native 2PL); on a cycle
+    #: the waiter must abort.
+    LOCK = "lock"
+
+
+class Cost:
+    """Consume ``ticks`` of simulated time."""
+
+    __slots__ = ("ticks",)
+
+    def __init__(self, ticks: float) -> None:
+        self.ticks = ticks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cost({self.ticks})"
+
+
+class WaitFor:
+    """Block until ``condition()`` is true.
+
+    Attributes:
+        condition: zero-argument predicate, re-evaluated whenever any worker
+            makes progress.
+        kind: a :class:`WaitKind` value.
+        dep_ctxs: the transactions being waited on — used by the scheduler's
+            wait-for-graph cycle detection.
+        abort_on_break: if a cycle or timeout breaks the wait, ``True`` means
+            the waiter aborts (correctness waits), ``False`` means it simply
+            proceeds (performance waits).
+    """
+
+    __slots__ = ("condition", "kind", "dep_ctxs", "abort_on_break")
+
+    def __init__(self, condition: Callable[[], bool], kind: str,
+                 dep_ctxs: Optional[Iterable["TxnContext"]] = None,
+                 abort_on_break: Optional[bool] = None) -> None:
+        self.condition = condition
+        self.kind = kind
+        self.dep_ctxs: FrozenSet["TxnContext"] = frozenset(dep_ctxs or ())
+        if abort_on_break is None:
+            abort_on_break = kind != WaitKind.PROGRESS
+        self.abort_on_break = abort_on_break
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WaitFor(kind={self.kind}, deps={len(self.dep_ctxs)})"

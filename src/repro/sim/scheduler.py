@@ -1,0 +1,219 @@
+"""The discrete-event scheduler.
+
+The scheduler owns simulated time.  It keeps a heap of (time, event) pairs;
+events are either worker wake-ups or arbitrary callbacks (used for policy
+switches and wait timeouts).  Workers blocked on a :class:`WaitFor` are held
+in a parked set; their conditions are re-evaluated after every worker
+advance, which is the only point at which shared state can change.
+
+Wait-for cycles (mutual dependency deadlocks) are detected when a worker
+parks: if the new edge closes a cycle, the parking worker either aborts
+(correctness waits: commit-phase dependency waits and lock waits) or simply
+proceeds (the paper's execution-time wait actions, which are performance
+hints).  A wait timeout provides a second-line safety valve.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple  # noqa: F401
+
+from ..config import SimConfig
+from ..errors import AbortReason, SchedulerError, TransactionAborted
+from .events import Cost, WaitFor
+from .worker import Worker
+
+_KIND_WORKER = 0
+_KIND_CALLBACK = 1
+
+
+class Scheduler:
+    """Event loop for one simulated run."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, int, object]] = []
+        self._seq = itertools.count()
+        self._workers: List[Worker] = []
+        self._parked: Dict[Worker, WaitFor] = {}
+        self._park_start: Dict[Worker, float] = {}
+        #: statistics of safety-valve firings (exposed for tests/analysis)
+        self.cycle_breaks = 0
+        self.timeout_breaks = 0
+        #: accumulated parked simulated time per WaitKind (wait profiling)
+        self.wait_time_by_kind: Dict[str, float] = {}
+        self.wait_count_by_kind: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+
+    def add_worker(self, worker: Worker, start_time: float = 0.0) -> None:
+        self._workers.append(worker)
+        self._schedule_worker(worker, start_time)
+
+    def schedule_callback(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at simulated ``time`` (>= now)."""
+        if time < self.now:
+            raise SchedulerError(f"callback scheduled in the past: {time} < {self.now}")
+        heapq.heappush(self._heap, (time, next(self._seq), _KIND_CALLBACK, fn))
+
+    def _schedule_worker(self, worker: Worker, time: float) -> None:
+        worker.generation += 1
+        heapq.heappush(self._heap,
+                       (time, next(self._seq), _KIND_WORKER,
+                        (worker, worker.generation)))
+
+    # ------------------------------------------------------------------ #
+    # main loop
+
+    def run(self, until: float) -> None:
+        """Advance simulated time to ``until``, processing all events."""
+        if until < self.now:
+            raise SchedulerError("cannot run backwards in time")
+        while self._heap and self._heap[0][0] <= until:
+            time, _, kind, payload = heapq.heappop(self._heap)
+            self.now = time
+            if kind == _KIND_CALLBACK:
+                payload()
+                continue
+            worker, generation = payload
+            if generation != worker.generation or worker.finished:
+                continue  # stale wake-up
+            self._advance(worker)
+        self.now = until
+
+    # ------------------------------------------------------------------ #
+    # worker driving
+
+    def _advance(self, worker: Worker,
+                 initial_exc: Optional[BaseException] = None) -> None:
+        """Resume ``worker`` until it sleeps, parks or finishes."""
+        exc = initial_exc
+        while True:
+            directive = worker.advance(exc)
+            exc = None
+            if directive is None:
+                break  # worker finished
+            if isinstance(directive, Cost):
+                if directive.ticks <= 0:
+                    continue
+                self._schedule_worker(worker, self.now + directive.ticks)
+                break
+            # WaitFor
+            wait = directive
+            if wait.condition():
+                continue
+            worker.park_token += 1
+            worker.generation += 1  # invalidate any in-flight wake-ups
+            self._parked[worker] = wait
+            self._park_start[worker] = self.now
+            self.wait_count_by_kind[wait.kind] = \
+                self.wait_count_by_kind.get(wait.kind, 0) + 1
+            if self._find_cycle(worker) is not None:
+                self.cycle_breaks += 1
+                self._unpark(worker)
+                if wait.abort_on_break:
+                    exc = TransactionAborted(AbortReason.WAIT_CYCLE)
+                else:
+                    self._exempt_wait(worker, wait)
+                continue
+            self._arm_timeout(worker, worker.park_token)
+            break
+        self._notify_parked()
+
+    def _notify_parked(self) -> None:
+        """Wake every parked worker whose condition has become true."""
+        if not self._parked:
+            return
+        ready = [w for w, wait in self._parked.items() if wait.condition()]
+        for worker in ready:
+            self._unpark(worker)
+            self._schedule_worker(worker, self.now)
+
+    def _unpark(self, worker: Worker) -> None:
+        wait = self._parked.pop(worker)
+        start = self._park_start.pop(worker, self.now)
+        self.wait_time_by_kind[wait.kind] = \
+            self.wait_time_by_kind.get(wait.kind, 0.0) + (self.now - start)
+
+    # ------------------------------------------------------------------ #
+    # deadlock handling
+
+    def _successors(self, worker: Worker) -> List[Worker]:
+        wait = self._parked.get(worker)
+        if wait is None:
+            return []
+        result = []
+        for ctx in wait.dep_ctxs:
+            if not ctx.is_active():
+                continue
+            dep_worker = ctx.worker
+            if dep_worker is not None:
+                result.append(dep_worker)
+        return result
+
+    def _find_cycle(self, start: Worker) -> Optional[List[Worker]]:
+        """If parking ``start`` created a wait-for cycle through it, return
+        the cycle's members (path from ``start`` back to ``start``)."""
+        path: List[Worker] = []
+        seen = set()
+
+        def dfs(worker: Worker) -> bool:
+            for successor in self._successors(worker):
+                if successor is start:
+                    path.append(worker)
+                    return True
+                if successor in seen:
+                    continue
+                seen.add(successor)
+                if dfs(successor):
+                    path.append(worker)
+                    return True
+            return False
+
+        if dfs(start):
+            path.reverse()
+            return [start] + [w for w in path if w is not start]
+        return None
+
+    @staticmethod
+    def _pick_cycle_victim(cycle: List[Worker]) -> Worker:
+        """Abort the youngest transaction in the cycle: it has the fewest
+        transactions depending on it, so the cascade it seeds is smallest."""
+        def age(worker: Worker):
+            ctx = worker.current_ctx
+            return ctx.priority if ctx is not None else (float("-inf"), 0)
+        return max(cycle, key=age)
+
+    @staticmethod
+    def _exempt_wait(worker: Worker, wait: WaitFor) -> None:
+        """After breaking a performance wait, stop the transaction from
+        re-creating the same doomed wait at its next access."""
+        ctx = worker.current_ctx
+        if ctx is not None:
+            ctx.wait_exempt.update(wait.dep_ctxs)
+
+    def _arm_timeout(self, worker: Worker, token: int) -> None:
+        deadline = self.now + self.config.cost.wait_timeout
+
+        def fire() -> None:
+            wait = self._parked.get(worker)
+            if wait is None or worker.park_token != token:
+                return  # no longer parked on that wait
+            self._unpark(worker)
+            self.timeout_breaks += 1
+            if wait.abort_on_break:
+                self._advance(worker, TransactionAborted(AbortReason.WAIT_TIMEOUT))
+            else:
+                self._exempt_wait(worker, wait)
+                self._advance(worker)
+
+        self.schedule_callback(deadline, fire)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def parked_count(self) -> int:
+        return len(self._parked)

@@ -1,0 +1,174 @@
+"""Run statistics: throughput, per-type latency percentiles, abort accounting.
+
+Latencies follow the paper's methodology: a transaction's latency is the
+span from its *first* start (before any aborted attempt) to its commit, so
+retries and backoff are included — this is what makes Table 2's P99 numbers
+sensitive to the CC algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..config import TICKS_PER_SECOND
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return float("nan")
+    if fraction <= 0:
+        return sorted_values[0]
+    if fraction >= 1:
+        return sorted_values[-1]
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(math.ceil(fraction * len(sorted_values))) - 1))
+    return sorted_values[rank]
+
+
+class LatencyDigest:
+    """Latency summary (microseconds) for one transaction type."""
+
+    __slots__ = ("count", "total", "_samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self._samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        self.count += 1
+        self.total += latency
+        self._samples.append(latency)
+
+    @property
+    def avg(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def pct(self, fraction: float) -> float:
+        self._samples.sort()
+        return percentile(self._samples, fraction)
+
+    def summary(self) -> Dict[str, float]:
+        """AVG / P50 / P90 / P99 — the columns of the paper's Table 2."""
+        return {
+            "avg": self.avg,
+            "p50": self.pct(0.50),
+            "p90": self.pct(0.90),
+            "p99": self.pct(0.99),
+        }
+
+
+class RunStats:
+    """Statistics accumulated over one simulated run.
+
+    The warm-up window is excluded: commits/aborts that complete before
+    ``warmup_end`` are counted separately and do not contribute to
+    throughput or latency numbers.
+    """
+
+    def __init__(self, type_names: Sequence[str], warmup_end: float = 0.0,
+                 collect_latency: bool = True,
+                 timeline_bucket: Optional[float] = None) -> None:
+        self.type_names = list(type_names)
+        self.warmup_end = warmup_end
+        self.collect_latency = collect_latency
+        self.commits: Dict[str, int] = {name: 0 for name in self.type_names}
+        self.aborts: Dict[str, int] = {name: 0 for name in self.type_names}
+        self.abort_reasons: Dict[str, int] = {}
+        #: piece-level retries (failed early validations that re-executed
+        #: from the last validation point instead of fully aborting)
+        self.piece_retries: Dict[str, int] = {name: 0 for name in self.type_names}
+        #: total simulated time spent in retry backoff across workers
+        self.backoff_time = 0.0
+        self.warmup_commits = 0
+        self.warmup_aborts = 0
+        self.latency: Dict[str, LatencyDigest] = {
+            name: LatencyDigest() for name in self.type_names
+        }
+        #: width (ticks) of throughput-timeline buckets (Fig 10); None = off
+        self.timeline_bucket = timeline_bucket
+        self.timeline: Dict[int, int] = {}
+        self.start_time = 0.0
+        self.end_time = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def record_commit(self, type_name: str, now: float, latency: float) -> None:
+        if self.timeline_bucket is not None:
+            bucket = int(now // self.timeline_bucket)
+            self.timeline[bucket] = self.timeline.get(bucket, 0) + 1
+        if now < self.warmup_end:
+            self.warmup_commits += 1
+            return
+        self.commits[type_name] += 1
+        if self.collect_latency:
+            self.latency[type_name].record(latency)
+
+    def record_piece_retry(self, type_name: str) -> None:
+        self.piece_retries[type_name] = self.piece_retries.get(type_name, 0) + 1
+
+    def record_abort(self, type_name: str, now: float, reason: str) -> None:
+        if now < self.warmup_end:
+            self.warmup_aborts += 1
+            return
+        self.aborts[type_name] += 1
+        self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_commits(self) -> int:
+        return sum(self.commits.values())
+
+    @property
+    def total_aborts(self) -> int:
+        return sum(self.aborts.values())
+
+    @property
+    def measured_span(self) -> float:
+        """Ticks covered by the measurement window."""
+        return max(0.0, self.end_time - max(self.start_time, self.warmup_end))
+
+    def throughput(self) -> float:
+        """Committed transactions per simulated second."""
+        span = self.measured_span
+        if span <= 0:
+            return 0.0
+        return self.total_commits / span * TICKS_PER_SECOND
+
+    def throughput_of(self, type_name: str) -> float:
+        span = self.measured_span
+        if span <= 0:
+            return 0.0
+        return self.commits[type_name] / span * TICKS_PER_SECOND
+
+    def abort_rate(self) -> float:
+        """Aborted attempts / total attempts in the measurement window."""
+        attempts = self.total_commits + self.total_aborts
+        return self.total_aborts / attempts if attempts else 0.0
+
+    def timeline_series(self) -> List[float]:
+        """Commits-per-second series over timeline buckets (Fig 10)."""
+        if self.timeline_bucket is None or not self.timeline:
+            return []
+        last = max(self.timeline)
+        scale = TICKS_PER_SECOND / self.timeline_bucket
+        return [self.timeline.get(i, 0) * scale for i in range(last + 1)]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "throughput_tps": self.throughput(),
+            "commits": dict(self.commits),
+            "aborts": dict(self.aborts),
+            "abort_rate": self.abort_rate(),
+            "abort_reasons": dict(self.abort_reasons),
+            "latency_us": {name: digest.summary()
+                           for name, digest in self.latency.items()
+                           if digest.count},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"RunStats(tput={self.throughput():.0f} TPS, "
+                f"commits={self.total_commits}, aborts={self.total_aborts})")

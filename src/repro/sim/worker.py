@@ -1,0 +1,107 @@
+"""Simulated worker threads.
+
+A worker mirrors one database worker thread from the paper: it draws a
+transaction invocation from the workload, executes it through the installed
+concurrency-control protocol, and on abort backs off and retries the *same*
+invocation until it commits (§7.1's retry-until-success methodology, which
+keeps the committed mix at the workload's specified ratios).
+
+The worker body is a Python generator; it yields :class:`~repro.sim.events.Cost`
+and :class:`~repro.sim.events.WaitFor` directives that the scheduler
+interprets.  Abort is signalled by :class:`~repro.errors.TransactionAborted`
+propagating out of the CC executor (possibly *thrown in* by the scheduler on
+a wait-for cycle or timeout).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Optional, TYPE_CHECKING, Union
+
+from ..errors import TransactionAborted
+from .events import Cost, WaitFor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import SimConfig
+    from ..core.context import TxnContext
+    from .scheduler import Scheduler
+    from .stats import RunStats
+
+Directive = Union[Cost, WaitFor]
+
+
+class Worker:
+    """One simulated worker thread."""
+
+    __slots__ = ("worker_id", "scheduler", "cc", "workload", "stats", "config",
+                 "rng", "generation", "park_token", "finished", "current_ctx",
+                 "_gen")
+
+    def __init__(self, worker_id: int, scheduler: "Scheduler", cc, workload,
+                 stats: "RunStats", config: "SimConfig",
+                 rng: random.Random) -> None:
+        self.worker_id = worker_id
+        self.scheduler = scheduler
+        self.cc = cc
+        self.workload = workload
+        self.stats = stats
+        self.config = config
+        self.rng = rng
+        #: bumped on every (re)schedule and park; stale heap events are skipped
+        self.generation = 0
+        #: bumped on every park; guards wait-timeout callbacks
+        self.park_token = 0
+        self.finished = False
+        #: context of the in-flight attempt (for wait-graph edges)
+        self.current_ctx: Optional["TxnContext"] = None
+        self._gen: Generator[Directive, None, None] = self._main()
+
+    # ------------------------------------------------------------------ #
+
+    def advance(self, throw_exc: Optional[BaseException] = None) -> Optional[Directive]:
+        """Resume the worker generator; returns the next directive or
+        ``None`` when the worker has run out of work."""
+        try:
+            if throw_exc is not None:
+                return self._gen.throw(throw_exc)
+            return self._gen.send(None)
+        except StopIteration:
+            self.finished = True
+            return None
+
+    # ------------------------------------------------------------------ #
+
+    def _main(self) -> Generator[Directive, None, None]:
+        backoff = self.cc.make_backoff(self)
+        while True:
+            invocation = self.workload.next_invocation(self.rng, self.worker_id)
+            if invocation is None:
+                return  # workload exhausted (trace replay mode)
+            first_start = self.scheduler.now
+            attempt = 0
+            while True:
+                try:
+                    yield from self.cc.run_transaction(self, invocation, attempt,
+                                                       first_start)
+                except TransactionAborted as exc:
+                    self.current_ctx = None
+                    now = self.scheduler.now
+                    self.stats.record_abort(invocation.type_name, now, exc.reason)
+                    attempt += 1
+                    limit = self.config.max_retries
+                    if limit is not None and attempt > limit:
+                        break  # give up (test configurations only)
+                    pause = backoff.on_abort(invocation.type_index, attempt)
+                    if pause > 0:
+                        self.stats.backoff_time += pause
+                        yield Cost(pause)
+                    continue
+                self.current_ctx = None
+                now = self.scheduler.now
+                backoff.on_commit(invocation.type_index, attempt)
+                self.stats.record_commit(invocation.type_name, now,
+                                         now - first_start)
+                break
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Worker({self.worker_id})"

@@ -1,0 +1,32 @@
+"""In-memory storage substrate (the Silo-like layer Polyjuice executes on).
+
+Public surface:
+
+* :class:`~repro.storage.record.Record` — a committed value plus the
+  per-record access list of uncommitted-but-visible writes and reads.
+* :class:`~repro.storage.access_list.AccessList` / ``AccessEntry``.
+* :class:`~repro.storage.table.Table` — keyed records with committed-read
+  range scans.
+* :class:`~repro.storage.database.Database` — named tables.
+* :class:`~repro.storage.locks.LockTable` — WAIT-DIE locking for the native
+  2PL baseline.
+"""
+
+from .access_list import AccessEntry, AccessKind, AccessList
+from .database import Database
+from .locks import LockMode, LockRequestOutcome, LockTable
+from .record import Record, VersionIdAllocator
+from .table import Table
+
+__all__ = [
+    "AccessEntry",
+    "AccessKind",
+    "AccessList",
+    "Database",
+    "LockMode",
+    "LockRequestOutcome",
+    "LockTable",
+    "Record",
+    "Table",
+    "VersionIdAllocator",
+]

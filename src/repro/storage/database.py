@@ -1,0 +1,58 @@
+"""The database: a set of named tables plus global version-id allocation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..errors import UnknownTableError
+from .record import Record, VersionIdAllocator
+from .table import Table
+
+
+class Database:
+    """Named tables and the allocator for initial version ids.
+
+    A fresh ``Database`` is built per simulated run by a workload's loader.
+    Transaction programs address tables by name; the executor resolves them
+    once per access through :meth:`table`.
+    """
+
+    __slots__ = ("_tables", "allocator")
+
+    def __init__(self, table_names: Optional[Iterable[str]] = None) -> None:
+        self._tables: Dict[str, Table] = {}
+        self.allocator = VersionIdAllocator()
+        for name in table_names or ():
+            self.create_table(name)
+
+    def create_table(self, name: str) -> Table:
+        """Create (or return the existing) table called ``name``."""
+        table = self._tables.get(name)
+        if table is None:
+            table = Table(name)
+            self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table, raising :class:`UnknownTableError` if missing."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"no such table: {name!r}") from None
+
+    def table_names(self) -> list:
+        return sorted(self._tables)
+
+    def load(self, table_name: str, key: tuple, value: dict) -> Record:
+        """Install an initial committed row (pre-run population)."""
+        return self.table(table_name).load(key, value, self.allocator)
+
+    def committed_value(self, table_name: str, key: tuple) -> Optional[dict]:
+        """Convenience accessor used by tests and invariant checks."""
+        return self.table(table_name).committed_value(key)
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Database(tables={self.table_names()})"

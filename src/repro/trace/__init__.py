@@ -1,0 +1,26 @@
+"""Real-world-trace analysis (§7.6, Fig 11).
+
+The paper analyses seven months of an e-commerce website's request log
+(from Kaggle) to show that peak-hour workload contention is predictable
+day-over-day.  That dataset cannot be shipped, so :mod:`repro.trace.generator`
+synthesises a trace with the same statistical features — stable daily
+demand with weekly seasonality, heavy-tailed product popularity, and
+occasional multi-day regime shifts (sales events) — and
+:mod:`repro.trace.analysis` reproduces the paper's analysis pipeline:
+peak-hour selection, 5-minute-window conflict rates, day-over-day
+prediction error, and the retrain-deferral count.
+"""
+
+from .generator import EcommerceTraceGenerator, Request, TraceConfig
+from .analysis import (TraceAnalysis, conflict_rate, daily_error_rates,
+                       retrain_schedule)
+
+__all__ = [
+    "EcommerceTraceGenerator",
+    "Request",
+    "TraceAnalysis",
+    "TraceConfig",
+    "conflict_rate",
+    "daily_error_rates",
+    "retrain_schedule",
+]

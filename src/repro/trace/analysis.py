@@ -1,0 +1,132 @@
+"""The §7.6.1 analysis pipeline: conflict rates, prediction error, retrains.
+
+Definitions follow the paper exactly:
+
+* two read-write requests *conflict* when they are sent by different users
+  and touch the same product id within the same n-minute window (n = 5);
+* ``conflict_rate = conflict_requests / total_requests`` per window; an
+  hour is summarised by the mean over its 12 windows;
+* each day is characterised by its peak hour's conflict rate;
+* prediction error for day d: ``abs((rate[d] - rate[d-1]) / rate[d-1])``
+  (predict tomorrow = today);
+* retraining is deferred until the predicted conflict rate differs from
+  the one the current policy was trained on by more than 15%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .generator import EcommerceTraceGenerator, Request
+
+WINDOW_SECONDS = 300.0  # 5 minutes
+WINDOWS_PER_HOUR = 12
+
+
+def conflict_rate(requests: Sequence[Request],
+                  window: float = WINDOW_SECONDS) -> float:
+    """Mean per-window conflict rate of one hour of requests.
+
+    Only read-write requests (CART / PURCHASE) participate, as in the
+    paper; VIEWs are read-only and served from snapshots.
+    """
+    read_write = [r for r in requests if r.is_read_write]
+    if not read_write:
+        return 0.0
+    start = min(r.time for r in read_write)
+    buckets: Dict[int, List[Request]] = {}
+    for request in read_write:
+        buckets.setdefault(int((request.time - start) // window),
+                           []).append(request)
+    window_rates = []
+    for index in range(WINDOWS_PER_HOUR):
+        bucket = buckets.get(index, [])
+        if not bucket:
+            window_rates.append(0.0)
+            continue
+        by_product: Dict[int, List[Request]] = {}
+        for request in bucket:
+            by_product.setdefault(request.product_id, []).append(request)
+        conflicting = 0
+        for product_requests in by_product.values():
+            users = {r.user_id for r in product_requests}
+            if len(product_requests) >= 2 and len(users) >= 2:
+                conflicting += len(product_requests)
+        window_rates.append(conflicting / len(bucket))
+    return sum(window_rates) / len(window_rates)
+
+
+def daily_error_rates(daily_rates: Sequence[float]) -> List[float]:
+    """Fig 11a: error of predicting tomorrow's peak conflict rate as
+    today's, for every day after the first."""
+    errors = []
+    for yesterday, today in zip(daily_rates, daily_rates[1:]):
+        if yesterday == 0:
+            errors.append(0.0 if today == 0 else float("inf"))
+        else:
+            errors.append(abs((today - yesterday) / yesterday))
+    return errors
+
+
+def error_cdf(errors: Sequence[float], points: int = 100) -> List[tuple]:
+    """Fig 11b: CDF of the error distribution as (error, fraction<=)."""
+    ordered = sorted(errors)
+    cdf = []
+    for index, error in enumerate(ordered, 1):
+        cdf.append((error, index / len(ordered)))
+    return cdf
+
+
+def retrain_schedule(daily_rates: Sequence[float],
+                     threshold: float = 0.15) -> List[int]:
+    """Days on which retraining happens under the §5.3 deferral policy:
+    retrain when the predicted (= previous day's) conflict rate differs
+    from the rate the current policy was trained on by more than
+    ``threshold``.  Day 0 always trains."""
+    if not daily_rates:
+        return []
+    retrain_days = [0]
+    trained_on = daily_rates[0]
+    for day in range(1, len(daily_rates)):
+        predicted = daily_rates[day - 1]
+        if trained_on == 0:
+            diverged = predicted != 0
+        else:
+            diverged = abs(predicted - trained_on) / trained_on > threshold
+        if diverged:
+            retrain_days.append(day)
+            trained_on = predicted
+    return retrain_days
+
+
+@dataclass
+class TraceAnalysis:
+    """Full Fig 11 pipeline over a generated trace."""
+
+    generator: EcommerceTraceGenerator
+    daily_rates: List[float] = field(default_factory=list)
+    errors: List[float] = field(default_factory=list)
+    retrain_days: List[int] = field(default_factory=list)
+
+    def run(self, threshold: float = 0.15) -> "TraceAnalysis":
+        self.daily_rates = [
+            conflict_rate(self.generator.peak_hour_requests(day))
+            for day in self.generator.iter_days()
+        ]
+        self.errors = daily_error_rates(self.daily_rates)
+        self.retrain_days = retrain_schedule(self.daily_rates, threshold)
+        return self
+
+    # summary statistics the paper reports ------------------------------- #
+
+    def days_with_error_above(self, threshold: float = 0.20) -> int:
+        """The paper finds only 3 of 196 days above 20% error."""
+        return sum(1 for error in self.errors if error > threshold)
+
+    def n_retrains(self) -> int:
+        """The paper needs only 15 retrains over 196 days."""
+        return len(self.retrain_days)
+
+    def cdf(self) -> List[tuple]:
+        return error_cdf(self.errors)

@@ -1,0 +1,170 @@
+"""Synthetic e-commerce request trace (substitute for the Kaggle dataset).
+
+Statistical features mirrored from the paper's description of the real
+trace (§7.6.1):
+
+* three request types — VIEW (read-only, excluded from the conflict
+  analysis like the paper does), CART and PURCHASE (read-write);
+* a pronounced daily demand curve with one peak hour;
+* day-over-day stability: tomorrow's peak characteristics are close to
+  today's, with weekly seasonality and small noise;
+* heavy-tailed (Zipf) product popularity, so a small set of hot products
+  dominates conflicts;
+* occasional regime shifts (multi-day sales events) where the request rate
+  jumps — these create the few days with >20% prediction error the paper
+  observes, and the points where retraining is actually needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from ..errors import ConfigError
+from ..rng import ZipfSampler, spawn_rng
+
+VIEW = "VIEW"
+CART = "CART"
+PURCHASE = "PURCHASE"
+
+#: request-type mix (VIEW dominates real e-commerce traffic)
+TYPE_WEIGHTS = ((VIEW, 0.90), (CART, 0.07), (PURCHASE, 0.03))
+
+SECONDS_PER_HOUR = 3600
+HOURS_PER_DAY = 24
+
+
+class Request:
+    """One logged request."""
+
+    __slots__ = ("time", "user_id", "product_id", "kind")
+
+    def __init__(self, time: float, user_id: int, product_id: int,
+                 kind: str) -> None:
+        self.time = time
+        self.user_id = user_id
+        self.product_id = product_id
+        self.kind = kind
+
+    @property
+    def is_read_write(self) -> bool:
+        return self.kind != VIEW
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Request({self.kind}, t={self.time:.0f}, p={self.product_id})"
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    n_days: int = 197                 # the paper's usable span
+    n_products: int = 5_000
+    n_users: int = 50_000
+    product_zipf_theta: float = 0.9
+    #: mean requests in the peak hour on a normal day
+    base_peak_requests: int = 12_000
+    #: day-over-day multiplicative noise (sigma of lognormal)
+    daily_noise: float = 0.05
+    #: weekly seasonality amplitude (weekend dip)
+    weekly_amplitude: float = 0.12
+    #: probability a regime shift (sale event) starts on a given day
+    shift_probability: float = 0.02
+    #: rate multiplier range of a regime shift
+    shift_low: float = 1.5
+    shift_high: float = 2.5
+    #: duration range (days) of a regime shift
+    shift_days_low: int = 5
+    shift_days_high: int = 25
+    seed: int = 2019
+
+    def __post_init__(self) -> None:
+        if self.n_days <= 1 or self.n_products <= 0 or self.n_users <= 0:
+            raise ConfigError("trace dimensions must be positive")
+        if self.base_peak_requests <= 0:
+            raise ConfigError("base_peak_requests must be positive")
+
+
+#: hour-of-day demand curve (fraction of the daily rate per hour); the
+#: single maximum at hour 20 is the "peak hour"
+_HOUR_SHAPE = [0.25, 0.18, 0.14, 0.12, 0.12, 0.15, 0.22, 0.33, 0.45, 0.55,
+               0.62, 0.68, 0.72, 0.70, 0.68, 0.70, 0.75, 0.82, 0.90, 0.96,
+               1.00, 0.92, 0.70, 0.45]
+
+
+class EcommerceTraceGenerator:
+    """Generates the synthetic trace one day at a time (lazy, memory-light)."""
+
+    def __init__(self, config: TraceConfig = TraceConfig()) -> None:
+        self.config = config
+        self._rng = spawn_rng(config.seed, 0xECC)
+        self._zipf = ZipfSampler(config.n_products, config.product_zipf_theta,
+                                 spawn_rng(config.seed, 0xECD))
+        self._day_multipliers = self._plan_days()
+
+    # ------------------------------------------------------------------ #
+
+    def _plan_days(self) -> List[float]:
+        """Per-day demand multiplier: seasonality x noise x regime shifts."""
+        cfg = self.config
+        multipliers = []
+        shift_until = -1
+        shift_factor = 1.0
+        for day in range(cfg.n_days):
+            if day > shift_until and self._rng.random() < cfg.shift_probability:
+                shift_until = day + self._rng.randint(cfg.shift_days_low,
+                                                      cfg.shift_days_high)
+                shift_factor = self._rng.uniform(cfg.shift_low, cfg.shift_high)
+            active_shift = shift_factor if day <= shift_until else 1.0
+            weekly = 1.0 - cfg.weekly_amplitude * (1.0 if day % 7 >= 5 else 0.0)
+            noise = math.exp(self._rng.gauss(0.0, cfg.daily_noise))
+            multipliers.append(active_shift * weekly * noise)
+        return multipliers
+
+    def day_multiplier(self, day: int) -> float:
+        return self._day_multipliers[day]
+
+    def hourly_request_counts(self, day: int) -> List[int]:
+        """Expected number of requests per hour on ``day``."""
+        base = self.config.base_peak_requests * self._day_multipliers[day]
+        return [int(base * shape) for shape in _HOUR_SHAPE]
+
+    def peak_hour(self, day: int) -> int:
+        """The hour with the most requests (the paper picks this per day)."""
+        counts = self.hourly_request_counts(day)
+        return max(range(HOURS_PER_DAY), key=lambda h: counts[h])
+
+    def requests_for_hour(self, day: int, hour: int) -> List[Request]:
+        """Materialise the requests of one hour (uniform arrivals + jitter)."""
+        count = self.hourly_request_counts(day)[hour]
+        rng = spawn_rng(self.config.seed, day, hour)
+        start = (day * HOURS_PER_DAY + hour) * SECONDS_PER_HOUR
+        requests = []
+        for _ in range(count):
+            time = start + rng.random() * SECONDS_PER_HOUR
+            user_id = rng.randrange(self.config.n_users)
+            product_id = self._zipf.sample()
+            point = rng.random()
+            kind = VIEW
+            acc = 0.0
+            for type_name, weight in TYPE_WEIGHTS:
+                acc += weight
+                if point < acc:
+                    kind = type_name
+                    break
+            requests.append(Request(time, user_id, product_id, kind))
+        requests.sort(key=lambda r: r.time)
+        return requests
+
+    def peak_hour_requests(self, day: int) -> List[Request]:
+        return self.requests_for_hour(day, self.peak_hour(day))
+
+    def iter_days(self) -> Iterator[int]:
+        return iter(range(self.config.n_days))
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "days": self.config.n_days,
+            "mean_day_multiplier": sum(self._day_multipliers)
+            / len(self._day_multipliers),
+            "max_day_multiplier": max(self._day_multipliers),
+        }

@@ -1,0 +1,23 @@
+"""Offline policy training (§5): evolutionary algorithm and policy-gradient.
+
+The trainers search the policy space for the (CC policy, backoff policy)
+pair with the highest simulated commit throughput on a given workload —
+the paper's reward.  ``EvolutionaryTrainer`` is the paper's main method
+(population + cell-wise mutation + truncation selection + warm start);
+``PolicyGradientTrainer`` is the §5.2 REINFORCE alternative it is compared
+against in Fig 5.
+"""
+
+from .ea import EAConfig, EvolutionaryTrainer, Individual, TrainingResult
+from .fitness import FitnessEvaluator
+from .rl import PolicyGradientTrainer, RLConfig
+
+__all__ = [
+    "EAConfig",
+    "EvolutionaryTrainer",
+    "FitnessEvaluator",
+    "Individual",
+    "PolicyGradientTrainer",
+    "RLConfig",
+    "TrainingResult",
+]

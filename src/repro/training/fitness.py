@@ -1,0 +1,53 @@
+"""Fitness evaluation: policy -> simulated commit throughput.
+
+The paper measures each candidate policy's commit throughput by replaying
+the target workload (§5); we run the policy through the simulator under a
+fixed evaluation configuration.  Evaluations are deterministic given the
+config seed, so results are cached by policy content hash — re-evaluating
+survivors across EA generations is free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..config import SimConfig
+from ..bench.runner import run_protocol
+from ..core.backoff import BackoffPolicy
+from ..core.executor import PolicyExecutor
+from ..core.policy import CCPolicy
+
+
+class FitnessEvaluator:
+    """Evaluates (CC policy, backoff policy) pairs on a workload."""
+
+    def __init__(self, workload_factory: Callable, config: SimConfig,
+                 cache: bool = True) -> None:
+        self.workload_factory = workload_factory
+        self.config = config
+        self._cache: Optional[Dict[Tuple[tuple, tuple], float]] = \
+            {} if cache else None
+        #: number of actual simulator runs performed (cache misses)
+        self.evaluations = 0
+        #: number of cache hits
+        self.cache_hits = 0
+
+    def evaluate(self, policy: CCPolicy,
+                 backoff: Optional[BackoffPolicy] = None) -> float:
+        """Simulated commit throughput (TPS) of the candidate."""
+        key = None
+        if self._cache is not None:
+            key = (policy.as_tuple(),
+                   backoff.as_tuple() if backoff is not None else ())
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        cc = PolicyExecutor(policy=policy, backoff_policy=backoff)
+        result = run_protocol(self.workload_factory, cc, self.config,
+                              check_invariants=False)
+        self.evaluations += 1
+        throughput = result.throughput
+        if key is not None:
+            self._cache[key] = throughput
+        return throughput

@@ -1,0 +1,27 @@
+"""Benchmark workloads: TPC-C, the TPC-E subset, and the micro-benchmark.
+
+Convenience re-exports::
+
+    from repro.workloads import make_tpcc_factory, make_tpce_factory, \\
+        make_micro_factory
+"""
+
+from .base import MixEntry, Workload
+from .micro import MicroWorkload, make_micro_factory
+from .tpcc import TPCCScale, TPCCWorkload, make_tpcc_factory, tpcc_spec
+from .tpce import TPCEScale, TPCEWorkload, make_tpce_factory, tpce_spec
+
+__all__ = [
+    "MicroWorkload",
+    "MixEntry",
+    "TPCCScale",
+    "TPCCWorkload",
+    "TPCEScale",
+    "TPCEWorkload",
+    "Workload",
+    "make_micro_factory",
+    "make_tpcc_factory",
+    "make_tpce_factory",
+    "tpcc_spec",
+    "tpce_spec",
+]

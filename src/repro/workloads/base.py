@@ -1,0 +1,80 @@
+"""Workload interface.
+
+A workload bundles: the static spec (transaction types and their access
+sites — the policy's state space), a database loader, and an invocation
+generator that samples the transaction mix.  Fresh :class:`Workload`
+instances are created per simulated run (the database is mutable state), so
+benchmarks pass *factories* to the runner.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import WorkloadError
+from ..storage.database import Database
+from ..core.protocol import TxnInvocation
+from ..core.spec import WorkloadSpec
+from ..rng import weighted_choice
+
+
+class MixEntry:
+    """One transaction type's share of the workload mix."""
+
+    __slots__ = ("type_name", "weight")
+
+    def __init__(self, type_name: str, weight: float) -> None:
+        if weight < 0:
+            raise WorkloadError("mix weight must be >= 0")
+        self.type_name = type_name
+        self.weight = weight
+
+
+class Workload(abc.ABC):
+    """Base class for executable workloads."""
+
+    #: short name used in reports
+    name = "abstract"
+
+    def __init__(self, spec: WorkloadSpec, mix: Sequence[MixEntry]) -> None:
+        self.spec = spec
+        self.mix = list(mix)
+        for entry in self.mix:
+            spec.type_index(entry.type_name)  # validates the name
+        self._mix_names = [entry.type_name for entry in self.mix]
+        self._mix_weights = [entry.weight for entry in self.mix]
+        self.db: Optional[Database] = None
+
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def build_database(self) -> Database:
+        """Create and populate a fresh database; also stored in ``self.db``."""
+
+    @abc.abstractmethod
+    def make_invocation(self, type_name: str, rng: random.Random,
+                        worker_id: int) -> TxnInvocation:
+        """Generate one transaction instance of the given type."""
+
+    # ------------------------------------------------------------------ #
+
+    def next_invocation(self, rng: random.Random,
+                        worker_id: int) -> Optional[TxnInvocation]:
+        """Sample the mix and generate the next transaction.
+
+        Returning ``None`` ends the worker (used by trace replay).
+        """
+        type_name = weighted_choice(rng, self._mix_names, self._mix_weights)
+        return self.make_invocation(type_name, rng, worker_id)
+
+    def check_invariants(self) -> List[str]:
+        """Consistency checks over the final database state; [] = OK."""
+        return []
+
+    def type_names(self) -> List[str]:
+        return [t.name for t in self.spec.types]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(spec={self.spec!r})"

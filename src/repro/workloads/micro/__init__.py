@@ -1,0 +1,6 @@
+"""The paper's micro-benchmark (§7.4): ten transaction types, eight
+random-update accesses each."""
+
+from .workload import MicroWorkload, make_micro_factory
+
+__all__ = ["MicroWorkload", "make_micro_factory"]

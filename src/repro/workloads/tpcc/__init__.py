@@ -1,0 +1,12 @@
+"""TPC-C (read-write subset: NewOrder, Payment, Delivery — §7.2).
+
+The paper evaluates the three read-write transactions only; the two
+read-only transactions (OrderStatus, StockLevel) are served by Silo's
+snapshot mechanism in the original system and are therefore out of scope
+for concurrency control (§3).
+"""
+
+from .schema import TPCCScale, tpcc_spec
+from .workload import TPCCWorkload, make_tpcc_factory
+
+__all__ = ["TPCCScale", "TPCCWorkload", "make_tpcc_factory", "tpcc_spec"]

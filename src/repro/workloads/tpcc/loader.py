@@ -1,0 +1,102 @@
+"""TPC-C initial population.
+
+Loads warehouses, districts, customers, items, stock and a tail of initial
+orders (a fraction of which are still undelivered and sit in NEW_ORDER so
+Delivery has work from the start).  Monetary fields are integer cents to
+keep the consistency invariants exact.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...rng import last_name_syllables, spawn_rng
+from ...storage.database import Database
+from . import schema
+from .schema import TPCCScale
+
+#: initial balances in cents (TPC-C clause 4.3.3)
+INITIAL_W_YTD = 30_000_000          # $300,000.00
+INITIAL_D_YTD = 3_000_000           # $30,000.00
+INITIAL_C_BALANCE = -1_000          # -$10.00
+INITIAL_C_YTD_PAYMENT = 1_000       # $10.00
+
+
+def load_tpcc(scale: TPCCScale, seed: int = 0) -> Database:
+    """Build and populate a fresh TPC-C database."""
+    rng = spawn_rng(seed, 0x7C)  # deterministic per seed
+    db = Database(schema.ALL_TABLES)
+    _load_items(db, scale, rng)
+    for w_id in range(1, scale.n_warehouses + 1):
+        _load_warehouse(db, scale, w_id, rng)
+    return db
+
+
+def _load_items(db: Database, scale: TPCCScale, rng: random.Random) -> None:
+    for i_id in range(1, scale.n_items + 1):
+        db.load(schema.ITEM, (i_id,), {
+            "i_name": f"item-{i_id}",
+            "i_price": rng.randint(100, 10_000),
+            "i_data": "original" if rng.random() < 0.1 else "generic",
+        })
+
+
+def _load_warehouse(db: Database, scale: TPCCScale, w_id: int,
+                    rng: random.Random) -> None:
+    db.load(schema.WAREHOUSE, (w_id,), {
+        "w_name": f"wh-{w_id}",
+        "w_tax": rng.randint(0, 2000),   # basis points (0 .. 20.00%)
+        "w_ytd": INITIAL_W_YTD,
+    })
+    for i_id in range(1, scale.n_items + 1):
+        db.load(schema.STOCK, (w_id, i_id), {
+            "s_quantity": rng.randint(10, 100),
+            "s_ytd": 0,
+            "s_order_cnt": 0,
+            "s_remote_cnt": 0,
+        })
+    for d_id in range(1, scale.districts_per_warehouse + 1):
+        _load_district(db, scale, w_id, d_id, rng)
+
+
+def _load_district(db: Database, scale: TPCCScale, w_id: int, d_id: int,
+                   rng: random.Random) -> None:
+    n_orders = scale.initial_orders_per_district
+    db.load(schema.DISTRICT, (w_id, d_id), {
+        "d_name": f"district-{w_id}-{d_id}",
+        "d_tax": rng.randint(0, 2000),
+        "d_ytd": INITIAL_D_YTD,
+        "d_next_o_id": n_orders + 1,
+    })
+    for c_id in range(1, scale.customers_per_district + 1):
+        db.load(schema.CUSTOMER, (w_id, d_id, c_id), {
+            "c_last": last_name_syllables((c_id - 1) % 1000),
+            "c_credit": "BC" if rng.random() < 0.1 else "GC",
+            "c_discount": rng.randint(0, 5000),
+            "c_balance": INITIAL_C_BALANCE,
+            "c_ytd_payment": INITIAL_C_YTD_PAYMENT,
+            "c_payment_cnt": 1,
+            "c_delivery_cnt": 0,
+        })
+    first_undelivered = int(n_orders * (1.0 - scale.undelivered_fraction)) + 1
+    for o_id in range(1, n_orders + 1):
+        c_id = rng.randint(1, scale.customers_per_district)
+        ol_cnt = rng.randint(5, 15)
+        delivered = o_id < first_undelivered
+        db.load(schema.ORDER, (w_id, d_id, o_id), {
+            "o_c_id": c_id,
+            "o_entry_d": 0,
+            "o_carrier_id": rng.randint(1, 10) if delivered else None,
+            "o_ol_cnt": ol_cnt,
+        })
+        if not delivered:
+            db.load(schema.NEW_ORDER, (w_id, d_id, o_id), {"placeholder": 1})
+        for ol_number in range(1, ol_cnt + 1):
+            i_id = rng.randint(1, scale.n_items)
+            db.load(schema.ORDER_LINE, (w_id, d_id, o_id, ol_number), {
+                "ol_i_id": i_id,
+                "ol_supply_w_id": w_id,
+                "ol_quantity": rng.randint(1, 10),
+                "ol_amount": 0,  # initial orders carry no amount (clause 4.3.3)
+                "ol_delivery_d": 0 if delivered else None,
+            })

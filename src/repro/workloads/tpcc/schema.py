@@ -1,0 +1,125 @@
+"""TPC-C schema, scale parameters and the static access-site spec.
+
+Key layout (composite tuple keys):
+
+* WAREHOUSE  (w_id,)
+* DISTRICT   (w_id, d_id)
+* CUSTOMER   (w_id, d_id, c_id)
+* HISTORY    (h_id,)                       — unique synthetic id
+* ORDER      (w_id, d_id, o_id)
+* NEW_ORDER  (w_id, d_id, o_id)
+* ORDER_LINE (w_id, d_id, o_id, ol_number)
+* ITEM       (i_id,)                       — shared across warehouses
+* STOCK      (w_id, i_id)
+
+The scale is configurable and defaults to a laptop-friendly reduction of
+the official cardinalities (documented in DESIGN.md); contention structure
+— the warehouse and district hot spots the paper's Fig 4/7 hinge on — is
+unaffected by customer/item counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigError
+from ...core.spec import AccessKinds, AccessSpec, TxnTypeSpec, WorkloadSpec
+
+WAREHOUSE = "WAREHOUSE"
+DISTRICT = "DISTRICT"
+CUSTOMER = "CUSTOMER"
+HISTORY = "HISTORY"
+ORDER = "ORDER"
+NEW_ORDER = "NEW_ORDER"
+ORDER_LINE = "ORDER_LINE"
+ITEM = "ITEM"
+STOCK = "STOCK"
+
+ALL_TABLES = (WAREHOUSE, DISTRICT, CUSTOMER, HISTORY, ORDER, NEW_ORDER,
+              ORDER_LINE, ITEM, STOCK)
+
+NEWORDER = "neworder"
+PAYMENT = "payment"
+DELIVERY = "delivery"
+
+#: read-write mix of §7.2 (45:43:4 — the TPC-C ratio with the two
+#: read-only transactions removed)
+DEFAULT_MIX = ((NEWORDER, 45.0), (PAYMENT, 43.0), (DELIVERY, 4.0))
+
+
+@dataclass(frozen=True)
+class TPCCScale:
+    """Scaled-down cardinalities (official TPC-C values in comments)."""
+
+    n_warehouses: int = 1
+    districts_per_warehouse: int = 10      # official: 10
+    customers_per_district: int = 300      # official: 3000
+    n_items: int = 1000                    # official: 100000
+    initial_orders_per_district: int = 30  # official: 3000
+    #: fraction of the initial orders still undelivered (in NEW_ORDER)
+    undelivered_fraction: float = 0.3      # official: last 900 of 3000
+
+    def __post_init__(self) -> None:
+        if self.n_warehouses <= 0:
+            raise ConfigError("n_warehouses must be positive")
+        if self.districts_per_warehouse <= 0:
+            raise ConfigError("districts_per_warehouse must be positive")
+        if self.customers_per_district <= 0:
+            raise ConfigError("customers_per_district must be positive")
+        if self.n_items <= 0:
+            raise ConfigError("n_items must be positive")
+        if not 0.0 <= self.undelivered_fraction <= 1.0:
+            raise ConfigError("undelivered_fraction must lie in [0, 1]")
+
+
+#: NewOrder access sites (static code locations, §4.2)
+NO_READ_WAREHOUSE = 0
+NO_UPDATE_DISTRICT = 1
+NO_READ_CUSTOMER = 2
+NO_READ_ITEM = 3
+NO_UPDATE_STOCK = 4
+NO_INSERT_ORDER = 5
+NO_INSERT_NEW_ORDER = 6
+NO_INSERT_ORDER_LINE = 7
+
+#: Payment access sites
+PAY_UPDATE_WAREHOUSE = 0
+PAY_UPDATE_DISTRICT = 1
+PAY_UPDATE_CUSTOMER = 2
+PAY_INSERT_HISTORY = 3
+
+#: Delivery access sites
+DLV_SCAN_NEW_ORDER = 0
+DLV_DELETE_NEW_ORDER = 1
+DLV_UPDATE_ORDER = 2
+DLV_UPDATE_ORDER_LINE = 3
+DLV_UPDATE_CUSTOMER = 4
+
+
+def tpcc_spec() -> WorkloadSpec:
+    """The 17-state TPC-C policy state space (3 types; §4.2's counting)."""
+    neworder = TxnTypeSpec(NEWORDER, [
+        AccessSpec(NO_READ_WAREHOUSE, WAREHOUSE, AccessKinds.READ),
+        AccessSpec(NO_UPDATE_DISTRICT, DISTRICT, AccessKinds.UPDATE),
+        AccessSpec(NO_READ_CUSTOMER, CUSTOMER, AccessKinds.READ),
+        AccessSpec(NO_READ_ITEM, ITEM, AccessKinds.READ),
+        AccessSpec(NO_UPDATE_STOCK, STOCK, AccessKinds.UPDATE),
+        AccessSpec(NO_INSERT_ORDER, ORDER, AccessKinds.INSERT),
+        AccessSpec(NO_INSERT_NEW_ORDER, NEW_ORDER, AccessKinds.INSERT),
+        AccessSpec(NO_INSERT_ORDER_LINE, ORDER_LINE, AccessKinds.INSERT),
+    ], loops=[(NO_READ_ITEM, NO_UPDATE_STOCK), (NO_INSERT_ORDER_LINE,)])
+    payment = TxnTypeSpec(PAYMENT, [
+        AccessSpec(PAY_UPDATE_WAREHOUSE, WAREHOUSE, AccessKinds.UPDATE),
+        AccessSpec(PAY_UPDATE_DISTRICT, DISTRICT, AccessKinds.UPDATE),
+        AccessSpec(PAY_UPDATE_CUSTOMER, CUSTOMER, AccessKinds.UPDATE),
+        AccessSpec(PAY_INSERT_HISTORY, HISTORY, AccessKinds.INSERT),
+    ])
+    delivery = TxnTypeSpec(DELIVERY, [
+        AccessSpec(DLV_SCAN_NEW_ORDER, NEW_ORDER, AccessKinds.SCAN),
+        AccessSpec(DLV_DELETE_NEW_ORDER, NEW_ORDER, AccessKinds.WRITE),
+        AccessSpec(DLV_UPDATE_ORDER, ORDER, AccessKinds.UPDATE),
+        AccessSpec(DLV_UPDATE_ORDER_LINE, ORDER_LINE, AccessKinds.UPDATE),
+        AccessSpec(DLV_UPDATE_CUSTOMER, CUSTOMER, AccessKinds.UPDATE),
+    ], loops=[(DLV_SCAN_NEW_ORDER, DLV_DELETE_NEW_ORDER, DLV_UPDATE_ORDER,
+               DLV_UPDATE_ORDER_LINE, DLV_UPDATE_CUSTOMER)])
+    return WorkloadSpec([neworder, payment, delivery])

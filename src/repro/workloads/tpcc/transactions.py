@@ -1,0 +1,291 @@
+"""TPC-C transaction programs (NewOrder, Payment, Delivery).
+
+Each program is a generator of operation descriptors; access-ids are the
+static constants from :mod:`repro.workloads.tpcc.schema` (one per static
+code location, §4.2 / §6).  Inputs are materialised in an ``*Input``
+object before the program starts so that retries replay the identical
+transaction.
+
+Monetary amounts are integer cents; taxes/discounts are integer basis
+points.  Amount arithmetic uses integer division so the consistency
+invariants checked by the workload are exact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ...rng import nurand
+from ...core.ops import InsertOp, ReadOp, ScanOp, UpdateOp, WriteOp
+from . import schema
+from .schema import TPCCScale
+
+
+# --------------------------------------------------------------------- #
+# NewOrder
+
+
+class NewOrderInput:
+    __slots__ = ("w_id", "d_id", "c_id", "items", "entry_d")
+
+    def __init__(self, w_id: int, d_id: int, c_id: int,
+                 items: List[Tuple[int, int, int]], entry_d: int) -> None:
+        self.w_id = w_id
+        self.d_id = d_id
+        self.c_id = c_id
+        #: list of (item id, supply warehouse id, quantity)
+        self.items = items
+        self.entry_d = entry_d
+
+
+def generate_neworder(rng: random.Random, scale: TPCCScale,
+                      home_w: int, now: int) -> NewOrderInput:
+    d_id = rng.randint(1, scale.districts_per_warehouse)
+    c_id = nurand(rng, 1023, 1, scale.customers_per_district) \
+        if scale.customers_per_district >= 1023 \
+        else rng.randint(1, scale.customers_per_district)
+    ol_cnt = rng.randint(5, 15)
+    items: List[Tuple[int, int, int]] = []
+    seen = set()
+    while len(items) < ol_cnt:
+        i_id = nurand(rng, 8191, 1, scale.n_items) \
+            if scale.n_items >= 8191 else rng.randint(1, scale.n_items)
+        if i_id in seen:
+            continue
+        seen.add(i_id)
+        supply_w = home_w
+        if scale.n_warehouses > 1 and rng.random() < 0.01:
+            supply_w = rng.choice(
+                [w for w in range(1, scale.n_warehouses + 1) if w != home_w])
+        items.append((i_id, supply_w, rng.randint(1, 10)))
+    return NewOrderInput(home_w, d_id, c_id, items, now)
+
+
+def _district_take_order(old: dict) -> dict:
+    new = dict(old)
+    new["d_next_o_id"] = old["d_next_o_id"] + 1
+    return new
+
+
+def _stock_consume(quantity: int, remote: bool):
+    def update(old: dict) -> dict:
+        new = dict(old)
+        s_quantity = old["s_quantity"]
+        if s_quantity - quantity >= 10:
+            new["s_quantity"] = s_quantity - quantity
+        else:
+            new["s_quantity"] = s_quantity - quantity + 91
+        new["s_ytd"] = old["s_ytd"] + quantity
+        new["s_order_cnt"] = old["s_order_cnt"] + 1
+        if remote:
+            new["s_remote_cnt"] = old["s_remote_cnt"] + 1
+        return new
+    return update
+
+
+def neworder_program(inputs: NewOrderInput):
+    warehouse = yield ReadOp(schema.WAREHOUSE, (inputs.w_id,),
+                             schema.NO_READ_WAREHOUSE)
+    district = yield UpdateOp(schema.DISTRICT, (inputs.w_id, inputs.d_id),
+                              _district_take_order, schema.NO_UPDATE_DISTRICT)
+    o_id = district["d_next_o_id"] - 1
+    customer = yield ReadOp(schema.CUSTOMER,
+                            (inputs.w_id, inputs.d_id, inputs.c_id),
+                            schema.NO_READ_CUSTOMER)
+    total = 0
+    lines = []
+    for i_id, supply_w, quantity in inputs.items:
+        item = yield ReadOp(schema.ITEM, (i_id,), schema.NO_READ_ITEM)
+        yield UpdateOp(schema.STOCK, (supply_w, i_id),
+                       _stock_consume(quantity, supply_w != inputs.w_id),
+                       schema.NO_UPDATE_STOCK)
+        amount = quantity * item["i_price"]
+        total += amount
+        lines.append((i_id, supply_w, quantity, amount))
+    # total with tax and discount (integer cents)
+    total = (total * (10_000 - customer["c_discount"])
+             * (10_000 + warehouse["w_tax"] + district["d_tax"])) // 10_000 ** 2
+    yield InsertOp(schema.ORDER, (inputs.w_id, inputs.d_id, o_id), {
+        "o_c_id": inputs.c_id,
+        "o_entry_d": inputs.entry_d,
+        "o_carrier_id": None,
+        "o_ol_cnt": len(lines),
+    }, schema.NO_INSERT_ORDER)
+    yield InsertOp(schema.NEW_ORDER, (inputs.w_id, inputs.d_id, o_id),
+                   {"placeholder": 1}, schema.NO_INSERT_NEW_ORDER)
+    for ol_number, (i_id, supply_w, quantity, amount) in enumerate(lines, 1):
+        yield InsertOp(schema.ORDER_LINE,
+                       (inputs.w_id, inputs.d_id, o_id, ol_number), {
+                           "ol_i_id": i_id,
+                           "ol_supply_w_id": supply_w,
+                           "ol_quantity": quantity,
+                           "ol_amount": amount,
+                           "ol_delivery_d": None,
+                       }, schema.NO_INSERT_ORDER_LINE)
+    return {"o_id": o_id, "total": total}
+
+
+# --------------------------------------------------------------------- #
+# Payment
+
+
+class PaymentInput:
+    __slots__ = ("w_id", "d_id", "c_w_id", "c_d_id", "c_id", "amount", "h_id")
+
+    def __init__(self, w_id: int, d_id: int, c_w_id: int, c_d_id: int,
+                 c_id: int, amount: int, h_id: int) -> None:
+        self.w_id = w_id
+        self.d_id = d_id
+        self.c_w_id = c_w_id
+        self.c_d_id = c_d_id
+        self.c_id = c_id
+        self.amount = amount
+        self.h_id = h_id
+
+
+def generate_payment(rng: random.Random, scale: TPCCScale, home_w: int,
+                     h_id: int) -> PaymentInput:
+    d_id = rng.randint(1, scale.districts_per_warehouse)
+    c_w_id, c_d_id = home_w, d_id
+    if scale.n_warehouses > 1 and rng.random() < 0.15:
+        c_w_id = rng.choice(
+            [w for w in range(1, scale.n_warehouses + 1) if w != home_w])
+        c_d_id = rng.randint(1, scale.districts_per_warehouse)
+    c_id = nurand(rng, 1023, 1, scale.customers_per_district) \
+        if scale.customers_per_district >= 1023 \
+        else rng.randint(1, scale.customers_per_district)
+    amount = rng.randint(100, 500_000)  # $1.00 .. $5000.00 in cents
+    return PaymentInput(home_w, d_id, c_w_id, c_d_id, c_id, amount, h_id)
+
+
+def _add_ytd(amount: int, field: str):
+    def update(old: dict) -> dict:
+        new = dict(old)
+        new[field] = old[field] + amount
+        return new
+    return update
+
+
+def _customer_pay(amount: int):
+    def update(old: dict) -> dict:
+        new = dict(old)
+        new["c_balance"] = old["c_balance"] - amount
+        new["c_ytd_payment"] = old["c_ytd_payment"] + amount
+        new["c_payment_cnt"] = old["c_payment_cnt"] + 1
+        return new
+    return update
+
+
+def payment_program(inputs: PaymentInput):
+    yield UpdateOp(schema.WAREHOUSE, (inputs.w_id,),
+                   _add_ytd(inputs.amount, "w_ytd"),
+                   schema.PAY_UPDATE_WAREHOUSE)
+    yield UpdateOp(schema.DISTRICT, (inputs.w_id, inputs.d_id),
+                   _add_ytd(inputs.amount, "d_ytd"),
+                   schema.PAY_UPDATE_DISTRICT)
+    yield UpdateOp(schema.CUSTOMER,
+                   (inputs.c_w_id, inputs.c_d_id, inputs.c_id),
+                   _customer_pay(inputs.amount), schema.PAY_UPDATE_CUSTOMER)
+    yield InsertOp(schema.HISTORY, (inputs.h_id,), {
+        "h_c_w_id": inputs.c_w_id,
+        "h_c_d_id": inputs.c_d_id,
+        "h_c_id": inputs.c_id,
+        "h_w_id": inputs.w_id,
+        "h_d_id": inputs.d_id,
+        "h_amount": inputs.amount,
+    }, schema.PAY_INSERT_HISTORY)
+    return {"amount": inputs.amount}
+
+
+# --------------------------------------------------------------------- #
+# Delivery
+
+
+class DeliveryInput:
+    __slots__ = ("w_id", "carrier_id", "delivery_d")
+
+    def __init__(self, w_id: int, carrier_id: int, delivery_d: int) -> None:
+        self.w_id = w_id
+        self.carrier_id = carrier_id
+        self.delivery_d = delivery_d
+
+
+def generate_delivery(rng: random.Random, scale: TPCCScale, home_w: int,
+                      now: int) -> DeliveryInput:
+    return DeliveryInput(home_w, rng.randint(1, 10), now)
+
+
+def _order_deliver(carrier_id: int):
+    def update(old: dict) -> dict:
+        new = dict(old)
+        new["o_carrier_id"] = carrier_id
+        return new
+    return update
+
+
+def _line_deliver(delivery_d: int):
+    def update(old: dict) -> dict:
+        new = dict(old)
+        new["ol_delivery_d"] = delivery_d
+        return new
+    return update
+
+
+def _customer_receive(amount: int):
+    def update(old: dict) -> dict:
+        new = dict(old)
+        new["c_balance"] = old["c_balance"] + amount
+        new["c_delivery_cnt"] = old["c_delivery_cnt"] + 1
+        return new
+    return update
+
+
+def delivery_program(inputs: DeliveryInput, districts_per_warehouse: int):
+    for d_id in range(1, districts_per_warehouse + 1):
+        rows = yield ScanOp(schema.NEW_ORDER,
+                            (inputs.w_id, d_id, 0),
+                            (inputs.w_id, d_id + 1, 0),
+                            schema.DLV_SCAN_NEW_ORDER, limit=1)
+        if not rows:
+            continue  # no undelivered order in this district
+        (key, _value) = rows[0]
+        o_id = key[2]
+        yield WriteOp(schema.NEW_ORDER, (inputs.w_id, d_id, o_id), None,
+                      schema.DLV_DELETE_NEW_ORDER)
+        order = yield UpdateOp(schema.ORDER, (inputs.w_id, d_id, o_id),
+                               _order_deliver(inputs.carrier_id),
+                               schema.DLV_UPDATE_ORDER)
+        total = 0
+        for ol_number in range(1, order["o_ol_cnt"] + 1):
+            line = yield UpdateOp(schema.ORDER_LINE,
+                                  (inputs.w_id, d_id, o_id, ol_number),
+                                  _line_deliver(inputs.delivery_d),
+                                  schema.DLV_UPDATE_ORDER_LINE)
+            total += line["ol_amount"]
+        yield UpdateOp(schema.CUSTOMER,
+                       (inputs.w_id, d_id, order["o_c_id"]),
+                       _customer_receive(total), schema.DLV_UPDATE_CUSTOMER)
+    return None
+
+
+# --------------------------------------------------------------------- #
+
+
+def dollars(cents: int) -> float:
+    """Convenience for examples/reports."""
+    return cents / 100.0
+
+
+__all__ = [
+    "DeliveryInput",
+    "NewOrderInput",
+    "PaymentInput",
+    "delivery_program",
+    "dollars",
+    "generate_delivery",
+    "generate_neworder",
+    "generate_payment",
+    "neworder_program",
+    "payment_program",
+]

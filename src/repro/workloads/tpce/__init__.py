@@ -1,0 +1,11 @@
+"""TPC-E subset (§7.4): TRADE_ORDER, TRADE_UPDATE and MARKET_FEED.
+
+The paper evaluates these three read-write transactions and controls
+contention by drawing the SECURITY rows each update touches from a Zipf
+distribution whose theta is swept from 0.0 to 4.0 (Fig 8).
+"""
+
+from .schema import TPCEScale, tpce_spec
+from .workload import TPCEWorkload, make_tpce_factory
+
+__all__ = ["TPCEScale", "TPCEWorkload", "make_tpce_factory", "tpce_spec"]

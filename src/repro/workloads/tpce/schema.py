@@ -1,0 +1,194 @@
+"""TPC-E subset: schema and static access-site spec.
+
+A simplified but multi-table rendition of the three read-write
+transactions; the state space (40 states across 3 types) is substantially
+larger than TPC-C's (17), which is the property §7.4 exercises ("a much
+larger search space").  Contention concentrates on SECURITY / LAST_TRADE
+rows chosen from a Zipf distribution — the paper's contention knob.
+
+Key layout:
+
+* CUSTOMER (c_id,)            * CUSTOMER_ACCOUNT (ca_id,)
+* BROKER (b_id,)              * COMPANY (co_id,)
+* SECURITY (s_id,)            * LAST_TRADE (s_id,)
+* HOLDING_SUMMARY (ca_id, s_id)  * HOLDING (ca_id, s_id)
+* TRADE (t_id,)               * TRADE_HISTORY (t_id, seq)
+* TRADE_REQUEST (s_id, t_id)  * SETTLEMENT (t_id,)
+* CASH_TRANSACTION (t_id,)
+* read-only dimension tables: TAXRATE, CHARGE, COMMISSION_RATE, EXCHANGE,
+  STATUS_TYPE, TRADE_TYPE
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigError
+from ...core.spec import AccessKinds, AccessSpec, TxnTypeSpec, WorkloadSpec
+
+CUSTOMER = "CUSTOMER"
+CUSTOMER_ACCOUNT = "CUSTOMER_ACCOUNT"
+BROKER = "BROKER"
+COMPANY = "COMPANY"
+SECURITY = "SECURITY"
+LAST_TRADE = "LAST_TRADE"
+HOLDING_SUMMARY = "HOLDING_SUMMARY"
+HOLDING = "HOLDING"
+TRADE = "TRADE"
+TRADE_HISTORY = "TRADE_HISTORY"
+TRADE_REQUEST = "TRADE_REQUEST"
+SETTLEMENT = "SETTLEMENT"
+CASH_TRANSACTION = "CASH_TRANSACTION"
+TAXRATE = "TAXRATE"
+CHARGE = "CHARGE"
+COMMISSION_RATE = "COMMISSION_RATE"
+EXCHANGE = "EXCHANGE"
+STATUS_TYPE = "STATUS_TYPE"
+TRADE_TYPE = "TRADE_TYPE"
+
+ALL_TABLES = (CUSTOMER, CUSTOMER_ACCOUNT, BROKER, COMPANY, SECURITY,
+              LAST_TRADE, HOLDING_SUMMARY, HOLDING, TRADE, TRADE_HISTORY,
+              TRADE_REQUEST, SETTLEMENT, CASH_TRANSACTION, TAXRATE, CHARGE,
+              COMMISSION_RATE, EXCHANGE, STATUS_TYPE, TRADE_TYPE)
+
+TRADE_ORDER = "trade_order"
+TRADE_UPDATE = "trade_update"
+MARKET_FEED = "market_feed"
+
+#: TPC-E mix restricted to the three read-write transactions
+#: (10.1 : 2.0 : 1.0, the official relative frequencies)
+DEFAULT_MIX = ((TRADE_ORDER, 10.1), (TRADE_UPDATE, 2.0), (MARKET_FEED, 1.0))
+
+
+@dataclass(frozen=True)
+class TPCEScale:
+    """Scaled-down cardinalities."""
+
+    n_customers: int = 1000
+    accounts_per_customer: int = 2
+    n_brokers: int = 50
+    n_securities: int = 1000
+    n_companies: int = 500
+    initial_trades: int = 2000
+    #: securities per MARKET_FEED batch (official: 20-ish ticker batch)
+    feed_batch: int = 5
+    #: trades modified per TRADE_UPDATE (official frame: up to 20)
+    update_batch: int = 3
+    #: Zipf skew of SECURITY/LAST_TRADE update targets (the Fig 8 knob)
+    theta: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("n_customers", "accounts_per_customer", "n_brokers",
+                     "n_securities", "n_companies", "initial_trades",
+                     "feed_batch", "update_batch"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.theta < 0:
+            raise ConfigError("theta must be >= 0")
+
+    @property
+    def n_accounts(self) -> int:
+        return self.n_customers * self.accounts_per_customer
+
+
+# TRADE_ORDER access sites
+TO_READ_ACCOUNT = 0
+TO_READ_CUSTOMER = 1
+TO_READ_TAXRATE = 2
+TO_READ_BROKER = 3
+TO_READ_COMPANY = 4
+TO_READ_SECURITY = 5
+TO_READ_LAST_TRADE = 6
+TO_READ_TRADE_TYPE = 7
+TO_READ_STATUS_TYPE = 8
+TO_READ_CHARGE = 9
+TO_READ_COMMISSION = 10
+TO_READ_EXCHANGE = 11
+TO_UPDATE_HOLDING_SUMMARY = 12
+TO_READ_HOLDING = 13
+TO_UPDATE_HOLDING = 14
+TO_UPDATE_SECURITY = 15
+TO_INSERT_TRADE = 16
+TO_INSERT_TRADE_REQUEST = 17
+TO_INSERT_TRADE_HISTORY = 18
+TO_UPDATE_BROKER = 19
+TO_UPDATE_ACCOUNT = 20
+
+# TRADE_UPDATE access sites (loop over update_batch trades: 0..8)
+TU_READ_TRADE = 0
+TU_READ_TRADE_TYPE = 1
+TU_UPDATE_TRADE = 2
+TU_READ_SETTLEMENT = 3
+TU_UPDATE_SETTLEMENT = 4
+TU_READ_CASH_TX = 5
+TU_UPDATE_CASH_TX = 6
+TU_READ_TRADE_HISTORY = 7
+TU_INSERT_TRADE_HISTORY = 8
+TU_READ_SECURITY = 9
+TU_UPDATE_SECURITY = 10
+
+# MARKET_FEED access sites (loop over feed batch: 2..7)
+MF_READ_STATUS_TYPE = 0
+MF_READ_TRADE_TYPE = 1
+MF_UPDATE_LAST_TRADE = 2
+MF_UPDATE_SECURITY = 3
+MF_READ_TRADE_REQUEST = 4
+MF_DELETE_TRADE_REQUEST = 5
+MF_INSERT_TRADE = 6
+MF_INSERT_TRADE_HISTORY = 7
+
+
+def tpce_spec() -> WorkloadSpec:
+    """The 40-state TPC-E policy state space."""
+    trade_order = TxnTypeSpec(TRADE_ORDER, [
+        AccessSpec(TO_READ_ACCOUNT, CUSTOMER_ACCOUNT, AccessKinds.READ),
+        AccessSpec(TO_READ_CUSTOMER, CUSTOMER, AccessKinds.READ),
+        AccessSpec(TO_READ_TAXRATE, TAXRATE, AccessKinds.READ),
+        AccessSpec(TO_READ_BROKER, BROKER, AccessKinds.READ),
+        AccessSpec(TO_READ_COMPANY, COMPANY, AccessKinds.READ),
+        AccessSpec(TO_READ_SECURITY, SECURITY, AccessKinds.READ),
+        AccessSpec(TO_READ_LAST_TRADE, LAST_TRADE, AccessKinds.READ),
+        AccessSpec(TO_READ_TRADE_TYPE, TRADE_TYPE, AccessKinds.READ),
+        AccessSpec(TO_READ_STATUS_TYPE, STATUS_TYPE, AccessKinds.READ),
+        AccessSpec(TO_READ_CHARGE, CHARGE, AccessKinds.READ),
+        AccessSpec(TO_READ_COMMISSION, COMMISSION_RATE, AccessKinds.READ),
+        AccessSpec(TO_READ_EXCHANGE, EXCHANGE, AccessKinds.READ),
+        AccessSpec(TO_UPDATE_HOLDING_SUMMARY, HOLDING_SUMMARY, AccessKinds.UPDATE),
+        AccessSpec(TO_READ_HOLDING, HOLDING, AccessKinds.READ),
+        AccessSpec(TO_UPDATE_HOLDING, HOLDING, AccessKinds.UPDATE),
+        AccessSpec(TO_UPDATE_SECURITY, SECURITY, AccessKinds.UPDATE),
+        AccessSpec(TO_INSERT_TRADE, TRADE, AccessKinds.INSERT),
+        AccessSpec(TO_INSERT_TRADE_REQUEST, TRADE_REQUEST, AccessKinds.INSERT),
+        AccessSpec(TO_INSERT_TRADE_HISTORY, TRADE_HISTORY, AccessKinds.INSERT),
+        AccessSpec(TO_UPDATE_BROKER, BROKER, AccessKinds.UPDATE),
+        AccessSpec(TO_UPDATE_ACCOUNT, CUSTOMER_ACCOUNT, AccessKinds.UPDATE),
+    ], loops=[(TO_READ_HOLDING, TO_UPDATE_HOLDING)])
+    trade_update = TxnTypeSpec(TRADE_UPDATE, [
+        AccessSpec(TU_READ_TRADE, TRADE, AccessKinds.READ),
+        AccessSpec(TU_READ_TRADE_TYPE, TRADE_TYPE, AccessKinds.READ),
+        AccessSpec(TU_UPDATE_TRADE, TRADE, AccessKinds.UPDATE),
+        AccessSpec(TU_READ_SETTLEMENT, SETTLEMENT, AccessKinds.READ),
+        AccessSpec(TU_UPDATE_SETTLEMENT, SETTLEMENT, AccessKinds.UPDATE),
+        AccessSpec(TU_READ_CASH_TX, CASH_TRANSACTION, AccessKinds.READ),
+        AccessSpec(TU_UPDATE_CASH_TX, CASH_TRANSACTION, AccessKinds.UPDATE),
+        AccessSpec(TU_READ_TRADE_HISTORY, TRADE_HISTORY, AccessKinds.READ),
+        AccessSpec(TU_INSERT_TRADE_HISTORY, TRADE_HISTORY, AccessKinds.INSERT),
+        AccessSpec(TU_READ_SECURITY, SECURITY, AccessKinds.READ),
+        AccessSpec(TU_UPDATE_SECURITY, SECURITY, AccessKinds.UPDATE),
+    ], loops=[(TU_READ_TRADE, TU_READ_TRADE_TYPE, TU_UPDATE_TRADE,
+               TU_READ_SETTLEMENT, TU_UPDATE_SETTLEMENT, TU_READ_CASH_TX,
+               TU_UPDATE_CASH_TX, TU_READ_TRADE_HISTORY,
+               TU_INSERT_TRADE_HISTORY)])
+    market_feed = TxnTypeSpec(MARKET_FEED, [
+        AccessSpec(MF_READ_STATUS_TYPE, STATUS_TYPE, AccessKinds.READ),
+        AccessSpec(MF_READ_TRADE_TYPE, TRADE_TYPE, AccessKinds.READ),
+        AccessSpec(MF_UPDATE_LAST_TRADE, LAST_TRADE, AccessKinds.UPDATE),
+        AccessSpec(MF_UPDATE_SECURITY, SECURITY, AccessKinds.UPDATE),
+        AccessSpec(MF_READ_TRADE_REQUEST, TRADE_REQUEST, AccessKinds.SCAN),
+        AccessSpec(MF_DELETE_TRADE_REQUEST, TRADE_REQUEST, AccessKinds.WRITE),
+        AccessSpec(MF_INSERT_TRADE, TRADE, AccessKinds.INSERT),
+        AccessSpec(MF_INSERT_TRADE_HISTORY, TRADE_HISTORY, AccessKinds.INSERT),
+    ], loops=[(MF_UPDATE_LAST_TRADE, MF_UPDATE_SECURITY,
+               MF_READ_TRADE_REQUEST, MF_DELETE_TRADE_REQUEST,
+               MF_INSERT_TRADE, MF_INSERT_TRADE_HISTORY)])
+    return WorkloadSpec([trade_order, trade_update, market_feed])

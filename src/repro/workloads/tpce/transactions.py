@@ -1,0 +1,236 @@
+"""TPC-E transaction programs (simplified frames, same conflict structure).
+
+Contention is concentrated where the paper puts it: the SECURITY (and
+LAST_TRADE) rows each transaction updates are drawn from a Zipf
+distribution over the security space; sweeping theta is Fig 8's knob.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ...core.ops import InsertOp, ReadOp, ScanOp, UpdateOp, WriteOp
+from . import loader, schema
+from .schema import TPCEScale
+
+
+def _add(field: str, amount: int):
+    def update(old: dict) -> dict:
+        new = dict(old) if old is not None else {}
+        new[field] = new.get(field, 0) + amount
+        return new
+    return update
+
+
+def _set(field: str, value):
+    def update(old: dict) -> dict:
+        new = dict(old if old is not None else {})
+        new[field] = value
+        return new
+    return update
+
+
+# --------------------------------------------------------------------- #
+# TRADE_ORDER
+
+
+class TradeOrderInput:
+    __slots__ = ("ca_id", "c_id", "b_id", "s_id", "t_id", "qty", "is_sell",
+                 "tt_id")
+
+    def __init__(self, ca_id: int, c_id: int, b_id: int, s_id: int,
+                 t_id: int, qty: int, is_sell: bool, tt_id: str) -> None:
+        self.ca_id = ca_id
+        self.c_id = c_id
+        self.b_id = b_id
+        self.s_id = s_id
+        self.t_id = t_id
+        self.qty = qty
+        self.is_sell = is_sell
+        self.tt_id = tt_id
+
+
+def trade_order_program(inp: TradeOrderInput, scale: TPCEScale):
+    account = yield ReadOp(schema.CUSTOMER_ACCOUNT, (inp.ca_id,),
+                           schema.TO_READ_ACCOUNT)
+    customer = yield ReadOp(schema.CUSTOMER, (account["ca_c_id"],),
+                            schema.TO_READ_CUSTOMER)
+    yield ReadOp(schema.TAXRATE, (customer["c_tax_id"],), schema.TO_READ_TAXRATE)
+    yield ReadOp(schema.BROKER, (account["ca_b_id"],), schema.TO_READ_BROKER)
+    security = yield ReadOp(schema.SECURITY, (inp.s_id,),
+                            schema.TO_READ_SECURITY)
+    # company read derives from the security row
+    yield ReadOp(schema.COMPANY, (security["s_co_id"],), schema.TO_READ_COMPANY)
+    last_trade = yield ReadOp(schema.LAST_TRADE, (inp.s_id,),
+                              schema.TO_READ_LAST_TRADE)
+    yield ReadOp(schema.TRADE_TYPE, (inp.tt_id,), schema.TO_READ_TRADE_TYPE)
+    yield ReadOp(schema.STATUS_TYPE, loader.STATUS_KEY, schema.TO_READ_STATUS_TYPE)
+    charge = yield ReadOp(schema.CHARGE, loader.CHARGE_KEY, schema.TO_READ_CHARGE)
+    commission = yield ReadOp(schema.COMMISSION_RATE, (customer["c_tier"] * 3,),
+                              schema.TO_READ_COMMISSION)
+    yield ReadOp(schema.EXCHANGE, ("NYSE",), schema.TO_READ_EXCHANGE)
+
+    delta = -inp.qty if inp.is_sell else inp.qty
+    yield UpdateOp(schema.HOLDING_SUMMARY, (inp.ca_id, inp.s_id),
+                   _add("hs_qty", delta), schema.TO_UPDATE_HOLDING_SUMMARY)
+    holding = yield ReadOp(schema.HOLDING, (inp.ca_id, inp.s_id),
+                           schema.TO_READ_HOLDING)
+    if holding is not None:
+        yield UpdateOp(schema.HOLDING, (inp.ca_id, inp.s_id),
+                       _add("h_qty", delta), schema.TO_UPDATE_HOLDING)
+    yield UpdateOp(schema.SECURITY, (inp.s_id,), _add("s_volume", inp.qty),
+                   schema.TO_UPDATE_SECURITY)
+
+    price = last_trade["lt_price"]
+    trade_value = price * inp.qty // 100
+    yield InsertOp(schema.TRADE, (inp.t_id,), {
+        "t_ca_id": inp.ca_id,
+        "t_s_id": inp.s_id,
+        "t_qty": inp.qty,
+        "t_price": price,
+        "t_exec_name": "online",
+        "t_tt_id": inp.tt_id,
+    }, schema.TO_INSERT_TRADE)
+    yield InsertOp(schema.TRADE_REQUEST, (inp.s_id, inp.t_id),
+                   {"tr_qty": inp.qty, "tr_bid": price},
+                   schema.TO_INSERT_TRADE_REQUEST)
+    yield InsertOp(schema.TRADE_HISTORY, (inp.t_id, 0),
+                   {"th_st_id": "CMPT"}, schema.TO_INSERT_TRADE_HISTORY)
+    fee = charge["ch_chrg"] + commission["cr_rate"] * inp.qty // 100
+    yield UpdateOp(schema.BROKER, (account["ca_b_id"],),
+                   lambda old, fee=fee: {
+                       **old,
+                       "b_num_trades": old["b_num_trades"] + 1,
+                       "b_comm_total": old["b_comm_total"] + fee,
+                   }, schema.TO_UPDATE_BROKER)
+    balance_delta = trade_value - fee if inp.is_sell else -(trade_value + fee)
+    yield UpdateOp(schema.CUSTOMER_ACCOUNT, (inp.ca_id,),
+                   _add("ca_bal", balance_delta), schema.TO_UPDATE_ACCOUNT)
+    return {"t_id": inp.t_id, "value": trade_value}
+
+
+def generate_trade_order(rng: random.Random, scale: TPCEScale,
+                         zipf_sample, t_id: int) -> TradeOrderInput:
+    ca_id = rng.randint(1, scale.n_accounts)
+    c_id = (ca_id - 1) // scale.accounts_per_customer + 1
+    b_id = rng.randint(1, scale.n_brokers)
+    s_id = zipf_sample() + 1
+    qty = rng.randint(100, 800)
+    is_sell = rng.random() < 0.5
+    tt_id = ("TMS" if is_sell else "TMB") if rng.random() < 0.6 \
+        else ("TLS" if is_sell else "TLB")
+    return TradeOrderInput(ca_id, c_id, b_id, s_id, t_id, qty, is_sell, tt_id)
+
+
+# --------------------------------------------------------------------- #
+# TRADE_UPDATE
+
+
+class TradeUpdateInput:
+    __slots__ = ("trade_ids", "s_id", "exec_name", "seq")
+
+    def __init__(self, trade_ids: List[int], s_id: int, exec_name: str,
+                 seq: int) -> None:
+        self.trade_ids = trade_ids
+        self.s_id = s_id
+        self.exec_name = exec_name
+        self.seq = seq
+
+
+def trade_update_program(inp: TradeUpdateInput):
+    for t_id in inp.trade_ids:
+        trade = yield ReadOp(schema.TRADE, (t_id,), schema.TU_READ_TRADE)
+        if trade is None:
+            continue
+        yield ReadOp(schema.TRADE_TYPE, (trade["t_tt_id"],),
+                     schema.TU_READ_TRADE_TYPE)
+        yield UpdateOp(schema.TRADE, (t_id,), _set("t_exec_name", inp.exec_name),
+                       schema.TU_UPDATE_TRADE)
+        settlement = yield ReadOp(schema.SETTLEMENT, (t_id,),
+                                  schema.TU_READ_SETTLEMENT)
+        if settlement is not None:
+            yield UpdateOp(schema.SETTLEMENT, (t_id,),
+                           _set("se_cash_type", "updated"),
+                           schema.TU_UPDATE_SETTLEMENT)
+        cash = yield ReadOp(schema.CASH_TRANSACTION, (t_id,),
+                            schema.TU_READ_CASH_TX)
+        if cash is not None:
+            yield UpdateOp(schema.CASH_TRANSACTION, (t_id,),
+                           _set("ct_name", inp.exec_name),
+                           schema.TU_UPDATE_CASH_TX)
+        yield ReadOp(schema.TRADE_HISTORY, (t_id, 0),
+                     schema.TU_READ_TRADE_HISTORY)
+        yield InsertOp(schema.TRADE_HISTORY, (t_id, inp.seq),
+                       {"th_st_id": "UPDT"}, schema.TU_INSERT_TRADE_HISTORY)
+    yield ReadOp(schema.SECURITY, (inp.s_id,), schema.TU_READ_SECURITY)
+    yield UpdateOp(schema.SECURITY, (inp.s_id,), _add("s_volume", 1),
+                   schema.TU_UPDATE_SECURITY)
+    return None
+
+
+def generate_trade_update(rng: random.Random, scale: TPCEScale,
+                          zipf_sample, seq: int) -> TradeUpdateInput:
+    trade_ids = rng.sample(range(1, scale.initial_trades + 1),
+                           min(scale.update_batch, scale.initial_trades))
+    return TradeUpdateInput(trade_ids, zipf_sample() + 1,
+                            f"update-{seq}", seq)
+
+
+# --------------------------------------------------------------------- #
+# MARKET_FEED
+
+
+class MarketFeedInput:
+    __slots__ = ("tickers", "t_id_base", "seq")
+
+    def __init__(self, tickers: List[tuple], t_id_base: int, seq: int) -> None:
+        #: list of (s_id, new_price, volume)
+        self.tickers = tickers
+        self.t_id_base = t_id_base
+        self.seq = seq
+
+
+def market_feed_program(inp: MarketFeedInput):
+    yield ReadOp(schema.STATUS_TYPE, loader.STATUS_KEY, schema.MF_READ_STATUS_TYPE)
+    yield ReadOp(schema.TRADE_TYPE, ("TLB",), schema.MF_READ_TRADE_TYPE)
+    for offset, (s_id, price, volume) in enumerate(inp.tickers):
+        yield UpdateOp(schema.LAST_TRADE, (s_id,),
+                       lambda old, price=price, volume=volume: {
+                           **old, "lt_price": price,
+                           "lt_vol": old["lt_vol"] + volume,
+                       }, schema.MF_UPDATE_LAST_TRADE)
+        yield UpdateOp(schema.SECURITY, (s_id,), _add("s_volume", volume),
+                       schema.MF_UPDATE_SECURITY)
+        requests = yield ScanOp(schema.TRADE_REQUEST, (s_id, 0),
+                                (s_id + 1, 0), schema.MF_READ_TRADE_REQUEST,
+                                limit=1)
+        if not requests:
+            continue
+        (request_key, _request) = requests[0]
+        # the pending limit order triggers: consume the request, record the
+        # resulting trade
+        yield WriteOp(schema.TRADE_REQUEST, request_key, None,
+                      schema.MF_DELETE_TRADE_REQUEST)
+        t_id = inp.t_id_base + offset
+        yield InsertOp(schema.TRADE, (t_id,), {
+            "t_ca_id": 0, "t_s_id": s_id, "t_qty": volume,
+            "t_price": price, "t_exec_name": "feed", "t_tt_id": "TLB",
+        }, schema.MF_INSERT_TRADE)
+        yield InsertOp(schema.TRADE_HISTORY, (t_id, 0), {"th_st_id": "CMPT"},
+                       schema.MF_INSERT_TRADE_HISTORY)
+    return None
+
+
+def generate_market_feed(rng: random.Random, scale: TPCEScale,
+                         zipf_sample, t_id_base: int, seq: int) -> MarketFeedInput:
+    tickers = []
+    seen = set()
+    while len(tickers) < scale.feed_batch:
+        s_id = zipf_sample() + 1
+        if s_id in seen:
+            continue
+        seen.add(s_id)
+        tickers.append((s_id, rng.randint(1000, 100_000),
+                        rng.randint(100, 1000)))
+    return MarketFeedInput(tickers, t_id_base, seq)

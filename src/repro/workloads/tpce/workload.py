@@ -1,0 +1,88 @@
+"""Executable TPC-E workload with the Zipf contention knob (Fig 8)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Optional
+
+from ...rng import ZipfSampler, derive_seed
+from ...storage.database import Database
+from ...core.protocol import TxnInvocation
+from ..base import MixEntry, Workload
+from . import loader, schema, transactions
+from .schema import DEFAULT_MIX, TPCEScale, tpce_spec
+
+#: trade ids for new inserts start far above the initial population
+TRADE_ID_BASE = 10_000_000
+
+
+class TPCEWorkload(Workload):
+    """TPC-E read-write subset: TRADE_ORDER / TRADE_UPDATE / MARKET_FEED."""
+
+    name = "tpce"
+
+    def __init__(self, scale: Optional[TPCEScale] = None, seed: int = 0,
+                 mix=DEFAULT_MIX) -> None:
+        spec = tpce_spec()
+        super().__init__(spec, [MixEntry(name, weight) for name, weight in mix])
+        self.scale = scale or TPCEScale()
+        self.seed = seed
+        self._zipf = ZipfSampler(self.scale.n_securities, self.scale.theta,
+                                 random.Random(derive_seed(seed, 2)))
+        self._trade_ids = itertools.count(TRADE_ID_BASE)
+        self._seq = itertools.count(1)
+
+    def build_database(self) -> Database:
+        self.db = loader.load_tpce(self.scale, seed=self.seed)
+        return self.db
+
+    def make_invocation(self, type_name: str, rng: random.Random,
+                        worker_id: int) -> TxnInvocation:
+        type_index = self.spec.type_index(type_name)
+        if type_name == schema.TRADE_ORDER:
+            inputs = transactions.generate_trade_order(
+                rng, self.scale, self._zipf.sample, next(self._trade_ids))
+            scale = self.scale
+            return TxnInvocation(
+                type_index, type_name,
+                lambda: transactions.trade_order_program(inputs, scale))
+        if type_name == schema.TRADE_UPDATE:
+            inputs = transactions.generate_trade_update(
+                rng, self.scale, self._zipf.sample, next(self._seq))
+            return TxnInvocation(
+                type_index, type_name,
+                lambda: transactions.trade_update_program(inputs))
+        if type_name == schema.MARKET_FEED:
+            base = next(self._trade_ids)
+            for _ in range(self.scale.feed_batch - 1):
+                next(self._trade_ids)  # reserve the batch's id range
+            inputs = transactions.generate_market_feed(
+                rng, self.scale, self._zipf.sample, base, next(self._seq))
+            return TxnInvocation(
+                type_index, type_name,
+                lambda: transactions.market_feed_program(inputs))
+        raise AssertionError(f"unknown TPC-E type {type_name!r}")
+
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self) -> List[str]:
+        """SECURITY volumes must be non-negative and monotone bookkeeping
+        fields must be integers (cheap sanity; deeper checks in tests)."""
+        problems: List[str] = []
+        if self.db is None:
+            return problems
+        security = self.db.table(schema.SECURITY)
+        for key in security.keys():
+            row = security.committed_value(key)
+            if not isinstance(row["s_volume"], int) or row["s_volume"] < 0:
+                problems.append(f"SECURITY{key}: bad volume {row['s_volume']!r}")
+        return problems
+
+
+def make_tpce_factory(theta: float = 0.0, seed: int = 0,
+                      scale: Optional[TPCEScale] = None, mix=DEFAULT_MIX):
+    def factory() -> TPCEWorkload:
+        actual = scale or TPCEScale(theta=theta)
+        return TPCEWorkload(scale=actual, seed=seed, mix=mix)
+    return factory

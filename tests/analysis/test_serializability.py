@@ -1,0 +1,150 @@
+"""The serializability oracle itself, on hand-built histories."""
+
+from repro.analysis.serializability import (CommittedTxn, HistoryRecorder,
+                                            SerializabilityChecker,
+                                            assert_serializable)
+import pytest
+
+
+def recorder_with(txns, chains):
+    recorder = HistoryRecorder()
+    recorder.committed = txns
+    recorder.version_chain = chains
+    return recorder
+
+
+KEY_A = ("T", ("a",))
+KEY_B = ("T", ("b",))
+
+
+class TestAcyclicHistories:
+    def test_empty_history_ok(self):
+        recorder = HistoryRecorder()
+        assert SerializabilityChecker(recorder).check()
+
+    def test_sequential_writes_ok(self):
+        txns = [
+            CommittedTxn(1, "t", [(KEY_A, (0, 0))], [(KEY_A, (1, 0))]),
+            CommittedTxn(2, "t", [(KEY_A, (1, 0))], [(KEY_A, (2, 0))]),
+        ]
+        chains = {KEY_A: [(1, 0), (2, 0)]}
+        assert SerializabilityChecker(recorder_with(txns, chains)).check()
+
+    def test_read_only_txns_ok(self):
+        txns = [
+            CommittedTxn(1, "t", [(KEY_A, (0, 0))], []),
+            CommittedTxn(2, "t", [(KEY_A, (0, 0))], []),
+        ]
+        assert SerializabilityChecker(recorder_with(txns, {})).check()
+
+    def test_disjoint_keys_ok(self):
+        txns = [
+            CommittedTxn(1, "t", [], [(KEY_A, (1, 0))]),
+            CommittedTxn(2, "t", [], [(KEY_B, (2, 0))]),
+        ]
+        chains = {KEY_A: [(1, 0)], KEY_B: [(2, 0)]}
+        assert SerializabilityChecker(recorder_with(txns, chains)).check()
+
+
+class TestCyclicHistories:
+    def test_write_skew_style_cycle_detected(self):
+        """T1 reads initial A and writes B; T2 reads initial B and writes A:
+        classic rw-rw cycle."""
+        txns = [
+            CommittedTxn(1, "t", [(KEY_A, (0, 0))], [(KEY_B, (1, 0))]),
+            CommittedTxn(2, "t", [(KEY_B, (0, 1))], [(KEY_A, (2, 0))]),
+        ]
+        chains = {KEY_A: [(2, 0)], KEY_B: [(1, 0)]}
+        checker = SerializabilityChecker(recorder_with(txns, chains))
+        assert not checker.check()
+        assert any("cycle" in error for error in checker.errors)
+
+    def test_lost_update_cycle_detected(self):
+        """Both read initial A, both write A: the second writer read a
+        version that was already overwritten."""
+        txns = [
+            CommittedTxn(1, "t", [(KEY_A, (0, 0))], [(KEY_A, (1, 0))]),
+            CommittedTxn(2, "t", [(KEY_A, (0, 0))], [(KEY_A, (2, 0))]),
+        ]
+        chains = {KEY_A: [(1, 0), (2, 0)]}
+        checker = SerializabilityChecker(recorder_with(txns, chains))
+        assert not checker.check()
+
+    def test_assert_serializable_raises(self):
+        txns = [
+            CommittedTxn(1, "t", [(KEY_A, (0, 0))], [(KEY_A, (1, 0))]),
+            CommittedTxn(2, "t", [(KEY_A, (0, 0))], [(KEY_A, (2, 0))]),
+        ]
+        chains = {KEY_A: [(1, 0), (2, 0)]}
+        with pytest.raises(AssertionError):
+            assert_serializable(recorder_with(txns, chains))
+
+
+class TestMalformedHistories:
+    def test_read_of_unknown_version_flagged(self):
+        txns = [CommittedTxn(1, "t", [(KEY_A, (7, 3))], [])]
+        checker = SerializabilityChecker(recorder_with(txns, {}))
+        assert not checker.check()
+        assert any("no committed transaction installed" in error
+                   for error in checker.errors)
+
+    def test_initial_version_reads_are_fine(self):
+        txns = [CommittedTxn(1, "t", [(KEY_A, (0, 42))], [])]
+        assert SerializabilityChecker(recorder_with(txns, {})).check()
+
+
+class TestEdgeConstruction:
+    def test_wr_edge(self):
+        txns = [
+            CommittedTxn(1, "t", [], [(KEY_A, (1, 0))]),
+            CommittedTxn(2, "t", [(KEY_A, (1, 0))], []),
+        ]
+        chains = {KEY_A: [(1, 0)]}
+        graph = SerializabilityChecker(recorder_with(txns, chains)).build_graph()
+        assert 2 in graph[1]
+
+    def test_rw_edge(self):
+        txns = [
+            CommittedTxn(1, "t", [(KEY_A, (0, 0))], []),
+            CommittedTxn(2, "t", [], [(KEY_A, (2, 0))]),
+        ]
+        chains = {KEY_A: [(2, 0)]}
+        graph = SerializabilityChecker(recorder_with(txns, chains)).build_graph()
+        assert 2 in graph[1]
+
+    def test_ww_edge(self):
+        txns = [
+            CommittedTxn(1, "t", [], [(KEY_A, (1, 0))]),
+            CommittedTxn(2, "t", [], [(KEY_A, (2, 0))]),
+        ]
+        chains = {KEY_A: [(1, 0), (2, 0)]}
+        graph = SerializabilityChecker(recorder_with(txns, chains)).build_graph()
+        assert 2 in graph[1]
+
+    def test_matches_networkx_on_random_graphs(self):
+        """Cross-check our cycle detector against networkx on the graphs
+        we actually build."""
+        import networkx as nx
+        import random
+        rng = random.Random(7)
+        for _ in range(20):
+            n = rng.randint(2, 12)
+            txns = []
+            chains = {}
+            for txn_id in range(1, n + 1):
+                key = ("T", (rng.randint(0, 3),))
+                vid = (txn_id, 0)
+                txns.append(CommittedTxn(
+                    txn_id, "t",
+                    [(("T", (rng.randint(0, 3),)), (rng.randint(0, txn_id), 0))
+                     if rng.random() < 0.7 else (key, (0, 0))],
+                    [(key, vid)]))
+                chains.setdefault(key, []).append(vid)
+            checker = SerializabilityChecker(recorder_with(txns, chains))
+            graph = checker.build_graph()
+            digraph = nx.DiGraph()
+            digraph.add_nodes_from(graph)
+            for src, dsts in graph.items():
+                digraph.add_edges_from((src, dst) for dst in dsts)
+            has_cycle_nx = not nx.is_directed_acyclic_graph(digraph)
+            assert (checker.find_cycle() is not None) == has_cycle_nx

@@ -1,0 +1,221 @@
+"""Behavioural tests of the native baselines: Silo/OCC, 2PL, IC3 analysis,
+Tebaldi grouping, CormCC probing, registry."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError, WorkloadError
+from repro.bench.runner import run_protocol, run_named
+from repro.analysis import HistoryRecorder, SerializabilityChecker
+from repro.cc import (CormCC, IC3, SiloOCC, Tebaldi, TwoPL,
+                      available_cc_names, make_cc)
+from repro.cc.ic3 import accesses_conflict, ic3_wait_table
+from repro.cc.tebaldi import default_tpcc_groups, tebaldi_policy
+from repro.core import actions
+from repro.core.executor import PolicyExecutor
+from repro.core.spec import AccessKinds, AccessSpec, TxnTypeSpec, WorkloadSpec
+
+from tests.helpers import CounterWorkload, run_counter_experiment
+
+
+class TestSiloOCC:
+    def test_counter_invariant(self):
+        config = SimConfig(n_workers=6, duration=4000.0, seed=1)
+        recorder = HistoryRecorder()
+        workload, result = run_counter_experiment(SiloOCC(), config,
+                                                  recorder=recorder)
+        assert result.stats.total_commits > 0
+        assert workload.check_against_commits(result.stats.total_commits) == []
+        checker = SerializabilityChecker(recorder)
+        assert checker.check(), checker.errors
+
+    def test_single_worker_never_aborts(self):
+        config = SimConfig(n_workers=1, duration=2000.0, seed=1)
+        _, result = run_counter_experiment(SiloOCC(), config)
+        assert result.stats.total_aborts == 0
+
+
+class TestTwoPL:
+    def test_counter_invariant_and_serializability(self):
+        config = SimConfig(n_workers=6, duration=4000.0, seed=1)
+        recorder = HistoryRecorder()
+        workload, result = run_counter_experiment(TwoPL(), config,
+                                                  recorder=recorder)
+        assert result.stats.total_commits > 0
+        assert workload.check_against_commits(result.stats.total_commits) == []
+        assert SerializabilityChecker(recorder).check()
+
+    def test_ordered_mode_avoids_aborts_on_ordered_workload(self):
+        """The counter workload acquires keys in random order, so use
+        wait-die; but with sorted keys ordered mode needs no aborts."""
+        from repro.core.ops import UpdateOp
+        from repro.core.protocol import TxnInvocation
+
+        class OrderedCounters(CounterWorkload):
+            def make_invocation(self, type_name, rng, worker_id):
+                keys = sorted(rng.sample(range(self.n_keys), self.n_accesses))
+
+                def program():
+                    for access_id, key in enumerate(keys):
+                        yield UpdateOp("COUNTERS", (key,),
+                                       lambda old: {"value": old["value"] + 1},
+                                       access_id)
+                return TxnInvocation(0, "bump", program)
+
+        config = SimConfig(n_workers=6, duration=4000.0, seed=1)
+        holder = {}
+
+        def factory():
+            holder["w"] = OrderedCounters(n_keys=4, n_accesses=2)
+            return holder["w"]
+
+        result = run_protocol(factory, TwoPL(assume_ordered=True), config,
+                              check_invariants=False)
+        assert result.stats.total_commits > 0
+        assert result.stats.abort_reasons.get("lock_die", 0) == 0
+
+    def test_wait_die_aborts_show_up_unordered(self):
+        config = SimConfig(n_workers=10, duration=6000.0, seed=2)
+        cc = TwoPL(assume_ordered=False)
+        _, result = run_counter_experiment(cc, config, n_keys=3,
+                                           n_accesses=3)
+        assert result.stats.abort_reasons.get("lock_die", 0) > 0
+
+    def test_locks_all_released_at_end(self):
+        config = SimConfig(n_workers=4, duration=3000.0, seed=1)
+        cc = TwoPL()
+        run_counter_experiment(cc, config)
+        # committed/aborted txns hold nothing; at most in-flight txns do
+        assert cc.locks.held_count() <= config.n_workers * 3
+
+
+class TestConflictPredicate:
+    def read(self, table):
+        return AccessSpec(0, table, AccessKinds.READ)
+
+    def test_different_tables_never_conflict(self):
+        assert not accesses_conflict(self.read("A"),
+                                     AccessSpec(1, "B", AccessKinds.UPDATE))
+
+    def test_read_read_no_conflict(self):
+        assert not accesses_conflict(self.read("A"), self.read("A"))
+
+    def test_read_write_conflicts(self):
+        assert accesses_conflict(self.read("A"),
+                                 AccessSpec(1, "A", AccessKinds.UPDATE))
+
+    def test_insert_insert_no_conflict(self):
+        a = AccessSpec(0, "A", AccessKinds.INSERT)
+        b = AccessSpec(1, "A", AccessKinds.INSERT)
+        assert not accesses_conflict(a, b)
+
+    def test_insert_scan_conflicts(self):
+        a = AccessSpec(0, "A", AccessKinds.INSERT)
+        b = AccessSpec(1, "A", AccessKinds.SCAN)
+        assert accesses_conflict(a, b)
+
+
+class TestIC3WaitTable:
+    def test_wait_targets_shrink_as_txn_progresses(self):
+        """Later rows have fewer remaining conflicts, so wait targets can
+        only stay or drop as access_id grows."""
+        spec = WorkloadSpec([TxnTypeSpec("t", [
+            AccessSpec(0, "A", AccessKinds.UPDATE),
+            AccessSpec(1, "B", AccessKinds.UPDATE),
+            AccessSpec(2, "C", AccessKinds.UPDATE),
+        ])])
+        table = ic3_wait_table(spec)
+        targets = [table[row][0] for row in range(3)]
+        assert targets == sorted(targets, reverse=True)
+
+    def test_disjoint_types_never_wait(self):
+        spec = WorkloadSpec([
+            TxnTypeSpec("a", [AccessSpec(0, "A", AccessKinds.UPDATE)]),
+            TxnTypeSpec("b", [AccessSpec(0, "B", AccessKinds.UPDATE)]),
+        ])
+        table = ic3_wait_table(spec)
+        assert table[0][1] == actions.NO_WAIT
+        assert table[1][0] == actions.NO_WAIT
+
+
+class TestTebaldi:
+    def test_policy_mixes_ic3_and_commit_waits(self):
+        from repro.workloads.tpcc import tpcc_spec
+        spec = tpcc_spec()
+        policy = tebaldi_policy(spec, default_tpcc_groups())
+        neworder = spec.type_index("neworder")
+        payment = spec.type_index("payment")
+        delivery = spec.type_index("delivery")
+        row = policy.row(neworder, 1)
+        # same group: IC3 access-level wait; cross group: wait-for-commit
+        assert row.wait[payment] <= actions.wait_commit_value(
+            spec.n_accesses(payment))
+        assert row.wait[delivery] == actions.wait_commit_value(
+            spec.n_accesses(delivery))
+
+    def test_rejects_duplicate_group_membership(self):
+        from repro.workloads.tpcc import tpcc_spec
+        with pytest.raises(WorkloadError):
+            tebaldi_policy(tpcc_spec(), [["neworder"], ["neworder",
+                                                        "payment",
+                                                        "delivery"]])
+
+    def test_rejects_missing_types(self):
+        from repro.workloads.tpcc import tpcc_spec
+        with pytest.raises(WorkloadError):
+            tebaldi_policy(tpcc_spec(), [["neworder"]])
+
+    def test_auto_detects_tpcc(self):
+        from repro.workloads.tpcc import make_tpcc_factory
+        config = SimConfig(n_workers=2, duration=1500.0, seed=1)
+        result = run_protocol(make_tpcc_factory(n_warehouses=1), Tebaldi(),
+                              config)
+        assert result.stats.total_commits > 0
+
+
+class TestCormCC:
+    def test_probe_picks_and_reports(self):
+        config = SimConfig(n_workers=4, duration=4000.0, seed=1)
+        holder = {}
+
+        def factory():
+            holder["w"] = CounterWorkload(n_keys=8, n_accesses=2)
+            return holder["w"]
+
+        result = run_protocol(factory, CormCC(), config,
+                              check_invariants=False)
+        assert result.cc_name == "cormcc"
+        assert result.detail.startswith("picked ")
+        assert result.stats.total_commits > 0
+
+    def test_candidate_names(self):
+        assert CormCC().candidate_names() == ["silo", "2pl"]
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = available_cc_names()
+        for name in ("silo", "2pl", "ic3", "tebaldi", "cormcc", "polyjuice"):
+            assert name in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_cc("nope")
+
+    def test_polyjuice_needs_policy_via_run_named(self):
+        with pytest.raises(ConfigError):
+            run_named(lambda: CounterWorkload(), "polyjuice",
+                      SimConfig(n_workers=1, duration=100.0))
+
+    def test_make_polyjuice(self):
+        from tests.helpers import counter_spec
+        from repro.cc.seeds import occ_policy
+        cc = make_cc("polyjuice", policy=occ_policy(counter_spec()))
+        assert isinstance(cc, PolicyExecutor)
+
+    def test_make_baselines(self):
+        assert isinstance(make_cc("silo"), SiloOCC)
+        assert isinstance(make_cc("2pl"), TwoPL)
+        assert isinstance(make_cc("ic3"), IC3)
+        assert isinstance(make_cc("tebaldi"), Tebaldi)
+        assert isinstance(make_cc("cormcc"), CormCC)

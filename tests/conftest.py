@@ -1,0 +1,41 @@
+"""Shared fixtures: tiny configurations so the suite stays fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CostModel, SimConfig
+from repro.core.spec import AccessKinds, AccessSpec, TxnTypeSpec, WorkloadSpec
+
+
+@pytest.fixture
+def small_config() -> SimConfig:
+    """A fast simulation config for integration-ish tests."""
+    return SimConfig(n_workers=4, duration=3000.0, seed=7)
+
+
+@pytest.fixture
+def tiny_config() -> SimConfig:
+    return SimConfig(n_workers=2, duration=1000.0, seed=7)
+
+
+@pytest.fixture
+def two_type_spec() -> WorkloadSpec:
+    """A small two-type spec used across policy/spec tests."""
+    alpha = TxnTypeSpec("alpha", [
+        AccessSpec(0, "A", AccessKinds.READ),
+        AccessSpec(1, "B", AccessKinds.UPDATE),
+        AccessSpec(2, "C", AccessKinds.INSERT),
+    ])
+    beta = TxnTypeSpec("beta", [
+        AccessSpec(0, "B", AccessKinds.UPDATE),
+        AccessSpec(1, "C", AccessKinds.SCAN),
+    ])
+    return WorkloadSpec([alpha, beta])
+
+
+def make_counter_workload(**kwargs):
+    """Import helper used by several test modules (lazy import to keep
+    conftest import-light)."""
+    from tests.helpers import CounterWorkload
+    return CounterWorkload(**kwargs)

@@ -1,0 +1,59 @@
+"""Operation descriptor tests."""
+
+from repro.core.ops import InsertOp, ReadOp, ScanOp, UpdateOp, WriteOp
+
+
+class TestDescriptors:
+    def test_read(self):
+        op = ReadOp("T", (1, 2), 3)
+        assert (op.table, op.key, op.access_id) == ("T", (1, 2), 3)
+        assert "T" in repr(op) and "a3" in repr(op)
+
+    def test_write_delete(self):
+        op = WriteOp("T", (1,), None, 0)
+        assert op.value is None  # delete
+        assert "WriteOp" in repr(op)
+
+    def test_update_carries_function(self):
+        fn = lambda old: {"v": 1}
+        op = UpdateOp("T", (1,), fn, 2)
+        assert op.update_fn is fn
+        assert "a2" in repr(op)
+
+    def test_insert(self):
+        op = InsertOp("T", (9,), {"v": 1}, 1)
+        assert op.value == {"v": 1}
+        assert "InsertOp" in repr(op)
+
+    def test_scan_defaults(self):
+        op = ScanOp("T", (0,), (9,), 4)
+        assert op.limit is None
+        assert op.reverse is False
+        assert "ScanOp" in repr(op)
+
+    def test_scan_options(self):
+        op = ScanOp("T", (0,), (9,), 4, limit=5, reverse=True)
+        assert op.limit == 5 and op.reverse
+
+
+class TestSlots:
+    def test_no_dict_on_hot_path_objects(self):
+        """Hot-path objects must use __slots__ (no per-instance dict)."""
+        for op in (ReadOp("T", (1,), 0), WriteOp("T", (1,), {}, 0),
+                   UpdateOp("T", (1,), lambda o: o, 0),
+                   InsertOp("T", (1,), {}, 0), ScanOp("T", (0,), (1,), 0)):
+            assert not hasattr(op, "__dict__")
+
+    def test_context_and_entries_are_slotted(self):
+        from repro.core.context import ReadEntry, TxnContext, WriteEntry
+        from repro.storage.access_list import AccessEntry
+        from repro.sim.events import Cost, WaitFor
+        ctx = TxnContext(1, 0, "t", None, (0.0, 1), 0.0)
+        assert not hasattr(ctx, "__dict__")
+        assert not hasattr(ReadEntry("T", (1,), None, None, None, None),
+                           "__dict__")
+        assert not hasattr(WriteEntry("T", (1,), None, None, False, 0),
+                           "__dict__")
+        assert not hasattr(AccessEntry(ctx, "read", (0, 0)), "__dict__")
+        assert not hasattr(Cost(1.0), "__dict__")
+        assert not hasattr(WaitFor(lambda: True, "progress"), "__dict__")

@@ -1,0 +1,164 @@
+"""Policy-table tests: shape validation, serialization, content identity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PolicyFormatError, PolicyShapeError, PolicyValueError
+from repro.core import actions
+from repro.core.policy import CCPolicy, PolicyRow
+from repro.core.spec import AccessKinds, AccessSpec, TxnTypeSpec, WorkloadSpec
+
+
+@pytest.fixture
+def spec():
+    alpha = TxnTypeSpec("alpha", [AccessSpec(i, "A", AccessKinds.UPDATE)
+                                  for i in range(3)])
+    beta = TxnTypeSpec("beta", [AccessSpec(i, "B", AccessKinds.UPDATE)
+                                for i in range(2)])
+    return WorkloadSpec([alpha, beta])
+
+
+class TestConstruction:
+    def test_default_policy_is_occ_shaped(self, spec):
+        policy = CCPolicy(spec)
+        assert policy.n_rows == 5
+        for row in policy.rows:
+            assert row.wait == [actions.NO_WAIT, actions.NO_WAIT]
+            assert row.read_dirty == actions.CLEAN_READ
+            assert row.write_public == actions.PRIVATE
+            assert row.early_validate == actions.NO_EARLY_VALIDATE
+
+    def test_row_lookup(self, spec):
+        policy = CCPolicy(spec)
+        policy.row(1, 1).read_dirty = 1
+        assert policy.rows[spec.state_index(1, 1)].read_dirty == 1
+
+    def test_wrong_row_count_rejected(self, spec):
+        rows = [PolicyRow([actions.NO_WAIT] * 2, 0, 0, 0)]
+        with pytest.raises(PolicyShapeError):
+            CCPolicy(spec, rows)
+
+    def test_wrong_wait_arity_rejected(self, spec):
+        policy = CCPolicy(spec)
+        policy.rows[0].wait = [actions.NO_WAIT]
+        with pytest.raises(PolicyShapeError):
+            policy.validate()
+
+    def test_wait_value_out_of_range(self, spec):
+        policy = CCPolicy(spec)
+        policy.rows[0].wait[0] = 99
+        with pytest.raises(PolicyValueError):
+            policy.validate()
+        policy.rows[0].wait[0] = -2
+        with pytest.raises(PolicyValueError):
+            policy.validate()
+
+    def test_wait_commit_value_is_legal(self, spec):
+        policy = CCPolicy(spec)
+        policy.rows[0].wait[0] = actions.wait_commit_value(3)  # alpha has 3
+        policy.rows[0].wait[1] = actions.wait_commit_value(2)  # beta has 2
+        policy.validate()
+
+    def test_binary_field_out_of_range(self, spec):
+        policy = CCPolicy(spec)
+        policy.rows[0].read_dirty = 2
+        with pytest.raises(PolicyValueError):
+            policy.validate()
+
+
+class TestIdentity:
+    def test_clone_is_equal_but_independent(self, spec):
+        policy = CCPolicy(spec)
+        copy = policy.clone()
+        assert copy == policy
+        assert hash(copy) == hash(policy)
+        copy.rows[0].read_dirty = 1
+        assert copy != policy
+
+    def test_fill(self, spec):
+        policy = CCPolicy(spec).fill(
+            wait=lambda row, dep: actions.wait_commit_value(
+                spec.n_accesses(dep)),
+            read_dirty=actions.DIRTY_READ,
+            write_public=actions.PUBLIC,
+            early_validate=actions.EARLY_VALIDATE)
+        for row in policy.rows:
+            assert row.read_dirty == actions.DIRTY_READ
+            assert row.wait == [3, 2]
+
+    def test_diff_lists_changed_states(self, spec):
+        a = CCPolicy(spec)
+        b = a.clone()
+        b.row(0, 2).write_public = 1
+        b.row(1, 0).read_dirty = 1
+        assert a.diff(b) == ["alpha:a2", "beta:a0"]
+
+
+class TestSerialization:
+    def test_roundtrip(self, spec):
+        policy = CCPolicy(spec, name="test")
+        policy.row(0, 1).wait[1] = 2
+        policy.row(0, 1).read_dirty = 1
+        restored = CCPolicy.from_json(spec, policy.to_json())
+        assert restored == policy
+        assert restored.name == "test"
+
+    def test_file_roundtrip(self, spec, tmp_path):
+        policy = CCPolicy(spec, name="disk")
+        policy.row(1, 1).early_validate = 1
+        path = str(tmp_path / "policy.json")
+        policy.save(path)
+        assert CCPolicy.load(spec, path) == policy
+
+    def test_rejects_wrong_workload_shape(self, spec):
+        policy = CCPolicy(spec)
+        other = WorkloadSpec([TxnTypeSpec("solo", [
+            AccessSpec(0, "X", AccessKinds.READ)])])
+        with pytest.raises(PolicyFormatError):
+            CCPolicy.from_dict(other, policy.to_dict())
+
+    def test_rejects_bad_json(self, spec):
+        with pytest.raises(PolicyFormatError):
+            CCPolicy.from_json(spec, "{not json")
+
+    def test_rejects_missing_rows(self, spec):
+        with pytest.raises(PolicyFormatError):
+            CCPolicy.from_dict(spec, {"format": 1})
+
+    def test_rejects_unknown_format(self, spec):
+        data = CCPolicy(spec).to_dict()
+        data["format"] = 99
+        with pytest.raises(PolicyFormatError):
+            CCPolicy.from_dict(spec, data)
+
+    def test_rejects_malformed_row(self, spec):
+        data = CCPolicy(spec).to_dict()
+        del data["rows"][0]["wait"]
+        with pytest.raises(PolicyFormatError):
+            CCPolicy.from_dict(spec, data)
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=25, deadline=None)
+    def test_random_policies_roundtrip(self, seed):
+        import random
+        from repro.training.ea import random_policy
+        alpha = TxnTypeSpec("alpha", [AccessSpec(i, "A", AccessKinds.UPDATE)
+                                      for i in range(3)])
+        beta = TxnTypeSpec("beta", [AccessSpec(i, "B", AccessKinds.UPDATE)
+                                    for i in range(2)])
+        local_spec = WorkloadSpec([alpha, beta])
+        policy = random_policy(local_spec, random.Random(seed))
+        assert CCPolicy.from_json(local_spec, policy.to_json()) == policy
+
+
+class TestDescribe:
+    def test_describe_mentions_every_state(self, spec):
+        text = CCPolicy(spec).describe()
+        assert "alpha a0" in text
+        assert "beta a1" in text
+
+    def test_describe_wait_labels(self):
+        assert actions.describe_wait(actions.NO_WAIT, 3) == "no-wait"
+        assert actions.describe_wait(3, 3) == "commit"
+        assert actions.describe_wait(1, 3) == "access<=1"

@@ -1,0 +1,138 @@
+"""Workload spec / state-space tests (§4.2), including loop barriers."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.core.spec import AccessKinds, AccessSpec, TxnTypeSpec, WorkloadSpec
+
+
+def spec_of(*counts, loops_per_type=None):
+    types = []
+    for index, count in enumerate(counts):
+        accesses = [AccessSpec(i, f"T{index}", AccessKinds.UPDATE)
+                    for i in range(count)]
+        loops = (loops_per_type or {}).get(index, ())
+        types.append(TxnTypeSpec(f"type{index}", accesses, loops=loops))
+    return WorkloadSpec(types)
+
+
+class TestValidation:
+    def test_access_ids_must_be_dense(self):
+        with pytest.raises(WorkloadError):
+            TxnTypeSpec("x", [AccessSpec(1, "T", AccessKinds.READ)])
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(WorkloadError):
+            TxnTypeSpec("x", [])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            AccessSpec(0, "T", "nonsense")
+
+    def test_duplicate_type_names_rejected(self):
+        t = TxnTypeSpec("x", [AccessSpec(0, "T", AccessKinds.READ)])
+        with pytest.raises(WorkloadError):
+            WorkloadSpec([t, t])
+
+    def test_loop_must_be_contiguous(self):
+        with pytest.raises(WorkloadError):
+            TxnTypeSpec("x", [AccessSpec(i, "T", AccessKinds.READ)
+                              for i in range(4)], loops=[(0, 2)])
+
+    def test_loop_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            TxnTypeSpec("x", [AccessSpec(0, "T", AccessKinds.READ)],
+                        loops=[(0, 1)])
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec([])
+
+
+class TestIndexing:
+    def test_state_count_is_sum_of_accesses(self):
+        spec = spec_of(3, 5, 2)
+        assert spec.n_states == 10  # paper: d1 + d2 + ... + dn
+
+    def test_state_index_roundtrip(self):
+        spec = spec_of(3, 5, 2)
+        for type_index in range(3):
+            for access_id in range(spec.n_accesses(type_index)):
+                row = spec.state_index(type_index, access_id)
+                assert spec.state_of_row(row) == (type_index, access_id)
+
+    def test_rows_are_dense_and_unique(self):
+        spec = spec_of(2, 4)
+        rows = {spec.state_index(t, a)
+                for t in range(2) for a in range(spec.n_accesses(t))}
+        assert rows == set(range(6))
+
+    def test_out_of_range_access(self):
+        spec = spec_of(2)
+        with pytest.raises(WorkloadError):
+            spec.state_index(0, 2)
+        with pytest.raises(WorkloadError):
+            spec.state_of_row(99)
+
+    def test_type_lookup(self):
+        spec = spec_of(2, 3)
+        assert spec.type_index("type1") == 1
+        with pytest.raises(WorkloadError):
+            spec.type_index("missing")
+
+    def test_all_tables(self):
+        spec = spec_of(1, 1)
+        assert spec.all_tables() == {"T0", "T1"}
+
+
+class TestLoopBarriers:
+    def test_no_loops_barriers_are_identity(self):
+        spec = spec_of(4)
+        assert spec.type_of(0).barriers == [0, 1, 2, 3]
+
+    def test_loop_extends_barriers(self):
+        spec = spec_of(6, loops_per_type={0: [(2, 3)]})
+        assert spec.type_of(0).barriers == [0, 1, 3, 3, 4, 5]
+
+    def test_whole_txn_loop(self):
+        spec = spec_of(3, loops_per_type={0: [(0, 1, 2)]})
+        assert spec.type_of(0).barriers == [2, 2, 2]
+
+    def test_progress_at_start_without_loops(self):
+        spec = spec_of(4)
+        t = spec.type_of(0)
+        # starting access b completes everything before b
+        assert t.progress_at_start == [-1, 0, 1, 2, 3]
+
+    def test_progress_at_start_with_loop(self):
+        spec = spec_of(6, loops_per_type={0: [(2, 3)]})
+        t = spec.type_of(0)
+        # starting access 3 (inside the loop) does NOT complete access 2
+        assert t.progress_at_start[3] == 1
+        # starting access 4 (past the loop) completes 2 and 3
+        assert t.progress_at_start[4] == 3
+        # commit index (len) completes everything
+        assert t.progress_at_start[6] == 5
+
+    def test_progress_at_start_whole_loop(self):
+        spec = spec_of(3, loops_per_type={0: [(0, 1, 2)]})
+        t = spec.type_of(0)
+        assert t.progress_at_start[:3] == [-1, -1, -1]
+        assert t.progress_at_start[3] == 2
+
+    def test_last_access_to_table(self):
+        alpha = TxnTypeSpec("alpha", [
+            AccessSpec(0, "A", AccessKinds.READ),
+            AccessSpec(1, "B", AccessKinds.UPDATE),
+            AccessSpec(2, "A", AccessKinds.UPDATE),
+        ])
+        assert alpha.last_access_to_table("A") == 2
+        assert alpha.last_access_to_table("B") == 1
+        assert alpha.last_access_to_table("Z") is None
+
+    def test_read_write_like(self):
+        assert AccessSpec(0, "T", AccessKinds.UPDATE).is_read_like
+        assert AccessSpec(0, "T", AccessKinds.UPDATE).is_write_like
+        assert AccessSpec(0, "T", AccessKinds.SCAN).is_read_like
+        assert not AccessSpec(0, "T", AccessKinds.SCAN).is_write_like
+        assert AccessSpec(0, "T", AccessKinds.INSERT).is_write_like

@@ -1,0 +1,132 @@
+"""The wait action's semantics (§4.3): who is waited on, for how long."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.bench.runner import run_protocol
+from repro.storage.database import Database
+from repro.core import actions
+from repro.core.context import TxnContext
+from repro.core.executor import PolicyExecutor
+from repro.core.ops import UpdateOp
+from repro.core.policy import CCPolicy
+from repro.core.protocol import TxnInvocation
+from repro.core.spec import AccessKinds, AccessSpec, TxnTypeSpec, WorkloadSpec
+
+from tests.helpers import OneShotWorkload
+
+
+def two_access_spec():
+    return WorkloadSpec([TxnTypeSpec("txn", [
+        AccessSpec(0, "T", AccessKinds.UPDATE),
+        AccessSpec(1, "T", AccessKinds.UPDATE)])])
+
+
+class TestBuildWait:
+    def setup_executor(self, spec, policy):
+        db = Database(["T"])
+        db.load("T", (0,), {"v": 0})
+        cc = PolicyExecutor(policy=policy)
+        cc.setup(db, spec, SimConfig(n_workers=1, duration=100.0))
+        return cc
+
+    def make_ctx(self, txn_id, progress=-1):
+        ctx = TxnContext(txn_id, 0, "txn", None, (0.0, txn_id), 0.0)
+        ctx.progress = progress
+        return ctx
+
+    def test_no_wait_policy_builds_nothing(self):
+        spec = two_access_spec()
+        policy = CCPolicy(spec)
+        cc = self.setup_executor(spec, policy)
+        waiter = self.make_ctx(1)
+        dep = self.make_ctx(2)
+        assert cc._build_wait(waiter, {dep}, policy.row(0, 0)) is None
+
+    def test_wait_until_access(self):
+        spec = two_access_spec()
+        policy = CCPolicy(spec)
+        policy.row(0, 0).wait[0] = 1  # wait until deps finish access 1
+        cc = self.setup_executor(spec, policy)
+        waiter = self.make_ctx(1)
+        dep = self.make_ctx(2, progress=0)
+        wait = cc._build_wait(waiter, {dep}, policy.row(0, 0))
+        assert wait is not None
+        assert not wait.condition()
+        dep.progress = 1
+        assert wait.condition()
+
+    def test_wait_commit_requires_terminal(self):
+        spec = two_access_spec()
+        policy = CCPolicy(spec)
+        policy.row(0, 0).wait[0] = actions.wait_commit_value(2)
+        cc = self.setup_executor(spec, policy)
+        waiter = self.make_ctx(1)
+        dep = self.make_ctx(2, progress=1)  # finished everything, not committed
+        wait = cc._build_wait(waiter, {dep}, policy.row(0, 0))
+        assert wait is not None and not wait.condition()
+        from repro.core.context import TxnStatus
+        dep.status = TxnStatus.COMMITTED
+        assert wait.condition()
+
+    def test_terminal_deps_are_skipped(self):
+        spec = two_access_spec()
+        policy = CCPolicy(spec)
+        policy.row(0, 0).wait[0] = actions.wait_commit_value(2)
+        cc = self.setup_executor(spec, policy)
+        waiter = self.make_ctx(1)
+        dep = self.make_ctx(2)
+        from repro.core.context import TxnStatus
+        dep.status = TxnStatus.ABORTED
+        assert cc._build_wait(waiter, {dep}, policy.row(0, 0)) is None
+
+    def test_exempted_deps_are_skipped(self):
+        spec = two_access_spec()
+        policy = CCPolicy(spec)
+        policy.row(0, 0).wait[0] = actions.wait_commit_value(2)
+        cc = self.setup_executor(spec, policy)
+        waiter = self.make_ctx(1)
+        dep = self.make_ctx(2)
+        waiter.wait_exempt.add(dep)
+        assert cc._build_wait(waiter, {dep}, policy.row(0, 0)) is None
+
+    def test_doomed_waiter_wakes(self):
+        spec = two_access_spec()
+        policy = CCPolicy(spec)
+        policy.row(0, 0).wait[0] = actions.wait_commit_value(2)
+        cc = self.setup_executor(spec, policy)
+        waiter = self.make_ctx(1)
+        dep = self.make_ctx(2)
+        wait = cc._build_wait(waiter, {dep}, policy.row(0, 0))
+        assert not wait.condition()
+        waiter.doomed = True
+        assert wait.condition()
+
+
+class TestWaitEndToEnd:
+    def test_wait_commit_serialises_two_transactions(self):
+        """Under a wait-for-commit policy, a transaction that becomes
+        dependent on another cannot commit before it."""
+        spec = two_access_spec()
+        policy = CCPolicy(spec, name="2pl-ish")
+        policy.fill(
+            wait=lambda row, dep: actions.wait_commit_value(2),
+            read_dirty=actions.CLEAN_READ,
+            write_public=actions.PUBLIC,
+            early_validate=actions.EARLY_VALIDATE)
+        db = Database(["T"])
+        db.load("T", (0,), {"v": 0})
+
+        def bump():
+            yield UpdateOp("T", (0,), lambda old: {"v": old["v"] + 1}, 0)
+            yield UpdateOp("T", (0,), lambda old: {"v": old["v"] + 1}, 1)
+
+        per_worker = {w: [TxnInvocation(0, "txn", bump) for _ in range(5)]
+                      for w in range(3)}
+        workload = OneShotWorkload(spec, db, [], per_worker=per_worker)
+        cc = PolicyExecutor(policy=policy)
+        config = SimConfig(n_workers=3, duration=50_000.0, seed=2)
+        result = run_protocol(lambda: workload, cc, config,
+                              check_invariants=False)
+        assert result.stats.total_commits == 15
+        assert db.committed_value("T", (0,))["v"] == 30

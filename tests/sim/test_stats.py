@@ -1,0 +1,108 @@
+"""Statistics collection tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import LatencyDigest, RunStats, percentile
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 0.5))
+
+    def test_bounds(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 3.0
+
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 0.5) == 3.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50),
+           st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_is_a_member(self, values, fraction):
+        values.sort()
+        assert percentile(values, fraction) in values
+
+
+class TestLatencyDigest:
+    def test_summary_fields(self):
+        digest = LatencyDigest()
+        for value in [10.0, 20.0, 30.0, 40.0]:
+            digest.record(value)
+        summary = digest.summary()
+        assert summary["avg"] == 25.0
+        assert summary["p50"] == 20.0
+        assert summary["p99"] == 40.0
+
+    def test_empty_avg_is_nan(self):
+        assert math.isnan(LatencyDigest().avg)
+
+
+class TestRunStats:
+    def make(self, warmup=0.0, bucket=None):
+        stats = RunStats(["a", "b"], warmup_end=warmup, timeline_bucket=bucket)
+        stats.start_time = 0.0
+        stats.end_time = 10_000.0
+        return stats
+
+    def test_throughput(self):
+        stats = self.make()
+        for _ in range(10):
+            stats.record_commit("a", 5000.0, 100.0)
+        # 10 commits in 10k ticks = 10 per 0.01s = 1000 TPS
+        assert stats.throughput() == pytest.approx(1000.0)
+        assert stats.throughput_of("a") == pytest.approx(1000.0)
+        assert stats.throughput_of("b") == 0.0
+
+    def test_warmup_excluded(self):
+        stats = self.make(warmup=5000.0)
+        stats.record_commit("a", 1000.0, 10.0)   # inside warm-up
+        stats.record_commit("a", 6000.0, 10.0)   # counted
+        assert stats.total_commits == 1
+        assert stats.warmup_commits == 1
+        # measured span is duration - warmup
+        assert stats.throughput() == pytest.approx(1 / 5000.0 * 1e6)
+
+    def test_abort_accounting(self):
+        stats = self.make()
+        stats.record_commit("a", 100.0, 10.0)
+        stats.record_abort("a", 200.0, "validation")
+        stats.record_abort("b", 300.0, "validation")
+        stats.record_abort("b", 400.0, "lock_die")
+        assert stats.total_aborts == 3
+        assert stats.abort_rate() == pytest.approx(0.75)
+        assert stats.abort_reasons == {"validation": 2, "lock_die": 1}
+
+    def test_piece_retries(self):
+        stats = self.make()
+        stats.record_piece_retry("a")
+        stats.record_piece_retry("a")
+        assert stats.piece_retries["a"] == 2
+
+    def test_timeline_series(self):
+        stats = self.make(bucket=1000.0)
+        stats.record_commit("a", 500.0, 1.0)
+        stats.record_commit("a", 2500.0, 1.0)
+        stats.record_commit("a", 2700.0, 1.0)
+        series = stats.timeline_series()
+        assert len(series) == 3
+        assert series[0] == pytest.approx(1000.0)  # 1 commit/ms = 1000/s
+        assert series[1] == 0.0
+        assert series[2] == pytest.approx(2000.0)
+
+    def test_latency_recorded_per_type(self):
+        stats = self.make()
+        stats.record_commit("a", 100.0, 42.0)
+        assert stats.latency["a"].count == 1
+        summary = stats.summary()
+        assert summary["latency_us"]["a"]["avg"] == 42.0
+
+    def test_zero_span_throughput(self):
+        stats = RunStats(["a"])
+        assert stats.throughput() == 0.0

@@ -1,0 +1,154 @@
+"""Access-list semantics: ordering, positioning, dependency induction."""
+
+import pytest
+
+from repro.storage.access_list import AccessEntry, AccessKind, AccessList
+from repro.core.context import TxnContext, TxnStatus
+
+
+def make_ctx(txn_id: int, type_index: int = 0) -> TxnContext:
+    return TxnContext(txn_id, type_index, "t", None, (0.0, txn_id), 0.0)
+
+
+def write_entry(ctx, seq=0, value=None):
+    return AccessEntry(ctx, AccessKind.WRITE, (ctx.txn_id, seq),
+                       value if value is not None else {"v": seq})
+
+
+def read_entry(ctx, vid):
+    return AccessEntry(ctx, AccessKind.READ, vid)
+
+
+class TestBasics:
+    def test_empty(self):
+        access_list = AccessList()
+        assert len(access_list) == 0
+        assert access_list.latest_visible_write() is None
+
+    def test_append_and_latest_write(self):
+        access_list = AccessList()
+        a, b = make_ctx(1), make_ctx(2)
+        access_list.append(write_entry(a, 0))
+        access_list.append(read_entry(b, (1, 0)))
+        access_list.append(write_entry(b, 0))
+        latest = access_list.latest_visible_write()
+        assert latest.ctx is b
+
+    def test_latest_write_of_specific_txn(self):
+        access_list = AccessList()
+        a, b = make_ctx(1), make_ctx(2)
+        access_list.append(write_entry(a, 0))
+        access_list.append(write_entry(b, 0))
+        access_list.append(write_entry(a, 1))
+        assert access_list.latest_write_of(a).version_id == (1, 1)
+        assert access_list.latest_write_of(b).version_id == (2, 0)
+        assert access_list.latest_write_of(make_ctx(9)) is None
+
+    def test_remove_txn(self):
+        access_list = AccessList()
+        a, b = make_ctx(1), make_ctx(2)
+        access_list.append(write_entry(a))
+        access_list.append(write_entry(b))
+        access_list.remove_txn(a)
+        assert len(access_list) == 1
+        assert access_list.latest_visible_write().ctx is b
+
+    def test_txns_present_excludes(self):
+        access_list = AccessList()
+        a, b = make_ctx(1), make_ctx(2)
+        access_list.append(write_entry(a))
+        access_list.append(read_entry(b, (1, 0)))
+        assert access_list.txns_present() == {a, b}
+        assert access_list.txns_present(exclude=a) == {b}
+
+
+class TestPositionedInserts:
+    def test_clean_read_goes_before_writes(self):
+        access_list = AccessList()
+        writer, reader = make_ctx(1), make_ctx(2)
+        access_list.append(write_entry(writer))
+        access_list.insert_read_before_writes(read_entry(reader, (0, 0)))
+        entries = list(access_list)
+        assert entries[0].ctx is reader
+        assert entries[1].ctx is writer
+
+    def test_clean_read_induces_rw_dep_on_later_writer(self):
+        access_list = AccessList()
+        writer, reader = make_ctx(1), make_ctx(2)
+        access_list.append(write_entry(writer))
+        access_list.insert_read_before_writes(read_entry(reader, (0, 0)))
+        # the writer must now commit after the reader
+        assert reader in writer.deps
+
+    def test_clean_read_appends_when_no_writes(self):
+        access_list = AccessList()
+        r1, r2 = make_ctx(1), make_ctx(2)
+        access_list.insert_read_before_writes(read_entry(r1, (0, 0)))
+        access_list.insert_read_before_writes(read_entry(r2, (0, 0)))
+        assert [e.ctx for e in access_list] == [r1, r2]
+
+    def test_dirty_read_positions_after_its_version(self):
+        access_list = AccessList()
+        w1, w2, reader = make_ctx(1), make_ctx(2), make_ctx(3)
+        access_list.append(write_entry(w1, 0))
+        access_list.append(write_entry(w2, 0))
+        deps = access_list.insert_read_after_version(
+            read_entry(reader, (1, 0)), (1, 0))
+        entries = list(access_list)
+        assert [e.ctx for e in entries] == [w1, reader, w2]
+        assert deps == {w1}
+        # the later writer takes an rw dep on the mid-list reader
+        assert reader in w2.deps
+
+    def test_dirty_read_skips_existing_reads_at_position(self):
+        access_list = AccessList()
+        w1, r1, r2 = make_ctx(1), make_ctx(2), make_ctx(3)
+        access_list.append(write_entry(w1, 0))
+        access_list.insert_read_after_version(read_entry(r1, (1, 0)), (1, 0))
+        access_list.insert_read_after_version(read_entry(r2, (1, 0)), (1, 0))
+        assert [e.ctx for e in access_list] == [w1, r1, r2]
+
+    def test_dirty_read_of_vanished_version_degrades_to_clean(self):
+        access_list = AccessList()
+        w2, reader = make_ctx(2), make_ctx(3)
+        access_list.append(write_entry(w2, 0))
+        deps = access_list.insert_read_after_version(
+            read_entry(reader, (1, 0)), (1, 0))  # version (1,0) not present
+        assert deps == set()
+        assert [e.ctx for e in access_list] == [reader, w2]
+
+
+class TestWriteStillLatest:
+    def test_is_write_still_latest(self):
+        access_list = AccessList()
+        a = make_ctx(1)
+        first = write_entry(a, 0)
+        access_list.append(first)
+        assert access_list.is_write_still_latest(first)
+        second = write_entry(a, 1)
+        access_list.append(second)
+        assert not access_list.is_write_still_latest(first)
+        assert access_list.is_write_still_latest(second)
+
+
+class TestPredecessors:
+    def test_writes_only_filter(self):
+        access_list = AccessList()
+        w, r, me = make_ctx(1), make_ctx(2), make_ctx(3)
+        access_list.append(write_entry(w))
+        access_list.append(read_entry(r, (1, 0)))
+        assert access_list.predecessors_of_tail(me, writes_only=True) == {w}
+        assert access_list.predecessors_of_tail(me, writes_only=False) == {w, r}
+
+    def test_own_entries_ignored(self):
+        access_list = AccessList()
+        me = make_ctx(1)
+        access_list.append(write_entry(me))
+        assert access_list.predecessors_of_tail(me, writes_only=False) == set()
+
+
+def test_status_helpers():
+    ctx = make_ctx(1)
+    assert ctx.is_active()
+    ctx.status = TxnStatus.COMMITTED
+    assert ctx.is_terminal()

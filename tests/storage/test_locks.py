@@ -1,0 +1,106 @@
+"""WAIT-DIE lock table tests."""
+
+from repro.storage.locks import LockMode, LockRequestOutcome, LockTable
+from repro.core.context import TxnContext
+
+
+def make_ctx(txn_id: int, start: float = 0.0) -> TxnContext:
+    return TxnContext(txn_id, 0, "t", None, (start, txn_id), start)
+
+
+class TestCompatibility:
+    def test_shared_locks_coexist(self):
+        locks = LockTable()
+        a, b = make_ctx(1), make_ctx(2)
+        assert locks.request(a, "T", (1,), LockMode.SHARED) == \
+            LockRequestOutcome.GRANTED
+        assert locks.request(b, "T", (1,), LockMode.SHARED) == \
+            LockRequestOutcome.GRANTED
+        assert locks.holders("T", (1,)) == {a, b}
+
+    def test_exclusive_blocks_shared(self):
+        locks = LockTable()
+        a = make_ctx(1, start=0.0)
+        older = make_ctx(2, start=-1.0)  # smaller start = older
+        assert locks.request(a, "T", (1,), LockMode.EXCLUSIVE) == \
+            LockRequestOutcome.GRANTED
+        assert locks.request(older, "T", (1,), LockMode.SHARED) == \
+            LockRequestOutcome.MUST_WAIT
+
+    def test_reentrant_and_upgrade(self):
+        locks = LockTable()
+        a = make_ctx(1)
+        locks.request(a, "T", (1,), LockMode.SHARED)
+        assert locks.request(a, "T", (1,), LockMode.SHARED) == \
+            LockRequestOutcome.GRANTED
+        # sole holder may upgrade
+        assert locks.request(a, "T", (1,), LockMode.EXCLUSIVE) == \
+            LockRequestOutcome.GRANTED
+        b = make_ctx(2, start=1.0)
+        assert locks.request(b, "T", (1,), LockMode.SHARED) != \
+            LockRequestOutcome.GRANTED
+
+    def test_upgrade_blocked_with_other_readers(self):
+        locks = LockTable(assume_ordered=True)
+        a, b = make_ctx(1), make_ctx(2)
+        locks.request(a, "T", (1,), LockMode.SHARED)
+        locks.request(b, "T", (1,), LockMode.SHARED)
+        assert locks.request(a, "T", (1,), LockMode.EXCLUSIVE) == \
+            LockRequestOutcome.MUST_WAIT
+
+
+class TestWaitDie:
+    def test_older_waits(self):
+        locks = LockTable(assume_ordered=False)
+        young = make_ctx(1, start=10.0)
+        old = make_ctx(2, start=1.0)
+        locks.request(young, "T", (1,), LockMode.EXCLUSIVE)
+        assert locks.request(old, "T", (1,), LockMode.EXCLUSIVE) == \
+            LockRequestOutcome.MUST_WAIT
+
+    def test_younger_dies(self):
+        locks = LockTable(assume_ordered=False)
+        old = make_ctx(1, start=1.0)
+        young = make_ctx(2, start=10.0)
+        locks.request(old, "T", (1,), LockMode.EXCLUSIVE)
+        assert locks.request(young, "T", (1,), LockMode.EXCLUSIVE) == \
+            LockRequestOutcome.MUST_DIE
+
+    def test_ordered_mode_always_waits(self):
+        locks = LockTable(assume_ordered=True)
+        old = make_ctx(1, start=1.0)
+        young = make_ctx(2, start=10.0)
+        locks.request(old, "T", (1,), LockMode.EXCLUSIVE)
+        assert locks.request(young, "T", (1,), LockMode.EXCLUSIVE) == \
+            LockRequestOutcome.MUST_WAIT
+
+
+class TestRelease:
+    def test_release_all(self):
+        locks = LockTable()
+        a = make_ctx(1)
+        locks.request(a, "T", (1,), LockMode.SHARED)
+        locks.request(a, "T", (2,), LockMode.EXCLUSIVE)
+        assert locks.held_count() == 2
+        assert locks.release_all(a) == 2
+        assert locks.held_count() == 0
+        assert locks.is_free_for(make_ctx(2), "T", (2,), LockMode.EXCLUSIVE)
+
+    def test_release_downgrades_mode_for_remaining_readers(self):
+        locks = LockTable()
+        a, b = make_ctx(1), make_ctx(2)
+        locks.request(a, "T", (1,), LockMode.SHARED)
+        locks.request(b, "T", (1,), LockMode.SHARED)
+        locks.request(a, "T", (1,), LockMode.SHARED)
+        locks.release_all(a)
+        c = make_ctx(3)
+        assert locks.request(c, "T", (1,), LockMode.SHARED) == \
+            LockRequestOutcome.GRANTED
+
+    def test_is_free_for(self):
+        locks = LockTable()
+        a, b = make_ctx(1), make_ctx(2)
+        assert locks.is_free_for(a, "T", (1,), LockMode.EXCLUSIVE)
+        locks.request(a, "T", (1,), LockMode.EXCLUSIVE)
+        assert not locks.is_free_for(b, "T", (1,), LockMode.SHARED)
+        assert locks.is_free_for(a, "T", (1,), LockMode.EXCLUSIVE)

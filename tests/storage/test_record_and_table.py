@@ -1,0 +1,114 @@
+"""Record, table and database behaviour."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, UnknownTableError
+from repro.storage.database import Database
+from repro.storage.record import Record, VersionIdAllocator
+from repro.storage.table import Table
+from repro.core.context import TxnContext
+
+
+def make_ctx(txn_id: int) -> TxnContext:
+    return TxnContext(txn_id, 0, "t", None, (0.0, txn_id), 0.0)
+
+
+class TestRecord:
+    def test_lock_lifecycle(self):
+        record = Record((1,), {"v": 0}, (0, 0))
+        a, b = make_ctx(1), make_ctx(2)
+        assert record.try_lock(a)
+        assert record.try_lock(a)  # re-entrant
+        assert not record.try_lock(b)
+        assert record.is_locked_by_other(b)
+        assert not record.is_locked_by_other(a)
+        record.unlock(b)  # not the owner: no-op
+        assert record.lock_owner is a
+        record.unlock(a)
+        assert record.lock_owner is None
+
+    def test_install(self):
+        record = Record((1,), {"v": 0}, (0, 0))
+        ctx = make_ctx(5)
+        record.install({"v": 1}, (5, 0), ctx)
+        assert record.value == {"v": 1}
+        assert record.version_id == (5, 0)
+
+    def test_allocator_unique(self):
+        allocator = VersionIdAllocator()
+        vids = {allocator.next_initial() for _ in range(100)}
+        assert len(vids) == 100
+        assert all(vid[0] == 0 for vid in vids)
+
+
+class TestTable:
+    def make_table(self):
+        table = Table("T")
+        allocator = VersionIdAllocator()
+        for key in range(5):
+            table.load((key,), {"v": key}, allocator)
+        return table, allocator
+
+    def test_load_and_lookup(self):
+        table, _ = self.make_table()
+        assert len(table) == 5
+        assert (2,) in table
+        assert table.committed_value((2,))["v"] == 2
+
+    def test_duplicate_load_rejected(self):
+        table, allocator = self.make_table()
+        with pytest.raises(DuplicateKeyError):
+            table.load((2,), {"v": 9}, allocator)
+
+    def test_scan_range(self):
+        table, _ = self.make_table()
+        keys = [key for key, _ in table.scan_committed((1,), (4,))]
+        assert keys == [(1,), (2,), (3,)]
+
+    def test_scan_limit_and_reverse(self):
+        table, _ = self.make_table()
+        keys = [key for key, _ in table.scan_committed((0,), (9,), limit=2)]
+        assert keys == [(0,), (1,)]
+        keys = [key for key, _ in table.scan_committed((0,), (9,), limit=2,
+                                                       reverse=True)]
+        assert keys == [(4,), (3,)]
+
+    def test_tombstones_skipped(self):
+        table, _ = self.make_table()
+        record = table.get_record((2,))
+        record.install(None, (9, 0), make_ctx(9))
+        assert (2,) not in table
+        keys = [key for key, _ in table.scan_committed((0,), (9,))]
+        assert (2,) not in keys
+        assert list(table.keys()) == [(0,), (1,), (3,), (4,)]
+
+    def test_ensure_record_materialises_tombstone(self):
+        table, _ = self.make_table()
+        record = table.ensure_record((77,), (0, 99))
+        assert record.value is None
+        assert table.get_record((77,)) is record
+        # second call returns the same record
+        assert table.ensure_record((77,), (0, 100)) is record
+        # tombstones are invisible to scans
+        assert (77,) not in [k for k, _ in table.scan_committed((70,), (80,))]
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database(["A"])
+        assert db.table("A").name == "A"
+        db.create_table("B")
+        assert db.table_names() == ["A", "B"]
+
+    def test_unknown_table(self):
+        db = Database()
+        with pytest.raises(UnknownTableError):
+            db.table("NOPE")
+
+    def test_load_and_total_rows(self):
+        db = Database(["A", "B"])
+        db.load("A", (1,), {"x": 1})
+        db.load("B", (1,), {"x": 1})
+        assert db.total_rows() == 2
+        assert db.committed_value("A", (1,)) == {"x": 1}
+        assert db.committed_value("A", (9,)) is None

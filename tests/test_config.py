@@ -1,0 +1,63 @@
+"""Configuration validation tests."""
+
+import pytest
+
+from repro.config import CostModel, SimConfig, TICKS_PER_SECOND
+from repro.errors import ConfigError
+
+
+class TestCostModel:
+    def test_defaults_are_valid(self):
+        CostModel()
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ConfigError):
+            CostModel(access=-1.0)
+        with pytest.raises(ConfigError):
+            CostModel(validate_read=-0.1)
+
+    def test_rejects_bad_backoff_bounds(self):
+        with pytest.raises(ConfigError):
+            CostModel(backoff_initial=0.0)
+        with pytest.raises(ConfigError):
+            CostModel(backoff_initial=10.0, backoff_max=5.0)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ConfigError):
+            CostModel(wait_timeout=0.0)
+
+    def test_scaled_multiplies_execution_costs(self):
+        base = CostModel()
+        doubled = base.scaled(2.0)
+        assert doubled.access == base.access * 2
+        assert doubled.commit_base == base.commit_base * 2
+        # backoff bounds are untouched
+        assert doubled.backoff_initial == base.backoff_initial
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            CostModel().scaled(0.0)
+
+
+class TestSimConfig:
+    def test_defaults_are_valid(self):
+        SimConfig()
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ConfigError):
+            SimConfig(n_workers=0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigError):
+            SimConfig(duration=0.0)
+
+    def test_rejects_warmup_beyond_duration(self):
+        with pytest.raises(ConfigError):
+            SimConfig(duration=100.0, warmup=100.0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ConfigError):
+            SimConfig(max_retries=-1)
+
+    def test_tick_scale(self):
+        assert TICKS_PER_SECOND == 1_000_000.0

@@ -1,0 +1,48 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_library_errors_derive_from_repro_error():
+    for name in ("ConfigError", "StorageError", "UnknownTableError",
+                 "DuplicateKeyError", "MissingKeyError", "PolicyError",
+                 "PolicyShapeError", "PolicyValueError", "PolicyFormatError",
+                 "SimulationError", "SchedulerError", "WorkloadError",
+                 "TrainingError", "TransactionAborted", "PieceRetry"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError), name
+
+
+def test_storage_error_subtyping():
+    assert issubclass(errors.DuplicateKeyError, errors.StorageError)
+    assert issubclass(errors.UnknownTableError, errors.StorageError)
+    assert issubclass(errors.MissingKeyError, errors.StorageError)
+
+
+def test_policy_error_subtyping():
+    assert issubclass(errors.PolicyShapeError, errors.PolicyError)
+    assert issubclass(errors.PolicyValueError, errors.PolicyError)
+    assert issubclass(errors.PolicyFormatError, errors.PolicyError)
+
+
+def test_transaction_aborted_carries_reason():
+    exc = errors.TransactionAborted(errors.AbortReason.VALIDATION, "detail")
+    assert exc.reason == errors.AbortReason.VALIDATION
+    assert "detail" in str(exc)
+
+
+def test_transaction_aborted_rejects_unknown_reason():
+    with pytest.raises(ValueError):
+        errors.TransactionAborted("not-a-reason")
+
+
+def test_abort_reasons_are_distinct():
+    assert len(set(errors.AbortReason.ALL)) == len(errors.AbortReason.ALL)
+
+
+def test_piece_retry_detail():
+    exc = errors.PieceRetry("stale read")
+    assert exc.detail == "stale read"
+    assert "stale read" in str(exc)

@@ -1,0 +1,103 @@
+"""Randomness helpers: determinism, distributions, TPC-C generators."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import (ZipfSampler, derive_seed, last_name_syllables, nurand,
+                       spawn_rng, weighted_choice)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, 1, 2) == derive_seed(42, 1, 2)
+
+    def test_salts_matter(self):
+        assert derive_seed(42, 1) != derive_seed(42, 2)
+
+    def test_order_matters(self):
+        assert derive_seed(42, 1, 2) != derive_seed(42, 2, 1)
+
+    def test_spawned_rngs_are_independent(self):
+        a = spawn_rng(42, 0)
+        b = spawn_rng(42, 1)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_spawned_rng_reproducible(self):
+        assert spawn_rng(42, 3).random() == spawn_rng(42, 3).random()
+
+
+class TestZipf:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0)
+
+    @given(st.integers(min_value=1, max_value=500),
+           st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_in_range(self, n, theta):
+        sampler = ZipfSampler(n, theta, random.Random(1))
+        for _ in range(50):
+            assert 0 <= sampler.sample() < n
+
+    def test_theta_zero_is_roughly_uniform(self):
+        sampler = ZipfSampler(10, 0.0, random.Random(1))
+        counts = Counter(sampler.sample() for _ in range(10_000))
+        assert min(counts.values()) > 700  # uniform expectation: 1000
+
+    def test_high_theta_concentrates(self):
+        sampler = ZipfSampler(1000, 2.0, random.Random(1), scramble=False)
+        counts = Counter(sampler.sample() for _ in range(10_000))
+        assert counts[0] > 5000  # rank-0 dominates at theta=2
+
+    def test_skew_increases_with_theta(self):
+        def top_share(theta):
+            sampler = ZipfSampler(100, theta, random.Random(5), scramble=False)
+            counts = Counter(sampler.sample() for _ in range(5000))
+            return counts.most_common(1)[0][1]
+        assert top_share(0.5) < top_share(1.5) < top_share(3.0)
+
+    def test_sample_many_length(self):
+        sampler = ZipfSampler(10, 1.0, random.Random(1))
+        assert len(sampler.sample_many(17)) == 17
+
+    def test_scramble_spreads_hot_keys(self):
+        plain = ZipfSampler(1000, 2.0, random.Random(3), scramble=False)
+        scrambled = ZipfSampler(1000, 2.0, random.Random(3), scramble=True)
+        assert plain.sample() != scrambled.sample() or True  # both legal
+        hot_plain = Counter(plain.sample() for _ in range(2000)).most_common(1)
+        hot_scrambled = Counter(scrambled.sample()
+                                for _ in range(2000)).most_common(1)
+        # same skew, different physical key
+        assert abs(hot_plain[0][1] - hot_scrambled[0][1]) < 400
+
+
+class TestTPCCHelpers:
+    def test_nurand_in_bounds(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            value = nurand(rng, 1023, 1, 3000)
+            assert 1 <= value <= 3000
+
+    def test_last_name_is_three_syllables(self):
+        assert last_name_syllables(0) == "BARBARBAR"
+        assert last_name_syllables(999) == "EINGEINGEING"
+        assert last_name_syllables(371) == "PRICALLYOUGHT"
+
+    def test_weighted_choice_respects_weights(self):
+        rng = random.Random(1)
+        picks = Counter(weighted_choice(rng, ["a", "b"], [9.0, 1.0])
+                        for _ in range(5000))
+        assert picks["a"] > 4000
+
+    def test_weighted_choice_validates(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [0.0])

@@ -1,0 +1,130 @@
+"""Synthetic-trace generator and §7.6.1 analysis tests."""
+
+import pytest
+
+from repro.trace import (EcommerceTraceGenerator, Request, TraceAnalysis,
+                         TraceConfig, conflict_rate, daily_error_rates,
+                         retrain_schedule)
+from repro.trace.analysis import error_cdf
+from repro.trace.generator import CART, PURCHASE, VIEW
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return EcommerceTraceGenerator(TraceConfig(n_days=20, n_products=1500,
+                                               base_peak_requests=6000,
+                                               seed=5))
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = EcommerceTraceGenerator(TraceConfig(n_days=5, seed=5))
+        b = EcommerceTraceGenerator(TraceConfig(n_days=5, seed=5))
+        assert a._day_multipliers == b._day_multipliers
+        ra = a.requests_for_hour(2, 20)
+        rb = b.requests_for_hour(2, 20)
+        assert [(r.time, r.product_id) for r in ra[:10]] == \
+            [(r.time, r.product_id) for r in rb[:10]]
+
+    def test_peak_hour_is_twenty(self, generator):
+        # the demand-shape maximum sits at hour 20
+        assert generator.peak_hour(0) == 20
+
+    def test_requests_sorted_and_typed(self, generator):
+        requests = generator.peak_hour_requests(0)
+        assert len(requests) > 1000
+        times = [r.time for r in requests]
+        assert times == sorted(times)
+        kinds = {r.kind for r in requests}
+        assert kinds <= {VIEW, CART, PURCHASE}
+
+    def test_views_dominate(self, generator):
+        requests = generator.peak_hour_requests(0)
+        views = sum(1 for r in requests if r.kind == VIEW)
+        assert views / len(requests) > 0.8
+
+    def test_read_write_flag(self):
+        assert not Request(0, 1, 1, VIEW).is_read_write
+        assert Request(0, 1, 1, CART).is_read_write
+        assert Request(0, 1, 1, PURCHASE).is_read_write
+
+    def test_hourly_counts_follow_shape(self, generator):
+        counts = generator.hourly_request_counts(0)
+        assert len(counts) == 24
+        assert counts[20] == max(counts)
+        assert counts[3] < counts[20]
+
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            TraceConfig(n_days=1)
+
+
+class TestConflictRate:
+    def window_requests(self, specs):
+        """specs: list of (time, user, product, kind)."""
+        return [Request(t, u, p, k) for t, u, p, k in specs]
+
+    def test_no_read_write_requests(self):
+        requests = self.window_requests([(0, 1, 1, VIEW), (1, 2, 1, VIEW)])
+        assert conflict_rate(requests) == 0.0
+
+    def test_no_conflicts_when_products_distinct(self):
+        requests = self.window_requests(
+            [(i, i, i, CART) for i in range(10)])
+        assert conflict_rate(requests) == 0.0
+
+    def test_same_user_does_not_conflict_with_itself(self):
+        requests = self.window_requests(
+            [(0, 7, 3, CART), (1, 7, 3, PURCHASE)])
+        assert conflict_rate(requests) == 0.0
+
+    def test_full_conflict(self):
+        requests = self.window_requests(
+            [(0, 1, 3, CART), (1, 2, 3, CART)])
+        # both requests conflict; one non-empty window out of 12
+        assert conflict_rate(requests) == pytest.approx(1.0 / 12)
+
+    def test_windows_separate_conflicts(self):
+        # same product but 10 minutes apart: different windows, no conflict
+        requests = self.window_requests(
+            [(0, 1, 3, CART), (600, 2, 3, CART)])
+        assert conflict_rate(requests) == 0.0
+
+
+class TestPredictionAnalysis:
+    def test_error_rates(self):
+        errors = daily_error_rates([1.0, 1.1, 0.55])
+        assert errors[0] == pytest.approx(0.1)
+        assert errors[1] == pytest.approx(0.5)
+
+    def test_error_rate_zero_division(self):
+        errors = daily_error_rates([0.0, 0.0, 1.0])
+        assert errors[0] == 0.0
+        assert errors[1] == float("inf")
+
+    def test_cdf_monotone(self):
+        cdf = error_cdf([0.3, 0.1, 0.2])
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_retrain_schedule_defers(self):
+        # stable rates: only the initial training
+        assert retrain_schedule([1.0, 1.02, 0.99, 1.05]) == [0]
+
+    def test_retrain_on_shift(self):
+        days = retrain_schedule([1.0, 1.0, 2.0, 2.0, 2.0])
+        # predicted rate (day 2's) diverges from trained rate on day 3
+        assert days == [0, 3]
+
+    def test_retrain_empty(self):
+        assert retrain_schedule([]) == []
+
+    def test_full_pipeline(self, generator):
+        analysis = TraceAnalysis(generator).run()
+        assert len(analysis.daily_rates) == 20
+        assert len(analysis.errors) == 19
+        assert analysis.retrain_days[0] == 0
+        # predictability: most days are well predicted
+        good_days = sum(1 for error in analysis.errors if error <= 0.25)
+        assert good_days >= 15

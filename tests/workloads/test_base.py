@@ -1,0 +1,73 @@
+"""Workload base-class behaviour: mix sampling, validation."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import MixEntry, Workload
+
+from tests.helpers import CounterWorkload, OneShotWorkload, counter_spec
+
+
+class TestMixEntry:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(WorkloadError):
+            MixEntry("x", -1.0)
+
+
+class TestMixSampling:
+    def test_unknown_type_in_mix_rejected(self):
+        spec = counter_spec(2)
+
+        class Bad(CounterWorkload):
+            def __init__(self):
+                Workload.__init__(self, spec, [MixEntry("nope", 1.0)])
+
+        with pytest.raises(WorkloadError):
+            Bad()
+
+    def test_next_invocation_respects_weights(self):
+        from repro.workloads.tpcc import TPCCScale, TPCCWorkload
+        workload = TPCCWorkload(
+            scale=TPCCScale(n_warehouses=1, customers_per_district=20,
+                            n_items=50),
+            mix=(("neworder", 3.0), ("payment", 1.0)))
+        rng = random.Random(1)
+        counts = Counter(workload.next_invocation(rng, 0).type_name
+                         for _ in range(2000))
+        assert counts["neworder"] > counts["payment"] * 2
+        assert "delivery" not in counts
+
+    def test_type_names(self):
+        workload = CounterWorkload()
+        assert workload.type_names() == ["bump"]
+
+    def test_default_invariants_empty(self):
+        workload = CounterWorkload()
+        workload.build_database()
+        assert workload.check_invariants() == []
+
+
+class TestOneShot:
+    def test_queue_drains_then_none(self):
+        spec = counter_spec(1)
+        from repro.core.protocol import TxnInvocation
+        invocations = [TxnInvocation(0, "bump", lambda: iter(()))
+                       for _ in range(2)]
+        workload = OneShotWorkload(spec, None, invocations)
+        rng = random.Random(0)
+        assert workload.next_invocation(rng, 0) is not None
+        assert workload.next_invocation(rng, 1) is not None
+        assert workload.next_invocation(rng, 0) is None
+
+    def test_per_worker_queues(self):
+        spec = counter_spec(1)
+        from repro.core.protocol import TxnInvocation
+        inv_a = TxnInvocation(0, "bump", lambda: iter(()))
+        workload = OneShotWorkload(spec, None, [], per_worker={0: [inv_a]})
+        rng = random.Random(0)
+        assert workload.next_invocation(rng, 1) is None
+        assert workload.next_invocation(rng, 0) is inv_a
+        assert workload.next_invocation(rng, 0) is None

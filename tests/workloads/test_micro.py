@@ -1,0 +1,67 @@
+"""Micro-benchmark workload tests (§7.4)."""
+
+import random
+
+import pytest
+
+from repro.config import SimConfig
+from repro.bench.runner import run_protocol
+from repro.cc import SiloOCC
+from repro.workloads.micro import MicroWorkload, make_micro_factory
+from repro.workloads.micro.workload import COLD_TABLE, HOT_TABLE, micro_spec
+
+
+class TestSpec:
+    def test_eighty_states(self):
+        # 10 types x 8 accesses = 80 states, as in the paper
+        assert micro_spec().n_states == 80
+
+    def test_each_type_has_unique_last_table(self):
+        spec = micro_spec()
+        last_tables = {t.accesses[-1].table for t in spec.types}
+        assert len(last_tables) == 10
+
+
+class TestExecution:
+    def run(self, theta, n_workers=6, duration=3000.0):
+        holder = {}
+
+        def factory():
+            holder["w"] = MicroWorkload(theta=theta, hot_range=200,
+                                        cold_range=100_000,
+                                        unique_range=10_000)
+            return holder["w"]
+
+        config = SimConfig(n_workers=n_workers, duration=duration, seed=4)
+        result = run_protocol(factory, SiloOCC(), config)
+        return holder["w"], result
+
+    def test_commits_and_invariants(self):
+        workload, result = self.run(0.5)
+        assert result.stats.total_commits > 0
+        assert result.invariant_violations == []
+
+    def test_cold_rows_materialise_lazily(self):
+        workload, result = self.run(0.5)
+        cold = workload.db.table(COLD_TABLE)
+        # only touched rows exist, far fewer than the declared range
+        assert 0 < len(cold) < 10_000
+
+    def test_hot_counter_accounting(self):
+        """Every commit bumps exactly one hot counter: the sum of hot
+        counters equals the number of commits (no lost updates)."""
+        workload, result = self.run(0.9, n_workers=8, duration=4000.0)
+        hot = workload.db.table(HOT_TABLE)
+        total = sum(hot.committed_value(key)["counter"] for key in hot.keys())
+        assert total == result.stats.total_commits + \
+            result.stats.warmup_commits
+
+    def test_contention_grows_with_theta(self):
+        _, low = self.run(0.2, n_workers=10)
+        _, high = self.run(1.0, n_workers=10)
+        assert high.stats.abort_rate() >= low.stats.abort_rate()
+
+    def test_factory(self):
+        workload = make_micro_factory(theta=0.7)()
+        assert isinstance(workload, MicroWorkload)
+        assert workload.theta == 0.7

@@ -1,0 +1,174 @@
+"""TPC-C workload tests: loader, transaction logic, invariants, mix."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.config import SimConfig
+from repro.bench.runner import run_protocol
+from repro.cc import SiloOCC, TwoPL, IC3
+from repro.workloads.tpcc import TPCCScale, TPCCWorkload, make_tpcc_factory, tpcc_spec
+from repro.workloads.tpcc import loader, schema, transactions
+
+
+@pytest.fixture(scope="module")
+def small_scale():
+    return TPCCScale(n_warehouses=2, districts_per_warehouse=3,
+                     customers_per_district=20, n_items=50,
+                     initial_orders_per_district=10)
+
+
+@pytest.fixture(scope="module")
+def loaded(small_scale):
+    return loader.load_tpcc(small_scale, seed=1)
+
+
+class TestSpec:
+    def test_state_count(self):
+        spec = tpcc_spec()
+        assert spec.n_states == 8 + 4 + 5  # NewOrder + Payment + Delivery
+
+    def test_loops_declared(self):
+        spec = tpcc_spec()
+        neworder = spec.type_of(spec.type_index("neworder"))
+        assert neworder.barriers[schema.NO_READ_ITEM] == schema.NO_UPDATE_STOCK
+        delivery = spec.type_of(spec.type_index("delivery"))
+        assert all(b == 4 for b in delivery.barriers)
+
+
+class TestLoader:
+    def test_cardinalities(self, loaded, small_scale):
+        assert len(loaded.table(schema.WAREHOUSE)) == 2
+        assert len(loaded.table(schema.DISTRICT)) == 6
+        assert len(loaded.table(schema.CUSTOMER)) == 2 * 3 * 20
+        assert len(loaded.table(schema.ITEM)) == 50
+        assert len(loaded.table(schema.STOCK)) == 2 * 50
+        assert len(loaded.table(schema.ORDER)) == 6 * 10
+
+    def test_next_o_id_consistent(self, loaded, small_scale):
+        for w in (1, 2):
+            for d in (1, 2, 3):
+                district = loaded.committed_value(schema.DISTRICT, (w, d))
+                assert district["d_next_o_id"] == 11
+
+    def test_some_orders_undelivered(self, loaded):
+        assert len(loaded.table(schema.NEW_ORDER)) > 0
+        for key in loaded.table(schema.NEW_ORDER).keys():
+            order = loaded.committed_value(schema.ORDER, key)
+            assert order["o_carrier_id"] is None
+
+    def test_order_lines_match_counts(self, loaded):
+        for key in loaded.table(schema.ORDER).keys():
+            order = loaded.committed_value(schema.ORDER, key)
+            w, d, o = key
+            lines = list(loaded.table(schema.ORDER_LINE).scan_committed(
+                (w, d, o, 0), (w, d, o + 1, 0)))
+            assert len(lines) == order["o_ol_cnt"]
+
+    def test_fresh_database_satisfies_invariants(self, small_scale):
+        workload = TPCCWorkload(scale=small_scale, seed=1)
+        workload.build_database()
+        assert workload.check_invariants() == []
+
+
+class TestGenerators:
+    def test_neworder_inputs_in_range(self, small_scale):
+        rng = random.Random(1)
+        for _ in range(50):
+            inputs = transactions.generate_neworder(rng, small_scale, 1, 0)
+            assert 1 <= inputs.d_id <= 3
+            assert 1 <= inputs.c_id <= 20
+            assert 5 <= len(inputs.items) <= 15
+            for i_id, supply_w, qty in inputs.items:
+                assert 1 <= i_id <= 50
+                assert supply_w in (1, 2)
+                assert 1 <= qty <= 10
+            # item ids are distinct within an order
+            assert len({i for i, _, _ in inputs.items}) == len(inputs.items)
+
+    def test_payment_remote_customer_possible(self, small_scale):
+        rng = random.Random(1)
+        remotes = sum(
+            1 for _ in range(500)
+            if transactions.generate_payment(rng, small_scale, 1, 1).c_w_id != 1)
+        assert 0 < remotes < 200  # ~15%
+
+    def test_single_warehouse_never_remote(self):
+        scale = TPCCScale(n_warehouses=1, customers_per_district=20,
+                          n_items=50)
+        rng = random.Random(1)
+        for n in range(100):
+            assert transactions.generate_payment(rng, scale, 1, n).c_w_id == 1
+
+
+def run_tpcc(cc, scale=None, n_workers=4, duration=4000.0, seed=2, mix=None):
+    kwargs = {"n_warehouses": 1, "seed": seed}
+    if scale is not None:
+        kwargs["scale"] = scale
+    if mix is not None:
+        kwargs["mix"] = mix
+    holder = {}
+
+    def factory():
+        holder["w"] = make_tpcc_factory(**kwargs)()
+        return holder["w"]
+
+    config = SimConfig(n_workers=n_workers, duration=duration, seed=seed)
+    result = run_protocol(factory, cc, config)
+    return holder["w"], result
+
+
+class TestTransactionEffects:
+    def test_neworder_advances_district_and_inserts(self):
+        workload, result = run_tpcc(SiloOCC(), mix=(("neworder", 1.0),))
+        assert result.stats.total_commits > 0
+        assert result.invariant_violations == []
+        db = workload.db
+        # orders grew beyond the initial population
+        assert len(db.table(schema.ORDER)) > \
+            30 * workload.scale.districts_per_warehouse
+
+    def test_payment_moves_money(self):
+        workload, result = run_tpcc(SiloOCC(), mix=(("payment", 1.0),))
+        assert result.stats.total_commits > 0
+        db = workload.db
+        warehouse = db.committed_value(schema.WAREHOUSE, (1,))
+        assert warehouse["w_ytd"] > loader.INITIAL_W_YTD
+        assert result.invariant_violations == []
+        assert len(db.table(schema.HISTORY)) == \
+            result.stats.commits["payment"] + result.stats.warmup_commits
+
+    def test_delivery_consumes_new_orders(self):
+        workload, result = run_tpcc(SiloOCC(), n_workers=1,
+                                    mix=(("delivery", 1.0),),
+                                    duration=6000.0)
+        assert result.stats.total_commits > 0
+        db = workload.db
+        assert len(db.table(schema.NEW_ORDER)) == 0  # all delivered
+        assert result.invariant_violations == []
+
+    @pytest.mark.parametrize("cc_factory", [SiloOCC, TwoPL, IC3])
+    def test_full_mix_keeps_invariants(self, cc_factory):
+        workload, result = run_tpcc(cc_factory(), n_workers=6,
+                                    duration=5000.0)
+        assert result.stats.total_commits > 0
+        assert result.invariant_violations == []
+
+    def test_commit_mix_tracks_specified_ratio(self):
+        """§7.1: retry-until-commit keeps the committed ratio at the mix."""
+        _, result = run_tpcc(SiloOCC(), n_workers=8, duration=8000.0)
+        commits = result.stats.commits
+        total = sum(commits.values())
+        assert total > 100
+        assert commits["neworder"] / total == pytest.approx(45 / 92, abs=0.08)
+        assert commits["payment"] / total == pytest.approx(43 / 92, abs=0.08)
+
+
+class TestWorkerAffinity:
+    def test_home_warehouses_round_robin(self):
+        workload = TPCCWorkload(scale=TPCCScale(n_warehouses=4,
+                                                customers_per_district=20,
+                                                n_items=50))
+        homes = [workload.home_warehouse(w) for w in range(8)]
+        assert homes == [1, 2, 3, 4, 1, 2, 3, 4]

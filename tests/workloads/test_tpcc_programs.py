@@ -1,0 +1,162 @@
+"""TPC-C program-level unit tests: ops emitted, values computed."""
+
+import pytest
+
+from repro.core.ops import InsertOp, ReadOp, ScanOp, UpdateOp, WriteOp
+from repro.workloads.tpcc import schema
+from repro.workloads.tpcc.transactions import (DeliveryInput, NewOrderInput,
+                                               PaymentInput, delivery_program,
+                                               dollars, neworder_program,
+                                               payment_program)
+
+
+def drive(program, responses):
+    """Run a program generator against canned access responses.
+
+    ``responses``: list of values handed back for each yielded op (or a
+    callable op -> value).  Returns the list of ops yielded.
+    """
+    ops = []
+    result = None
+    index = 0
+    while True:
+        try:
+            op = program.send(result)
+        except StopIteration:
+            return ops
+        ops.append(op)
+        responder = responses
+        if callable(responder):
+            result = responder(op)
+        else:
+            result = responder[index] if index < len(responses) else None
+        index += 1
+
+
+class TestNewOrderProgram:
+    def make_inputs(self):
+        return NewOrderInput(w_id=1, d_id=2, c_id=3,
+                             items=[(10, 1, 2), (11, 1, 1)], entry_d=99)
+
+    def respond(self, op):
+        if isinstance(op, ReadOp) and op.table == schema.WAREHOUSE:
+            return {"w_tax": 1000, "w_name": "w"}
+        if isinstance(op, UpdateOp) and op.table == schema.DISTRICT:
+            return {"d_tax": 2000, "d_next_o_id": 51, "d_ytd": 0}
+        if isinstance(op, ReadOp) and op.table == schema.CUSTOMER:
+            return {"c_discount": 0, "c_last": "X", "c_credit": "GC"}
+        if isinstance(op, ReadOp) and op.table == schema.ITEM:
+            return {"i_price": 100, "i_name": "i", "i_data": "d"}
+        if isinstance(op, UpdateOp) and op.table == schema.STOCK:
+            return {"s_quantity": 50, "s_ytd": 2, "s_order_cnt": 1,
+                    "s_remote_cnt": 0}
+        return None
+
+    def test_op_sequence_and_keys(self):
+        ops = drive(neworder_program(self.make_inputs()), self.respond)
+        kinds = [type(op).__name__ for op in ops]
+        assert kinds[:3] == ["ReadOp", "UpdateOp", "ReadOp"]
+        # 2 items: 2x(item read + stock update)
+        assert kinds[3:7] == ["ReadOp", "UpdateOp", "ReadOp", "UpdateOp"]
+        assert kinds[7:9] == ["InsertOp", "InsertOp"]  # ORDER + NEW_ORDER
+        assert kinds[9:] == ["InsertOp", "InsertOp"]   # 2 order lines
+        order_insert = ops[7]
+        assert order_insert.table == schema.ORDER
+        # o_id derives from the district counter (51 - 1)
+        assert order_insert.key == (1, 2, 50)
+        assert order_insert.value["o_ol_cnt"] == 2
+
+    def test_total_includes_tax_and_discount(self):
+        program = neworder_program(self.make_inputs())
+        ops = []
+        result = None
+        final = None
+        while True:
+            try:
+                op = program.send(result)
+            except StopIteration as stop:
+                final = stop.value
+                break
+            ops.append(op)
+            result = self.respond(op)
+        # amounts: 2*100 + 1*100 = 300; tax 10% + 20%; no discount
+        assert final["total"] == 300 * 13_000 // 10_000
+        assert final["o_id"] == 50
+
+    def test_stock_update_fn_decrements_and_wraps(self):
+        ops = drive(neworder_program(self.make_inputs()), self.respond)
+        stock_op = next(op for op in ops if isinstance(op, UpdateOp)
+                        and op.table == schema.STOCK)
+        updated = stock_op.update_fn({"s_quantity": 11, "s_ytd": 0,
+                                      "s_order_cnt": 0, "s_remote_cnt": 0})
+        assert updated["s_quantity"] == 11 - 2 + 91  # wrap rule
+        updated = stock_op.update_fn({"s_quantity": 50, "s_ytd": 0,
+                                      "s_order_cnt": 0, "s_remote_cnt": 0})
+        assert updated["s_quantity"] == 48
+
+
+class TestPaymentProgram:
+    def test_updates_and_history(self):
+        inputs = PaymentInput(1, 2, 1, 2, 3, amount=500, h_id=77)
+        ops = drive(payment_program(inputs), lambda op: {
+            "w_ytd": 0, "d_ytd": 0, "c_balance": 0, "c_ytd_payment": 0,
+            "c_payment_cnt": 0})
+        assert [op.table for op in ops] == [schema.WAREHOUSE, schema.DISTRICT,
+                                            schema.CUSTOMER, schema.HISTORY]
+        warehouse_update = ops[0]
+        assert warehouse_update.update_fn({"w_ytd": 10})["w_ytd"] == 510
+        customer_update = ops[2]
+        new = customer_update.update_fn({"c_balance": 100,
+                                         "c_ytd_payment": 0,
+                                         "c_payment_cnt": 1})
+        assert new["c_balance"] == -400
+        assert new["c_payment_cnt"] == 2
+        history = ops[3]
+        assert isinstance(history, InsertOp)
+        assert history.key == (77,)
+        assert history.value["h_amount"] == 500
+
+
+class TestDeliveryProgram:
+    def test_skips_empty_districts(self):
+        inputs = DeliveryInput(w_id=1, carrier_id=5, delivery_d=9)
+        ops = drive(delivery_program(inputs, districts_per_warehouse=3),
+                    lambda op: [] if isinstance(op, ScanOp) else None)
+        # only the three scans happen
+        assert len(ops) == 3
+        assert all(isinstance(op, ScanOp) for op in ops)
+
+    def test_full_delivery_flow(self):
+        inputs = DeliveryInput(w_id=1, carrier_id=5, delivery_d=9)
+
+        def respond(op):
+            if isinstance(op, ScanOp):
+                district = op.lo[1]
+                if district == 1:
+                    return [((1, 1, 7), {"placeholder": 1})]
+                return []
+            if isinstance(op, UpdateOp) and op.table == schema.ORDER:
+                return {"o_c_id": 4, "o_ol_cnt": 2, "o_carrier_id": 5,
+                        "o_entry_d": 0}
+            if isinstance(op, UpdateOp) and op.table == schema.ORDER_LINE:
+                return {"ol_amount": 150, "ol_delivery_d": 9, "ol_i_id": 1,
+                        "ol_supply_w_id": 1, "ol_quantity": 1}
+            return None
+
+        ops = drive(delivery_program(inputs, districts_per_warehouse=2),
+                    respond)
+        tables = [op.table for op in ops]
+        assert tables == [schema.NEW_ORDER, schema.NEW_ORDER, schema.ORDER,
+                          schema.ORDER_LINE, schema.ORDER_LINE,
+                          schema.CUSTOMER, schema.NEW_ORDER]
+        delete = ops[1]
+        assert isinstance(delete, WriteOp) and delete.value is None
+        customer_update = ops[5]
+        new = customer_update.update_fn({"c_balance": 0,
+                                         "c_delivery_cnt": 0})
+        assert new["c_balance"] == 300  # two lines x 150
+        assert new["c_delivery_cnt"] == 1
+
+
+def test_dollars():
+    assert dollars(1234) == 12.34

@@ -1,0 +1,126 @@
+"""TPC-E subset tests: loader, generators, the Zipf contention knob."""
+
+import random
+
+import pytest
+
+from repro.config import SimConfig
+from repro.bench.runner import run_protocol
+from repro.cc import SiloOCC
+from repro.workloads.tpce import TPCEScale, TPCEWorkload, make_tpce_factory, tpce_spec
+from repro.workloads.tpce import loader, schema, transactions
+
+
+@pytest.fixture(scope="module")
+def small_scale():
+    return TPCEScale(n_customers=50, n_brokers=5, n_securities=40,
+                     n_companies=20, initial_trades=100)
+
+
+@pytest.fixture(scope="module")
+def loaded(small_scale):
+    return loader.load_tpce(small_scale, seed=1)
+
+
+class TestSpec:
+    def test_state_count_is_larger_than_tpcc(self):
+        from repro.workloads.tpcc import tpcc_spec
+        assert tpce_spec().n_states > tpcc_spec().n_states
+        assert tpce_spec().n_states == 21 + 11 + 8
+
+    def test_loops(self):
+        spec = tpce_spec()
+        trade_update = spec.type_of(spec.type_index("trade_update"))
+        # the whole per-trade frame is a loop; security accesses are not
+        assert trade_update.barriers[schema.TU_READ_TRADE] == \
+            schema.TU_INSERT_TRADE_HISTORY
+        assert trade_update.barriers[schema.TU_UPDATE_SECURITY] == \
+            schema.TU_UPDATE_SECURITY
+
+
+class TestLoader:
+    def test_cardinalities(self, loaded, small_scale):
+        assert len(loaded.table(schema.CUSTOMER)) == 50
+        assert len(loaded.table(schema.CUSTOMER_ACCOUNT)) == 100
+        assert len(loaded.table(schema.SECURITY)) == 40
+        assert len(loaded.table(schema.LAST_TRADE)) == 40
+        assert len(loaded.table(schema.TRADE)) == 100
+        assert len(loaded.table(schema.SETTLEMENT)) == 100
+
+    def test_accounts_reference_customers(self, loaded, small_scale):
+        for ca_id in range(1, small_scale.n_accounts + 1):
+            account = loaded.committed_value(schema.CUSTOMER_ACCOUNT, (ca_id,))
+            assert 1 <= account["ca_c_id"] <= 50
+            assert 1 <= account["ca_b_id"] <= 5
+
+
+class TestGenerators:
+    def test_trade_order_inputs(self, small_scale):
+        rng = random.Random(1)
+        zipf = lambda: 0
+        for t_id in range(20):
+            inputs = transactions.generate_trade_order(rng, small_scale,
+                                                       zipf, t_id)
+            assert 1 <= inputs.ca_id <= small_scale.n_accounts
+            assert inputs.s_id == 1
+            assert inputs.tt_id in loader.TRADE_TYPES
+
+    def test_market_feed_tickers_distinct(self, small_scale):
+        rng = random.Random(1)
+        state = {"n": 0}
+
+        def zipf():
+            state["n"] += 1
+            return state["n"] % 7
+
+        inputs = transactions.generate_market_feed(rng, small_scale, zipf,
+                                                   1000, 1)
+        s_ids = [s for s, _, _ in inputs.tickers]
+        assert len(set(s_ids)) == len(s_ids) == small_scale.feed_batch
+
+
+def run_tpce(theta, small_scale, n_workers=6, duration=4000.0, seed=2):
+    scale = TPCEScale(n_customers=small_scale.n_customers,
+                      n_brokers=small_scale.n_brokers,
+                      n_securities=small_scale.n_securities,
+                      n_companies=small_scale.n_companies,
+                      initial_trades=small_scale.initial_trades,
+                      theta=theta)
+    holder = {}
+
+    def factory():
+        holder["w"] = TPCEWorkload(scale=scale, seed=seed)
+        return holder["w"]
+
+    config = SimConfig(n_workers=n_workers, duration=duration, seed=seed)
+    result = run_protocol(factory, SiloOCC(), config)
+    return holder["w"], result
+
+
+class TestExecution:
+    def test_commits_and_invariants(self, small_scale):
+        workload, result = run_tpce(0.0, small_scale)
+        assert result.stats.total_commits > 0
+        assert result.invariant_violations == []
+        # trades were inserted
+        assert len(workload.db.table(schema.TRADE)) > 100
+
+    def test_contention_grows_with_theta(self, small_scale):
+        _, low = run_tpce(0.0, small_scale)
+        _, high = run_tpce(3.0, small_scale)
+        assert high.stats.abort_rate() > low.stats.abort_rate()
+
+    def test_security_volume_accumulates(self, small_scale):
+        workload, result = run_tpce(2.0, small_scale)
+        table = workload.db.table(schema.SECURITY)
+        total_volume = sum(table.committed_value(key)["s_volume"]
+                           for key in table.keys())
+        assert total_volume > 0
+
+    def test_mix_ratio(self, small_scale):
+        _, result = run_tpce(0.0, small_scale, n_workers=8, duration=6000.0)
+        commits = result.stats.commits
+        total = sum(commits.values())
+        assert total > 50
+        assert commits["trade_order"] / total == pytest.approx(
+            10.1 / 13.1, abs=0.1)

@@ -1,0 +1,170 @@
+"""TPC-E program-level tests (ops emitted, update functions)."""
+
+from repro.core.ops import InsertOp, ReadOp, ScanOp, UpdateOp, WriteOp
+from repro.workloads.tpce import schema
+from repro.workloads.tpce.schema import TPCEScale
+from repro.workloads.tpce.transactions import (MarketFeedInput,
+                                               TradeOrderInput,
+                                               TradeUpdateInput,
+                                               market_feed_program,
+                                               trade_order_program,
+                                               trade_update_program)
+
+
+def drive(program, respond):
+    ops = []
+    result = None
+    while True:
+        try:
+            op = program.send(result)
+        except StopIteration:
+            return ops
+        ops.append(op)
+        result = respond(op)
+
+
+class TestTradeOrder:
+    def respond(self, op):
+        responses = {
+            schema.CUSTOMER_ACCOUNT: {"ca_c_id": 2, "ca_b_id": 3,
+                                      "ca_bal": 0},
+            schema.CUSTOMER: {"c_tier": 2, "c_tax_id": 4},
+            schema.SECURITY: {"s_co_id": 7, "s_num_out": 1, "s_volume": 0},
+            schema.LAST_TRADE: {"lt_price": 5000, "lt_vol": 0},
+            schema.CHARGE: {"ch_chrg": 150},
+            schema.COMMISSION_RATE: {"cr_rate": 20},
+            schema.HOLDING: {"h_qty": 10, "h_price": 100},
+            schema.BROKER: {"b_name": "b", "b_num_trades": 0,
+                            "b_comm_total": 0},
+        }
+        if isinstance(op, (ReadOp, UpdateOp)):
+            return responses.get(op.table, {"any": 1})
+        return None
+
+    def make(self, is_sell=False):
+        return TradeOrderInput(ca_id=1, c_id=2, b_id=3, s_id=9, t_id=777,
+                               qty=100, is_sell=is_sell, tt_id="TMB")
+
+    def test_emits_all_tables(self):
+        scale = TPCEScale()
+        ops = drive(trade_order_program(self.make(), scale), self.respond)
+        tables = {op.table for op in ops}
+        assert schema.SECURITY in tables
+        assert schema.TRADE in tables
+        assert schema.TRADE_REQUEST in tables
+        assert schema.HOLDING_SUMMARY in tables
+
+    def test_trade_insert_uses_given_id(self):
+        scale = TPCEScale()
+        ops = drive(trade_order_program(self.make(), scale), self.respond)
+        trade = next(op for op in ops if isinstance(op, InsertOp)
+                     and op.table == schema.TRADE)
+        assert trade.key == (777,)
+        assert trade.value["t_qty"] == 100
+
+    def test_sell_reduces_holding_and_credits_balance(self):
+        scale = TPCEScale()
+        ops = drive(trade_order_program(self.make(is_sell=True), scale),
+                    self.respond)
+        summary_update = next(op for op in ops if isinstance(op, UpdateOp)
+                              and op.table == schema.HOLDING_SUMMARY)
+        assert summary_update.update_fn({"hs_qty": 500})["hs_qty"] == 400
+        balance_update = next(op for op in ops if isinstance(op, UpdateOp)
+                              and op.table == schema.CUSTOMER_ACCOUNT)
+        assert balance_update.update_fn({"ca_bal": 0})["ca_bal"] > 0
+
+    def test_buy_debits_balance(self):
+        scale = TPCEScale()
+        ops = drive(trade_order_program(self.make(is_sell=False), scale),
+                    self.respond)
+        balance_update = next(op for op in ops if isinstance(op, UpdateOp)
+                              and op.table == schema.CUSTOMER_ACCOUNT)
+        assert balance_update.update_fn({"ca_bal": 0})["ca_bal"] < 0
+
+    def test_security_volume_update(self):
+        scale = TPCEScale()
+        ops = drive(trade_order_program(self.make(), scale), self.respond)
+        security_update = next(op for op in ops if isinstance(op, UpdateOp)
+                               and op.table == schema.SECURITY)
+        assert security_update.update_fn({"s_volume": 5})["s_volume"] == 105
+
+
+class TestTradeUpdate:
+    def test_skips_missing_trades(self):
+        inputs = TradeUpdateInput([1, 2], s_id=3, exec_name="x", seq=9)
+        ops = drive(trade_update_program(inputs),
+                    lambda op: None if isinstance(op, ReadOp)
+                    and op.table == schema.TRADE else {"any": 1})
+        # per missing trade only the TRADE read happens, plus the trailing
+        # security read+update
+        trade_reads = [op for op in ops if op.table == schema.TRADE]
+        assert len(trade_reads) == 2
+        assert ops[-1].table == schema.SECURITY
+        assert isinstance(ops[-1], UpdateOp)
+
+    def test_full_frame_per_trade(self):
+        inputs = TradeUpdateInput([7], s_id=3, exec_name="x", seq=9)
+
+        def respond(op):
+            if isinstance(op, ReadOp) and op.table == schema.TRADE:
+                return {"t_tt_id": "TMB", "t_qty": 1, "t_price": 1,
+                        "t_ca_id": 1, "t_s_id": 3, "t_exec_name": "old"}
+            return {"any": 1, "se_cash_type": "cash", "ct_name": "old"}
+
+        ops = drive(trade_update_program(inputs), respond)
+        tables = [op.table for op in ops]
+        assert tables.count(schema.TRADE) == 2          # read + update
+        assert tables.count(schema.SETTLEMENT) == 2
+        assert tables.count(schema.CASH_TRANSACTION) == 2
+        history_insert = next(op for op in ops if isinstance(op, InsertOp))
+        assert history_insert.key == (7, 9)             # (t_id, seq)
+
+
+class TestMarketFeed:
+    def test_consumes_pending_requests(self):
+        inputs = MarketFeedInput([(3, 5000, 10)], t_id_base=900, seq=1)
+
+        def respond(op):
+            if isinstance(op, ScanOp):
+                return [((3, 55), {"tr_qty": 10, "tr_bid": 1})]
+            if isinstance(op, UpdateOp):
+                return {"lt_price": 1, "lt_vol": 0, "s_volume": 0}
+            return {"any": 1}
+
+        ops = drive(market_feed_program(inputs), respond)
+        delete = next(op for op in ops if isinstance(op, WriteOp))
+        assert delete.key == (3, 55) and delete.value is None
+        trade = next(op for op in ops if isinstance(op, InsertOp)
+                     and op.table == schema.TRADE)
+        assert trade.key == (900,)
+
+    def test_no_request_no_trade(self):
+        inputs = MarketFeedInput([(3, 5000, 10)], t_id_base=900, seq=1)
+
+        def respond(op):
+            if isinstance(op, ScanOp):
+                return []
+            if isinstance(op, UpdateOp):
+                return {"lt_price": 1, "lt_vol": 0, "s_volume": 0}
+            return {"any": 1}
+
+        ops = drive(market_feed_program(inputs), respond)
+        assert not any(isinstance(op, InsertOp) for op in ops)
+        assert not any(isinstance(op, WriteOp) for op in ops)
+
+    def test_last_trade_price_set(self):
+        inputs = MarketFeedInput([(3, 5000, 10)], t_id_base=900, seq=1)
+
+        def respond(op):
+            if isinstance(op, ScanOp):
+                return []
+            if isinstance(op, UpdateOp):
+                return {"lt_price": 1, "lt_vol": 0, "s_volume": 0}
+            return {"any": 1}
+
+        ops = drive(market_feed_program(inputs), respond)
+        last_trade = next(op for op in ops if isinstance(op, UpdateOp)
+                          and op.table == schema.LAST_TRADE)
+        updated = last_trade.update_fn({"lt_price": 1, "lt_vol": 5})
+        assert updated["lt_price"] == 5000
+        assert updated["lt_vol"] == 15
