@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.config import SimConfig
 from repro.bench.reporting import format_table
 from repro.bench.runner import run_named, run_protocol
+from repro.obs import MetricsRegistry
 from repro.core.backoff import BackoffPolicy
 from repro.core.policy import CCPolicy
 from repro.training import EAConfig, EvolutionaryTrainer, FitnessEvaluator
@@ -67,6 +68,19 @@ PROFILES = {
 }
 
 PROF = PROFILES[PROFILE]
+
+#: shared metrics registry: every ``measure()`` call records its run's
+#: aggregates here; ``export_metrics()`` snapshots it into the artifacts
+METRICS = MetricsRegistry()
+
+
+def export_metrics() -> None:
+    """Write the accumulated bench metrics to the artifacts directory
+    (JSON and CSV), named by profile.  Idempotent; call at any point."""
+    if len(METRICS) == 0:
+        return
+    METRICS.write_json(str(ARTIFACTS / f"metrics_{PROFILE}.json"))
+    METRICS.write_csv(str(ARTIFACTS / f"metrics_{PROFILE}.csv"))
 
 
 def sim_config(n_workers=None, duration=None, warmup=None, seed=None,
@@ -159,9 +173,11 @@ def trained_micro(theta: float = 0.8):
 def measure(workload_factory, cc_name, config, policy=None, backoff=None,
             **kwargs):
     """Throughput of one protocol (handles polyjuice policies)."""
+    kwargs.setdefault("metrics", METRICS)
     result = run_named(workload_factory, cc_name, config, policy=policy,
                        backoff_policy=backoff, check_invariants=False,
                        **kwargs)
+    export_metrics()
     return result
 
 

@@ -14,7 +14,9 @@ everything the paper's evaluation needs:
 * evolutionary and policy-gradient trainers (:mod:`repro.training`);
 * the e-commerce trace analysis of §7.6 (:mod:`repro.trace`);
 * the experiment harness regenerating every figure and table
-  (:mod:`repro.bench`).
+  (:mod:`repro.bench`);
+* observability — event tracing, metrics, time accounting
+  (:mod:`repro.obs`).
 
 Quickstart::
 
@@ -31,6 +33,7 @@ from .errors import ReproError, TransactionAborted
 from .bench.runner import ExperimentResult, run_named, run_protocol
 from .cc import make_cc
 from .core import BackoffPolicy, CCPolicy, PolicyExecutor, WorkloadSpec
+from .obs import MemorySink, MetricsRegistry, TimeAccountant, TraceEvent
 
 __version__ = "1.0.0"
 
@@ -39,9 +42,13 @@ __all__ = [
     "CCPolicy",
     "CostModel",
     "ExperimentResult",
+    "MemorySink",
+    "MetricsRegistry",
     "PolicyExecutor",
     "ReproError",
     "SimConfig",
+    "TimeAccountant",
+    "TraceEvent",
     "TICKS_PER_SECOND",
     "TransactionAborted",
     "WorkloadSpec",

@@ -12,6 +12,9 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..config import SimConfig
 from ..errors import ConfigError
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import TimeAccountant
+from ..obs.tracing import TraceSink
 from ..rng import spawn_rng
 from ..sim.scheduler import Scheduler
 from ..sim.stats import RunStats
@@ -49,15 +52,23 @@ class ExperimentResult:
 def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
                  recorder=None, timeline_bucket: Optional[float] = None,
                  callbacks: Sequence[Tuple[float, Callable]] = (),
-                 check_invariants: bool = True) -> ExperimentResult:
+                 check_invariants: bool = True,
+                 trace_sink: Optional[TraceSink] = None,
+                 accountant: Optional[TimeAccountant] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> ExperimentResult:
     """Execute one run of ``cc`` (an instantiated protocol) over a fresh
     database built by ``workload_factory``.
 
     ``callbacks`` are (time, fn(cc)) pairs — e.g. a mid-run policy switch.
+    Observability is opt-in and free when off: ``trace_sink`` receives
+    structured events, ``accountant`` receives the per-worker time
+    decomposition, and ``metrics`` is populated with the run's counters
+    after the simulation finishes (zero hot-path cost).
     """
     if getattr(cc, "requires_probe", False):
         return _run_probed(workload_factory, cc, config, recorder,
-                           timeline_bucket, check_invariants)
+                           timeline_bucket, check_invariants,
+                           trace_sink, accountant, metrics)
     workload = workload_factory()
     db = workload.build_database()
     cc.setup(db, workload.spec, config)
@@ -66,7 +77,7 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
     stats = RunStats(workload.type_names(), warmup_end=config.warmup,
                      collect_latency=config.collect_latency,
                      timeline_bucket=timeline_bucket)
-    scheduler = Scheduler(config)
+    scheduler = Scheduler(config, trace=trace_sink, accountant=accountant)
     for worker_id in range(config.n_workers):
         worker = Worker(worker_id, scheduler, cc, workload, stats, config,
                         spawn_rng(config.seed, worker_id))
@@ -74,17 +85,51 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
     for time, fn in callbacks:
         scheduler.schedule_callback(time, lambda fn=fn: fn(cc))
     scheduler.run(config.duration)
+    scheduler.finish_accounting()
     stats.start_time = 0.0
     stats.end_time = config.duration
     violations = workload.check_invariants() if check_invariants else []
-    return ExperimentResult(getattr(cc, "name", "cc"), stats, violations)
+    cc_name = getattr(cc, "name", "cc")
+    if metrics is not None:
+        _record_run_metrics(metrics, cc_name, stats, scheduler)
+    return ExperimentResult(cc_name, stats, violations)
+
+
+def _record_run_metrics(metrics: MetricsRegistry, cc_name: str,
+                        stats: RunStats, scheduler: Scheduler) -> None:
+    """Populate the registry with one run's end-of-run aggregates."""
+    metrics.gauge("run_throughput_tps", cc=cc_name).set(stats.throughput())
+    metrics.gauge("run_abort_rate", cc=cc_name).set(stats.abort_rate())
+    for type_name, count in stats.commits.items():
+        metrics.counter("run_commits_total", cc=cc_name,
+                        type=type_name).inc(count)
+    for type_name, count in stats.aborts.items():
+        metrics.counter("run_aborts_total", cc=cc_name,
+                        type=type_name).inc(count)
+    for reason, count in stats.abort_reasons.items():
+        metrics.counter("run_aborts_by_reason", cc=cc_name,
+                        reason=reason).inc(count)
+    metrics.counter("run_backoff_ticks", cc=cc_name).inc(stats.backoff_time)
+    for kind, ticks in scheduler.wait_time_by_kind.items():
+        metrics.counter("run_wait_ticks", cc=cc_name, kind=kind).inc(ticks)
+    for kind, count in scheduler.wait_count_by_kind.items():
+        metrics.counter("run_waits_total", cc=cc_name, kind=kind).inc(count)
+    metrics.counter("run_cycle_breaks", cc=cc_name).inc(scheduler.cycle_breaks)
+    metrics.counter("run_timeout_breaks",
+                    cc=cc_name).inc(scheduler.timeout_breaks)
+    for type_name, digest in stats.latency.items():
+        if digest.count:
+            metrics.gauge("run_latency_p99_us", cc=cc_name,
+                          type=type_name).set(digest.pct(0.99))
 
 
 def _run_probed(workload_factory: WorkloadFactory, descriptor,
                 config: SimConfig, recorder, timeline_bucket,
-                check_invariants: bool) -> ExperimentResult:
+                check_invariants: bool, trace_sink=None, accountant=None,
+                metrics=None) -> ExperimentResult:
     """CormCC-style probe-and-pick: short probe per candidate, full run of
-    the winner."""
+    the winner.  Observability attaches to the winner's run only — probes
+    are throwaway measurements."""
     probe_duration = max(config.duration * descriptor.probe_fraction, 1000.0)
     probe_config = dataclasses.replace(
         config, duration=probe_duration,
@@ -100,7 +145,9 @@ def _run_probed(workload_factory: WorkloadFactory, descriptor,
             best_factory = factory
     winner = best_factory()
     result = run_protocol(workload_factory, winner, config, recorder,
-                          timeline_bucket, check_invariants=check_invariants)
+                          timeline_bucket, check_invariants=check_invariants,
+                          trace_sink=trace_sink, accountant=accountant,
+                          metrics=metrics)
     return ExperimentResult(descriptor.name, result.stats,
                             result.invariant_violations,
                             detail=f"picked {winner.name}")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Generator, Optional, TYPE_CHECKING
 
 from ..errors import AbortReason, TransactionAborted, WorkloadError
+from ..obs.tracing import EventKind, TraceEvent
 from ..sim.events import Cost, WaitFor, WaitKind
 from ..core import validation
 from ..core.context import ReadEntry, TxnContext, TxnStatus, WriteEntry
@@ -156,6 +157,13 @@ class SiloOCC(ConcurrencyControl):
         pending += cost.validate_read * len(ctx.rset)
         pending += cost.install_write * len(ctx.wset)
         yield Cost(pending)
+        worker = ctx.worker
+        if worker is not None and worker.trace.enabled:
+            worker.trace.emit(TraceEvent(
+                worker.scheduler.now, EventKind.VALIDATE, worker.worker_id,
+                ctx.txn_id, ctx.type_name,
+                {"phase": "final", "reads": len(ctx.rset),
+                 "writes": len(ctx.wset)}))
         for rentry in ctx.rset.values():
             if rentry.record is None:
                 continue

@@ -5,8 +5,15 @@ Commands:
 * ``run``      — run one workload under one CC protocol, print statistics;
 * ``compare``  — run several protocols on the same workload side by side;
 * ``train``    — train a Polyjuice policy (EA) and write it to disk;
+* ``profile``  — per-worker time-accounting breakdown of one run;
 * ``trace``    — the §7.6 trace-predictability analysis;
 * ``inspect``  — pretty-print a saved policy and diff it against the seeds.
+
+``run``, ``compare``, ``train`` and ``profile`` accept ``--trace FILE``
+(structured event trace; ``.json`` selects Chrome trace-event format for
+Perfetto / chrome://tracing, anything else selects JSONL) and
+``--metrics FILE`` (metrics-registry snapshot; ``.csv`` selects CSV,
+anything else JSON).
 
 Examples::
 
@@ -21,6 +28,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -66,6 +74,56 @@ def _load_policy(args, spec):
     return policy, backoff
 
 
+def _check_writable(path: str) -> None:
+    """Fail fast (before a long run) when an output path cannot be opened."""
+    existed = os.path.exists(path)
+    try:
+        with open(path, "a"):
+            pass
+        if not existed:
+            os.remove(path)  # leave no empty probe file behind
+    except OSError as exc:
+        raise ReproError(f"cannot write {path}: {exc}") from exc
+
+
+def _make_obs(args):
+    """Build the (trace sink, metrics registry) pair requested by the
+    ``--trace`` / ``--metrics`` flags (``None`` when a flag is absent)."""
+    from .obs import MemorySink, MetricsRegistry
+    sink = None
+    metrics = None
+    if getattr(args, "trace_out", None):
+        _check_writable(args.trace_out)
+        sink = MemorySink()
+    if getattr(args, "metrics_out", None):
+        _check_writable(args.metrics_out)
+        metrics = MetricsRegistry()
+    return sink, metrics
+
+
+def _write_trace(path: str, events) -> None:
+    from .obs import export_chrome_trace, write_jsonl
+    try:
+        if path.endswith(".json"):
+            export_chrome_trace(events, path)
+        else:
+            write_jsonl(events, path)
+    except OSError as exc:
+        raise ReproError(f"cannot write trace {path}: {exc}") from exc
+    print(f"wrote {len(events)} trace events to {path}")
+
+
+def _write_metrics(path: str, metrics) -> None:
+    try:
+        if path.endswith(".csv"):
+            metrics.write_csv(path)
+        else:
+            metrics.write_json(path)
+    except OSError as exc:
+        raise ReproError(f"cannot write metrics {path}: {exc}") from exc
+    print(f"wrote {len(metrics)} metrics to {path}")
+
+
 def _print_result(cc_name, result) -> None:
     stats = result.stats
     print(f"\n{cc_name}: {stats.throughput():,.0f} TPS  "
@@ -91,30 +149,57 @@ def _print_result(cc_name, result) -> None:
 def cmd_run(args) -> int:
     spec, factory = _workload(args)
     policy, backoff = _load_policy(args, spec)
+    sink, metrics = _make_obs(args)
     result = run_named(factory, args.cc, _sim_config(args), policy=policy,
-                       backoff_policy=backoff)
+                       backoff_policy=backoff, trace_sink=sink,
+                       metrics=metrics)
     _print_result(result.cc_name, result)
+    if sink is not None:
+        _write_trace(args.trace_out, sink.events)
+    if metrics is not None:
+        _write_metrics(args.metrics_out, metrics)
     return 1 if result.invariant_violations else 0
 
 
+def _per_cc_path(path: str, cc: str) -> str:
+    """``trace.jsonl`` + ``silo`` -> ``trace.silo.jsonl`` (compare writes
+    one trace file per protocol)."""
+    root, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}.{cc}"
+    return f"{root}.{cc}.{ext}"
+
+
 def cmd_compare(args) -> int:
+    from .obs import MemorySink
     spec, factory = _workload(args)
     policy, backoff = _load_policy(args, spec)
+    _sink, metrics = _make_obs(args)
     rows = []
+    traces = []
     for cc in args.ccs.split(","):
         cc = cc.strip()
+        sink = MemorySink() if getattr(args, "trace_out", None) else None
         result = run_named(factory, cc, _sim_config(args),
-                           policy=policy, backoff_policy=backoff)
+                           policy=policy, backoff_policy=backoff,
+                           trace_sink=sink, metrics=metrics)
         rows.append([cc, result.throughput, result.stats.abort_rate(),
                      result.stats.total_commits])
+        if sink is not None:
+            traces.append((cc, sink.events))
     print(format_table(["cc", "TPS", "abort rate", "commits"], rows,
                        title=f"{args.workload} comparison"))
+    for cc, events in traces:
+        _write_trace(_per_cc_path(args.trace_out, cc), events)
+    if metrics is not None:
+        _write_metrics(args.metrics_out, metrics)
     return 0
 
 
 def cmd_train(args) -> int:
     from .training import EAConfig, EvolutionaryTrainer, FitnessEvaluator
     spec, factory = _workload(args)
+    sink, metrics = _make_obs(args)
     fitness_cfg = SimConfig(n_workers=args.workers,
                             duration=args.fitness_duration,
                             seed=args.seed, collect_latency=False)
@@ -122,7 +207,8 @@ def cmd_train(args) -> int:
         spec, FitnessEvaluator(factory, fitness_cfg),
         EAConfig(iterations=args.iterations,
                  population_size=args.population,
-                 children_per_parent=args.children, seed=args.seed))
+                 children_per_parent=args.children, seed=args.seed),
+        metrics=metrics)
     result = trainer.train(progress=lambda i, best, mean: print(
         f"iter {i:3d}: best {best:10,.0f} TPS  mean {mean:10,.0f} TPS"))
     result.best_policy.save(args.policy_out)
@@ -133,6 +219,39 @@ def cmd_train(args) -> int:
         print(f"wrote {args.backoff_out}")
     print(f"best fitness: {result.best_fitness:,.0f} TPS "
           f"({result.evaluations} evaluations)")
+    if sink is not None:
+        # trace one verification run of the trained policy
+        run_named(factory, "polyjuice", _sim_config(args),
+                  policy=result.best_policy, trace_sink=sink,
+                  metrics=metrics)
+        _write_trace(args.trace_out, sink.events)
+    if metrics is not None:
+        _write_metrics(args.metrics_out, metrics)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .obs import TimeAccountant, check_accounting, format_profile_table
+    spec, factory = _workload(args)
+    policy, backoff = _load_policy(args, spec)
+    sink, metrics = _make_obs(args)
+    config = _sim_config(args)
+    accountant = TimeAccountant(config.n_workers, config.duration)
+    result = run_named(factory, args.cc, config, policy=policy,
+                       backoff_policy=backoff, trace_sink=sink,
+                       accountant=accountant, metrics=metrics)
+    print(f"{result.cc_name}: {result.stats.throughput():,.0f} TPS over "
+          f"{config.duration:,.0f} simulated ticks, "
+          f"{config.n_workers} workers")
+    print(format_profile_table(accountant))
+    if sink is not None:
+        _write_trace(args.trace_out, sink.events)
+    if metrics is not None:
+        _write_metrics(args.metrics_out, metrics)
+    violation = check_accounting(accountant)
+    if violation is not None:
+        print(f"ACCOUNTING VIOLATION: {violation}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -174,6 +293,15 @@ def _add_common(parser) -> None:
     parser.add_argument("--seed", type=int, default=42)
 
 
+def _add_obs(parser) -> None:
+    parser.add_argument("--trace", dest="trace_out", metavar="FILE",
+                        help="write a structured event trace (.json = Chrome "
+                             "trace-event format, else JSONL)")
+    parser.add_argument("--metrics", dest="metrics_out", metavar="FILE",
+                        help="write a metrics snapshot (.csv = CSV, "
+                             "else JSON)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -182,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one protocol")
     _add_common(run_parser)
+    _add_obs(run_parser)
     run_parser.add_argument("--cc", default="silo")
     run_parser.add_argument("--policy", help="policy JSON (for polyjuice)")
     run_parser.add_argument("--backoff", help="backoff JSON")
@@ -189,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare_parser = sub.add_parser("compare", help="compare protocols")
     _add_common(compare_parser)
+    _add_obs(compare_parser)
     compare_parser.add_argument("--ccs", default="silo,2pl,ic3,tebaldi")
     compare_parser.add_argument("--policy")
     compare_parser.add_argument("--backoff")
@@ -196,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     train_parser = sub.add_parser("train", help="train a policy")
     _add_common(train_parser)
+    _add_obs(train_parser)
     train_parser.add_argument("--iterations", type=int, default=10)
     train_parser.add_argument("--population", type=int, default=5)
     train_parser.add_argument("--children", type=int, default=3)
@@ -204,6 +335,15 @@ def build_parser() -> argparse.ArgumentParser:
     train_parser.add_argument("--policy-out", default="policy.json")
     train_parser.add_argument("--backoff-out", default="backoff.json")
     train_parser.set_defaults(fn=cmd_train)
+
+    profile_parser = sub.add_parser(
+        "profile", help="per-worker time-accounting breakdown")
+    _add_common(profile_parser)
+    _add_obs(profile_parser)
+    profile_parser.add_argument("--cc", default="silo")
+    profile_parser.add_argument("--policy", help="policy JSON (polyjuice)")
+    profile_parser.add_argument("--backoff", help="backoff JSON")
+    profile_parser.set_defaults(fn=cmd_profile)
 
     trace_parser = sub.add_parser("trace", help="trace predictability")
     trace_parser.add_argument("--days", type=int, default=120)

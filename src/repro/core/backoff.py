@@ -137,6 +137,10 @@ class LearnedBackoffManager:
     def current(self, type_index: int) -> float:
         return self._backoff[type_index]
 
+    def snapshot(self) -> dict:
+        """Observability: current per-type backoff levels (ticks)."""
+        return {"type": "learned", "backoff": list(self._backoff)}
+
 
 class ExponentialBackoffManager:
     """Silo-style binary exponential backoff (doubles per failed attempt)."""
@@ -156,6 +160,11 @@ class ExponentialBackoffManager:
     def current(self, type_index: int) -> float:
         return self.cost.backoff_initial
 
+    def snapshot(self) -> dict:
+        """Observability: the (stateless) exponential configuration."""
+        return {"type": "exponential", "initial": self.cost.backoff_initial,
+                "max": self.cost.backoff_max}
+
 
 class NoBackoffManager:
     """Retry immediately (used by blocking protocols such as 2PL)."""
@@ -173,3 +182,7 @@ class NoBackoffManager:
 
     def current(self, type_index: int) -> float:
         return self.pause
+
+    def snapshot(self) -> dict:
+        """Observability: the fixed pause."""
+        return {"type": "none", "pause": self.pause}

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Generator, Iterable, Optional, TYPE_CHECKING
 
 from ..errors import AbortReason, PieceRetry, TransactionAborted, WorkloadError
+from ..obs.tracing import EventKind, TraceEvent
 from ..sim.events import Cost, WaitFor, WaitKind
 from ..storage.access_list import AccessEntry, AccessKind
 from . import validation
@@ -150,6 +151,12 @@ class PolicyExecutor(ConcurrencyControl):
                 except PieceRetry as retry:
                     piece_retries += 1
                     worker.stats.record_piece_retry(ctx.type_name)
+                    if worker.trace.enabled:
+                        worker.trace.emit(TraceEvent(
+                            worker.scheduler.now, EventKind.PIECE_RETRY,
+                            worker.worker_id, ctx.txn_id, ctx.type_name,
+                            {"retries": piece_retries,
+                             "detail": retry.detail}))
                     if piece_retries > MAX_PIECE_RETRIES:
                         raise TransactionAborted(
                             AbortReason.EARLY_VALIDATION,
@@ -194,6 +201,13 @@ class PolicyExecutor(ConcurrencyControl):
         # lies before it has finished (loop-aware progress; §4.3's "finish
         # execution up to and including a")
         ctx.note_progress(self._progress_tables[ctx.type_index][op.access_id])
+        worker = ctx.worker
+        if worker is not None and worker.trace.enabled:
+            worker.trace.emit(TraceEvent(
+                worker.scheduler.now, EventKind.ACCESS, worker.worker_id,
+                ctx.txn_id, ctx.type_name,
+                {"access_id": op.access_id, "table": op.table,
+                 "op": type(op).__name__}))
         if isinstance(op, ReadOp):
             return (yield from self._do_read(ctx, policy, op))
         if isinstance(op, UpdateOp):
@@ -448,6 +462,13 @@ class PolicyExecutor(ConcurrencyControl):
         pending_writes = sum(1 for w in ctx.wset.values() if w.dirty_since_expose)
         n_entries = len(ctx.buffer) + (pending_writes if publish_writes else 0)
         yield Cost(cost.early_validate_entry * max(1, n_entries))
+        worker = ctx.worker
+        if worker is not None and worker.trace.enabled:
+            worker.trace.emit(TraceEvent(
+                worker.scheduler.now, EventKind.VALIDATE, worker.worker_id,
+                ctx.txn_id, ctx.type_name,
+                {"phase": "early", "entries": n_entries,
+                 "publish": bool(publish_writes)}))
         for kind, entry in ctx.buffer:
             if kind != "read":
                 continue
@@ -527,6 +548,13 @@ class PolicyExecutor(ConcurrencyControl):
         pending += cost.validate_read * len(ctx.rset)
         pending += cost.install_write * len(ctx.wset)
         yield Cost(pending)
+        worker = ctx.worker
+        if worker is not None and worker.trace.enabled:
+            worker.trace.emit(TraceEvent(
+                worker.scheduler.now, EventKind.VALIDATE, worker.worker_id,
+                ctx.txn_id, ctx.type_name,
+                {"phase": "final", "reads": len(ctx.rset),
+                 "writes": len(ctx.wset)}))
         # step 3: validate the read set
         for rentry in ctx.rset.values():
             if rentry.record is None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
+from ..obs.tracing import EventKind, TraceEvent
 from .context import ReadEntry, TxnContext, TxnStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -98,9 +99,18 @@ def finish(ctx: TxnContext, status: str, reason: Optional[str] = None,
         # eager cascade (§4.3): transactions that dirty-read our discarded
         # writes can never validate — doom them now so they stop wasting
         # work and stop spreading the poisoned versions further
+        worker = ctx.worker
+        trace = worker.trace if worker is not None else None
         for reader in ctx.readers:
             if reader.is_active():
                 reader.doomed = True
+                if trace is not None and trace.enabled:
+                    trace.emit(TraceEvent(
+                        worker.scheduler.now, EventKind.DOOM,
+                        worker.worker_id, ctx.txn_id, ctx.type_name,
+                        {"doomed_txn": reader.txn_id,
+                         "doomed_type": reader.type_name,
+                         "reason": reason}))
     ctx.readers.clear()
     if recorder is not None and status == TxnStatus.COMMITTED:
         recorder.on_commit(ctx)

@@ -1,0 +1,47 @@
+"""Observability: structured tracing, metrics and time accounting.
+
+The simulator's answer to "where did the time go?".  Three pillars:
+
+* :mod:`repro.obs.tracing` — a structured event tracer.  The scheduler,
+  workers, executors, validation and locks emit typed
+  :class:`~repro.obs.tracing.TraceEvent` records into a
+  :class:`~repro.obs.tracing.TraceSink`; the default sink is a no-op whose
+  ``enabled`` flag is ``False``, so every emission site is guarded and the
+  hot path pays nothing when tracing is off.  Collected events export to
+  JSONL and to the Chrome trace-event format (loadable in Perfetto /
+  ``chrome://tracing``).
+* :mod:`repro.obs.metrics` — a registry of named, labelled counters /
+  gauges / histograms, populated by the simulator and the trainers and
+  snapshot-exportable to JSON and CSV.
+* :mod:`repro.obs.profile` — a per-worker time accountant decomposing
+  each worker's simulated time into useful committed work, wasted aborted
+  work, waits by kind, backoff and idle; rendered by
+  ``python -m repro profile``.
+"""
+
+from .tracing import (EventKind, JsonlStreamSink, MemorySink, NullSink,
+                      NULL_SINK, TraceEvent, TraceSink, chrome_trace_events,
+                      export_chrome_trace, read_jsonl, write_jsonl)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import TimeAccountant, check_accounting, format_profile_table
+
+__all__ = [
+    "Counter",
+    "check_accounting",
+    "EventKind",
+    "Gauge",
+    "Histogram",
+    "JsonlStreamSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "NULL_SINK",
+    "TimeAccountant",
+    "TraceEvent",
+    "TraceSink",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "format_profile_table",
+    "read_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,279 @@
+"""Structured event tracing for simulated runs.
+
+The execution path (scheduler, workers, the policy executor, validation,
+locks, backoff) emits typed :class:`TraceEvent` records into a
+:class:`TraceSink`.  Every emission site is written as::
+
+    if sink.enabled:
+        sink.emit(TraceEvent(...))
+
+so with the default :data:`NULL_SINK` (whose ``enabled`` is ``False``) no
+event object is ever allocated — the only cost of a disabled tracer is one
+attribute load and a falsy branch per site, which is what keeps tracing
+zero-overhead-when-off on the simulator's hot path.
+
+Timestamps are *simulated* ticks (1 tick = 1 microsecond), which maps
+one-to-one onto the Chrome trace-event format's microsecond ``ts`` field:
+:func:`export_chrome_trace` writes a file that loads directly in Perfetto
+or ``chrome://tracing``, with one track (tid) per simulated worker,
+transaction attempts as duration slices, waits as nested slices, backoff
+as complete slices and accesses/validations as instant markers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Union
+
+
+class EventKind:
+    """The typed vocabulary of trace events."""
+
+    #: a worker starts one transaction attempt (attrs: attempt number)
+    TX_START = "tx_start"
+    #: one data access by the policy executor (attrs: access_id, table, op)
+    ACCESS = "access"
+    #: a worker parked on a wait (attrs: wait_kind, n_deps)
+    WAIT_BEGIN = "wait_begin"
+    #: a parked worker resumed (attrs: wait_kind, waited, outcome)
+    WAIT_END = "wait_end"
+    #: an early or final validation ran (attrs: phase, entries)
+    VALIDATE = "validate"
+    #: a transaction attempt aborted (attrs: reason, attempt)
+    ABORT = "abort"
+    #: a transaction committed (attrs: attempts, latency)
+    COMMIT = "commit"
+    #: a worker entered retry backoff (attrs: pause, level)
+    BACKOFF = "backoff"
+    #: early validation failed; the piece re-executes (attrs: retries)
+    PIECE_RETRY = "piece_retry"
+    #: an abort doomed a dependent dirty reader (attrs: doomed_txn)
+    DOOM = "doom"
+    #: a lock request blocked or died under WAIT-DIE (attrs: outcome, ...)
+    LOCK = "lock"
+
+    ALL = (TX_START, ACCESS, WAIT_BEGIN, WAIT_END, VALIDATE, ABORT, COMMIT,
+           BACKOFF, PIECE_RETRY, DOOM, LOCK)
+
+
+class TraceEvent:
+    """One structured event at a simulated timestamp.
+
+    Attributes:
+        ts: simulated time in ticks (1 tick = 1 microsecond).
+        kind: an :class:`EventKind` value.
+        worker: id of the emitting worker (``-1`` when not worker-bound).
+        txn: transaction id of the in-flight attempt, if known.
+        txn_type: transaction type name, if known.
+        attrs: free-form, kind-specific details (JSON-serialisable).
+    """
+
+    __slots__ = ("ts", "kind", "worker", "txn", "txn_type", "attrs")
+
+    def __init__(self, ts: float, kind: str, worker: int = -1,
+                 txn: Optional[int] = None, txn_type: Optional[str] = None,
+                 attrs: Optional[dict] = None) -> None:
+        self.ts = ts
+        self.kind = kind
+        self.worker = worker
+        self.txn = txn
+        self.txn_type = txn_type
+        self.attrs = attrs
+
+    def to_dict(self) -> dict:
+        data: dict = {"ts": self.ts, "kind": self.kind, "worker": self.worker}
+        if self.txn is not None:
+            data["txn"] = self.txn
+        if self.txn_type is not None:
+            data["type"] = self.txn_type
+        if self.attrs:
+            data["attrs"] = self.attrs
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        return cls(float(data["ts"]), str(data["kind"]),
+                   int(data.get("worker", -1)), data.get("txn"),
+                   data.get("type"), data.get("attrs"))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TraceEvent) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TraceEvent({self.ts}, {self.kind}, w{self.worker}"
+                + (f", txn={self.txn}" if self.txn is not None else "") + ")")
+
+
+class TraceSink:
+    """Protocol for event consumers.
+
+    ``enabled`` gates every emission site: a sink whose ``enabled`` is
+    falsy receives no events and costs nothing beyond the guard itself.
+    """
+
+    enabled: bool = True
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NullSink(TraceSink):
+    """The disabled tracer: the fast path.  Never receives events."""
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - never hit
+        pass
+
+
+#: the process-wide disabled sink; sharing one instance keeps the identity
+#: check ``sink is NULL_SINK`` available to tests
+NULL_SINK = NullSink()
+
+
+class MemorySink(TraceSink):
+    """Collect events in memory (the default capture for CLI exports)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlStreamSink(TraceSink):
+    """Stream events straight to a JSONL file handle (constant memory)."""
+
+    enabled = True
+
+    def __init__(self, fh: IO[str]) -> None:
+        self._fh = fh
+
+    def emit(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event.to_dict()) + "\n")
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+# ---------------------------------------------------------------------- #
+# JSONL export / import
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Write events one-JSON-object-per-line; returns the event count."""
+    count = 0
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Load a JSONL trace back into :class:`TraceEvent` objects."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+# ---------------------------------------------------------------------- #
+# Chrome trace-event export (Perfetto / chrome://tracing)
+
+_PID = 1  # single simulated process
+
+
+def _chrome_meta(tids: Sequence[int]) -> List[dict]:
+    meta = [{"name": "process_name", "ph": "M", "pid": _PID,
+             "args": {"name": "repro simulation"}}]
+    for tid in sorted(tids):
+        meta.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                     "tid": tid, "args": {"name": f"worker {tid}"}})
+    return meta
+
+
+def chrome_trace_events(events: Sequence[TraceEvent]) -> List[dict]:
+    """Convert a trace to Chrome trace-event dicts.
+
+    Transaction attempts become duration (B/E) slices named by transaction
+    type; waits become nested ``wait:<kind>`` slices; backoff becomes a
+    complete (X) slice whose duration is the pause; everything else becomes
+    an instant (i) marker.  Slices still open when the trace ends (parked
+    workers, in-flight attempts) are closed at the final timestamp so the
+    B/E stream always balances and the file always loads.
+    """
+    out: List[dict] = []
+    open_stack: Dict[int, List[str]] = {}  # tid -> names of open B slices
+    tids = set()
+    last_ts = max((e.ts for e in events), default=0.0)
+
+    def begin(ts: float, tid: int, name: str, args: dict) -> None:
+        out.append({"name": name, "ph": "B", "ts": ts, "pid": _PID,
+                    "tid": tid, "cat": "sim", "args": args})
+        open_stack.setdefault(tid, []).append(name)
+
+    def end(ts: float, tid: int, args: Optional[dict] = None) -> None:
+        stack = open_stack.get(tid)
+        if not stack:
+            return
+        name = stack.pop()
+        record: dict = {"name": name, "ph": "E", "ts": ts, "pid": _PID,
+                        "tid": tid, "cat": "sim"}
+        if args:
+            record["args"] = args
+        out.append(record)
+
+    for event in events:
+        tid = event.worker
+        tids.add(tid)
+        attrs = dict(event.attrs or {})
+        if event.txn is not None:
+            attrs["txn"] = event.txn
+        if event.kind == EventKind.TX_START:
+            begin(event.ts, tid, event.txn_type or "txn", attrs)
+        elif event.kind == EventKind.WAIT_BEGIN:
+            begin(event.ts, tid, f"wait:{attrs.get('wait_kind', '?')}", attrs)
+        elif event.kind == EventKind.WAIT_END:
+            end(event.ts, tid, attrs)
+        elif event.kind in (EventKind.COMMIT, EventKind.ABORT):
+            # close any wait slice left open by an abort thrown into a wait
+            stack = open_stack.get(tid, [])
+            while len(stack) > 1:
+                end(event.ts, tid)
+            attrs["outcome"] = event.kind
+            end(event.ts, tid, attrs)
+        elif event.kind == EventKind.BACKOFF:
+            out.append({"name": "backoff", "ph": "X", "ts": event.ts,
+                        "dur": attrs.get("pause", 0.0), "pid": _PID,
+                        "tid": tid, "cat": "sim", "args": attrs})
+        else:
+            out.append({"name": event.kind, "ph": "i", "ts": event.ts,
+                        "pid": _PID, "tid": tid, "s": "t", "cat": "sim",
+                        "args": attrs})
+    for tid, stack in open_stack.items():
+        while stack:
+            end(last_ts, tid, {"outcome": "trace_end"})
+    return _chrome_meta(sorted(tids)) + out
+
+
+def export_chrome_trace(events: Sequence[TraceEvent],
+                        path_or_fh: Union[str, IO[str]]) -> int:
+    """Write a Chrome trace-event JSON file; returns the slice count."""
+    trace_events = chrome_trace_events(events)
+    document = {"traceEvents": trace_events, "displayTimeUnit": "ms",
+                "otherData": {"source": "repro", "time_unit": "us (1 tick)"}}
+    if isinstance(path_or_fh, str):
+        with open(path_or_fh, "w") as fh:
+            json.dump(document, fh)
+    else:
+        json.dump(document, path_or_fh)
+    return len(trace_events)

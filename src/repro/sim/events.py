@@ -36,13 +36,28 @@ class WaitKind:
     LOCK = "lock"
 
 
+class CostKind:
+    """What a :class:`Cost` span was spent on — time-accounting category."""
+
+    #: transaction work (accesses, validation, commit/abort bookkeeping);
+    #: attributed to useful or wasted time once the attempt's fate is known
+    WORK = "work"
+    #: retry backoff between attempts
+    BACKOFF = "backoff"
+
+
 class Cost:
-    """Consume ``ticks`` of simulated time."""
+    """Consume ``ticks`` of simulated time.
 
-    __slots__ = ("ticks",)
+    ``kind`` tags the span for the per-worker time accountant
+    (:mod:`repro.obs.profile`); executors leave it at the default.
+    """
 
-    def __init__(self, ticks: float) -> None:
+    __slots__ = ("ticks", "kind")
+
+    def __init__(self, ticks: float, kind: str = CostKind.WORK) -> None:
         self.ticks = ticks
+        self.kind = kind
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Cost({self.ticks})"

@@ -21,7 +21,9 @@ from typing import Callable, Dict, List, Optional, Tuple  # noqa: F401
 
 from ..config import SimConfig
 from ..errors import AbortReason, SchedulerError, TransactionAborted
-from .events import Cost, WaitFor
+from ..obs.profile import TimeAccountant
+from ..obs.tracing import EventKind, NULL_SINK, TraceEvent, TraceSink
+from .events import Cost, CostKind, WaitFor
 from .worker import Worker
 
 _KIND_WORKER = 0
@@ -31,14 +33,22 @@ _KIND_CALLBACK = 1
 class Scheduler:
     """Event loop for one simulated run."""
 
-    def __init__(self, config: SimConfig) -> None:
+    def __init__(self, config: SimConfig,
+                 trace: Optional[TraceSink] = None,
+                 accountant: Optional[TimeAccountant] = None) -> None:
         self.config = config
         self.now = 0.0
+        #: structured event sink; the default no-op sink has
+        #: ``enabled == False``, so every emission site below short-circuits
+        self.trace: TraceSink = trace if trace is not None else NULL_SINK
+        #: optional per-worker time accountant (``repro.obs.profile``)
+        self.accountant = accountant
         self._heap: List[Tuple[float, int, int, object]] = []
         self._seq = itertools.count()
         self._workers: List[Worker] = []
         self._parked: Dict[Worker, WaitFor] = {}
         self._park_start: Dict[Worker, float] = {}
+        self._run_until = 0.0
         #: statistics of safety-valve firings (exposed for tests/analysis)
         self.cycle_breaks = 0
         self.timeout_breaks = 0
@@ -72,6 +82,7 @@ class Scheduler:
         """Advance simulated time to ``until``, processing all events."""
         if until < self.now:
             raise SchedulerError("cannot run backwards in time")
+        self._run_until = until
         while self._heap and self._heap[0][0] <= until:
             time, _, kind, payload = heapq.heappop(self._heap)
             self.now = time
@@ -99,6 +110,16 @@ class Scheduler:
             if isinstance(directive, Cost):
                 if directive.ticks <= 0:
                     continue
+                if self.accountant is not None:
+                    # charge only the span inside the run horizon: the wake
+                    # event past ``until`` never fires, so its remainder is
+                    # never simulated
+                    charge = min(directive.ticks,
+                                 max(0.0, self._run_until - self.now))
+                    if directive.kind == CostKind.BACKOFF:
+                        self.accountant.on_backoff(worker.worker_id, charge)
+                    else:
+                        self.accountant.on_exec(worker.worker_id, charge)
                 self._schedule_worker(worker, self.now + directive.ticks)
                 break
             # WaitFor
@@ -111,9 +132,16 @@ class Scheduler:
             self._park_start[worker] = self.now
             self.wait_count_by_kind[wait.kind] = \
                 self.wait_count_by_kind.get(wait.kind, 0) + 1
+            if self.trace.enabled:
+                ctx = worker.current_ctx
+                self.trace.emit(TraceEvent(
+                    self.now, EventKind.WAIT_BEGIN, worker.worker_id,
+                    ctx.txn_id if ctx is not None else None,
+                    ctx.type_name if ctx is not None else None,
+                    {"wait_kind": wait.kind, "n_deps": len(wait.dep_ctxs)}))
             if self._find_cycle(worker) is not None:
                 self.cycle_breaks += 1
-                self._unpark(worker)
+                self._unpark(worker, outcome="cycle")
                 if wait.abort_on_break:
                     exc = TransactionAborted(AbortReason.WAIT_CYCLE)
                 else:
@@ -132,11 +160,35 @@ class Scheduler:
             self._unpark(worker)
             self._schedule_worker(worker, self.now)
 
-    def _unpark(self, worker: Worker) -> None:
+    def _unpark(self, worker: Worker, outcome: str = "satisfied") -> None:
         wait = self._parked.pop(worker)
         start = self._park_start.pop(worker, self.now)
+        waited = self.now - start
         self.wait_time_by_kind[wait.kind] = \
-            self.wait_time_by_kind.get(wait.kind, 0.0) + (self.now - start)
+            self.wait_time_by_kind.get(wait.kind, 0.0) + waited
+        if self.accountant is not None:
+            self.accountant.on_wait(worker.worker_id, wait.kind, waited)
+        if self.trace.enabled:
+            ctx = worker.current_ctx
+            self.trace.emit(TraceEvent(
+                self.now, EventKind.WAIT_END, worker.worker_id,
+                ctx.txn_id if ctx is not None else None,
+                ctx.type_name if ctx is not None else None,
+                {"wait_kind": wait.kind, "waited": waited,
+                 "outcome": outcome}))
+
+    def finish_accounting(self) -> None:
+        """Charge wait time of workers still parked when the run horizon is
+        reached, so parked tails show up as waits, not idle time.  Safe to
+        call more than once (the park start is advanced to ``now``)."""
+        if self.accountant is None:
+            return
+        for worker, wait in self._parked.items():
+            start = self._park_start.get(worker, self.now)
+            if self.now > start:
+                self.accountant.on_wait(worker.worker_id, wait.kind,
+                                        self.now - start)
+                self._park_start[worker] = self.now
 
     # ------------------------------------------------------------------ #
     # deadlock handling
@@ -202,7 +254,7 @@ class Scheduler:
             wait = self._parked.get(worker)
             if wait is None or worker.park_token != token:
                 return  # no longer parked on that wait
-            self._unpark(worker)
+            self._unpark(worker, outcome="timeout")
             self.timeout_breaks += 1
             if wait.abort_on_break:
                 self._advance(worker, TransactionAborted(AbortReason.WAIT_TIMEOUT))

@@ -12,6 +12,7 @@ import math
 from typing import Dict, List, Optional, Sequence
 
 from ..config import TICKS_PER_SECOND
+from ..errors import ReproError
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -28,26 +29,36 @@ def percentile(sorted_values: Sequence[float], fraction: float) -> float:
 
 
 class LatencyDigest:
-    """Latency summary (microseconds) for one transaction type."""
+    """Latency summary (microseconds) for one transaction type.
 
-    __slots__ = ("count", "total", "_samples")
+    Samples are sorted lazily: :meth:`record` only invalidates the sorted
+    flag, and :meth:`pct` sorts at most once per batch of records — so
+    :meth:`summary`'s four percentile calls share one sort instead of
+    re-sorting an already-sorted list four times.
+    """
+
+    __slots__ = ("count", "total", "_samples", "_sorted")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self._samples: List[float] = []
+        self._sorted = True
 
     def record(self, latency: float) -> None:
         self.count += 1
         self.total += latency
         self._samples.append(latency)
+        self._sorted = False
 
     @property
     def avg(self) -> float:
         return self.total / self.count if self.count else float("nan")
 
     def pct(self, fraction: float) -> float:
-        self._samples.sort()
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
         return percentile(self._samples, fraction)
 
     def summary(self) -> Dict[str, float]:
@@ -84,6 +95,10 @@ class RunStats:
         self.backoff_time = 0.0
         self.warmup_commits = 0
         self.warmup_aborts = 0
+        #: abort reasons seen during warm-up — kept separate so the
+        #: measurement-window ``abort_reasons`` stays comparable across
+        #: configs, but no longer silently dropped
+        self.warmup_abort_reasons: Dict[str, int] = {}
         self.latency: Dict[str, LatencyDigest] = {
             name: LatencyDigest() for name in self.type_names
         }
@@ -112,6 +127,8 @@ class RunStats:
     def record_abort(self, type_name: str, now: float, reason: str) -> None:
         if now < self.warmup_end:
             self.warmup_aborts += 1
+            self.warmup_abort_reasons[reason] = \
+                self.warmup_abort_reasons.get(reason, 0) + 1
             return
         self.aborts[type_name] += 1
         self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
@@ -139,6 +156,10 @@ class RunStats:
         return self.total_commits / span * TICKS_PER_SECOND
 
     def throughput_of(self, type_name: str) -> float:
+        if type_name not in self.commits:
+            raise ReproError(
+                f"unknown transaction type {type_name!r}; this run tracked "
+                f"{sorted(self.commits)}")
         span = self.measured_span
         if span <= 0:
             return 0.0

@@ -19,7 +19,8 @@ import random
 from typing import Generator, Optional, TYPE_CHECKING, Union
 
 from ..errors import TransactionAborted
-from .events import Cost, WaitFor
+from ..obs.tracing import EventKind, TraceEvent
+from .events import Cost, CostKind, WaitFor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..config import SimConfig
@@ -35,7 +36,7 @@ class Worker:
 
     __slots__ = ("worker_id", "scheduler", "cc", "workload", "stats", "config",
                  "rng", "generation", "park_token", "finished", "current_ctx",
-                 "_gen")
+                 "trace", "backoff_manager", "_gen")
 
     def __init__(self, worker_id: int, scheduler: "Scheduler", cc, workload,
                  stats: "RunStats", config: "SimConfig",
@@ -47,6 +48,11 @@ class Worker:
         self.stats = stats
         self.config = config
         self.rng = rng
+        #: the scheduler's trace sink (cached: one attribute hop on the
+        #: hot path instead of two)
+        self.trace = scheduler.trace
+        #: this worker's backoff manager, exposed for observability
+        self.backoff_manager = None
         #: bumped on every (re)schedule and park; stale heap events are skipped
         self.generation = 0
         #: bumped on every park; guards wait-timeout callbacks
@@ -73,6 +79,9 @@ class Worker:
 
     def _main(self) -> Generator[Directive, None, None]:
         backoff = self.cc.make_backoff(self)
+        self.backoff_manager = backoff
+        trace = self.trace
+        accountant = self.scheduler.accountant
         while True:
             invocation = self.workload.next_invocation(self.rng, self.worker_id)
             if invocation is None:
@@ -80,6 +89,11 @@ class Worker:
             first_start = self.scheduler.now
             attempt = 0
             while True:
+                if trace.enabled:
+                    trace.emit(TraceEvent(
+                        self.scheduler.now, EventKind.TX_START, self.worker_id,
+                        txn_type=invocation.type_name,
+                        attrs={"attempt": attempt}))
                 try:
                     yield from self.cc.run_transaction(self, invocation, attempt,
                                                        first_start)
@@ -87,6 +101,14 @@ class Worker:
                     self.current_ctx = None
                     now = self.scheduler.now
                     self.stats.record_abort(invocation.type_name, now, exc.reason)
+                    if accountant is not None:
+                        accountant.on_attempt_end(self.worker_id,
+                                                  committed=False)
+                    if trace.enabled:
+                        trace.emit(TraceEvent(
+                            now, EventKind.ABORT, self.worker_id,
+                            txn_type=invocation.type_name,
+                            attrs={"reason": exc.reason, "attempt": attempt}))
                     attempt += 1
                     limit = self.config.max_retries
                     if limit is not None and attempt > limit:
@@ -94,13 +116,29 @@ class Worker:
                     pause = backoff.on_abort(invocation.type_index, attempt)
                     if pause > 0:
                         self.stats.backoff_time += pause
-                        yield Cost(pause)
+                        if trace.enabled:
+                            trace.emit(TraceEvent(
+                                self.scheduler.now, EventKind.BACKOFF,
+                                self.worker_id,
+                                txn_type=invocation.type_name,
+                                attrs={"pause": pause,
+                                       "level": backoff.current(
+                                           invocation.type_index)}))
+                        yield Cost(pause, CostKind.BACKOFF)
                     continue
                 self.current_ctx = None
                 now = self.scheduler.now
                 backoff.on_commit(invocation.type_index, attempt)
                 self.stats.record_commit(invocation.type_name, now,
                                          now - first_start)
+                if accountant is not None:
+                    accountant.on_attempt_end(self.worker_id, committed=True)
+                if trace.enabled:
+                    trace.emit(TraceEvent(
+                        now, EventKind.COMMIT, self.worker_id,
+                        txn_type=invocation.type_name,
+                        attrs={"attempts": attempt + 1,
+                               "latency": now - first_start}))
                 break
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
 
+from ..obs.tracing import EventKind, TraceEvent
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.context import TxnContext
 
@@ -88,12 +90,32 @@ class LockTable:
                 state.mode = LockMode.EXCLUSIVE
             return LockRequestOutcome.GRANTED
         if self.assume_ordered:
+            self._trace_blocked(ctx, table, key, mode,
+                                LockRequestOutcome.MUST_WAIT, state)
             return LockRequestOutcome.MUST_WAIT
         # WAIT-DIE: wait only if older (smaller priority) than every holder.
         my_priority = ctx.priority
         if all(my_priority < holder.priority for holder in state.holders):
+            self._trace_blocked(ctx, table, key, mode,
+                                LockRequestOutcome.MUST_WAIT, state)
             return LockRequestOutcome.MUST_WAIT
+        self._trace_blocked(ctx, table, key, mode,
+                            LockRequestOutcome.MUST_DIE, state)
         return LockRequestOutcome.MUST_DIE
+
+    @staticmethod
+    def _trace_blocked(ctx: "TxnContext", table: str, key: tuple, mode: str,
+                       outcome: str, state: _LockState) -> None:
+        """Emit a LOCK trace event for a blocked or dying request (granted
+        requests are the hot path and stay silent)."""
+        worker = ctx.worker
+        if worker is None or not worker.trace.enabled:
+            return
+        worker.trace.emit(TraceEvent(
+            worker.scheduler.now, EventKind.LOCK, worker.worker_id,
+            ctx.txn_id, ctx.type_name,
+            {"table": table, "key": repr(key), "mode": mode,
+             "outcome": outcome, "n_holders": len(state.holders)}))
 
     def holders(self, table: str, key: tuple) -> Set["TxnContext"]:
         """Current holders of the (table, key) lock (possibly empty)."""

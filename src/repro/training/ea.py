@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from ..errors import TrainingError
+from ..obs.metrics import MetricsRegistry
 from ..core import actions
 from ..core.backoff import ALPHA_CHOICES, BackoffPolicy
 from ..core.policy import CCPolicy
@@ -138,7 +139,8 @@ class EvolutionaryTrainer:
 
     def __init__(self, spec: WorkloadSpec, evaluator: FitnessEvaluator,
                  config: Optional[EAConfig] = None,
-                 action_mask: Optional[Callable] = None) -> None:
+                 action_mask: Optional[Callable] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.spec = spec
         self.evaluator = evaluator
         self.config = config or EAConfig()
@@ -146,6 +148,8 @@ class EvolutionaryTrainer:
         #: optional fn(policy) -> policy applied after every mutation; used
         #: by the factor-analysis bench to restrict the action space (Fig 6)
         self.action_mask = action_mask
+        #: optional metrics registry recording the training trajectory
+        self.metrics = metrics
 
     # ------------------------------------------------------------------ #
     # population management
@@ -281,6 +285,15 @@ class EvolutionaryTrainer:
                 else max(population, key=lambda ind: ind.fitness)
             mean = sum(ind.fitness for ind in population) / len(population)
             history.append((iteration, best.fitness, mean))
+            if self.metrics is not None:
+                self.metrics.gauge("ea_generation").set(iteration)
+                self.metrics.gauge("ea_fitness_best").set(best.fitness)
+                self.metrics.gauge("ea_fitness_mean").set(mean)
+                self.metrics.histogram("ea_fitness_best_history").observe(
+                    best.fitness)
+                self.metrics.counter("ea_evaluations_total").inc(
+                    self.evaluator.evaluations
+                    - self.metrics.counter("ea_evaluations_total").value)
             if progress is not None:
                 progress(iteration, best.fitness, mean)
         best = max(population, key=lambda ind: ind.fitness)

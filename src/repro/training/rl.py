@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..errors import TrainingError
+from ..obs.metrics import MetricsRegistry
 from ..core import actions
 from ..core.backoff import ALPHA_CHOICES, BackoffPolicy
 from ..core.policy import CCPolicy, PolicyRow
@@ -72,11 +73,15 @@ class _CellParam:
     def sample(self, rng: np.random.Generator) -> int:
         return int(rng.choice(len(self.logits), p=self.probs()))
 
-    def update(self, choice: int, advantage: float, lr: float) -> None:
+    def update(self, choice: int, advantage: float, lr: float) -> float:
+        """Ascend the likelihood-ratio gradient; returns the squared norm of
+        the (advantage-scaled) gradient for observability."""
         probs = self.probs()
         grad = -probs
         grad[choice] += 1.0
-        self.logits += lr * advantage * grad
+        grad *= advantage
+        self.logits += lr * grad
+        return float(np.dot(grad, grad))
 
     def argmax(self) -> int:
         return int(self.logits.argmax())
@@ -87,10 +92,13 @@ class PolicyGradientTrainer:
 
     def __init__(self, spec: WorkloadSpec, evaluator: FitnessEvaluator,
                  config: Optional[RLConfig] = None,
-                 seed_policy: Optional[CCPolicy] = None) -> None:
+                 seed_policy: Optional[CCPolicy] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.spec = spec
         self.evaluator = evaluator
         self.config = config or RLConfig()
+        #: optional metrics registry recording the training trajectory
+        self.metrics = metrics
         self.np_rng = np.random.default_rng(self.config.seed)
         # cell parameters, laid out row-major to mirror the policy table
         self._wait_cells: List[List[_CellParam]] = []
@@ -156,21 +164,25 @@ class PolicyGradientTrainer:
             backoff_choices.append(per_type)
         return policy, backoff, (choices, backoff_choices)
 
-    def _reinforce(self, record: tuple, advantage: float) -> None:
+    def _reinforce(self, record: tuple, advantage: float) -> float:
+        """Apply one REINFORCE step; returns the L2 norm of the full
+        concatenated gradient across all cells."""
         lr = self.config.learning_rate
         choices, backoff_choices = record
+        sq_norm = 0.0
         for row_index, row_choices in enumerate(choices):
             for dep in range(self.spec.n_types):
-                self._wait_cells[row_index][dep].update(
+                sq_norm += self._wait_cells[row_index][dep].update(
                     row_choices[dep], advantage, lr)
             for b in range(3):
-                self._binary_cells[row_index][b].update(
+                sq_norm += self._binary_cells[row_index][b].update(
                     row_choices[self.spec.n_types + b], advantage, lr)
         for t, per_type in enumerate(backoff_choices):
             for status, per_status in enumerate(per_type):
                 for bucket, choice in enumerate(per_status):
-                    self._backoff_cells[t][status][bucket].update(
+                    sq_norm += self._backoff_cells[t][status][bucket].update(
                         choice, advantage, lr)
+        return math.sqrt(sq_norm)
 
     # ------------------------------------------------------------------ #
 
@@ -211,14 +223,25 @@ class PolicyGradientTrainer:
             else:
                 momentum = self.config.baseline_momentum
                 baseline = momentum * baseline + (1 - momentum) * mean_reward
+            grad_norms = []
             for (policy, backoff, record), reward in zip(batch, rewards):
-                self._reinforce(record, reward - baseline)
+                grad_norms.append(self._reinforce(record, reward - baseline))
                 fitness = reward * self.config.reward_scale
                 if fitness > best_fitness:
                     best_fitness = fitness
                     best_policy, best_backoff = policy, backoff
             history.append((iteration, best_fitness,
                             mean_reward * self.config.reward_scale))
+            if self.metrics is not None:
+                self.metrics.gauge("rl_iteration").set(iteration)
+                self.metrics.gauge("rl_reward_mean").set(
+                    mean_reward * self.config.reward_scale)
+                self.metrics.gauge("rl_baseline").set(
+                    baseline * self.config.reward_scale)
+                self.metrics.gauge("rl_fitness_best").set(best_fitness)
+                hist = self.metrics.histogram("rl_grad_norm")
+                for norm in grad_norms:
+                    hist.observe(norm)
             if progress is not None:
                 progress(iteration, best_fitness,
                          mean_reward * self.config.reward_scale)

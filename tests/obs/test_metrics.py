@@ -1,0 +1,136 @@
+"""Metrics-registry tests: typed metrics, labels, exports, population."""
+
+import csv
+import io
+import json
+import math
+
+import pytest
+
+from repro.config import SimConfig
+from repro.bench.runner import run_named
+from repro.errors import ReproError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.workloads.tpcc import make_tpcc_factory
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("commits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("fitness")
+        gauge.set(10.5)
+        gauge.inc(-0.5)
+        assert gauge.value == 10.0
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        hist = MetricsRegistry().histogram("latency")
+        for value in [4.0, 1.0, 3.0, 2.0]:
+            hist.observe(value)
+        snap = hist.value_dict()
+        assert snap["count"] == 4
+        assert snap["min"] == 1.0 and snap["max"] == 4.0
+        assert snap["mean"] == 2.5
+        assert snap["p50"] == 2.0
+
+    def test_lazy_sort_stays_correct_after_new_samples(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(10.0)
+        assert hist.pct(1.0) == 10.0  # forces a sort
+        hist.observe(1.0)             # must invalidate the sorted flag
+        assert hist.pct(0.0) == 1.0
+        assert hist.pct(1.0) == 10.0
+
+    def test_empty_histogram(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.value_dict() == {"count": 0, "sum": 0.0}
+        assert math.isnan(hist.pct(0.5))
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", cc="silo")
+        b = registry.counter("x", cc="silo")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_labels_distinguish_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("x", cc="silo").inc()
+        registry.counter("x", cc="2pl").inc(2)
+        assert registry.counter("x", cc="silo").value == 1.0
+        assert registry.counter("x", cc="2pl").value == 2.0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("g", a="1", b="2")
+        b = registry.gauge("g", b="2", a="1")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ReproError):
+            registry.gauge("x")
+
+    def test_snapshot_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.gauge("b").set(1)
+        registry.counter("a", cc="silo").inc()
+        snap = registry.snapshot()
+        assert [row["name"] for row in snap] == ["a", "b"]
+        assert snap[0]["kind"] == "counter"
+        assert snap[0]["labels"] == {"cc": "silo"}
+
+
+class TestExport:
+    def make(self):
+        registry = MetricsRegistry()
+        registry.counter("commits", cc="silo").inc(7)
+        registry.gauge("tps").set(1234.5)
+        registry.histogram("lat").observe(3.0)
+        return registry
+
+    def test_json_round_trip(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        self.make().write_json(path)
+        with open(path) as fh:
+            rows = json.load(fh)
+        assert {row["name"] for row in rows} == {"commits", "tps", "lat"}
+
+    def test_csv_shape(self):
+        buffer = io.StringIO()
+        self.make().write_csv(buffer)
+        rows = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert len(rows) == 3
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["commits"]["labels"] == "cc=silo"
+        assert float(by_name["commits"]["value"]) == 7.0
+        assert by_name["lat"]["count"] == "1"
+
+
+class TestRunPopulation:
+    def test_run_populates_registry(self):
+        registry = MetricsRegistry()
+        config = SimConfig(n_workers=2, duration=1500.0, warmup=0.0, seed=7)
+        result = run_named(make_tpcc_factory(n_warehouses=1, seed=7), "silo",
+                           config, metrics=registry)
+        tps = registry.gauge("run_throughput_tps", cc="silo").value
+        assert tps == pytest.approx(result.throughput)
+        commits = sum(m.value for m in registry
+                      if m.name == "run_commits_total")
+        assert commits == result.stats.total_commits

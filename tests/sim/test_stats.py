@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import ReproError
 from repro.sim.stats import LatencyDigest, RunStats, percentile
 
 
@@ -42,6 +43,28 @@ class TestLatencyDigest:
 
     def test_empty_avg_is_nan(self):
         assert math.isnan(LatencyDigest().avg)
+
+    def test_lazy_sort_invalidated_by_new_records(self):
+        digest = LatencyDigest()
+        digest.record(50.0)
+        assert digest.pct(0.5) == 50.0  # triggers the one-time sort
+        digest.record(1.0)              # must mark samples unsorted again
+        assert digest.pct(0.0) == 1.0
+        assert digest.pct(1.0) == 50.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_interleaved_record_and_pct_match_batch(self, values):
+        interleaved = LatencyDigest()
+        for value in values:
+            interleaved.record(value)
+            interleaved.pct(0.5)  # force a sort mid-stream
+        batch = LatencyDigest()
+        for value in values:
+            batch.record(value)
+        for fraction in (0.0, 0.5, 0.9, 1.0):
+            assert interleaved.pct(fraction) == batch.pct(fraction)
 
 
 class TestRunStats:
@@ -106,3 +129,15 @@ class TestRunStats:
     def test_zero_span_throughput(self):
         stats = RunStats(["a"])
         assert stats.throughput() == 0.0
+
+    def test_throughput_of_unknown_type_raises(self):
+        stats = self.make()
+        with pytest.raises(ReproError, match="unknown transaction type"):
+            stats.throughput_of("nosuch")
+
+    def test_warmup_abort_reasons_kept(self):
+        stats = self.make(warmup=5000.0)
+        stats.record_abort("a", 1000.0, "validation")   # inside warm-up
+        stats.record_abort("a", 6000.0, "lock_die")     # measured
+        assert stats.abort_reasons == {"lock_die": 1}
+        assert stats.warmup_abort_reasons == {"validation": 1}

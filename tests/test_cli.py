@@ -75,3 +75,34 @@ class TestCommands:
     def test_trace(self, capsys):
         assert main(["trace", "--days", "5"]) == 0
         assert "retrains" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_run_with_trace_and_metrics(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.json"
+        assert main(["run", "--cc", "silo", "--trace", str(trace_path),
+                     "--metrics", str(metrics_path)] + FAST) == 0
+        events = read_jsonl(str(trace_path))
+        assert events, "trace file must be non-empty"
+        rows = json.loads(metrics_path.read_text())
+        assert any(row["name"] == "run_throughput_tps" for row in rows)
+        out = capsys.readouterr().out
+        assert "trace events" in out and "metrics" in out
+
+    def test_run_chrome_trace_extension(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        assert main(["run", "--cc", "silo",
+                     "--trace", str(trace_path)] + FAST) == 0
+        document = json.loads(trace_path.read_text())
+        assert document["traceEvents"]
+        capsys.readouterr()
+
+    def test_compare_writes_per_cc_traces(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["compare", "--ccs", "silo,2pl",
+                     "--trace", str(trace_path)] + FAST) == 0
+        assert (tmp_path / "t.silo.jsonl").stat().st_size > 0
+        assert (tmp_path / "t.2pl.jsonl").stat().st_size > 0
+        capsys.readouterr()

@@ -22,7 +22,8 @@ def test_workloads_exports():
     "repro.storage", "repro.sim", "repro.core", "repro.cc",
     "repro.workloads", "repro.workloads.tpcc", "repro.workloads.tpce",
     "repro.workloads.micro", "repro.training", "repro.trace",
-    "repro.analysis", "repro.bench",
+    "repro.analysis", "repro.bench", "repro.obs", "repro.obs.tracing",
+    "repro.obs.metrics", "repro.obs.profile",
 ])
 def test_module_imports_cleanly(module):
     importlib.import_module(module)
@@ -52,6 +53,8 @@ def test_every_public_module_has_docstring():
         "repro.training.rl", "repro.trace.generator",
         "repro.trace.analysis", "repro.analysis.serializability",
         "repro.sim.scheduler", "repro.sim.worker", "repro.storage.table",
+        "repro.obs", "repro.obs.tracing", "repro.obs.metrics",
+        "repro.obs.profile",
     ]
     for name in modules:
         module = importlib.import_module(name)
