@@ -12,6 +12,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..config import SimConfig
 from ..errors import ConfigError
+from ..faults.injector import FAULT_RNG_SALT, FaultInjector
+from ..faults.plan import FaultPlan
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import TimeAccountant
 from ..obs.tracing import TraceSink
@@ -21,6 +23,7 @@ from ..sim.stats import RunStats
 from ..sim.worker import Worker
 from ..core.backoff import BackoffPolicy
 from ..core.policy import CCPolicy
+from ..core.validation import storage_residue
 from ..cc.registry import make_cc
 from ..workloads.base import Workload
 
@@ -31,15 +34,22 @@ CCFactory = Callable[[], object]
 class ExperimentResult:
     """Outcome of one experiment."""
 
-    __slots__ = ("cc_name", "stats", "invariant_violations", "detail")
+    __slots__ = ("cc_name", "stats", "invariant_violations", "detail",
+                 "fault_counts", "livelock_fires")
 
     def __init__(self, cc_name: str, stats: RunStats,
                  invariant_violations: List[str],
-                 detail: Optional[str] = None) -> None:
+                 detail: Optional[str] = None,
+                 fault_counts: Optional[dict] = None,
+                 livelock_fires: int = 0) -> None:
         self.cc_name = cc_name
         self.stats = stats
         self.invariant_violations = invariant_violations
         self.detail = detail
+        #: injected-fault counts by kind (empty when no faults were active)
+        self.fault_counts = fault_counts or {}
+        #: progress-watchdog firings during the run
+        self.livelock_fires = livelock_fires
 
     @property
     def throughput(self) -> float:
@@ -55,7 +65,8 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
                  check_invariants: bool = True,
                  trace_sink: Optional[TraceSink] = None,
                  accountant: Optional[TimeAccountant] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> ExperimentResult:
+                 metrics: Optional[MetricsRegistry] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> ExperimentResult:
     """Execute one run of ``cc`` (an instantiated protocol) over a fresh
     database built by ``workload_factory``.
 
@@ -64,11 +75,15 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
     structured events, ``accountant`` receives the per-worker time
     decomposition, and ``metrics`` is populated with the run's counters
     after the simulation finishes (zero hot-path cost).
+
+    ``fault_plan`` attaches a deterministic :class:`~repro.faults.FaultInjector`
+    (its RNG derives from ``config.seed``); after a faulty run the storage
+    residue invariant is checked alongside the workload invariants.
     """
     if getattr(cc, "requires_probe", False):
         return _run_probed(workload_factory, cc, config, recorder,
                            timeline_bucket, check_invariants,
-                           trace_sink, accountant, metrics)
+                           trace_sink, accountant, metrics, fault_plan)
     workload = workload_factory()
     db = workload.build_database()
     cc.setup(db, workload.spec, config)
@@ -77,11 +92,18 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
     stats = RunStats(workload.type_names(), warmup_end=config.warmup,
                      collect_latency=config.collect_latency,
                      timeline_bucket=timeline_bucket)
-    scheduler = Scheduler(config, trace=trace_sink, accountant=accountant)
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjector(fault_plan,
+                                 spawn_rng(config.seed, FAULT_RNG_SALT))
+    scheduler = Scheduler(config, trace=trace_sink, accountant=accountant,
+                          faults=injector)
     for worker_id in range(config.n_workers):
         worker = Worker(worker_id, scheduler, cc, workload, stats, config,
                         spawn_rng(config.seed, worker_id))
         scheduler.add_worker(worker)
+    if injector is not None:
+        injector.install(scheduler)
     for time, fn in callbacks:
         scheduler.schedule_callback(time, lambda fn=fn: fn(cc))
     scheduler.run(config.duration)
@@ -89,14 +111,20 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
     stats.start_time = 0.0
     stats.end_time = config.duration
     violations = workload.check_invariants() if check_invariants else []
+    if check_invariants and injector is not None:
+        violations.extend(storage_residue(db))
     cc_name = getattr(cc, "name", "cc")
     if metrics is not None:
-        _record_run_metrics(metrics, cc_name, stats, scheduler)
-    return ExperimentResult(cc_name, stats, violations)
+        _record_run_metrics(metrics, cc_name, stats, scheduler, injector)
+    return ExperimentResult(cc_name, stats, violations,
+                            fault_counts=dict(injector.fired)
+                            if injector is not None else None,
+                            livelock_fires=scheduler.livelock_fires)
 
 
 def _record_run_metrics(metrics: MetricsRegistry, cc_name: str,
-                        stats: RunStats, scheduler: Scheduler) -> None:
+                        stats: RunStats, scheduler: Scheduler,
+                        injector: Optional[FaultInjector] = None) -> None:
     """Populate the registry with one run's end-of-run aggregates."""
     metrics.gauge("run_throughput_tps", cc=cc_name).set(stats.throughput())
     metrics.gauge("run_abort_rate", cc=cc_name).set(stats.abort_rate())
@@ -117,6 +145,13 @@ def _record_run_metrics(metrics: MetricsRegistry, cc_name: str,
     metrics.counter("run_cycle_breaks", cc=cc_name).inc(scheduler.cycle_breaks)
     metrics.counter("run_timeout_breaks",
                     cc=cc_name).inc(scheduler.timeout_breaks)
+    if scheduler.livelock_fires:
+        metrics.counter("run_livelock_fires",
+                        cc=cc_name).inc(scheduler.livelock_fires)
+    if injector is not None:
+        for kind, count in injector.fired.items():
+            metrics.counter("run_faults_injected_total", cc=cc_name,
+                            kind=kind).inc(count)
     for type_name, digest in stats.latency.items():
         if digest.count:
             metrics.gauge("run_latency_p99_us", cc=cc_name,
@@ -126,7 +161,7 @@ def _record_run_metrics(metrics: MetricsRegistry, cc_name: str,
 def _run_probed(workload_factory: WorkloadFactory, descriptor,
                 config: SimConfig, recorder, timeline_bucket,
                 check_invariants: bool, trace_sink=None, accountant=None,
-                metrics=None) -> ExperimentResult:
+                metrics=None, fault_plan=None) -> ExperimentResult:
     """CormCC-style probe-and-pick: short probe per candidate, full run of
     the winner.  Observability attaches to the winner's run only — probes
     are throwaway measurements."""
@@ -147,10 +182,12 @@ def _run_probed(workload_factory: WorkloadFactory, descriptor,
     result = run_protocol(workload_factory, winner, config, recorder,
                           timeline_bucket, check_invariants=check_invariants,
                           trace_sink=trace_sink, accountant=accountant,
-                          metrics=metrics)
+                          metrics=metrics, fault_plan=fault_plan)
     return ExperimentResult(descriptor.name, result.stats,
                             result.invariant_violations,
-                            detail=f"picked {winner.name}")
+                            detail=f"picked {winner.name}",
+                            fault_counts=result.fault_counts,
+                            livelock_fires=result.livelock_fires)
 
 
 def run_named(workload_factory: WorkloadFactory, cc_name: str,

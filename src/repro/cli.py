@@ -4,10 +4,17 @@ Commands:
 
 * ``run``      — run one workload under one CC protocol, print statistics;
 * ``compare``  — run several protocols on the same workload side by side;
-* ``train``    — train a Polyjuice policy (EA) and write it to disk;
+* ``train``    — train a Polyjuice policy (EA or RL) and write it to disk;
+* ``chaos``    — fault-injection sweep with every correctness oracle armed;
 * ``profile``  — per-worker time-accounting breakdown of one run;
 * ``trace``    — the §7.6 trace-predictability analysis;
 * ``inspect``  — pretty-print a saved policy and diff it against the seeds.
+
+``run`` and ``compare`` accept ``--faults PLAN.json`` (a deterministic
+fault plan, see :mod:`repro.faults`) and ``--watchdog TICKS`` /
+``--watchdog-action`` (progress watchdog).  ``train`` accepts
+``--checkpoint DIR`` / ``--resume`` for crash-safe resumable training;
+an interrupt (Ctrl-C) still writes the best policy found so far.
 
 ``run``, ``compare``, ``train`` and ``profile`` accept ``--trace FILE``
 (structured event trace; ``.json`` selects Chrome trace-event format for
@@ -38,6 +45,7 @@ from .bench.runner import run_named
 from .core.backoff import BackoffPolicy
 from .core.policy import CCPolicy
 from .errors import ReproError
+from .ioutil import atomic_write
 
 
 def _workload(args):
@@ -60,17 +68,36 @@ def _workload(args):
 
 def _sim_config(args) -> SimConfig:
     return SimConfig(n_workers=args.workers, duration=args.duration,
-                     warmup=args.warmup, seed=args.seed)
+                     warmup=args.warmup, seed=args.seed,
+                     watchdog_window=getattr(args, "watchdog", None),
+                     watchdog_action=getattr(args, "watchdog_action",
+                                             "abort_oldest"))
 
 
-def _load_policy(args, spec):
+def _load_fault_plan(args):
+    if not getattr(args, "faults", None):
+        return None
+    from .faults import FaultPlan
+    return FaultPlan.load(args.faults)
+
+
+def _load_policy(args, spec, fault_plan=None):
+    """Load ``--policy`` / ``--backoff`` files; when the fault plan asks
+    for policy corruption, flip one cell and let validation reject it."""
     policy: Optional[CCPolicy] = None
     backoff: Optional[BackoffPolicy] = None
     if getattr(args, "policy", None):
         policy = CCPolicy.load(spec, args.policy)
     if getattr(args, "backoff", None):
-        with open(args.backoff) as f:
-            backoff = BackoffPolicy.from_json(f.read())
+        backoff = BackoffPolicy.load(args.backoff)
+    if fault_plan is not None and fault_plan.corrupt_policy \
+            and policy is not None:
+        from .faults import FAULT_RNG_SALT, corrupt_policy_cell
+        from .rng import spawn_rng
+        detail = corrupt_policy_cell(
+            policy, spawn_rng(args.seed, FAULT_RNG_SALT))
+        print(f"fault: corrupted loaded policy ({detail})", file=sys.stderr)
+        policy.validate()  # graceful rejection: raises a ReproError
     return policy, backoff
 
 
@@ -104,10 +131,11 @@ def _make_obs(args):
 def _write_trace(path: str, events) -> None:
     from .obs import export_chrome_trace, write_jsonl
     try:
-        if path.endswith(".json"):
-            export_chrome_trace(events, path)
-        else:
-            write_jsonl(events, path)
+        with atomic_write(path) as fh:
+            if path.endswith(".json"):
+                export_chrome_trace(events, fh)
+            else:
+                write_jsonl(events, fh)
     except OSError as exc:
         raise ReproError(f"cannot write trace {path}: {exc}") from exc
     print(f"wrote {len(events)} trace events to {path}")
@@ -115,10 +143,11 @@ def _write_trace(path: str, events) -> None:
 
 def _write_metrics(path: str, metrics) -> None:
     try:
-        if path.endswith(".csv"):
-            metrics.write_csv(path)
-        else:
-            metrics.write_json(path)
+        with atomic_write(path) as fh:
+            if path.endswith(".csv"):
+                metrics.write_csv(fh)
+            else:
+                metrics.write_json(fh)
     except OSError as exc:
         raise ReproError(f"cannot write metrics {path}: {exc}") from exc
     print(f"wrote {len(metrics)} metrics to {path}")
@@ -146,14 +175,26 @@ def _print_result(cc_name, result) -> None:
             print(" ", violation)
 
 
+def _print_fault_summary(result, prefix: str = "") -> None:
+    if result.fault_counts:
+        parts = ", ".join(f"{kind}={count}" for kind, count
+                          in sorted(result.fault_counts.items()))
+        print(f"{prefix}faults injected: {parts}")
+    if result.livelock_fires:
+        print(f"{prefix}watchdog livelock fires: {result.livelock_fires}")
+
+
 def cmd_run(args) -> int:
     spec, factory = _workload(args)
-    policy, backoff = _load_policy(args, spec)
+    fault_plan = _load_fault_plan(args)
+    policy, backoff = _load_policy(args, spec, fault_plan)
     sink, metrics = _make_obs(args)
     result = run_named(factory, args.cc, _sim_config(args), policy=policy,
                        backoff_policy=backoff, trace_sink=sink,
-                       metrics=metrics)
+                       metrics=metrics, fault_plan=fault_plan)
     _print_result(result.cc_name, result)
+    if fault_plan is not None:
+        _print_fault_summary(result)
     if sink is not None:
         _write_trace(args.trace_out, sink.events)
     if metrics is not None:
@@ -173,22 +214,29 @@ def _per_cc_path(path: str, cc: str) -> str:
 def cmd_compare(args) -> int:
     from .obs import MemorySink
     spec, factory = _workload(args)
-    policy, backoff = _load_policy(args, spec)
+    fault_plan = _load_fault_plan(args)
+    policy, backoff = _load_policy(args, spec, fault_plan)
     _sink, metrics = _make_obs(args)
     rows = []
     traces = []
+    fault_results = []
     for cc in args.ccs.split(","):
         cc = cc.strip()
         sink = MemorySink() if getattr(args, "trace_out", None) else None
         result = run_named(factory, cc, _sim_config(args),
                            policy=policy, backoff_policy=backoff,
-                           trace_sink=sink, metrics=metrics)
+                           trace_sink=sink, metrics=metrics,
+                           fault_plan=fault_plan)
         rows.append([cc, result.throughput, result.stats.abort_rate(),
                      result.stats.total_commits])
+        fault_results.append((cc, result))
         if sink is not None:
             traces.append((cc, sink.events))
     print(format_table(["cc", "TPS", "abort rate", "commits"], rows,
                        title=f"{args.workload} comparison"))
+    if fault_plan is not None:
+        for cc, result in fault_results:
+            _print_fault_summary(result, prefix=f"[{cc}] ")
     for cc, events in traces:
         _write_trace(_per_cc_path(args.trace_out, cc), events)
     if metrics is not None:
@@ -196,29 +244,50 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_train(args) -> int:
-    from .training import EAConfig, EvolutionaryTrainer, FitnessEvaluator
-    spec, factory = _workload(args)
-    sink, metrics = _make_obs(args)
+def _make_trainer(args, spec, factory, metrics):
+    from .training import (EAConfig, EvolutionaryTrainer, FitnessEvaluator,
+                           PolicyGradientTrainer, ResilientEvaluator, RLConfig)
     fitness_cfg = SimConfig(n_workers=args.workers,
                             duration=args.fitness_duration,
                             seed=args.seed, collect_latency=False)
-    trainer = EvolutionaryTrainer(
-        spec, FitnessEvaluator(factory, fitness_cfg),
+    evaluator = ResilientEvaluator(FitnessEvaluator(factory, fitness_cfg),
+                                   max_retries=args.eval_retries,
+                                   timeout=args.eval_timeout)
+    if args.trainer == "rl":
+        return PolicyGradientTrainer(
+            spec, evaluator,
+            RLConfig(iterations=args.iterations, seed=args.seed),
+            metrics=metrics)
+    return EvolutionaryTrainer(
+        spec, evaluator,
         EAConfig(iterations=args.iterations,
                  population_size=args.population,
                  children_per_parent=args.children, seed=args.seed),
         metrics=metrics)
-    result = trainer.train(progress=lambda i, best, mean: print(
-        f"iter {i:3d}: best {best:10,.0f} TPS  mean {mean:10,.0f} TPS"))
+
+
+def cmd_train(args) -> int:
+    spec, factory = _workload(args)
+    sink, metrics = _make_obs(args)
+    trainer = _make_trainer(args, spec, factory, metrics)
+    result = trainer.train(
+        iterations=args.iterations,
+        progress=lambda i, best, mean: print(
+            f"iter {i:3d}: best {best:10,.0f} TPS  mean {mean:10,.0f} TPS"),
+        checkpoint_dir=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume)
+    if result.interrupted:
+        print("\ninterrupted — saving best-so-far artifacts", file=sys.stderr)
     result.best_policy.save(args.policy_out)
     print(f"\nwrote {args.policy_out}")
     if args.backoff_out:
-        with open(args.backoff_out, "w") as f:
-            f.write(result.best_backoff.to_json())
+        result.best_backoff.save(args.backoff_out)
         print(f"wrote {args.backoff_out}")
     print(f"best fitness: {result.best_fitness:,.0f} TPS "
           f"({result.evaluations} evaluations)")
+    if result.interrupted:
+        return 130
     if sink is not None:
         # trace one verification run of the trained policy
         run_named(factory, "polyjuice", _sim_config(args),
@@ -227,6 +296,49 @@ def cmd_train(args) -> int:
         _write_trace(args.trace_out, sink.events)
     if metrics is not None:
         _write_metrics(args.metrics_out, metrics)
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    from .faults import FaultPlan, default_plans, run_chaos
+    spec, factory = _workload(args)
+    policy, backoff = _load_policy(args, spec)
+    plans = None
+    if getattr(args, "faults", None):
+        plans = [FaultPlan.load(args.faults)]
+    elif args.rates:
+        rates = [float(r) for r in args.rates.split(",")]
+        plans = default_plans(rates=rates)
+    cc_names = [cc.strip() for cc in args.ccs.split(",")]
+    rows = []
+    failures = 0
+    def on_cell(cell):
+        nonlocal failures
+        status = "ok" if cell.ok else "VIOLATION"
+        if not cell.ok:
+            failures += 1
+        faults = ", ".join(f"{k}={v}" for k, v
+                           in sorted(cell.fault_counts.items())) or "-"
+        rows.append([cell.cc_name, cell.plan_name, cell.commits,
+                     cell.aborts, faults, cell.livelock_fires, status])
+        print(f"  {cell.cc_name:10s} {cell.plan_name:14s} "
+              f"commits={cell.commits:<6d} {status}")
+    print(f"chaos sweep: {args.workload}, ccs={','.join(cc_names)}")
+    results = run_chaos(factory, cc_names, _sim_config(args), plans=plans,
+                        policy=policy, backoff_policy=backoff,
+                        watchdog_window=args.watchdog, progress=on_cell)
+    print()
+    print(format_table(
+        ["cc", "plan", "commits", "aborts", "faults", "livelocks", "status"],
+        rows, title="chaos results"))
+    bad = [cell for cell in results if not cell.ok]
+    if bad:
+        print(f"\n{len(bad)} cell(s) with invariant violations:")
+        for cell in bad:
+            for violation in cell.violations[:5]:
+                print(f"  [{cell.cc_name}/{cell.plan_name}] {violation}")
+        return 1
+    print(f"\nall {len(results)} cells clean")
     return 0
 
 
@@ -302,6 +414,19 @@ def _add_obs(parser) -> None:
                              "else JSON)")
 
 
+def _add_faults(parser, watchdog_default: Optional[float] = None) -> None:
+    parser.add_argument("--faults", metavar="PLAN.json",
+                        help="fault plan to inject (see repro.faults)")
+    parser.add_argument("--watchdog", type=float, metavar="TICKS",
+                        default=watchdog_default,
+                        help="progress watchdog window in simulated ticks "
+                             "(no commit for this long triggers recovery)")
+    parser.add_argument("--watchdog-action", dest="watchdog_action",
+                        choices=["abort_oldest", "raise"],
+                        default="abort_oldest",
+                        help="what the watchdog does on livelock")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -311,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one protocol")
     _add_common(run_parser)
     _add_obs(run_parser)
+    _add_faults(run_parser)
     run_parser.add_argument("--cc", default="silo")
     run_parser.add_argument("--policy", help="policy JSON (for polyjuice)")
     run_parser.add_argument("--backoff", help="backoff JSON")
@@ -319,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser = sub.add_parser("compare", help="compare protocols")
     _add_common(compare_parser)
     _add_obs(compare_parser)
+    _add_faults(compare_parser)
     compare_parser.add_argument("--ccs", default="silo,2pl,ic3,tebaldi")
     compare_parser.add_argument("--policy")
     compare_parser.add_argument("--backoff")
@@ -327,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     train_parser = sub.add_parser("train", help="train a policy")
     _add_common(train_parser)
     _add_obs(train_parser)
+    train_parser.add_argument("--trainer", choices=["ea", "rl"], default="ea")
     train_parser.add_argument("--iterations", type=int, default=10)
     train_parser.add_argument("--population", type=int, default=5)
     train_parser.add_argument("--children", type=int, default=3)
@@ -334,7 +462,35 @@ def build_parser() -> argparse.ArgumentParser:
                               default=3_000.0)
     train_parser.add_argument("--policy-out", default="policy.json")
     train_parser.add_argument("--backoff-out", default="backoff.json")
+    train_parser.add_argument("--checkpoint", metavar="DIR",
+                              help="write resumable trainer state here")
+    train_parser.add_argument("--checkpoint-every", type=int, default=1,
+                              metavar="K", help="checkpoint every K iterations")
+    train_parser.add_argument("--resume", action="store_true",
+                              help="resume from --checkpoint DIR")
+    train_parser.add_argument("--eval-retries", type=int, default=2,
+                              help="retries per failed fitness evaluation")
+    train_parser.add_argument("--eval-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="wall-clock timeout per evaluation")
     train_parser.set_defaults(fn=cmd_train)
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="fault-injection sweep with correctness oracles")
+    _add_common(chaos_parser)
+    chaos_parser.add_argument("--ccs", default="silo,2pl,ic3")
+    chaos_parser.add_argument("--faults", metavar="PLAN.json",
+                              help="run one specific fault plan instead of "
+                                   "the default sweep")
+    chaos_parser.add_argument("--rates", metavar="R1,R2,...",
+                              help="per-cost fault rates for the default "
+                                   "sweep (default: 0.0005,0.002)")
+    chaos_parser.add_argument("--watchdog", type=float, default=5_000.0,
+                              metavar="TICKS",
+                              help="progress watchdog window (abort_oldest)")
+    chaos_parser.add_argument("--policy", help="policy JSON (polyjuice)")
+    chaos_parser.add_argument("--backoff", help="backoff JSON")
+    chaos_parser.set_defaults(fn=cmd_chaos)
 
     profile_parser = sub.add_parser(
         "profile", help="per-worker time-accounting breakdown")
@@ -366,6 +522,9 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -111,6 +111,13 @@ class SimConfig:
             wait-for graph for commit-wait cycles.
         max_retries: safety valve for tests; ``None`` retries forever as in
             the paper's methodology.
+        watchdog_window: progress watchdog — if no transaction commits for
+            this many ticks the scheduler fires a ``livelock`` event and
+            applies ``watchdog_action``.  ``None`` disables the watchdog.
+        watchdog_action: what the watchdog does on a livelock window:
+            ``"abort_oldest"`` sacrifices the oldest blocked transaction
+            (the run continues), ``"raise"`` raises
+            :class:`~repro.errors.LivelockError`.
     """
 
     n_workers: int = 8
@@ -121,6 +128,8 @@ class SimConfig:
     collect_latency: bool = True
     deadlock_check_interval: float = 50.0
     max_retries: Optional[int] = None
+    watchdog_window: Optional[float] = None
+    watchdog_action: str = "abort_oldest"
 
     def __post_init__(self) -> None:
         if self.n_workers <= 0:
@@ -133,3 +142,9 @@ class SimConfig:
             raise ConfigError("deadlock_check_interval must be positive")
         if self.max_retries is not None and self.max_retries < 0:
             raise ConfigError("max_retries must be None or >= 0")
+        if self.watchdog_window is not None and self.watchdog_window <= 0:
+            raise ConfigError("watchdog_window must be None or positive")
+        if self.watchdog_action not in ("abort_oldest", "raise"):
+            raise ConfigError(
+                f"unknown watchdog_action: {self.watchdog_action!r} "
+                "(expected 'abort_oldest' or 'raise')")

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from ..config import CostModel
 from ..errors import PolicyFormatError, PolicyShapeError, PolicyValueError
+from ..ioutil import atomic_write_text
 
 #: discrete alpha choices (bounded, includes 0 = "leave backoff unchanged")
 ALPHA_CHOICES = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
@@ -90,12 +91,25 @@ class BackoffPolicy:
 
     @classmethod
     def from_dict(cls, data: dict) -> "BackoffPolicy":
+        if not isinstance(data, dict):
+            raise PolicyFormatError(
+                f"backoff policy must be an object, got {type(data).__name__}")
         try:
-            return cls(int(data["n_types"]),
-                       [[[int(i) for i in bucket] for bucket in per_type]
-                        for per_type in data["alpha_indices"]])
-        except (KeyError, TypeError, ValueError) as exc:
-            raise PolicyFormatError(f"malformed backoff policy: {exc}") from exc
+            n_types = int(data["n_types"])
+            alpha_indices = data["alpha_indices"]
+        except KeyError as exc:
+            raise PolicyFormatError(
+                f"backoff policy missing field {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            raise PolicyFormatError(
+                f"backoff policy field 'n_types': {exc}") from exc
+        try:
+            table = [[[int(i) for i in bucket] for bucket in per_type]
+                     for per_type in alpha_indices]
+        except (TypeError, ValueError) as exc:
+            raise PolicyFormatError(
+                f"backoff policy field 'alpha_indices': {exc}") from exc
+        return cls(n_types, table)
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict())
@@ -106,6 +120,19 @@ class BackoffPolicy:
             return cls.from_dict(json.loads(text))
         except json.JSONDecodeError as exc:
             raise PolicyFormatError(f"invalid backoff JSON: {exc}") from exc
+
+    def save(self, path: str) -> None:
+        atomic_write_text(path, self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "BackoffPolicy":
+        try:
+            with open(path) as f:
+                text = f.read()
+        except OSError as exc:
+            raise PolicyFormatError(
+                f"cannot read backoff policy {path}: {exc}") from exc
+        return cls.from_json(text)
 
 
 class LearnedBackoffManager:

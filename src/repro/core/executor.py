@@ -194,6 +194,9 @@ class PolicyExecutor(ConcurrencyControl):
     # operations
 
     def _execute_op(self, ctx: TxnContext, policy: CCPolicy, op) -> Generator:
+        worker = ctx.worker
+        if worker is not None and worker.faults is not None:
+            worker.faults.on_access(ctx)
         if ctx.doomed:
             raise TransactionAborted(AbortReason.DIRTY_READ_OF_ABORTED,
                                      "dirty-read source aborted")
@@ -201,7 +204,6 @@ class PolicyExecutor(ConcurrencyControl):
         # lies before it has finished (loop-aware progress; §4.3's "finish
         # execution up to and including a")
         ctx.note_progress(self._progress_tables[ctx.type_index][op.access_id])
-        worker = ctx.worker
         if worker is not None and worker.trace.enabled:
             worker.trace.emit(TraceEvent(
                 worker.scheduler.now, EventKind.ACCESS, worker.worker_id,

@@ -22,6 +22,7 @@ import json
 from typing import Callable, Dict, List, Optional
 
 from ..errors import PolicyFormatError, PolicyShapeError, PolicyValueError
+from ..ioutil import atomic_write_text
 from . import actions
 from .spec import WorkloadSpec
 
@@ -164,8 +165,7 @@ class CCPolicy:
         return json.dumps(self.to_dict(), indent=indent)
 
     def save(self, path: str) -> None:
-        with open(path, "w") as f:
-            f.write(self.to_json())
+        atomic_write_text(path, self.to_json())
 
     @classmethod
     def from_dict(cls, spec: WorkloadSpec, data: dict) -> "CCPolicy":
@@ -181,16 +181,20 @@ class CCPolicy:
                 "policy was trained for a different workload shape: "
                 f"{declared} != {expected}")
         rows = []
-        try:
-            for row_data in data["rows"]:
+        for row_index, row_data in enumerate(data["rows"]):
+            try:
                 rows.append(PolicyRow(
                     [int(v) for v in row_data["wait"]],
                     int(row_data["read_dirty"]),
                     int(row_data["write_public"]),
                     int(row_data["early_validate"]),
                 ))
-        except (KeyError, TypeError, ValueError) as exc:
-            raise PolicyFormatError(f"malformed policy row: {exc}") from exc
+            except KeyError as exc:
+                raise PolicyFormatError(
+                    f"rows[{row_index}]: missing field {exc}") from exc
+            except (TypeError, ValueError) as exc:
+                raise PolicyFormatError(
+                    f"rows[{row_index}]: malformed cell: {exc}") from exc
         return cls(spec, rows, name=data.get("name", "loaded"))
 
     @classmethod
@@ -203,8 +207,13 @@ class CCPolicy:
 
     @classmethod
     def load(cls, spec: WorkloadSpec, path: str) -> "CCPolicy":
-        with open(path) as f:
-            return cls.from_json(spec, f.read())
+        try:
+            with open(path) as f:
+                text = f.read()
+        except OSError as exc:
+            raise PolicyFormatError(
+                f"cannot read policy {path}: {exc}") from exc
+        return cls.from_json(spec, text)
 
     # ------------------------------------------------------------------ #
 

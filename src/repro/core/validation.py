@@ -16,13 +16,13 @@ its observed version can no longer be the committed version at our commit:
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import List, Optional, TYPE_CHECKING
 
 from ..obs.tracing import EventKind, TraceEvent
 from .context import ReadEntry, TxnContext, TxnStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    pass
+    from ..storage.database import Database
 
 
 def read_entry_doomed(ctx: TxnContext, entry: ReadEntry) -> Optional[str]:
@@ -114,3 +114,30 @@ def finish(ctx: TxnContext, status: str, reason: Optional[str] = None,
     ctx.readers.clear()
     if recorder is not None and status == TxnStatus.COMMITTED:
         recorder.on_commit(ctx)
+
+
+def storage_residue(db: "Database") -> List[str]:
+    """Scan every record for shared state left behind by *terminated*
+    transactions: a commit lock still held, or an access-list entry still
+    published, by a context that already committed or aborted.
+
+    Any finding is a scrub bug — the abort path (including every injected
+    fault) must leave storage as if the dead attempt never ran.  Contexts
+    still in flight when the run horizon was reached legitimately own locks
+    and entries, so they are not residue.  Returns human-readable problem
+    descriptions (empty list = clean)."""
+    problems: List[str] = []
+    for table_name in db.table_names():
+        for record in db.table(table_name).records():
+            owner = record.lock_owner
+            if owner is not None and not owner.is_active():
+                problems.append(
+                    f"{table_name}{record.key}: lock held by terminated "
+                    f"txn {owner.txn_id} ({owner.status})")
+            for entry in record.access_list:
+                if not entry.ctx.is_active():
+                    problems.append(
+                        f"{table_name}{record.key}: access-list entry "
+                        f"({entry.kind}) from terminated txn "
+                        f"{entry.ctx.txn_id} ({entry.ctx.status})")
+    return problems

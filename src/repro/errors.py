@@ -9,6 +9,8 @@ signals an abort by raising :class:`TransactionAborted`.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -58,12 +60,31 @@ class SchedulerError(SimulationError):
     """The scheduler was driven in an illegal way (e.g. time regression)."""
 
 
+class LivelockError(SimulationError):
+    """The progress watchdog observed no commit for a full window and the
+    run was configured to treat that as fatal (``watchdog_action="raise"``).
+    Carries the diagnostics recorded at detection time."""
+
+    def __init__(self, message: str, diagnostics: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics or {}
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed or holds an illegal value."""
+
+
 class WorkloadError(ReproError):
     """A workload definition is inconsistent or was misused."""
 
 
 class TrainingError(ReproError):
     """A trainer was configured or driven incorrectly."""
+
+
+class CheckpointError(TrainingError):
+    """A training checkpoint could not be read or does not match the
+    trainer attempting to resume from it."""
 
 
 class AbortReason:
@@ -75,6 +96,10 @@ class AbortReason:
     LOCK_DIE = "lock_die"
     WAIT_CYCLE = "wait_cycle"
     WAIT_TIMEOUT = "wait_timeout"
+    #: the fault injector killed the attempt (injected abort / worker crash)
+    FAULT = "fault"
+    #: the progress watchdog sacrificed the oldest blocked transaction
+    LIVELOCK = "livelock"
     USER = "user"
 
     ALL = (
@@ -84,6 +109,8 @@ class AbortReason:
         LOCK_DIE,
         WAIT_CYCLE,
         WAIT_TIMEOUT,
+        FAULT,
+        LIVELOCK,
         USER,
     )
 

@@ -1,0 +1,30 @@
+"""Deterministic fault injection and chaos testing for simulated runs.
+
+Faults are described by a serializable :class:`FaultPlan` (rate-based
+perturbation plus scripted events pinned to exact simulated times) and
+applied by a :class:`FaultInjector` whose randomness derives from the run's
+root seed — the same (seed, plan, protocol) triple always yields the same
+fault sequence and the same commit counts.  :func:`run_chaos` sweeps fault
+plans across protocols and checks the simulator's invariants (time
+accounting, serializability, lock-table drain) after every perturbed run.
+"""
+
+from .plan import (EVENT_KINDS, FAULT_PLAN_FORMAT_VERSION, RATE_KINDS,
+                   FaultPlan, ScriptedFault)
+from .injector import FAULT_RNG_SALT, FaultInjector, corrupt_policy_cell
+from .chaos import ChaosResult, default_plans, run_chaos, run_chaos_cell
+
+__all__ = [
+    "EVENT_KINDS",
+    "FAULT_PLAN_FORMAT_VERSION",
+    "FAULT_RNG_SALT",
+    "RATE_KINDS",
+    "ChaosResult",
+    "FaultInjector",
+    "FaultPlan",
+    "ScriptedFault",
+    "corrupt_policy_cell",
+    "default_plans",
+    "run_chaos",
+    "run_chaos_cell",
+]

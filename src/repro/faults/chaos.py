@@ -1,0 +1,130 @@
+"""Chaos testing: sweep fault plans across protocols, audit invariants.
+
+A chaos run is an ordinary simulated run with a :class:`FaultPlan` attached
+and every available oracle armed: the workload's semantic invariants
+(e.g. TPC-C stock/order consistency), the time-accounting identity, the
+serializability checker over the full committed history, and the
+storage-residue scan (no lock or access-list entry may outlive its
+transaction).  Because fault injection is seeded, a failing cell's
+(workload, protocol, plan, seed) tuple reproduces the failure exactly.
+
+Used by ``repro chaos`` and by the property tests in
+``tests/faults/test_chaos_invariants.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+from ..analysis.serializability import HistoryRecorder, SerializabilityChecker
+from ..config import SimConfig
+from ..core.backoff import BackoffPolicy
+from ..core.policy import CCPolicy
+from ..obs.profile import TimeAccountant, check_accounting
+from ..workloads.base import Workload
+from .plan import FaultPlan
+
+#: default fault-rate levels swept by ``repro chaos`` (per work cost)
+DEFAULT_RATES = (0.0005, 0.002)
+
+#: default fault kinds exercised at each swept rate
+DEFAULT_KINDS = ("stall", "abort", "crash", "doom")
+
+
+class ChaosResult:
+    """Outcome of one (protocol, plan) chaos cell."""
+
+    __slots__ = ("cc_name", "plan_name", "commits", "aborts", "fault_counts",
+                 "livelock_fires", "violations")
+
+    def __init__(self, cc_name: str, plan_name: str, commits: int,
+                 aborts: int, fault_counts: dict, livelock_fires: int,
+                 violations: List[str]) -> None:
+        self.cc_name = cc_name
+        self.plan_name = plan_name
+        self.commits = commits
+        self.aborts = aborts
+        self.fault_counts = fault_counts
+        self.livelock_fires = livelock_fires
+        #: invariant violations — always empty unless the simulator is buggy
+        self.violations = violations
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = "ok" if self.ok else f"{len(self.violations)} violations"
+        return (f"ChaosResult({self.cc_name}/{self.plan_name}, "
+                f"commits={self.commits}, {status})")
+
+
+def default_plans(kinds: Sequence[str] = DEFAULT_KINDS,
+                  rates: Sequence[float] = DEFAULT_RATES) -> List[FaultPlan]:
+    """One single-kind plan per (kind, rate) plus one mixed-rate plan."""
+    plans = [FaultPlan(rates={kind: rate}, name=f"{kind}@{rate}")
+             for kind in kinds for rate in rates]
+    mixed = {kind: min(rates) for kind in kinds}
+    plans.append(FaultPlan(rates=mixed, name="mixed"))
+    return plans
+
+
+def run_chaos_cell(workload_factory: Callable[[], Workload], cc_name: str,
+                   config: SimConfig, plan: FaultPlan,
+                   policy: Optional[CCPolicy] = None,
+                   backoff_policy: Optional[BackoffPolicy] = None) -> ChaosResult:
+    """Run one protocol under one fault plan with every oracle armed."""
+    # imported here: the bench runner itself imports repro.faults (for the
+    # injector types), so a module-level import would be circular
+    from ..bench.runner import run_named
+    recorder = HistoryRecorder()
+    accountant = TimeAccountant(config.n_workers, config.duration)
+    result = run_named(workload_factory, cc_name, config, policy=policy,
+                       backoff_policy=backoff_policy, recorder=recorder,
+                       accountant=accountant, fault_plan=plan)
+    violations = list(result.invariant_violations)
+    accounting_problem = check_accounting(accountant)
+    if accounting_problem is not None:
+        violations.append(f"time accounting: {accounting_problem}")
+    checker = SerializabilityChecker(recorder)
+    if not checker.check():
+        violations.extend(f"serializability: {error}"
+                          for error in checker.errors)
+    return ChaosResult(result.cc_name, plan.name,
+                       result.stats.total_commits,
+                       result.stats.total_aborts,
+                       result.fault_counts, result.livelock_fires,
+                       violations)
+
+
+def run_chaos(workload_factory: Callable[[], Workload],
+              cc_names: Sequence[str], config: SimConfig,
+              plans: Optional[Sequence[FaultPlan]] = None,
+              policy: Optional[CCPolicy] = None,
+              backoff_policy: Optional[BackoffPolicy] = None,
+              watchdog_window: Optional[float] = None,
+              progress: Optional[Callable[[ChaosResult], None]] = None
+              ) -> List[ChaosResult]:
+    """Sweep ``plans`` (default: :func:`default_plans`) across ``cc_names``.
+
+    Every cell runs with the full oracle battery; ``progress`` (if given)
+    is called with each finished :class:`ChaosResult`.  The progress
+    watchdog is armed in ``abort_oldest`` mode when ``watchdog_window`` is
+    set, so livelock recovery is exercised too rather than failing the run.
+    """
+    if plans is None:
+        plans = default_plans()
+    if watchdog_window is not None:
+        config = dataclasses.replace(config, watchdog_window=watchdog_window,
+                                     watchdog_action="abort_oldest")
+    results = []
+    for cc_name in cc_names:
+        for plan in plans:
+            cell = run_chaos_cell(workload_factory, cc_name, config, plan,
+                                  policy=policy,
+                                  backoff_policy=backoff_policy)
+            results.append(cell)
+            if progress is not None:
+                progress(cell)
+    return results

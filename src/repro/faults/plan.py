@@ -1,0 +1,247 @@
+"""Fault plans: the declarative description of what to inject, when.
+
+A :class:`FaultPlan` combines two mechanisms:
+
+* **rate-based faults** — per-work-cost / per-access probabilities drawn
+  from the run's seeded fault RNG, so every protocol (silo, 2pl, ic3,
+  polyjuice) is perturbed identically and deterministically;
+* **scripted faults** — events pinned to exact simulated times and workers
+  (the reproducible "kill worker 3 at t=20000" experiment).
+
+The fault taxonomy (see DESIGN.md "Robustness & chaos testing"):
+
+========  ===========================================================
+kind      effect
+========  ===========================================================
+stall     the worker freezes for N extra ticks mid-access
+abort     the in-flight transaction attempt is killed (clean abort
+          path: locks released, access lists scrubbed, backoff taken)
+crash     the worker drops — its in-flight transaction aborts cleanly
+          and the worker stays down for ``downtime`` ticks before
+          restarting and retrying the same invocation
+doom      the in-flight transaction is force-doomed (``ctx.doomed``);
+          policy-driven executors abort it through the §4.3 doom
+          machinery (no effect on executors that never dirty-read)
+slow      the worker's execution costs are inflated by ``factor``
+          (slow-node emulation), optionally for a bounded duration
+========  ===========================================================
+
+Plans serialize to/from JSON (``repro run --faults PLAN.json``) and are
+validated on load with errors naming the offending field.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import FaultPlanError
+from ..ioutil import atomic_write_json
+
+#: current on-disk format version
+FAULT_PLAN_FORMAT_VERSION = 1
+
+#: rate-based fault kinds (probability per eligible work cost / access)
+RATE_KINDS = ("stall", "abort", "crash", "doom")
+
+#: scripted event kinds
+EVENT_KINDS = ("stall", "abort", "crash", "doom", "slow")
+
+
+@dataclass
+class ScriptedFault:
+    """One fault pinned to a simulated time and a worker."""
+
+    time: float
+    kind: str
+    worker: int
+    #: stall length (``kind == "stall"``)
+    ticks: float = 0.0
+    #: worker downtime after the crash (``kind == "crash"``)
+    downtime: float = 0.0
+    #: cost multiplier (``kind == "slow"``)
+    factor: float = 1.0
+    #: how long the slowdown lasts; 0 = until the end of the run
+    duration: float = 0.0
+
+    def validate(self, index: int) -> None:
+        where = f"events[{index}]"
+        if self.kind not in EVENT_KINDS:
+            raise FaultPlanError(
+                f"{where}.kind: unknown fault kind {self.kind!r} "
+                f"(expected one of {', '.join(EVENT_KINDS)})")
+        if self.time < 0:
+            raise FaultPlanError(f"{where}.time: must be >= 0, got {self.time}")
+        if self.worker < 0:
+            raise FaultPlanError(
+                f"{where}.worker: must be >= 0, got {self.worker}")
+        if self.kind == "stall" and self.ticks <= 0:
+            raise FaultPlanError(
+                f"{where}.ticks: stall needs ticks > 0, got {self.ticks}")
+        if self.kind == "crash" and self.downtime < 0:
+            raise FaultPlanError(
+                f"{where}.downtime: must be >= 0, got {self.downtime}")
+        if self.kind == "slow":
+            if self.factor <= 0:
+                raise FaultPlanError(
+                    f"{where}.factor: must be > 0, got {self.factor}")
+            if self.duration < 0:
+                raise FaultPlanError(
+                    f"{where}.duration: must be >= 0, got {self.duration}")
+
+    def to_dict(self) -> dict:
+        data = {"time": self.time, "kind": self.kind, "worker": self.worker}
+        if self.kind == "stall":
+            data["ticks"] = self.ticks
+        elif self.kind == "crash":
+            data["downtime"] = self.downtime
+        elif self.kind == "slow":
+            data["factor"] = self.factor
+            if self.duration:
+                data["duration"] = self.duration
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict, index: int) -> "ScriptedFault":
+        where = f"events[{index}]"
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"{where}: must be an object, got "
+                                 f"{type(data).__name__}")
+        try:
+            event = cls(time=float(data["time"]), kind=str(data["kind"]),
+                        worker=int(data["worker"]),
+                        ticks=float(data.get("ticks", 0.0)),
+                        downtime=float(data.get("downtime", 0.0)),
+                        factor=float(data.get("factor", 1.0)),
+                        duration=float(data.get("duration", 0.0)))
+        except KeyError as exc:
+            raise FaultPlanError(f"{where}: missing field {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(f"{where}: {exc}") from exc
+        event.validate(index)
+        return event
+
+
+@dataclass
+class FaultPlan:
+    """A complete, serializable fault-injection plan."""
+
+    #: probability per eligible work cost (stall/abort/crash) or per
+    #: policy-executor access (doom); keys from :data:`RATE_KINDS`
+    rates: dict = field(default_factory=dict)
+    #: [lo, hi] ticks for rate-drawn stalls
+    stall_ticks: Tuple[float, float] = (10.0, 100.0)
+    #: worker downtime after a rate-drawn crash
+    crash_downtime: float = 500.0
+    #: scripted events, fired at exact simulated times
+    events: List[ScriptedFault] = field(default_factory=list)
+    #: corrupt one random policy cell at load time (exercises the
+    #: graceful-rejection path; only meaningful with ``--policy``)
+    corrupt_policy: bool = False
+    name: str = "faults"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        for kind, rate in self.rates.items():
+            if kind not in RATE_KINDS:
+                raise FaultPlanError(
+                    f"rates.{kind}: unknown rate kind (expected one of "
+                    f"{', '.join(RATE_KINDS)})")
+            if not 0.0 <= rate <= 1.0:
+                raise FaultPlanError(
+                    f"rates.{kind}: must lie in [0, 1], got {rate}")
+        lo, hi = self.stall_ticks
+        if lo < 0 or hi < lo:
+            raise FaultPlanError(
+                f"stall_ticks: need 0 <= lo <= hi, got [{lo}, {hi}]")
+        if self.crash_downtime < 0:
+            raise FaultPlanError(
+                f"crash_downtime: must be >= 0, got {self.crash_downtime}")
+        for index, event in enumerate(self.events):
+            event.validate(index)
+
+    def rate(self, kind: str) -> float:
+        return self.rates.get(kind, 0.0)
+
+    @property
+    def any_work_rate(self) -> bool:
+        """True when any per-work-cost rate is non-zero."""
+        return any(self.rate(kind) > 0.0
+                   for kind in ("stall", "abort", "crash"))
+
+    # ------------------------------------------------------------------ #
+    # serialization
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FAULT_PLAN_FORMAT_VERSION,
+            "name": self.name,
+            "rates": dict(self.rates),
+            "stall_ticks": list(self.stall_ticks),
+            "crash_downtime": self.crash_downtime,
+            "events": [event.to_dict() for event in self.events],
+            "corrupt_policy": self.corrupt_policy,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> None:
+        atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError(
+                f"fault plan must be an object, got {type(data).__name__}")
+        declared = data.get("format", FAULT_PLAN_FORMAT_VERSION)
+        if declared != FAULT_PLAN_FORMAT_VERSION:
+            raise FaultPlanError(f"unsupported fault plan format: {declared!r}")
+        rates = data.get("rates", {})
+        if not isinstance(rates, dict):
+            raise FaultPlanError("rates: must be an object of kind -> rate")
+        try:
+            rates = {str(kind): float(rate) for kind, rate in rates.items()}
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(f"rates: {exc}") from exc
+        stall_ticks = data.get("stall_ticks", [10.0, 100.0])
+        if not isinstance(stall_ticks, (list, tuple)) or len(stall_ticks) != 2:
+            raise FaultPlanError("stall_ticks: must be a [lo, hi] pair")
+        raw_events = data.get("events", [])
+        if not isinstance(raw_events, list):
+            raise FaultPlanError("events: must be a list")
+        try:
+            crash_downtime = float(data.get("crash_downtime", 500.0))
+            stall_lo, stall_hi = float(stall_ticks[0]), float(stall_ticks[1])
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(f"fault plan: {exc}") from exc
+        return cls(
+            rates=rates,
+            stall_ticks=(stall_lo, stall_hi),
+            crash_downtime=crash_downtime,
+            events=[ScriptedFault.from_dict(event, index)
+                    for index, event in enumerate(raw_events)],
+            corrupt_policy=bool(data.get("corrupt_policy", False)),
+            name=str(data.get("name", "faults")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"invalid fault plan JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path) as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise FaultPlanError(
+                f"cannot read fault plan {path}: {exc}") from exc
+        return cls.from_json(text)

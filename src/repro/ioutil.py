@@ -1,0 +1,68 @@
+"""Crash-safe file output helpers.
+
+Every artifact the library writes (policies, backoff tables, traces,
+metrics snapshots, training checkpoints) goes through :func:`atomic_write`:
+the content is written to a temporary file in the destination directory and
+moved into place with :func:`os.replace`, which is atomic on POSIX and
+Windows.  A process killed mid-write therefore never leaves a truncated or
+half-serialized artifact behind — the destination either holds the old
+complete content or the new complete content.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from typing import IO, Iterator
+
+from .errors import ReproError
+
+
+@contextlib.contextmanager
+def atomic_write(path: str, mode: str = "w") -> Iterator[IO[str]]:
+    """Context manager yielding a file handle whose content replaces
+    ``path`` atomically on successful exit.  On error the temporary file is
+    removed and the destination is left untouched."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory,
+                                    prefix=os.path.basename(path) + ".",
+                                    suffix=".tmp")
+    fh = os.fdopen(fd, mode)
+    try:
+        yield fh
+        fh.flush()
+        os.fsync(fh.fileno())
+        fh.close()
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            fh.close()
+        with contextlib.suppress(OSError):
+            os.remove(tmp_path)
+        raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Atomically replace ``path`` with ``text``."""
+    with atomic_write(path) as fh:
+        fh.write(text)
+
+
+def atomic_write_json(path: str, obj, indent: int = 2) -> None:
+    """Atomically replace ``path`` with ``obj`` serialized as JSON."""
+    with atomic_write(path) as fh:
+        json.dump(obj, fh, indent=indent)
+
+
+def load_json(path: str, what: str = "file"):
+    """Read and parse a JSON file, wrapping I/O and syntax failures into
+    :class:`ReproError` with the path named (CLI-friendly diagnostics)."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except OSError as exc:
+        raise ReproError(f"cannot read {what} {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid JSON in {what} {path}: {exc}") from exc

@@ -51,9 +51,14 @@ class EventKind:
     DOOM = "doom"
     #: a lock request blocked or died under WAIT-DIE (attrs: outcome, ...)
     LOCK = "lock"
+    #: the fault injector fired (attrs: fault, origin, kind-specific detail)
+    FAULT = "fault"
+    #: the progress watchdog saw no commit for a full window
+    #: (attrs: window, action, parked, wait_edges)
+    LIVELOCK = "livelock"
 
     ALL = (TX_START, ACCESS, WAIT_BEGIN, WAIT_END, VALIDATE, ABORT, COMMIT,
-           BACKOFF, PIECE_RETRY, DOOM, LOCK)
+           BACKOFF, PIECE_RETRY, DOOM, LOCK, FAULT, LIVELOCK)
 
 
 class TraceEvent:
@@ -165,13 +170,19 @@ class JsonlStreamSink(TraceSink):
 # JSONL export / import
 
 
-def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
-    """Write events one-JSON-object-per-line; returns the event count."""
+def write_jsonl(events: Iterable[TraceEvent],
+                path_or_fh: Union[str, IO[str]]) -> int:
+    """Write events one-JSON-object-per-line; returns the event count.
+
+    Accepts a path or an open file handle (the CLI passes a handle from an
+    atomic-write context so a killed process never truncates the trace)."""
+    if isinstance(path_or_fh, str):
+        with open(path_or_fh, "w") as fh:
+            return write_jsonl(events, fh)
     count = 0
-    with open(path, "w") as fh:
-        for event in events:
-            fh.write(json.dumps(event.to_dict()) + "\n")
-            count += 1
+    for event in events:
+        path_or_fh.write(json.dumps(event.to_dict()) + "\n")
+        count += 1
     return count
 
 

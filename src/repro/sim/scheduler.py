@@ -20,7 +20,8 @@ import itertools
 from typing import Callable, Dict, List, Optional, Tuple  # noqa: F401
 
 from ..config import SimConfig
-from ..errors import AbortReason, SchedulerError, TransactionAborted
+from ..errors import (AbortReason, LivelockError, SchedulerError,
+                      TransactionAborted)
 from ..obs.profile import TimeAccountant
 from ..obs.tracing import EventKind, NULL_SINK, TraceEvent, TraceSink
 from .events import Cost, CostKind, WaitFor
@@ -35,7 +36,8 @@ class Scheduler:
 
     def __init__(self, config: SimConfig,
                  trace: Optional[TraceSink] = None,
-                 accountant: Optional[TimeAccountant] = None) -> None:
+                 accountant: Optional[TimeAccountant] = None,
+                 faults=None) -> None:
         self.config = config
         self.now = 0.0
         #: structured event sink; the default no-op sink has
@@ -43,6 +45,9 @@ class Scheduler:
         self.trace: TraceSink = trace if trace is not None else NULL_SINK
         #: optional per-worker time accountant (``repro.obs.profile``)
         self.accountant = accountant
+        #: optional :class:`~repro.faults.FaultInjector`; ``None`` keeps the
+        #: fault hooks off the hot path entirely
+        self.faults = faults
         self._heap: List[Tuple[float, int, int, object]] = []
         self._seq = itertools.count()
         self._workers: List[Worker] = []
@@ -52,6 +57,11 @@ class Scheduler:
         #: statistics of safety-valve firings (exposed for tests/analysis)
         self.cycle_breaks = 0
         self.timeout_breaks = 0
+        #: simulated time of the most recent commit (progress watchdog)
+        self.last_commit_time = 0.0
+        #: how many livelock windows the watchdog has declared
+        self.livelock_fires = 0
+        self._watchdog_armed = False
         #: accumulated parked simulated time per WaitKind (wait profiling)
         self.wait_time_by_kind: Dict[str, float] = {}
         self.wait_count_by_kind: Dict[str, int] = {}
@@ -83,6 +93,10 @@ class Scheduler:
         if until < self.now:
             raise SchedulerError("cannot run backwards in time")
         self._run_until = until
+        if self.config.watchdog_window is not None and not self._watchdog_armed:
+            self._watchdog_armed = True
+            self.schedule_callback(self.now + self.config.watchdog_window,
+                                   self._watchdog_fire)
         while self._heap and self._heap[0][0] <= until:
             time, _, kind, payload = heapq.heappop(self._heap)
             self.now = time
@@ -102,25 +116,37 @@ class Scheduler:
                  initial_exc: Optional[BaseException] = None) -> None:
         """Resume ``worker`` until it sleeps, parks or finishes."""
         exc = initial_exc
+        if exc is None and self.faults is not None \
+                and self.faults.has_pending(worker.worker_id):
+            exc, downtime = self.faults.consume_pending(worker)
+            if exc is None and downtime > 0.0:
+                # crashed between transactions: stay down, then retry
+                self._schedule_worker(worker, self.now + downtime)
+                return
         while True:
             directive = worker.advance(exc)
             exc = None
             if directive is None:
                 break  # worker finished
             if isinstance(directive, Cost):
-                if directive.ticks <= 0:
+                ticks = directive.ticks
+                if self.faults is not None and directive.kind == CostKind.WORK:
+                    ticks, fault_exc = self.faults.on_work_cost(worker, ticks)
+                    if fault_exc is not None:
+                        exc = fault_exc
+                        continue
+                if ticks <= 0:
                     continue
                 if self.accountant is not None:
                     # charge only the span inside the run horizon: the wake
                     # event past ``until`` never fires, so its remainder is
                     # never simulated
-                    charge = min(directive.ticks,
-                                 max(0.0, self._run_until - self.now))
+                    charge = min(ticks, max(0.0, self._run_until - self.now))
                     if directive.kind == CostKind.BACKOFF:
                         self.accountant.on_backoff(worker.worker_id, charge)
                     else:
                         self.accountant.on_exec(worker.worker_id, charge)
-                self._schedule_worker(worker, self.now + directive.ticks)
+                self._schedule_worker(worker, self.now + ticks)
                 break
             # WaitFor
             wait = directive
@@ -233,10 +259,13 @@ class Scheduler:
     @staticmethod
     def _pick_cycle_victim(cycle: List[Worker]) -> Worker:
         """Abort the youngest transaction in the cycle: it has the fewest
-        transactions depending on it, so the cascade it seeds is smallest."""
+        transactions depending on it, so the cascade it seeds is smallest.
+        Ties (e.g. workers with no in-flight context) break on worker id so
+        the choice is deterministic regardless of cycle traversal order."""
         def age(worker: Worker):
             ctx = worker.current_ctx
-            return ctx.priority if ctx is not None else (float("-inf"), 0)
+            priority = ctx.priority if ctx is not None else (float("-inf"), 0)
+            return (priority, worker.worker_id)
         return max(cycle, key=age)
 
     @staticmethod
@@ -263,6 +292,81 @@ class Scheduler:
                 self._advance(worker)
 
         self.schedule_callback(deadline, fire)
+
+    # ------------------------------------------------------------------ #
+    # fault-injection support
+
+    def is_parked(self, worker: Worker) -> bool:
+        return worker in self._parked
+
+    def cancel_wait(self, worker: Worker, outcome: str = "cancelled") -> None:
+        """Forcibly unpark a worker (the fault injector interrupting a
+        parked worker).  The caller drives the worker afterwards."""
+        self._unpark(worker, outcome=outcome)
+
+    # ------------------------------------------------------------------ #
+    # progress watchdog
+
+    def _watchdog_fire(self) -> None:
+        window = self.config.watchdog_window
+        if window is None:  # pragma: no cover - config cannot change mid-run
+            return
+        deadline = self.last_commit_time + window
+        if self.now < deadline:
+            # a commit happened inside the window; re-arm at its horizon
+            self.schedule_callback(deadline, self._watchdog_fire)
+            return
+        if all(worker.finished for worker in self._workers):
+            return  # drained: nothing left that could commit
+        diagnostics = self._livelock_diagnostics(window)
+        self.livelock_fires += 1
+        if self.trace.enabled:
+            self.trace.emit(TraceEvent(
+                self.now, EventKind.LIVELOCK, -1, attrs=diagnostics))
+        if self.config.watchdog_action == "raise":
+            raise LivelockError(
+                f"no commit for {window} ticks (now={self.now}, "
+                f"last commit at {self.last_commit_time})", diagnostics)
+        victim = self._watchdog_victim()
+        if victim is not None:
+            self._unpark(victim, outcome="livelock")
+            self._advance(victim, TransactionAborted(
+                AbortReason.LIVELOCK, "progress watchdog"))
+        # restart the window so one stall is reported (and acted on) once
+        self.last_commit_time = self.now
+        self.schedule_callback(self.now + window, self._watchdog_fire)
+
+    def _watchdog_victim(self) -> Optional[Worker]:
+        """The oldest blocked transaction: aborting it releases whatever the
+        rest of the pile-up is queued behind."""
+        best = None
+        best_key = None
+        for worker in self._parked:
+            ctx = worker.current_ctx
+            if ctx is None or not ctx.is_active():
+                continue
+            key = (ctx.priority, worker.worker_id)
+            if best_key is None or key < best_key:
+                best, best_key = worker, key
+        return best
+
+    def _livelock_diagnostics(self, window: float) -> dict:
+        parked = []
+        for worker, wait in self._parked.items():
+            ctx = worker.current_ctx
+            parked.append({
+                "worker": worker.worker_id,
+                "wait_kind": wait.kind,
+                "txn": ctx.txn_id if ctx is not None else None,
+                "parked_for":
+                    self.now - self._park_start.get(worker, self.now),
+            })
+        wait_edges = [[worker.worker_id, successor.worker_id]
+                      for worker in self._parked
+                      for successor in self._successors(worker)]
+        return {"window": window, "action": self.config.watchdog_action,
+                "last_commit_time": self.last_commit_time,
+                "parked": parked, "wait_edges": wait_edges}
 
     # ------------------------------------------------------------------ #
 

@@ -36,7 +36,7 @@ class Worker:
 
     __slots__ = ("worker_id", "scheduler", "cc", "workload", "stats", "config",
                  "rng", "generation", "park_token", "finished", "current_ctx",
-                 "trace", "backoff_manager", "_gen")
+                 "trace", "faults", "backoff_manager", "_gen")
 
     def __init__(self, worker_id: int, scheduler: "Scheduler", cc, workload,
                  stats: "RunStats", config: "SimConfig",
@@ -51,6 +51,8 @@ class Worker:
         #: the scheduler's trace sink (cached: one attribute hop on the
         #: hot path instead of two)
         self.trace = scheduler.trace
+        #: the scheduler's fault injector, cached for the same reason
+        self.faults = scheduler.faults
         #: this worker's backoff manager, exposed for observability
         self.backoff_manager = None
         #: bumped on every (re)schedule and park; stale heap events are skipped
@@ -114,6 +116,10 @@ class Worker:
                     if limit is not None and attempt > limit:
                         break  # give up (test configurations only)
                     pause = backoff.on_abort(invocation.type_index, attempt)
+                    if self.faults is not None:
+                        # a crash keeps the worker down for its restart
+                        # delay on top of the ordinary retry backoff
+                        pause += self.faults.take_restart_delay(self.worker_id)
                     if pause > 0:
                         self.stats.backoff_time += pause
                         if trace.enabled:
@@ -128,6 +134,7 @@ class Worker:
                     continue
                 self.current_ctx = None
                 now = self.scheduler.now
+                self.scheduler.last_commit_time = now
                 backoff.on_commit(invocation.type_index, attempt)
                 self.stats.record_commit(invocation.type_name, now,
                                          now - first_start)

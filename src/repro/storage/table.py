@@ -99,5 +99,10 @@ class Table:
             if self._records[key].value is not None:
                 yield key
 
+    def records(self) -> Iterator[Record]:
+        """Iterate every record, including tombstoned ones (invariant
+        checks need to see residue on dead records too)."""
+        return iter(self._records.values())
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Table({self.name!r}, rows={len(self)})"

@@ -8,16 +8,23 @@ the paper's reward.  ``EvolutionaryTrainer`` is the paper's main method
 against in Fig 5.
 """
 
+from .checkpoint import (CHECKPOINT_FORMAT_VERSION, has_checkpoint,
+                         load_checkpoint, save_checkpoint)
 from .ea import EAConfig, EvolutionaryTrainer, Individual, TrainingResult
-from .fitness import FitnessEvaluator
+from .fitness import FitnessEvaluator, ResilientEvaluator
 from .rl import PolicyGradientTrainer, RLConfig
 
 __all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
     "EAConfig",
     "EvolutionaryTrainer",
     "FitnessEvaluator",
     "Individual",
     "PolicyGradientTrainer",
     "RLConfig",
+    "ResilientEvaluator",
     "TrainingResult",
+    "has_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
 ]

@@ -1,0 +1,110 @@
+"""Training checkpoints: crash-safe save/resume for both trainers.
+
+A checkpoint captures everything a trainer needs to continue exactly where
+it stopped: the population (EA) or parameter table (RL), the trainer's RNG
+state, the fitness history, the best individual so far and the evaluation
+count.  Checkpoints are written atomically (temp file + ``os.replace``), so
+a kill at any instant leaves either the previous checkpoint or the new one
+— never a torn file.  Resuming from iteration *k* of a run seeded the same
+way continues the identical trajectory the uninterrupted run would have
+taken: the restored RNG state replays the same mutations/samples, and
+restored individuals keep their fitness so no evaluation is repeated.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Any, Optional
+
+from ..errors import CheckpointError
+from ..ioutil import atomic_write_json, load_json
+
+#: current checkpoint format version
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: file name used inside a checkpoint directory
+CHECKPOINT_BASENAME = "checkpoint.json"
+
+
+# ---------------------------------------------------------------------- #
+# RNG state codecs (JSON keeps arbitrary-precision ints, so both the
+# Mersenne Twister word vector and PCG64's 128-bit state survive intact)
+
+
+def encode_py_rng(rng: random.Random) -> list:
+    """``random.Random.getstate()`` as a JSON-safe nested list."""
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def decode_py_rng(data: Any, rng: random.Random) -> None:
+    """Restore a state produced by :func:`encode_py_rng` into ``rng``."""
+    try:
+        version, internal, gauss_next = data
+        rng.setstate((version, tuple(internal), gauss_next))
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"corrupt python RNG state: {exc}") from exc
+
+
+def encode_np_rng(np_rng) -> dict:
+    """A numpy ``Generator``'s bit-generator state (already JSON-safe)."""
+    return np_rng.bit_generator.state
+
+
+def decode_np_rng(data: Any, np_rng) -> None:
+    try:
+        np_rng.bit_generator.state = data
+    except (TypeError, ValueError, KeyError) as exc:
+        raise CheckpointError(f"corrupt numpy RNG state: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# disk format
+
+
+def checkpoint_path(directory: str) -> str:
+    return os.path.join(directory, CHECKPOINT_BASENAME)
+
+
+def save_checkpoint(directory: str, payload: dict) -> str:
+    """Atomically write ``payload`` as the directory's checkpoint; returns
+    the file path.  The directory is created if needed."""
+    os.makedirs(directory, exist_ok=True)
+    path = checkpoint_path(directory)
+    document = dict(payload)
+    document["format"] = CHECKPOINT_FORMAT_VERSION
+    atomic_write_json(path, document)
+    return path
+
+
+def load_checkpoint(directory: str,
+                    expect_trainer: Optional[str] = None) -> dict:
+    """Load and sanity-check a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`~repro.errors.CheckpointError` when the file is missing,
+    unreadable, of an unknown format version, or written by a different
+    trainer than ``expect_trainer``."""
+    path = checkpoint_path(directory)
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint found at {path}")
+    try:
+        data = load_json(path, "checkpoint")
+    except Exception as exc:
+        raise CheckpointError(str(exc)) from exc
+    if not isinstance(data, dict):
+        raise CheckpointError(f"{path}: checkpoint must be a JSON object")
+    declared = data.get("format")
+    if declared != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint format {declared!r} "
+            f"(expected {CHECKPOINT_FORMAT_VERSION})")
+    if expect_trainer is not None and data.get("trainer") != expect_trainer:
+        raise CheckpointError(
+            f"{path}: checkpoint was written by trainer "
+            f"{data.get('trainer')!r}, not {expect_trainer!r}")
+    return data
+
+
+def has_checkpoint(directory: str) -> bool:
+    return os.path.exists(checkpoint_path(directory))

@@ -20,13 +20,15 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-from ..errors import TrainingError
+from ..errors import PolicyError, TrainingError
 from ..obs.metrics import MetricsRegistry
 from ..core import actions
 from ..core.backoff import ALPHA_CHOICES, BackoffPolicy
 from ..core.policy import CCPolicy
 from ..core.spec import WorkloadSpec
 from ..cc.seeds import seed_policies
+from .checkpoint import (CheckpointError, decode_py_rng, encode_py_rng,
+                         load_checkpoint, save_checkpoint)
 from .fitness import FitnessEvaluator
 
 
@@ -83,6 +85,8 @@ class TrainingResult:
     #: (iteration, best fitness, population-mean fitness) per iteration
     history: List[tuple] = field(default_factory=list)
     evaluations: int = 0
+    #: True when training stopped early (SIGINT); ``best`` is best-so-far
+    interrupted: bool = False
 
     @property
     def best_policy(self) -> CCPolicy:
@@ -252,50 +256,128 @@ class EvolutionaryTrainer:
 
     # ------------------------------------------------------------------ #
 
+    # ------------------------------------------------------------------ #
+    # checkpointing
+
+    def _save_checkpoint(self, directory: str, population: List[Individual],
+                         history: List[tuple], next_iteration: int,
+                         total: int) -> None:
+        save_checkpoint(directory, {
+            "trainer": "ea",
+            "next_iteration": next_iteration,
+            "total": total,
+            "rng_state": encode_py_rng(self.rng),
+            "population": [
+                {"policy": individual.policy.to_dict(),
+                 "backoff": individual.backoff.to_dict(),
+                 "fitness": individual.fitness}
+                for individual in population],
+            "history": [list(entry) for entry in history],
+            "evaluations": self.evaluator.evaluations,
+        })
+
+    def _restore_checkpoint(self, directory: str) -> tuple:
+        data = load_checkpoint(directory, expect_trainer="ea")
+        try:
+            population = [
+                Individual(CCPolicy.from_dict(self.spec, entry["policy"]),
+                           BackoffPolicy.from_dict(entry["backoff"]),
+                           entry.get("fitness"))
+                for entry in data["population"]]
+            history = [tuple(entry) for entry in data["history"]]
+            next_iteration = int(data["next_iteration"])
+            total = int(data["total"])
+            self.evaluator.evaluations = int(data.get("evaluations", 0))
+        except (KeyError, TypeError, ValueError, PolicyError) as exc:
+            raise CheckpointError(f"corrupt EA checkpoint: {exc}") from exc
+        decode_py_rng(data["rng_state"], self.rng)
+        return population, history, next_iteration, total
+
+    # ------------------------------------------------------------------ #
+
     def train(self, iterations: Optional[int] = None,
-              progress: Optional[Callable] = None) -> TrainingResult:
-        """Run the EA; returns the best individual and the fitness history."""
-        total = iterations if iterations is not None else self.config.iterations
-        population = self.initial_population()
-        for individual in population:
-            individual.fitness = self.evaluator.evaluate(individual.policy,
-                                                         individual.backoff)
+              progress: Optional[Callable] = None,
+              checkpoint_dir: Optional[str] = None,
+              checkpoint_every: int = 1,
+              resume: bool = False) -> TrainingResult:
+        """Run the EA; returns the best individual and the fitness history.
+
+        With ``checkpoint_dir`` set, the full trainer state (population with
+        fitness, RNG state, history) is written atomically after every
+        ``checkpoint_every``-th iteration; ``resume=True`` restores it and
+        continues the identical trajectory the uninterrupted run would have
+        taken.  A ``KeyboardInterrupt`` stops training at the current point
+        and returns the best individual so far (``interrupted=True``); the
+        last on-disk checkpoint remains the consistent resume point.
+        """
+        if checkpoint_every <= 0:
+            raise TrainingError("checkpoint_every must be positive")
+        start_iteration = 0
         history: List[tuple] = []
-        for iteration in range(total):
-            p, lam = self._schedule(iteration, total)
-            pool = list(population)
-            for parent in population:
-                for _ in range(self.config.children_per_parent):
-                    if (self.config.use_crossover
-                            and len(population) > 1
-                            and self.rng.random() < self.config.crossover_prob):
-                        other = self.rng.choice(
-                            [ind for ind in population if ind is not parent])
-                        child = self._crossover(parent, other)
-                        child = self._mutate(child, p, lam)
-                    else:
-                        child = self._mutate(parent, p, lam)
-                    pool.append(child)
-            for individual in pool:
+        if resume:
+            if checkpoint_dir is None:
+                raise TrainingError("resume=True requires checkpoint_dir")
+            population, history, start_iteration, saved_total = \
+                self._restore_checkpoint(checkpoint_dir)
+            total = iterations if iterations is not None else saved_total
+        else:
+            total = iterations if iterations is not None \
+                else self.config.iterations
+            population = self.initial_population()
+        interrupted = False
+        try:
+            for individual in population:
                 if individual.fitness is None:
                     individual.fitness = self.evaluator.evaluate(
                         individual.policy, individual.backoff)
-            population = self._select(pool, self.config.population_size)
-            best = population[0] if self.config.selection == "truncation" \
-                else max(population, key=lambda ind: ind.fitness)
-            mean = sum(ind.fitness for ind in population) / len(population)
-            history.append((iteration, best.fitness, mean))
-            if self.metrics is not None:
-                self.metrics.gauge("ea_generation").set(iteration)
-                self.metrics.gauge("ea_fitness_best").set(best.fitness)
-                self.metrics.gauge("ea_fitness_mean").set(mean)
-                self.metrics.histogram("ea_fitness_best_history").observe(
-                    best.fitness)
-                self.metrics.counter("ea_evaluations_total").inc(
-                    self.evaluator.evaluations
-                    - self.metrics.counter("ea_evaluations_total").value)
-            if progress is not None:
-                progress(iteration, best.fitness, mean)
-        best = max(population, key=lambda ind: ind.fitness)
+            for iteration in range(start_iteration, total):
+                p, lam = self._schedule(iteration, total)
+                pool = list(population)
+                for parent in population:
+                    for _ in range(self.config.children_per_parent):
+                        if (self.config.use_crossover
+                                and len(population) > 1
+                                and self.rng.random() < self.config.crossover_prob):
+                            other = self.rng.choice(
+                                [ind for ind in population if ind is not parent])
+                            child = self._crossover(parent, other)
+                            child = self._mutate(child, p, lam)
+                        else:
+                            child = self._mutate(parent, p, lam)
+                        pool.append(child)
+                for individual in pool:
+                    if individual.fitness is None:
+                        individual.fitness = self.evaluator.evaluate(
+                            individual.policy, individual.backoff)
+                population = self._select(pool, self.config.population_size)
+                best = population[0] if self.config.selection == "truncation" \
+                    else max(population, key=lambda ind: ind.fitness)
+                mean = sum(ind.fitness for ind in population) / len(population)
+                history.append((iteration, best.fitness, mean))
+                if self.metrics is not None:
+                    self.metrics.gauge("ea_generation").set(iteration)
+                    self.metrics.gauge("ea_fitness_best").set(best.fitness)
+                    self.metrics.gauge("ea_fitness_mean").set(mean)
+                    self.metrics.histogram("ea_fitness_best_history").observe(
+                        best.fitness)
+                    self.metrics.counter("ea_evaluations_total").inc(
+                        self.evaluator.evaluations
+                        - self.metrics.counter("ea_evaluations_total").value)
+                if progress is not None:
+                    progress(iteration, best.fitness, mean)
+                if checkpoint_dir is not None and \
+                        ((iteration + 1) % checkpoint_every == 0
+                         or iteration + 1 == total):
+                    self._save_checkpoint(checkpoint_dir, population, history,
+                                          iteration + 1, total)
+        except KeyboardInterrupt:
+            # best-so-far exit; the last on-disk checkpoint (a consistent
+            # iteration boundary) remains the resume point
+            interrupted = True
+        evaluated = [ind for ind in population if ind.fitness is not None]
+        if not evaluated:
+            raise KeyboardInterrupt  # interrupted before any evaluation
+        best = max(evaluated, key=lambda ind: ind.fitness)
         return TrainingResult(best=best, history=history,
-                              evaluations=self.evaluator.evaluations)
+                              evaluations=self.evaluator.evaluations,
+                              interrupted=interrupted)

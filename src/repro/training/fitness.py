@@ -5,17 +5,24 @@ the target workload (§5); we run the policy through the simulator under a
 fixed evaluation configuration.  Evaluations are deterministic given the
 config seed, so results are cached by policy content hash — re-evaluating
 survivors across EA generations is free.
+
+:class:`ResilientEvaluator` wraps an evaluator for long unattended training
+runs: it retries transient :class:`~repro.errors.ReproError` failures,
+optionally bounds each evaluation's wall-clock time, and can substitute a
+fallback fitness instead of killing the whole run.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import SimConfig
 from ..bench.runner import run_protocol
 from ..core.backoff import BackoffPolicy
 from ..core.executor import PolicyExecutor
 from ..core.policy import CCPolicy
+from ..errors import ReproError, TrainingError
 
 
 class FitnessEvaluator:
@@ -51,3 +58,93 @@ class FitnessEvaluator:
         if key is not None:
             self._cache[key] = throughput
         return throughput
+
+
+class ResilientEvaluator:
+    """Retry-with-timeout wrapper around a :class:`FitnessEvaluator`.
+
+    Drop-in replacement (same ``evaluate`` signature, proxied
+    ``evaluations`` / ``cache_hits`` counters) that makes long unattended
+    training runs survive transient evaluation failures:
+
+    * a :class:`~repro.errors.ReproError` from the inner evaluator is
+      retried up to ``max_retries`` times;
+    * if ``timeout`` (wall-clock seconds) is set, an evaluation that
+      overruns it counts as a failure (the runaway attempt is abandoned on
+      a daemon thread — the simulator holds no external resources);
+    * once retries are exhausted, ``fallback_fitness`` (if set) is returned
+      so training continues with the candidate scored as useless, else
+      :class:`~repro.errors.TrainingError` is raised.
+    """
+
+    def __init__(self, inner: FitnessEvaluator, max_retries: int = 2,
+                 timeout: Optional[float] = None,
+                 fallback_fitness: Optional[float] = None) -> None:
+        if max_retries < 0:
+            raise TrainingError("max_retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise TrainingError("timeout must be None or positive")
+        self.inner = inner
+        self.max_retries = max_retries
+        self.timeout = timeout
+        self.fallback_fitness = fallback_fitness
+        #: failure accounting, exposed for tests and post-run reports
+        self.retries = 0
+        self.failures = 0
+        self.timeouts = 0
+        self.fallbacks_used = 0
+
+    # the trainers read (and on resume, restore) these counters
+    @property
+    def evaluations(self) -> int:
+        return self.inner.evaluations
+
+    @evaluations.setter
+    def evaluations(self, value: int) -> None:
+        self.inner.evaluations = value
+
+    @property
+    def cache_hits(self) -> int:
+        return self.inner.cache_hits
+
+    def _attempt(self, policy: CCPolicy,
+                 backoff: Optional[BackoffPolicy]) -> float:
+        if self.timeout is None:
+            return self.inner.evaluate(policy, backoff)
+        box: List[object] = []
+
+        def runner() -> None:
+            try:
+                box.append(("ok", self.inner.evaluate(policy, backoff)))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                box.append(("err", exc))
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        thread.join(self.timeout)
+        if thread.is_alive() or not box:
+            self.timeouts += 1
+            raise TrainingError(
+                f"fitness evaluation exceeded {self.timeout}s timeout")
+        status, value = box[0]
+        if status == "err":
+            raise value  # type: ignore[misc]
+        return value  # type: ignore[return-value]
+
+    def evaluate(self, policy: CCPolicy,
+                 backoff: Optional[BackoffPolicy] = None) -> float:
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self._attempt(policy, backoff)
+            except ReproError as exc:
+                last_error = exc
+                if attempt < self.max_retries:
+                    self.retries += 1
+        self.failures += 1
+        if self.fallback_fitness is not None:
+            self.fallbacks_used += 1
+            return self.fallback_fitness
+        raise TrainingError(
+            f"fitness evaluation failed after {self.max_retries + 1} "
+            f"attempts: {last_error}") from last_error

@@ -20,12 +20,14 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..errors import TrainingError
+from ..errors import PolicyError, TrainingError
 from ..obs.metrics import MetricsRegistry
 from ..core import actions
 from ..core.backoff import ALPHA_CHOICES, BackoffPolicy
 from ..core.policy import CCPolicy, PolicyRow
 from ..core.spec import WorkloadSpec
+from .checkpoint import (CheckpointError, decode_np_rng, encode_np_rng,
+                         load_checkpoint, save_checkpoint)
 from .ea import TrainingResult, Individual, default_backoff
 from .fitness import FitnessEvaluator
 
@@ -204,53 +206,168 @@ class PolicyGradientTrainer:
                         self._backoff_cells[t][status][bucket].argmax()
         return policy, backoff
 
+    # ------------------------------------------------------------------ #
+    # checkpointing
+
+    def _logits_state(self) -> dict:
+        return {
+            "wait": [[cell.logits.tolist() for cell in row]
+                     for row in self._wait_cells],
+            "binary": [[cell.logits.tolist() for cell in row]
+                       for row in self._binary_cells],
+            "backoff": [[[cell.logits.tolist() for cell in per_status]
+                         for per_status in per_type]
+                        for per_type in self._backoff_cells],
+        }
+
+    def _restore_logits(self, state: dict) -> None:
+        def fill(cell: _CellParam, values) -> None:
+            array = np.asarray(values, dtype=np.float64)
+            if array.shape != cell.logits.shape:
+                raise CheckpointError(
+                    f"checkpoint logit vector has shape {array.shape}, "
+                    f"trainer expects {cell.logits.shape}")
+            cell.logits[:] = array
+        try:
+            for row, saved_row in zip(self._wait_cells, state["wait"]):
+                for cell, values in zip(row, saved_row):
+                    fill(cell, values)
+            for row, saved_row in zip(self._binary_cells, state["binary"]):
+                for cell, values in zip(row, saved_row):
+                    fill(cell, values)
+            for per_type, saved_type in zip(self._backoff_cells,
+                                            state["backoff"]):
+                for per_status, saved_status in zip(per_type, saved_type):
+                    for cell, values in zip(per_status, saved_status):
+                        fill(cell, values)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"corrupt RL checkpoint: {exc}") from exc
+
+    def _save_checkpoint(self, directory: str, next_iteration: int,
+                         total: int, baseline: Optional[float],
+                         history: List[tuple], best_policy, best_backoff,
+                         best_fitness: float) -> None:
+        save_checkpoint(directory, {
+            "trainer": "rl",
+            "next_iteration": next_iteration,
+            "total": total,
+            "rng_state": encode_np_rng(self.np_rng),
+            "logits": self._logits_state(),
+            "baseline": baseline,
+            "history": [list(entry) for entry in history],
+            "best": None if best_policy is None else {
+                "policy": best_policy.to_dict(),
+                "backoff": best_backoff.to_dict(),
+                "fitness": best_fitness,
+            },
+            "evaluations": self.evaluator.evaluations,
+        })
+
+    def _restore_checkpoint(self, directory: str) -> tuple:
+        data = load_checkpoint(directory, expect_trainer="rl")
+        try:
+            next_iteration = int(data["next_iteration"])
+            total = int(data["total"])
+            baseline = data.get("baseline")
+            history = [tuple(entry) for entry in data["history"]]
+            self._restore_logits(data["logits"])
+            best = data.get("best")
+            if best is not None:
+                best_policy = CCPolicy.from_dict(self.spec, best["policy"])
+                best_backoff = BackoffPolicy.from_dict(best["backoff"])
+                best_fitness = float(best["fitness"])
+            else:
+                best_policy, best_backoff = None, None
+                best_fitness = float("-inf")
+            self.evaluator.evaluations = int(data.get("evaluations", 0))
+        except (KeyError, TypeError, ValueError, PolicyError) as exc:
+            raise CheckpointError(f"corrupt RL checkpoint: {exc}") from exc
+        decode_np_rng(data["rng_state"], self.np_rng)
+        return (next_iteration, total, baseline, history,
+                best_policy, best_backoff, best_fitness)
+
+    # ------------------------------------------------------------------ #
+
     def train(self, iterations: Optional[int] = None,
-              progress: Optional[Callable] = None) -> TrainingResult:
-        total = iterations if iterations is not None else self.config.iterations
+              progress: Optional[Callable] = None,
+              checkpoint_dir: Optional[str] = None,
+              checkpoint_every: int = 1,
+              resume: bool = False) -> TrainingResult:
+        """Run REINFORCE; checkpoint/resume semantics match
+        :meth:`EvolutionaryTrainer.train` (atomic state snapshots every
+        ``checkpoint_every`` iterations, deterministic continuation, SIGINT
+        returns best-so-far with ``interrupted=True``)."""
+        if checkpoint_every <= 0:
+            raise TrainingError("checkpoint_every must be positive")
+        start_iteration = 0
         baseline = None
         history: List[tuple] = []
         best_policy, best_backoff, best_fitness = None, None, float("-inf")
-        for iteration in range(total):
-            batch = [self._sample() for _ in range(self.config.batch_size)]
-            rewards = []
-            for policy, backoff, _record in batch:
-                reward = self.evaluator.evaluate(policy, backoff) \
-                    / self.config.reward_scale
-                rewards.append(reward)
-            mean_reward = float(np.mean(rewards))
-            if baseline is None:
-                baseline = mean_reward
-            else:
-                momentum = self.config.baseline_momentum
-                baseline = momentum * baseline + (1 - momentum) * mean_reward
-            grad_norms = []
-            for (policy, backoff, record), reward in zip(batch, rewards):
-                grad_norms.append(self._reinforce(record, reward - baseline))
-                fitness = reward * self.config.reward_scale
-                if fitness > best_fitness:
-                    best_fitness = fitness
-                    best_policy, best_backoff = policy, backoff
-            history.append((iteration, best_fitness,
-                            mean_reward * self.config.reward_scale))
-            if self.metrics is not None:
-                self.metrics.gauge("rl_iteration").set(iteration)
-                self.metrics.gauge("rl_reward_mean").set(
-                    mean_reward * self.config.reward_scale)
-                self.metrics.gauge("rl_baseline").set(
-                    baseline * self.config.reward_scale)
-                self.metrics.gauge("rl_fitness_best").set(best_fitness)
-                hist = self.metrics.histogram("rl_grad_norm")
-                for norm in grad_norms:
-                    hist.observe(norm)
-            if progress is not None:
-                progress(iteration, best_fitness,
-                         mean_reward * self.config.reward_scale)
+        if resume:
+            if checkpoint_dir is None:
+                raise TrainingError("resume=True requires checkpoint_dir")
+            (start_iteration, saved_total, baseline, history,
+             best_policy, best_backoff, best_fitness) = \
+                self._restore_checkpoint(checkpoint_dir)
+            total = iterations if iterations is not None else saved_total
+        else:
+            total = iterations if iterations is not None \
+                else self.config.iterations
+        interrupted = False
+        try:
+            for iteration in range(start_iteration, total):
+                batch = [self._sample() for _ in range(self.config.batch_size)]
+                rewards = []
+                for policy, backoff, _record in batch:
+                    reward = self.evaluator.evaluate(policy, backoff) \
+                        / self.config.reward_scale
+                    rewards.append(reward)
+                mean_reward = float(np.mean(rewards))
+                if baseline is None:
+                    baseline = mean_reward
+                else:
+                    momentum = self.config.baseline_momentum
+                    baseline = momentum * baseline + (1 - momentum) * mean_reward
+                grad_norms = []
+                for (policy, backoff, record), reward in zip(batch, rewards):
+                    grad_norms.append(self._reinforce(record, reward - baseline))
+                    fitness = reward * self.config.reward_scale
+                    if fitness > best_fitness:
+                        best_fitness = fitness
+                        best_policy, best_backoff = policy, backoff
+                history.append((iteration, best_fitness,
+                                mean_reward * self.config.reward_scale))
+                if self.metrics is not None:
+                    self.metrics.gauge("rl_iteration").set(iteration)
+                    self.metrics.gauge("rl_reward_mean").set(
+                        mean_reward * self.config.reward_scale)
+                    self.metrics.gauge("rl_baseline").set(
+                        baseline * self.config.reward_scale)
+                    self.metrics.gauge("rl_fitness_best").set(best_fitness)
+                    hist = self.metrics.histogram("rl_grad_norm")
+                    for norm in grad_norms:
+                        hist.observe(norm)
+                if progress is not None:
+                    progress(iteration, best_fitness,
+                             mean_reward * self.config.reward_scale)
+                if checkpoint_dir is not None and \
+                        ((iteration + 1) % checkpoint_every == 0
+                         or iteration + 1 == total):
+                    self._save_checkpoint(checkpoint_dir, iteration + 1,
+                                          total, baseline, history,
+                                          best_policy, best_backoff,
+                                          best_fitness)
+        except KeyboardInterrupt:
+            interrupted = True
+            if best_policy is None:
+                raise  # interrupted before any evaluation finished
         if best_policy is None:
             best_policy, best_backoff = self.greedy_policy()
             best_fitness = self.evaluator.evaluate(best_policy, best_backoff)
         best = Individual(best_policy, best_backoff, best_fitness)
         return TrainingResult(best=best, history=history,
-                              evaluations=self.evaluator.evaluations)
+                              evaluations=self.evaluator.evaluations,
+                              interrupted=interrupted)
 
 
 def ic3_seed_policy(spec: WorkloadSpec) -> CCPolicy:

@@ -1,0 +1,121 @@
+"""Property tests: random fault plans must never break correctness.
+
+Every protocol is run under randomly generated (but seeded) fault plans
+with the full oracle battery armed: time-accounting identity, conflict
+serializability of the committed history, storage residue (no lock or
+access-list entry left by a terminated transaction), and the counter
+workload's lost-update oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.serializability import HistoryRecorder, SerializabilityChecker
+from repro.bench.runner import run_protocol
+from repro.cc import make_cc
+from repro.config import SimConfig
+from repro.faults import RATE_KINDS, FaultPlan, ScriptedFault
+from repro.obs import TimeAccountant, check_accounting
+
+from tests.helpers import CounterWorkload
+
+CCS = ["silo", "2pl", "ic3"]
+
+
+def random_plan(seed: int) -> FaultPlan:
+    rng = random.Random(seed)
+    rates = {kind: rng.uniform(0.0, 0.01)
+             for kind in rng.sample(RATE_KINDS, rng.randint(1, len(RATE_KINDS)))}
+    events = []
+    for _ in range(rng.randint(0, 3)):
+        kind = rng.choice(["stall", "abort", "crash", "slow"])
+        events.append(ScriptedFault(
+            time=rng.uniform(100.0, 2000.0), kind=kind,
+            worker=rng.randrange(4),
+            ticks=rng.uniform(10.0, 200.0),
+            downtime=rng.uniform(0.0, 500.0),
+            factor=rng.uniform(1.5, 8.0),
+            duration=rng.choice([0.0, rng.uniform(100.0, 1000.0)])))
+    return FaultPlan(rates=rates, events=events,
+                     crash_downtime=rng.uniform(100.0, 800.0),
+                     name=f"random-{seed}")
+
+
+def run_cell(cc_name: str, plan, seed: int, watchdog=None):
+    config = SimConfig(n_workers=4, duration=3000.0, seed=seed,
+                       watchdog_window=watchdog)
+    holder = {}
+
+    def factory():
+        workload = CounterWorkload(n_keys=6, n_accesses=3)
+        holder["workload"] = workload
+        return workload
+
+    recorder = HistoryRecorder()
+    accountant = TimeAccountant(config.n_workers, config.duration)
+    result = run_protocol(factory, make_cc(cc_name), config,
+                          recorder=recorder, accountant=accountant,
+                          fault_plan=plan)
+    violations = list(result.invariant_violations)
+    accounting = check_accounting(accountant)
+    if accounting is not None:
+        violations.append(f"accounting: {accounting}")
+    checker = SerializabilityChecker(recorder)
+    if not checker.check():
+        violations.extend(checker.errors)
+    violations.extend(holder["workload"].check_against_commits(
+        result.stats.total_commits))
+    return result, violations
+
+
+@pytest.mark.parametrize("cc_name", CCS)
+@pytest.mark.parametrize("plan_seed", [1, 2])
+class TestRandomPlansPreserveInvariants:
+    def test_all_oracles_clean(self, cc_name, plan_seed):
+        plan = random_plan(plan_seed)
+        result, violations = run_cell(cc_name, plan, seed=17 + plan_seed)
+        assert violations == [], \
+            f"{cc_name} under {plan.name}: {violations}"
+        assert result.stats.total_commits > 0
+
+
+@pytest.mark.parametrize("cc_name", CCS)
+class TestDeterministicReplay:
+    def test_same_seed_and_plan_identical_commits(self, cc_name):
+        plan = random_plan(4)
+        a, _ = run_cell(cc_name, plan, seed=23)
+        b, _ = run_cell(cc_name, plan, seed=23)
+        assert a.stats.total_commits == b.stats.total_commits
+        assert a.stats.total_aborts == b.stats.total_aborts
+        assert a.fault_counts == b.fault_counts
+
+
+class TestWithWatchdog:
+    @pytest.mark.parametrize("cc_name", CCS)
+    def test_faults_plus_tight_watchdog_stay_correct(self, cc_name):
+        # faults AND forced livelock recovery together must not break
+        # any oracle
+        plan = random_plan(8)
+        result, violations = run_cell(cc_name, plan, seed=31,
+                                      watchdog=50.0)
+        assert violations == [], \
+            f"{cc_name}: {violations}"
+
+
+class TestChaosHarness:
+    def test_run_chaos_sweep(self):
+        from repro.faults import default_plans, run_chaos
+        plans = default_plans(kinds=("stall", "abort"), rates=(0.005,))
+        config = SimConfig(n_workers=4, duration=2000.0, seed=3)
+        seen = []
+        results = run_chaos(lambda: CounterWorkload(n_keys=6),
+                            ["silo", "2pl"], config, plans=plans,
+                            watchdog_window=500.0,
+                            progress=seen.append)
+        assert len(results) == len(plans) * 2
+        assert seen == results
+        for cell in results:
+            assert cell.ok, f"{cell.cc_name}/{cell.plan_name}: " \
+                            f"{cell.violations}"
+            assert cell.commits > 0

@@ -1,0 +1,86 @@
+"""FaultPlan validation + serialization: errors must name the bad field."""
+
+import pytest
+
+from repro.errors import FaultPlanError, ReproError
+from repro.faults import FaultPlan, ScriptedFault
+
+
+class TestValidation:
+    def test_unknown_rate_kind(self):
+        with pytest.raises(FaultPlanError, match="rates.meteor"):
+            FaultPlan(rates={"meteor": 0.1})
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(FaultPlanError, match=r"rates.stall.*\[0, 1\]"):
+            FaultPlan(rates={"stall": 1.5})
+
+    def test_bad_stall_ticks(self):
+        with pytest.raises(FaultPlanError, match="stall_ticks"):
+            FaultPlan(stall_ticks=(100.0, 10.0))
+
+    def test_negative_crash_downtime(self):
+        with pytest.raises(FaultPlanError, match="crash_downtime"):
+            FaultPlan(crash_downtime=-1.0)
+
+    def test_event_errors_name_index_and_field(self):
+        with pytest.raises(FaultPlanError, match=r"events\[0\].kind"):
+            FaultPlan(events=[ScriptedFault(10.0, "meteor", 0)])
+        with pytest.raises(FaultPlanError, match=r"events\[1\].ticks"):
+            FaultPlan(events=[ScriptedFault(10.0, "abort", 0),
+                              ScriptedFault(20.0, "stall", 1, ticks=0.0)])
+        with pytest.raises(FaultPlanError, match=r"events\[0\].worker"):
+            FaultPlan(events=[ScriptedFault(10.0, "abort", -2)])
+        with pytest.raises(FaultPlanError, match=r"events\[0\].factor"):
+            FaultPlan(events=[ScriptedFault(10.0, "slow", 0, factor=0.0)])
+
+    def test_fault_plan_error_is_repro_error(self):
+        # the CLI's single except-clause must catch plan problems too
+        assert issubclass(FaultPlanError, ReproError)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(rates={"stall": 0.01, "crash": 0.001},
+                         stall_ticks=(5.0, 50.0), crash_downtime=250.0,
+                         events=[ScriptedFault(100.0, "crash", 2,
+                                               downtime=300.0),
+                                 ScriptedFault(50.0, "slow", 0, factor=3.0,
+                                               duration=1000.0)],
+                         corrupt_policy=True, name="round")
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.to_dict() == plan.to_dict()
+
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "plan.json")
+        plan = FaultPlan(rates={"abort": 0.02}, name="disk")
+        plan.save(path)
+        assert FaultPlan.load(path).to_dict() == plan.to_dict()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot read fault plan"):
+            FaultPlan.load(str(tmp_path / "absent.json"))
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(FaultPlanError, match="invalid fault plan JSON"):
+            FaultPlan.load(str(path))
+
+    def test_unsupported_format_version(self):
+        with pytest.raises(FaultPlanError, match="unsupported fault plan"):
+            FaultPlan.from_dict({"format": 99})
+
+    def test_event_from_dict_missing_field(self):
+        with pytest.raises(FaultPlanError, match=r"events\[0\]: missing"):
+            FaultPlan.from_dict({"events": [{"kind": "abort", "worker": 0}]})
+
+    def test_rates_must_be_object(self):
+        with pytest.raises(FaultPlanError, match="rates"):
+            FaultPlan.from_dict({"rates": [0.1]})
+
+    def test_defaults_are_benign(self):
+        plan = FaultPlan()
+        assert not plan.any_work_rate
+        assert plan.rate("stall") == 0.0
+        assert plan.events == []

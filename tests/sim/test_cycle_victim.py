@@ -1,0 +1,46 @@
+"""Deadlock-cycle victim selection must be deterministic under ties."""
+
+import random
+
+from repro.sim.scheduler import Scheduler
+
+
+class _Ctx:
+    def __init__(self, priority):
+        self.priority = priority
+
+
+class _Worker:
+    def __init__(self, worker_id, ctx=None):
+        self.worker_id = worker_id
+        self.current_ctx = ctx
+
+
+class TestPickCycleVictim:
+    def test_youngest_transaction_loses(self):
+        old = _Worker(0, _Ctx((1.0, 1)))
+        young = _Worker(1, _Ctx((9.0, 9)))
+        assert Scheduler._pick_cycle_victim([old, young]) is young
+        assert Scheduler._pick_cycle_victim([young, old]) is young
+
+    def test_priority_tie_breaks_on_worker_id(self):
+        a = _Worker(2, _Ctx((5.0, 5)))
+        b = _Worker(7, _Ctx((5.0, 5)))
+        assert Scheduler._pick_cycle_victim([a, b]) is b
+        assert Scheduler._pick_cycle_victim([b, a]) is b
+
+    def test_no_context_tie_breaks_on_worker_id(self):
+        workers = [_Worker(i) for i in range(5)]
+        for _ in range(10):
+            random.shuffle(workers)
+            victim = Scheduler._pick_cycle_victim(workers)
+            assert victim.worker_id == 4
+
+    def test_order_invariant_for_any_mix(self):
+        rng = random.Random(99)
+        workers = [_Worker(i, _Ctx((rng.choice([1.0, 2.0]), i % 2)))
+                   for i in range(6)]
+        baseline = Scheduler._pick_cycle_victim(list(workers))
+        for _ in range(20):
+            rng.shuffle(workers)
+            assert Scheduler._pick_cycle_victim(list(workers)) is baseline

@@ -1,0 +1,165 @@
+"""CLI robustness features: --faults, --watchdog, chaos, resumable train."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.core.policy import CCPolicy
+from repro.faults import FaultPlan, ScriptedFault
+
+FAST = ["--workers", "2", "--duration", "800", "--warmup", "0"]
+
+
+def write_plan(tmp_path, plan):
+    path = str(tmp_path / "plan.json")
+    plan.save(path)
+    return path
+
+
+class TestRunWithFaults:
+    def test_rate_plan(self, tmp_path, capsys):
+        path = write_plan(tmp_path, FaultPlan(rates={"abort": 0.02,
+                                                     "stall": 0.02}))
+        assert main(["run", "--cc", "silo", "--faults", path] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "faults injected:" in out
+
+    def test_scripted_plan(self, tmp_path, capsys):
+        path = write_plan(tmp_path, FaultPlan(
+            events=[ScriptedFault(100.0, "crash", 0, downtime=200.0)]))
+        assert main(["run", "--cc", "silo", "--faults", path] + FAST) == 0
+        assert "crash=1" in capsys.readouterr().out
+
+    def test_missing_plan_fails_cleanly(self, capsys):
+        assert main(["run", "--faults", "/nonexistent/plan.json"]
+                    + FAST) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_plan_names_field(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"rates": {"meteor": 0.5}}))
+        assert main(["run", "--faults", str(path)] + FAST) == 2
+        assert "rates.meteor" in capsys.readouterr().err
+
+    def test_compare_with_faults(self, tmp_path, capsys):
+        path = write_plan(tmp_path, FaultPlan(rates={"abort": 0.02}))
+        assert main(["compare", "--ccs", "silo,2pl", "--faults", path]
+                    + FAST) == 0
+        out = capsys.readouterr().out
+        assert "[silo]" in out and "[2pl]" in out
+
+    def test_watchdog_raise_mode_exits_with_error(self, capsys):
+        assert main(["run", "--cc", "2pl", "--workload", "micro",
+                     "--theta", "0.5", "--watchdog", "1",
+                     "--watchdog-action", "raise"] + FAST) == 2
+        assert "no commit for" in capsys.readouterr().err
+
+    def test_corrupt_policy_rejected_gracefully(self, tmp_path, capsys):
+        from repro.cc.seeds import occ_policy
+        from repro.workloads.tpcc import tpcc_spec
+        policy_path = str(tmp_path / "p.json")
+        occ_policy(tpcc_spec()).save(policy_path)
+        plan_path = write_plan(tmp_path, FaultPlan(corrupt_policy=True))
+        assert main(["run", "--cc", "polyjuice", "--policy", policy_path,
+                     "--faults", plan_path] + FAST) == 2
+        err = capsys.readouterr().err
+        assert "fault: corrupted loaded policy" in err
+        assert "error:" in err
+
+
+class TestChaosCommand:
+    def test_default_sweep(self, capsys):
+        assert main(["chaos", "--workload", "micro", "--theta", "0.5",
+                     "--ccs", "silo", "--rates", "0.01",
+                     "--duration", "1000", "--workers", "2",
+                     "--warmup", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos results" in out
+        assert "cells clean" in out
+
+    def test_specific_plan(self, tmp_path, capsys):
+        path = write_plan(tmp_path, FaultPlan(rates={"abort": 0.01},
+                                              name="mine"))
+        assert main(["chaos", "--workload", "micro", "--theta", "0.5",
+                     "--ccs", "silo", "--faults", path,
+                     "--duration", "1000", "--workers", "2",
+                     "--warmup", "0"]) == 0
+        assert "mine" in capsys.readouterr().out
+
+
+class TestResumableTrain:
+    def test_checkpoint_and_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        policy_path = str(tmp_path / "p.json")
+        common = ["train", "--workload", "micro", "--theta", "0.5",
+                  "--population", "2", "--children", "1",
+                  "--fitness-duration", "400", "--checkpoint", ckpt,
+                  "--policy-out", policy_path,
+                  "--backoff-out", str(tmp_path / "b.json")] + FAST
+        assert main(common + ["--iterations", "1"]) == 0
+        assert os.path.exists(os.path.join(ckpt, "checkpoint.json"))
+        capsys.readouterr()
+        assert main(common + ["--iterations", "2", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "iter   1" in out
+        from repro.workloads.micro.workload import micro_spec
+        CCPolicy.load(micro_spec(), policy_path)
+
+    def test_rl_trainer_flag(self, tmp_path, capsys):
+        assert main(["train", "--trainer", "rl", "--workload", "micro",
+                     "--theta", "0.5", "--iterations", "1",
+                     "--fitness-duration", "400",
+                     "--policy-out", str(tmp_path / "p.json"),
+                     "--backoff-out", str(tmp_path / "b.json")] + FAST) == 0
+        assert "best fitness" in capsys.readouterr().out
+
+    def test_resume_without_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        assert main(["train", "--workload", "micro", "--theta", "0.5",
+                     "--iterations", "1", "--resume",
+                     "--checkpoint", str(tmp_path / "none"),
+                     "--policy-out", str(tmp_path / "p.json")] + FAST) == 2
+        assert "no checkpoint" in capsys.readouterr().err
+
+
+class TestSigintTrain:
+    def test_sigint_saves_best_so_far(self, tmp_path):
+        """SIGINT mid-training must still leave a loadable best-so-far
+        policy and exit with 130."""
+        policy_path = str(tmp_path / "p.json")
+        env = dict(os.environ)
+        repo_src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = repo_src
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "train",
+             "--workload", "micro",
+             "--theta", "0.5", "--workers", "2", "--iterations", "500",
+             "--population", "2", "--children", "1",
+             "--fitness-duration", "3000", "--seed", "5",
+             "--checkpoint", str(tmp_path / "ckpt"),
+             "--policy-out", policy_path,
+             "--backoff-out", str(tmp_path / "b.json")],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        # wait for the first progress line so best-so-far exists, then kill
+        deadline = time.time() + 60
+        saw_progress = False
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if line.startswith("iter"):
+                saw_progress = True
+                break
+        assert saw_progress, "training produced no progress in time"
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=60)
+        assert proc.returncode == 130
+        assert os.path.exists(policy_path)
+        from repro.workloads.micro.workload import micro_spec
+        policy = CCPolicy.load(micro_spec(), policy_path)
+        assert policy.n_rows > 0
