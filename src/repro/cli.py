@@ -15,6 +15,10 @@ fault plan, see :mod:`repro.faults`) and ``--watchdog TICKS`` /
 ``--watchdog-action`` (progress watchdog).  ``train`` accepts
 ``--checkpoint DIR`` / ``--resume`` for crash-safe resumable training;
 an interrupt (Ctrl-C) still writes the best policy found so far.
+``train --jobs N`` fans fitness evaluations out to N worker processes
+(0 = one per core) with bit-identical artifacts for any N; per-evaluation
+wall-clock timeouts (``--eval-timeout``) are enforced by killing the
+worker process.
 
 ``run``, ``compare``, ``train`` and ``profile`` accept ``--trace FILE``
 (structured event trace; ``.json`` selects Chrome trace-event format for
@@ -245,14 +249,23 @@ def cmd_compare(args) -> int:
 
 
 def _make_trainer(args, spec, factory, metrics):
+    from .config import resolve_jobs
     from .training import (EAConfig, EvolutionaryTrainer, FitnessEvaluator,
-                           PolicyGradientTrainer, ResilientEvaluator, RLConfig)
+                           ParallelEvaluationEngine, PolicyGradientTrainer,
+                           RLConfig)
     fitness_cfg = SimConfig(n_workers=args.workers,
                             duration=args.fitness_duration,
                             seed=args.seed, collect_latency=False)
-    evaluator = ResilientEvaluator(FitnessEvaluator(factory, fitness_cfg),
-                                   max_retries=args.eval_retries,
-                                   timeout=args.eval_timeout)
+    # the engine handles retry/timeout/fallback (ResilientEvaluator
+    # semantics) with subprocess kills, and fans evaluations out over
+    # --jobs worker processes; --jobs 1 and --jobs N are bit-identical
+    evaluator = ParallelEvaluationEngine(
+        FitnessEvaluator(factory, fitness_cfg),
+        jobs=resolve_jobs(getattr(args, "jobs", 1)),
+        max_retries=args.eval_retries,
+        timeout=args.eval_timeout,
+        run_seed=args.seed,
+        metrics=metrics)
     if args.trainer == "rl":
         return PolicyGradientTrainer(
             spec, evaluator,
@@ -455,6 +468,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(train_parser)
     _add_obs(train_parser)
     train_parser.add_argument("--trainer", choices=["ea", "rl"], default="ea")
+    train_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                              help="parallel fitness-evaluation worker "
+                                   "processes (0 = one per CPU core); "
+                                   "results are bit-identical for any N")
     train_parser.add_argument("--iterations", type=int, default=10)
     train_parser.add_argument("--population", type=int, default=5)
     train_parser.add_argument("--children", type=int, default=3)

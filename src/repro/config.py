@@ -94,6 +94,23 @@ class CostModel:
 TICKS_PER_SECOND = 1_000_000.0
 
 
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value into a concrete worker-process count.
+
+    ``None`` and ``1`` mean serial evaluation; ``0`` means one job per
+    available CPU core; anything negative is rejected.  Centralised here so
+    the CLI and the benches agree on the convention.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ConfigError("jobs must be >= 0 (0 = one per CPU core)")
+    if jobs == 0:
+        import os
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
 @dataclass(frozen=True)
 class SimConfig:
     """Parameters of one simulated run.

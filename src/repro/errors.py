@@ -82,6 +82,14 @@ class TrainingError(ReproError):
     """A trainer was configured or driven incorrectly."""
 
 
+class EvaluationTimeout(TrainingError):
+    """A fitness evaluation overran its wall-clock budget and its worker
+    process was killed.  Derives from :class:`TrainingError` (and hence
+    :class:`ReproError`) so the retry loop in
+    :class:`~repro.training.fitness.ResilientEvaluator` and the process-pool
+    engine treat it as one more transient failure."""
+
+
 class CheckpointError(TrainingError):
     """A training checkpoint could not be read or does not match the
     trainer attempting to resume from it."""

@@ -29,9 +29,11 @@ LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
 
 def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile (mirrors :func:`repro.sim.stats.percentile`)."""
+    """Nearest-rank percentile (mirrors :func:`repro.sim.stats.percentile`,
+    including its zero-sample guard: an empty sample set yields ``0.0``, not
+    NaN, so exported JSON stays valid)."""
     if not sorted_values:
-        return float("nan")
+        return 0.0
     if fraction <= 0:
         return sorted_values[0]
     if fraction >= 1:

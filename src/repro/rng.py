@@ -21,6 +21,14 @@ T = TypeVar("T")
 
 _SPAWN_STRIDE = 0x9E3779B97F4A7C15  # golden-ratio increment, decorrelates child seeds
 
+#: salt for spawning per-evaluation simulator seeds during training.  The
+#: process-pool evaluation engine derives evaluation *i*'s simulator seed as
+#: ``derive_seed(run_seed, EVAL_RNG_SALT, i)``; because the index is assigned
+#: in deterministic submission order, ``--jobs 1`` and ``--jobs N`` hand every
+#: evaluation the same seed and produce bit-identical training artifacts.
+#: Kept well away from worker ids (small ints) and ``FAULT_RNG_SALT``.
+EVAL_RNG_SALT = 0x4556414C  # "EVAL"
+
 
 def derive_seed(root_seed: int, *salts: int) -> int:
     """Derive a child seed from ``root_seed`` and a tuple of integer salts.

@@ -16,9 +16,16 @@ from ..errors import ReproError
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted sequence."""
+    """Nearest-rank percentile of an already-sorted sequence.
+
+    A zero-sample window (reachable when e.g. every evaluation of a training
+    generation times out and the fallback fitness is used, so a measurement
+    window records no commits) yields ``0.0`` rather than NaN — NaN would
+    poison downstream JSON artifacts (``json.dumps`` emits invalid JSON for
+    it) and summary arithmetic.
+    """
     if not sorted_values:
-        return float("nan")
+        return 0.0
     if fraction <= 0:
         return sorted_values[0]
     if fraction >= 1:
@@ -53,7 +60,9 @@ class LatencyDigest:
 
     @property
     def avg(self) -> float:
-        return self.total / self.count if self.count else float("nan")
+        # zero-sample guard: mirror percentile()'s convention so an empty
+        # digest summarises to finite zeros instead of NaN
+        return self.total / self.count if self.count else 0.0
 
     def pct(self, fraction: float) -> float:
         if not self._sorted:

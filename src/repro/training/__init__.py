@@ -10,8 +10,11 @@ against in Fig 5.
 
 from .checkpoint import (CHECKPOINT_FORMAT_VERSION, has_checkpoint,
                          load_checkpoint, save_checkpoint)
-from .ea import EAConfig, EvolutionaryTrainer, Individual, TrainingResult
-from .fitness import FitnessEvaluator, ResilientEvaluator
+from .ea import (EAConfig, EvolutionaryTrainer, Individual, TrainingResult,
+                 evaluate_pending)
+from .fitness import (HARD_TIMEOUTS_SUPPORTED, FitnessEvaluator,
+                      ResilientEvaluator, call_with_hard_timeout)
+from .parallel import ParallelEvaluationEngine
 from .rl import PolicyGradientTrainer, RLConfig
 
 __all__ = [
@@ -19,11 +22,15 @@ __all__ = [
     "EAConfig",
     "EvolutionaryTrainer",
     "FitnessEvaluator",
+    "HARD_TIMEOUTS_SUPPORTED",
     "Individual",
+    "ParallelEvaluationEngine",
     "PolicyGradientTrainer",
     "RLConfig",
     "ResilientEvaluator",
     "TrainingResult",
+    "call_with_hard_timeout",
+    "evaluate_pending",
     "has_checkpoint",
     "load_checkpoint",
     "save_checkpoint",

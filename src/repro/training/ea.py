@@ -27,9 +27,33 @@ from ..core.backoff import ALPHA_CHOICES, BackoffPolicy
 from ..core.policy import CCPolicy
 from ..core.spec import WorkloadSpec
 from ..cc.seeds import seed_policies
-from .checkpoint import (CheckpointError, decode_py_rng, encode_py_rng,
-                         load_checkpoint, save_checkpoint)
+from .checkpoint import (CheckpointError, decode_py_rng,
+                         encode_evaluator_state, encode_py_rng,
+                         load_checkpoint, restore_evaluator_state,
+                         save_checkpoint)
 from .fitness import FitnessEvaluator
+
+
+def evaluate_pending(evaluator, individuals: Sequence["Individual"]) -> None:
+    """Fill in ``fitness`` for every not-yet-evaluated individual.
+
+    The whole generation is handed to the evaluator as one batch so a
+    :class:`~repro.training.parallel.ParallelEvaluationEngine` can fan it
+    out across worker processes; plain evaluators (or any duck-typed stub
+    without ``evaluate_batch``) are driven serially in the same order.
+    """
+    pending = [ind for ind in individuals if ind.fitness is None]
+    if not pending:
+        return
+    pairs = [(ind.policy, ind.backoff) for ind in pending]
+    batch = getattr(evaluator, "evaluate_batch", None)
+    if batch is not None:
+        fitnesses = batch(pairs)
+    else:
+        fitnesses = [evaluator.evaluate(policy, backoff)
+                     for policy, backoff in pairs]
+    for individual, fitness in zip(pending, fitnesses):
+        individual.fitness = fitness
 
 
 @dataclass
@@ -273,7 +297,7 @@ class EvolutionaryTrainer:
                  "fitness": individual.fitness}
                 for individual in population],
             "history": [list(entry) for entry in history],
-            "evaluations": self.evaluator.evaluations,
+            **encode_evaluator_state(self.evaluator),
         })
 
     def _restore_checkpoint(self, directory: str) -> tuple:
@@ -287,7 +311,7 @@ class EvolutionaryTrainer:
             history = [tuple(entry) for entry in data["history"]]
             next_iteration = int(data["next_iteration"])
             total = int(data["total"])
-            self.evaluator.evaluations = int(data.get("evaluations", 0))
+            restore_evaluator_state(self.evaluator, data)
         except (KeyError, TypeError, ValueError, PolicyError) as exc:
             raise CheckpointError(f"corrupt EA checkpoint: {exc}") from exc
         decode_py_rng(data["rng_state"], self.rng)
@@ -326,10 +350,7 @@ class EvolutionaryTrainer:
             population = self.initial_population()
         interrupted = False
         try:
-            for individual in population:
-                if individual.fitness is None:
-                    individual.fitness = self.evaluator.evaluate(
-                        individual.policy, individual.backoff)
+            evaluate_pending(self.evaluator, population)
             for iteration in range(start_iteration, total):
                 p, lam = self._schedule(iteration, total)
                 pool = list(population)
@@ -345,10 +366,7 @@ class EvolutionaryTrainer:
                         else:
                             child = self._mutate(parent, p, lam)
                         pool.append(child)
-                for individual in pool:
-                    if individual.fitness is None:
-                        individual.fitness = self.evaluator.evaluate(
-                            individual.policy, individual.backoff)
+                evaluate_pending(self.evaluator, pool)
                 population = self._select(pool, self.config.population_size)
                 best = population[0] if self.config.selection == "truncation" \
                     else max(population, key=lambda ind: ind.fitness)

@@ -6,32 +6,150 @@ fixed evaluation configuration.  Evaluations are deterministic given the
 config seed, so results are cached by policy content hash — re-evaluating
 survivors across EA generations is free.
 
+:class:`FitnessEvaluator` is split into a *pure* part and a *stateful*
+part: :meth:`FitnessEvaluator.compute` runs one simulation and touches no
+shared state (so it is safe to execute in a forked worker process), while
+the cache and the ``evaluations`` / ``cache_hits`` counters are only ever
+mutated in the parent, exactly once per logical result.
+
 :class:`ResilientEvaluator` wraps an evaluator for long unattended training
 runs: it retries transient :class:`~repro.errors.ReproError` failures,
 optionally bounds each evaluation's wall-clock time, and can substitute a
-fallback fitness instead of killing the whole run.
+fallback fitness instead of killing the whole run.  Timeouts are enforced
+with a **subprocess kill** (:func:`call_with_hard_timeout`), not a thread:
+an abandoned daemon thread would keep simulating in the background,
+mutating the evaluator's counters concurrently with the retry and
+double-counting the attempt when it eventually finished — a killed child
+process can do neither.  On the (non-POSIX) platforms without the ``fork``
+start method the call runs inline and the timeout is not enforced; see
+:data:`HARD_TIMEOUTS_SUPPORTED`.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Callable, Dict, List, Optional, Tuple
+import dataclasses
+import multiprocessing
+from typing import Callable, Dict, Optional, Tuple
 
 from ..config import SimConfig
 from ..bench.runner import run_protocol
 from ..core.backoff import BackoffPolicy
 from ..core.executor import PolicyExecutor
 from ..core.policy import CCPolicy
-from ..errors import ReproError, TrainingError
+from ..errors import EvaluationTimeout, ReproError, TrainingError
+
+
+def _listify(obj):
+    """Tuples -> lists, recursively (cache keys -> JSON)."""
+    if isinstance(obj, tuple):
+        return [_listify(item) for item in obj]
+    return obj
+
+
+def _tuplify(obj):
+    """Lists -> tuples, recursively (JSON -> hashable cache keys)."""
+    if isinstance(obj, list):
+        return tuple(_tuplify(item) for item in obj)
+    return obj
+
+
+#: True when the platform can enforce evaluation timeouts by killing a
+#: forked worker process.  ``fork`` keeps closures (workload factories)
+#: usable in the child without pickling; without it, timed calls degrade to
+#: inline execution with no enforcement.
+HARD_TIMEOUTS_SUPPORTED = \
+    "fork" in multiprocessing.get_all_start_methods()
+
+
+def evaluation_context():
+    """The multiprocessing context used for evaluation workers, or ``None``
+    when subprocess isolation is unavailable on this platform."""
+    if not HARD_TIMEOUTS_SUPPORTED:
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def _child_main(fn: Callable[[], object], conn) -> None:
+    """Worker-process entry point: run ``fn`` and ship the outcome back.
+
+    The payload is ``("ok", value)`` on success and ``("err", exc)`` on
+    failure; exceptions that cannot be pickled degrade to
+    ``("errstr", repr)`` so the parent still learns what happened.
+    """
+    try:
+        payload = ("ok", fn())
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        payload = ("err", exc)
+    try:
+        conn.send(payload)
+    except Exception:
+        try:
+            conn.send(("errstr", repr(payload[1])))
+        except Exception:  # pragma: no cover - pipe gone, parent sees EOF
+            pass
+    finally:
+        conn.close()
+
+
+def receive_outcome(conn, process) -> object:
+    """Decode a ``_child_main`` payload; raises the child's exception."""
+    try:
+        status, payload = conn.recv()
+    except Exception as exc:  # EOF / unpicklable payload / torn pipe
+        raise TrainingError(
+            f"evaluation worker died without a result "
+            f"(exit code {process.exitcode}): {exc!r}") from None
+    if status == "ok":
+        return payload
+    if status == "errstr":
+        raise TrainingError(f"evaluation worker failed: {payload}")
+    raise payload  # "err": the child's original exception
+
+
+def call_with_hard_timeout(fn: Callable[[], object],
+                           timeout: float) -> object:
+    """Run ``fn()`` in a forked child; kill the child at ``timeout``.
+
+    Raises :class:`~repro.errors.EvaluationTimeout` after the kill — the
+    child is SIGKILLed and reaped, so no computation survives in the
+    background.  Exceptions raised by ``fn`` in the child re-raise here.
+    On platforms without ``fork`` the call runs inline (no enforcement).
+    """
+    ctx = evaluation_context()
+    if ctx is None:  # pragma: no cover - non-POSIX fallback
+        return fn()
+    recv, send = ctx.Pipe(duplex=False)
+    process = ctx.Process(target=_child_main, args=(fn, send), daemon=True)
+    process.start()
+    send.close()  # parent keeps only the read end
+    try:
+        if not recv.poll(timeout):
+            process.kill()
+            process.join()
+            raise EvaluationTimeout(
+                f"fitness evaluation exceeded {timeout}s timeout "
+                "(worker process killed)")
+        return receive_outcome(recv, process)
+    finally:
+        if process.is_alive():  # pragma: no cover - defensive cleanup
+            process.kill()
+        process.join()
+        recv.close()
 
 
 class FitnessEvaluator:
-    """Evaluates (CC policy, backoff policy) pairs on a workload."""
+    """Evaluates (CC policy, backoff policy) pairs on a workload.
+
+    ``fault_plan`` (optional) attaches a deterministic
+    :class:`~repro.faults.FaultPlan` to every evaluation run — used by the
+    robustness tests to exercise evaluation under injected slowdowns.
+    """
 
     def __init__(self, workload_factory: Callable, config: SimConfig,
-                 cache: bool = True) -> None:
+                 cache: bool = True, fault_plan=None) -> None:
         self.workload_factory = workload_factory
         self.config = config
+        self.fault_plan = fault_plan
         self._cache: Optional[Dict[Tuple[tuple, tuple], float]] = \
             {} if cache else None
         #: number of actual simulator runs performed (cache misses)
@@ -39,25 +157,84 @@ class FitnessEvaluator:
         #: number of cache hits
         self.cache_hits = 0
 
+    # ------------------------------------------------------------------ #
+    # cache protocol — all mutation happens in the parent process
+
+    def cache_key(self, policy: CCPolicy,
+                  backoff: Optional[BackoffPolicy]) -> Optional[tuple]:
+        """Content key for the candidate, or ``None`` when caching is off."""
+        if self._cache is None:
+            return None
+        return (policy.as_tuple(),
+                backoff.as_tuple() if backoff is not None else ())
+
+    def cached(self, key: Optional[tuple]) -> Optional[float]:
+        """Cache lookup *without* counter side effects."""
+        if self._cache is None or key is None:
+            return None
+        return self._cache.get(key)
+
+    def store(self, key: Optional[tuple], value: float) -> None:
+        if self._cache is not None and key is not None:
+            self._cache[key] = value
+
+    def cache_state(self) -> Optional[list]:
+        """JSON-safe snapshot of the content cache (``None`` = caching off).
+
+        Checkpointed alongside the evaluation counters: with per-evaluation
+        seeding, whether a candidate is a hit or a miss decides which seed
+        the *next* miss receives, so a resumed run must see the exact cache
+        the interrupted run had or its trajectory diverges from the
+        uninterrupted one as soon as a duplicate candidate appears.
+        """
+        if self._cache is None:
+            return None
+        return [[_listify(key), value] for key, value in self._cache.items()]
+
+    def restore_cache(self, entries) -> None:
+        """Restore a :meth:`cache_state` snapshot (no-op if caching off)."""
+        if self._cache is None or entries is None:
+            return
+        self._cache.clear()
+        for key, value in entries:
+            self._cache[_tuplify(key)] = float(value)
+
+    # ------------------------------------------------------------------ #
+
+    def compute(self, policy: CCPolicy,
+                backoff: Optional[BackoffPolicy] = None,
+                seed: Optional[int] = None) -> float:
+        """One simulator run; pure — no cache, no counters.
+
+        Safe to call in a forked worker process.  ``seed`` overrides the
+        evaluation config's seed (the process-pool engine derives one per
+        evaluation index).
+        """
+        config = self.config if seed is None \
+            else dataclasses.replace(self.config, seed=seed)
+        cc = PolicyExecutor(policy=policy, backoff_policy=backoff)
+        result = run_protocol(self.workload_factory, cc, config,
+                              check_invariants=False,
+                              fault_plan=self.fault_plan)
+        return result.throughput
+
     def evaluate(self, policy: CCPolicy,
                  backoff: Optional[BackoffPolicy] = None) -> float:
         """Simulated commit throughput (TPS) of the candidate."""
-        key = None
-        if self._cache is not None:
-            key = (policy.as_tuple(),
-                   backoff.as_tuple() if backoff is not None else ())
-            cached = self._cache.get(key)
-            if cached is not None:
-                self.cache_hits += 1
-                return cached
-        cc = PolicyExecutor(policy=policy, backoff_policy=backoff)
-        result = run_protocol(self.workload_factory, cc, self.config,
-                              check_invariants=False)
+        key = self.cache_key(policy, backoff)
+        cached = self.cached(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        throughput = self.compute(policy, backoff)
         self.evaluations += 1
-        throughput = result.throughput
-        if key is not None:
-            self._cache[key] = throughput
+        self.store(key, throughput)
         return throughput
+
+    def evaluate_batch(self, pairs) -> list:
+        """Serial batch evaluation (the process-pool engine overrides the
+        strategy; the interface lets trainers stay evaluator-agnostic)."""
+        return [self.evaluate(policy, backoff) for policy, backoff in pairs]
 
 
 class ResilientEvaluator:
@@ -69,12 +246,18 @@ class ResilientEvaluator:
 
     * a :class:`~repro.errors.ReproError` from the inner evaluator is
       retried up to ``max_retries`` times;
-    * if ``timeout`` (wall-clock seconds) is set, an evaluation that
-      overruns it counts as a failure (the runaway attempt is abandoned on
-      a daemon thread — the simulator holds no external resources);
+    * if ``timeout`` (wall-clock seconds) is set, the evaluation runs in a
+      forked worker process that is **killed** when it overruns — the
+      attempt counts as a failure and nothing keeps running in the
+      background (see :func:`call_with_hard_timeout`);
     * once retries are exhausted, ``fallback_fitness`` (if set) is returned
       so training continues with the candidate scored as useless, else
       :class:`~repro.errors.TrainingError` is raised.
+
+    Because the timed attempt runs in a child process, the inner
+    evaluator's cache and counters are only touched here, in the parent,
+    after a successful result is received — exactly once per logical
+    attempt, no matter how the attempt ended.
     """
 
     def __init__(self, inner: FitnessEvaluator, max_retries: int = 2,
@@ -107,29 +290,43 @@ class ResilientEvaluator:
     def cache_hits(self) -> int:
         return self.inner.cache_hits
 
+    def cache_state(self) -> Optional[list]:
+        state = getattr(self.inner, "cache_state", None)
+        return state() if state is not None else None
+
+    def restore_cache(self, entries) -> None:
+        restore = getattr(self.inner, "restore_cache", None)
+        if restore is not None:
+            restore(entries)
+
     def _attempt(self, policy: CCPolicy,
                  backoff: Optional[BackoffPolicy]) -> float:
         if self.timeout is None:
             return self.inner.evaluate(policy, backoff)
-        box: List[object] = []
-
-        def runner() -> None:
-            try:
-                box.append(("ok", self.inner.evaluate(policy, backoff)))
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                box.append(("err", exc))
-
-        thread = threading.Thread(target=runner, daemon=True)
-        thread.start()
-        thread.join(self.timeout)
-        if thread.is_alive() or not box:
+        # cache bookkeeping happens here in the parent; only the pure
+        # simulation crosses the process boundary
+        key = None
+        cache_key = getattr(self.inner, "cache_key", None)
+        if cache_key is not None:
+            key = cache_key(policy, backoff)
+            cached = self.inner.cached(key)
+            if cached is not None:
+                self.inner.cache_hits += 1
+                return cached
+        compute = getattr(self.inner, "compute", None)
+        if compute is not None:
+            fn = lambda: compute(policy, backoff)  # noqa: E731
+        else:  # duck-typed inner (tests): child runs its evaluate()
+            fn = lambda: self.inner.evaluate(policy, backoff)  # noqa: E731
+        try:
+            value = call_with_hard_timeout(fn, self.timeout)
+        except EvaluationTimeout:
             self.timeouts += 1
-            raise TrainingError(
-                f"fitness evaluation exceeded {self.timeout}s timeout")
-        status, value = box[0]
-        if status == "err":
-            raise value  # type: ignore[misc]
-        return value  # type: ignore[return-value]
+            raise
+        self.inner.evaluations += 1
+        if key is not None:
+            self.inner.store(key, value)
+        return value
 
     def evaluate(self, policy: CCPolicy,
                  backoff: Optional[BackoffPolicy] = None) -> float:
@@ -148,3 +345,6 @@ class ResilientEvaluator:
         raise TrainingError(
             f"fitness evaluation failed after {self.max_retries + 1} "
             f"attempts: {last_error}") from last_error
+
+    def evaluate_batch(self, pairs) -> list:
+        return [self.evaluate(policy, backoff) for policy, backoff in pairs]

@@ -1,0 +1,383 @@
+"""Process-pool fitness evaluation engine (the trainers' ``--jobs N``).
+
+Every candidate of an EA generation (or RL batch) is an independent
+simulator run — embarrassingly parallel work that the serial trainers used
+to grind through one evaluation at a time.  This engine fans a batch of
+evaluations out to up to ``jobs`` forked worker processes and merges the
+results order-independently, while keeping three guarantees:
+
+**Determinism.**  Evaluation *i* (a content-cache miss, counted in
+deterministic submission order across the whole run) simulates under seed
+``derive_seed(run_seed, EVAL_RNG_SALT, i)``.  Seeds are assigned when a
+task is *submitted*, never when it completes, and results are merged by
+submission index, so ``--jobs 1`` and ``--jobs N`` produce bit-identical
+fitness values, policies, histories and checkpoints.  Duplicate candidates
+inside one batch are coalesced onto the first occurrence's run (and
+counted as the cache hits the serial order would have seen), so the
+evaluation-index stream is also independent of the pool size.  The number
+of seeds issued so far is part of the checkpoint state
+(:func:`repro.training.checkpoint.encode_evaluator_state`), which keeps the
+identical-trajectory guarantee across a resume — even one that changes the
+jobs count.
+
+**Hard timeouts.**  A worker that overruns ``timeout`` wall-clock seconds
+is SIGKILLed and reaped; unlike the abandoned daemon-thread timeout this
+replaces, nothing keeps simulating in the background and no counter can be
+mutated by a zombie attempt.  The killed attempt is retried (same seed) up
+to ``max_retries`` times, then ``fallback_fitness`` is used or
+:class:`~repro.errors.TrainingError` raised — the
+:class:`~repro.training.fitness.ResilientEvaluator` semantics.
+
+**Observability.**  When a metrics registry is attached the engine records
+batch wall-clock, per-evaluation latency, per-worker-slot utilization,
+queue depth and timeout kills, so the speedup is measurable rather than
+asserted.
+
+Worker processes are forked per evaluation: ``fork`` inherits the workload
+factory closure and the policy objects without pickling, and a fresh child
+per task is what makes the kill-on-timeout safe and leak-free.  On
+platforms without ``fork`` the engine degrades to deterministic inline
+execution (same seeding, no parallelism, no timeout enforcement).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError, TrainingError
+from ..obs.metrics import MetricsRegistry
+from ..rng import EVAL_RNG_SALT, derive_seed
+from .fitness import (FitnessEvaluator, _child_main, evaluation_context,
+                      receive_outcome)
+
+
+class _Task:
+    """One pending evaluation: a candidate plus its pre-assigned seed."""
+
+    __slots__ = ("key", "policy", "backoff", "seed", "indices",
+                 "attempts_left", "last_error", "succeeded", "value")
+
+    def __init__(self, key, policy, backoff, seed, index, attempts_left):
+        self.key = key
+        self.policy = policy
+        self.backoff = backoff
+        self.seed = seed
+        #: result positions this task feeds (duplicates coalesce here)
+        self.indices = [index]
+        self.attempts_left = attempts_left
+        self.last_error: Optional[BaseException] = None
+        self.succeeded = False
+        self.value: Optional[float] = None
+
+
+class _Attempt:
+    """One in-flight worker process executing a task."""
+
+    __slots__ = ("task", "process", "conn", "slot", "started", "deadline")
+
+    def __init__(self, task, process, conn, slot, started, deadline):
+        self.task = task
+        self.process = process
+        self.conn = conn
+        self.slot = slot
+        self.started = started
+        self.deadline = deadline
+
+
+class ParallelEvaluationEngine:
+    """Drop-in evaluator that parallelises ``evaluate_batch`` over a
+    process pool.
+
+    Wraps a :class:`~repro.training.fitness.FitnessEvaluator` the same way
+    :class:`~repro.training.fitness.ResilientEvaluator` does (proxied
+    ``evaluations`` / ``cache_hits``, ``retries`` / ``failures`` /
+    ``timeouts`` / ``fallbacks_used`` accounting) and adds:
+
+    * ``jobs`` concurrent forked worker processes per batch;
+    * per-evaluation seeds spawned from ``run_seed`` (default: the inner
+      evaluator's config seed) with :data:`~repro.rng.EVAL_RNG_SALT` and
+      the submission index — see the module docstring for the contract;
+    * hard timeout kills with retry/fallback semantics.
+    """
+
+    def __init__(self, inner: FitnessEvaluator, jobs: int = 1,
+                 max_retries: int = 2, timeout: Optional[float] = None,
+                 fallback_fitness: Optional[float] = None,
+                 run_seed: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if jobs < 1:
+            raise TrainingError("jobs must be >= 1")
+        if max_retries < 0:
+            raise TrainingError("max_retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise TrainingError("timeout must be None or positive")
+        self.inner = inner
+        self.jobs = jobs
+        self.max_retries = max_retries
+        self.timeout = timeout
+        self.fallback_fitness = fallback_fitness
+        self.run_seed = run_seed if run_seed is not None \
+            else inner.config.seed
+        self.metrics = metrics
+        #: per-evaluation seed indices handed out so far (checkpointed —
+        #: part of the identical-trajectory guarantee across resume)
+        self.seeds_issued = 0
+        #: failure accounting, mirroring ResilientEvaluator
+        self.retries = 0
+        self.failures = 0
+        self.timeouts = 0
+        self.fallbacks_used = 0
+        self._ctx = evaluation_context()
+
+    # the trainers read (and on resume, restore) these counters
+    @property
+    def evaluations(self) -> int:
+        return self.inner.evaluations
+
+    @evaluations.setter
+    def evaluations(self, value: int) -> None:
+        self.inner.evaluations = value
+
+    @property
+    def cache_hits(self) -> int:
+        return self.inner.cache_hits
+
+    def cache_state(self):
+        return self.inner.cache_state()
+
+    def restore_cache(self, entries) -> None:
+        self.inner.restore_cache(entries)
+
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, policy, backoff=None) -> float:
+        """Single-candidate evaluation through the same seeded pipeline."""
+        return self.evaluate_batch([(policy, backoff)])[0]
+
+    def evaluate_batch(self, pairs: Sequence[Tuple]) -> List[float]:
+        """Evaluate every (policy, backoff) pair; results keep input order.
+
+        Cache hits are resolved up front (in submission order, so the
+        hit/miss stream is jobs-independent); the misses are fanned out to
+        the pool and merged by index as workers finish.
+        """
+        started = time.monotonic()
+        results: List[Optional[float]] = [None] * len(pairs)
+        tasks: List[_Task] = []
+        by_key: Dict[tuple, _Task] = {}
+        for index, (policy, backoff) in enumerate(pairs):
+            key = self.inner.cache_key(policy, backoff)
+            if key is not None:
+                cached = self.inner.cached(key)
+                if cached is not None:
+                    self.inner.cache_hits += 1
+                    self._count("train_eval_cache_hits_total")
+                    results[index] = cached
+                    continue
+                pending = by_key.get(key)
+                if pending is not None:
+                    # duplicate within the batch: share the first
+                    # occurrence's run — the cache hit serial order would
+                    # have produced
+                    pending.indices.append(index)
+                    self.inner.cache_hits += 1
+                    self._count("train_eval_cache_hits_total")
+                    continue
+            task = _Task(key, policy, backoff,
+                         derive_seed(self.run_seed, EVAL_RNG_SALT,
+                                     self.seeds_issued),
+                         index, self.max_retries)
+            self.seeds_issued += 1
+            if key is not None:
+                by_key[key] = task
+            tasks.append(task)
+        if tasks:
+            try:
+                if self._ctx is None or (self.jobs == 1
+                                         and self.timeout is None):
+                    self._run_inline(tasks, results)
+                else:
+                    self._run_pool(tasks, results)
+            finally:
+                # cache insertion happens here, in submission order — the
+                # pool completes tasks in a jobs-dependent order, and the
+                # serialized cache (checkpoint state) must not reflect it
+                for task in tasks:
+                    if task.succeeded:
+                        self.inner.store(task.key, task.value)
+        if self.metrics is not None:
+            self.metrics.gauge("train_eval_jobs").set(self.jobs)
+            self.metrics.gauge("train_eval_batch_wall_seconds").set(
+                time.monotonic() - started)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # execution strategies
+
+    def _run_inline(self, tasks: List[_Task],
+                    results: List[Optional[float]]) -> None:
+        """Serial in-process execution (jobs=1, no timeout, or no fork).
+
+        Bit-identical to the pool path: the per-task seeds were assigned at
+        submission, and ``compute`` is the same pure function the forked
+        children run.
+        """
+        queue = deque(tasks)
+        while queue:
+            task = queue.popleft()
+            eval_started = time.monotonic()
+            try:
+                value = self.inner.compute(task.policy, task.backoff,
+                                           seed=task.seed)
+            except ReproError as exc:
+                self._task_failed(task, exc, queue, results)
+                continue
+            self._task_succeeded(task, value, results, eval_started)
+
+    def _run_pool(self, tasks: List[_Task],
+                  results: List[Optional[float]]) -> None:
+        """Fan tasks out to up to ``jobs`` forked workers; kill stragglers."""
+        queue = deque(tasks)
+        running: List[_Attempt] = []
+        free_slots = list(range(self.jobs - 1, -1, -1))
+        busy: Dict[int, float] = {slot: 0.0 for slot in range(self.jobs)}
+        pool_started = time.monotonic()
+        try:
+            while queue or running:
+                while queue and free_slots:
+                    self._gauge("train_eval_queue_depth", len(queue))
+                    running.append(self._spawn(queue.popleft(),
+                                               free_slots.pop()))
+                ready, expired = self._wait_for_progress(running)
+                now = time.monotonic()
+                for attempt in ready:
+                    running.remove(attempt)
+                    free_slots.append(attempt.slot)
+                    busy[attempt.slot] += now - attempt.started
+                    self._finish(attempt, queue, results)
+                for attempt in expired:
+                    if attempt not in running:  # already handled as ready
+                        continue
+                    running.remove(attempt)
+                    free_slots.append(attempt.slot)
+                    busy[attempt.slot] += now - attempt.started
+                    self._kill(attempt)
+                    self.timeouts += 1
+                    self._count("train_eval_timeout_kills_total")
+                    self._task_failed(
+                        attempt.task,
+                        TrainingError(
+                            f"fitness evaluation exceeded {self.timeout}s "
+                            "timeout (worker process killed)"),
+                        queue, results)
+        finally:
+            for attempt in running:  # error exit: leave no child behind
+                self._kill(attempt)
+            self._gauge("train_eval_queue_depth", 0)
+            if self.metrics is not None:
+                wall = max(time.monotonic() - pool_started, 1e-9)
+                for slot in range(self.jobs):
+                    self.metrics.gauge("train_eval_worker_utilization",
+                                       worker=str(slot)).set(
+                        min(1.0, busy[slot] / wall))
+
+    # ------------------------------------------------------------------ #
+    # pool plumbing
+
+    def _spawn(self, task: _Task, slot: int) -> _Attempt:
+        recv, send = self._ctx.Pipe(duplex=False)
+        fn = lambda: self.inner.compute(  # noqa: E731 - fork captures this
+            task.policy, task.backoff, seed=task.seed)
+        process = self._ctx.Process(target=_child_main, args=(fn, send),
+                                    daemon=True)
+        process.start()
+        send.close()  # parent keeps only the read end
+        started = time.monotonic()
+        deadline = started + self.timeout if self.timeout is not None \
+            else None
+        return _Attempt(task, process, recv, slot, started, deadline)
+
+    def _wait_for_progress(self, running: List[_Attempt]):
+        """Block until a worker finishes or a deadline passes; returns
+        (ready attempts, deadline-expired attempts)."""
+        now = time.monotonic()
+        wait_for: Optional[float] = None
+        for attempt in running:
+            if attempt.deadline is not None:
+                remaining = max(0.0, attempt.deadline - now)
+                wait_for = remaining if wait_for is None \
+                    else min(wait_for, remaining)
+        ready_conns = mp_connection.wait(
+            [attempt.conn for attempt in running], timeout=wait_for)
+        ready = [attempt for attempt in running
+                 if attempt.conn in ready_conns]
+        now = time.monotonic()
+        expired = [attempt for attempt in running
+                   if attempt not in ready
+                   and attempt.deadline is not None
+                   and now >= attempt.deadline]
+        return ready, expired
+
+    def _finish(self, attempt: _Attempt, queue, results) -> None:
+        try:
+            value = receive_outcome(attempt.conn, attempt.process)
+        except ReproError as exc:
+            self._task_failed(attempt.task, exc, queue, results)
+            return
+        finally:
+            attempt.process.join()
+            attempt.conn.close()
+        self._task_succeeded(attempt.task, value, results, attempt.started)
+
+    def _kill(self, attempt: _Attempt) -> None:
+        attempt.process.kill()
+        attempt.process.join()
+        attempt.conn.close()
+
+    # ------------------------------------------------------------------ #
+    # order-independent merge (all counter/cache mutation funnels here)
+
+    def _task_succeeded(self, task: _Task, value: float, results,
+                        eval_started: float) -> None:
+        self.inner.evaluations += 1
+        task.succeeded = True
+        task.value = value  # cached later, in submission order
+        for index in task.indices:
+            results[index] = value
+        self._count("train_evaluations_total")
+        if self.metrics is not None:
+            self.metrics.histogram("train_eval_seconds").observe(
+                time.monotonic() - eval_started)
+
+    def _task_failed(self, task: _Task, error: BaseException, queue,
+                     results) -> None:
+        task.last_error = error
+        if task.attempts_left > 0:
+            task.attempts_left -= 1
+            self.retries += 1
+            self._count("train_eval_retries_total")
+            queue.append(task)  # retried with the same pre-assigned seed
+            return
+        self.failures += 1
+        if self.fallback_fitness is not None:
+            self.fallbacks_used += 1
+            self._count("train_eval_fallbacks_total")
+            for index in task.indices:
+                results[index] = self.fallback_fitness
+            return
+        raise TrainingError(
+            f"fitness evaluation failed after {self.max_retries + 1} "
+            f"attempts: {error}") from error
+
+    # ------------------------------------------------------------------ #
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name).set(value)

@@ -26,8 +26,10 @@ from ..core import actions
 from ..core.backoff import ALPHA_CHOICES, BackoffPolicy
 from ..core.policy import CCPolicy, PolicyRow
 from ..core.spec import WorkloadSpec
-from .checkpoint import (CheckpointError, decode_np_rng, encode_np_rng,
-                         load_checkpoint, save_checkpoint)
+from .checkpoint import (CheckpointError, decode_np_rng,
+                         encode_evaluator_state, encode_np_rng,
+                         load_checkpoint, restore_evaluator_state,
+                         save_checkpoint)
 from .ea import TrainingResult, Individual, default_backoff
 from .fitness import FitnessEvaluator
 
@@ -260,7 +262,7 @@ class PolicyGradientTrainer:
                 "backoff": best_backoff.to_dict(),
                 "fitness": best_fitness,
             },
-            "evaluations": self.evaluator.evaluations,
+            **encode_evaluator_state(self.evaluator),
         })
 
     def _restore_checkpoint(self, directory: str) -> tuple:
@@ -279,7 +281,7 @@ class PolicyGradientTrainer:
             else:
                 best_policy, best_backoff = None, None
                 best_fitness = float("-inf")
-            self.evaluator.evaluations = int(data.get("evaluations", 0))
+            restore_evaluator_state(self.evaluator, data)
         except (KeyError, TypeError, ValueError, PolicyError) as exc:
             raise CheckpointError(f"corrupt RL checkpoint: {exc}") from exc
         decode_np_rng(data["rng_state"], self.np_rng)
@@ -317,11 +319,17 @@ class PolicyGradientTrainer:
         try:
             for iteration in range(start_iteration, total):
                 batch = [self._sample() for _ in range(self.config.batch_size)]
-                rewards = []
-                for policy, backoff, _record in batch:
-                    reward = self.evaluator.evaluate(policy, backoff) \
-                        / self.config.reward_scale
-                    rewards.append(reward)
+                # the whole batch goes to the evaluator at once so a
+                # process-pool engine can evaluate the samples in parallel
+                evaluate = getattr(self.evaluator, "evaluate_batch", None)
+                if evaluate is not None:
+                    fitnesses = evaluate([(policy, backoff)
+                                          for policy, backoff, _ in batch])
+                else:
+                    fitnesses = [self.evaluator.evaluate(policy, backoff)
+                                 for policy, backoff, _ in batch]
+                rewards = [fitness / self.config.reward_scale
+                           for fitness in fitnesses]
                 mean_reward = float(np.mean(rewards))
                 if baseline is None:
                     baseline = mean_reward

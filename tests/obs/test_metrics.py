@@ -57,7 +57,7 @@ class TestHistogram:
     def test_empty_histogram(self):
         hist = MetricsRegistry().histogram("h")
         assert hist.value_dict() == {"count": 0, "sum": 0.0}
-        assert math.isnan(hist.pct(0.5))
+        assert hist.pct(0.5) == 0.0  # zero-sample guard, not NaN
 
 
 class TestRegistry:

@@ -11,8 +11,11 @@ from repro.sim.stats import LatencyDigest, RunStats, percentile
 
 
 class TestPercentile:
-    def test_empty_is_nan(self):
-        assert math.isnan(percentile([], 0.5))
+    def test_empty_is_guarded(self):
+        # zero-sample windows (e.g. every evaluation of a generation timed
+        # out and fallback fitness was used) must stay finite — NaN would
+        # poison JSON artifacts and summary arithmetic
+        assert percentile([], 0.5) == 0.0
 
     def test_bounds(self):
         values = [1.0, 2.0, 3.0]
@@ -41,8 +44,11 @@ class TestLatencyDigest:
         assert summary["p50"] == 20.0
         assert summary["p99"] == 40.0
 
-    def test_empty_avg_is_nan(self):
-        assert math.isnan(LatencyDigest().avg)
+    def test_empty_digest_summarises_to_zeros(self):
+        digest = LatencyDigest()
+        assert digest.avg == 0.0
+        assert digest.summary() == {"avg": 0.0, "p50": 0.0,
+                                    "p90": 0.0, "p99": 0.0}
 
     def test_lazy_sort_invalidated_by_new_records(self):
         digest = LatencyDigest()
