@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Scheduler wake-up benchmark: subscription wake-ups vs legacy polling.
+
+Runs contended configurations under both ``wait_wakeups`` modes and
+reports simulator wall-clock, heap-event throughput and the poll/event
+speedup.  The two modes must stay *bit-identical* (same stats summary for
+the same seed) — the benchmark asserts this on every run, so it doubles
+as a determinism smoke test.
+
+Unlike the ``bench_fig*`` modules (paper figures, pytest-benchmark), this
+is a standalone CLI used by the ``sim-perf-smoke`` CI job::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py                # full runs
+    PYTHONPATH=src python benchmarks/bench_sim.py --quick        # CI-sized
+    PYTHONPATH=src python benchmarks/bench_sim.py --quick --check BENCH_sim.json
+    PYTHONPATH=src python benchmarks/bench_sim.py --write BENCH_sim.json
+
+``--check`` compares the measured numbers against the recorded baseline
+with a generous budget (wall-clock noise on shared CI runners is large;
+bit-identity and the presence of a speedup are the real assertions).
+``--write`` refreshes the recorded baseline for the selected profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict
+
+from repro.cc.registry import make_cc
+from repro.config import SimConfig
+from repro.rng import spawn_rng
+from repro.sim.scheduler import Scheduler
+from repro.sim.stats import RunStats
+from repro.sim.worker import Worker
+from repro.workloads.micro import make_micro_factory
+from repro.workloads.tpcc import make_tpcc_factory
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    cc_name: str
+    workload_factory: Callable
+    n_workers: int
+    duration: float
+    warmup: float
+    seed: int = 42
+
+
+def scenarios(quick: bool):
+    """High-contention configurations where workers park constantly —
+    exactly where the O(parked) polling loop used to dominate."""
+    micro_duration = 6_000.0 if quick else 20_000.0
+    tpcc_duration = 4_000.0 if quick else 10_000.0
+    return [
+        Scenario("micro_hot_ic3", "ic3",
+                 make_micro_factory(theta=0.9, hot_range=64,
+                                    accesses_per_type=4),
+                 n_workers=64, duration=micro_duration, warmup=1_000.0),
+        Scenario("tpcc_ic3", "ic3",
+                 make_tpcc_factory(n_warehouses=1),
+                 n_workers=16, duration=tpcc_duration, warmup=1_000.0),
+    ]
+
+
+def run_once(scenario: Scenario, mode: str):
+    """One simulated run; wall-clock covers only the event loop."""
+    config = SimConfig(n_workers=scenario.n_workers,
+                       duration=scenario.duration, warmup=scenario.warmup,
+                       seed=scenario.seed, wait_wakeups=mode)
+    workload = scenario.workload_factory()
+    db = workload.build_database()
+    cc = make_cc(scenario.cc_name)
+    cc.setup(db, workload.spec, config)
+    stats = RunStats(workload.type_names(), warmup_end=config.warmup)
+    scheduler = Scheduler(config)
+    for worker_id in range(config.n_workers):
+        scheduler.add_worker(Worker(worker_id, scheduler, cc, workload,
+                                    stats, config,
+                                    spawn_rng(config.seed, worker_id)))
+    gc.collect()  # don't time the previous run's cyclic ctx-graph garbage
+    start = time.perf_counter()
+    scheduler.run(config.duration)
+    wall = time.perf_counter() - start
+    scheduler.close()
+    return stats, scheduler, wall
+
+
+def measure(scenario: Scenario, repeat: int) -> Dict[str, float]:
+    """Interleave the two modes ``repeat`` times and keep each mode's best
+    wall time — the standard defence against noisy shared machines; the
+    identity assertions run on every repetition."""
+    ev_wall = po_wall = float("inf")
+    ev_stats = ev_sched = None
+    for _ in range(repeat):
+        ev_stats, ev_sched, wall = run_once(scenario, "event")
+        ev_wall = min(ev_wall, wall)
+        po_stats, po_sched, wall = run_once(scenario, "poll")
+        po_wall = min(po_wall, wall)
+        ev_summary = json.dumps(ev_stats.summary(), sort_keys=True)
+        po_summary = json.dumps(po_stats.summary(), sort_keys=True)
+        if ev_summary != po_summary:
+            raise SystemExit(f"{scenario.name}: event and poll modes "
+                             f"DIVERGED for seed {scenario.seed} — "
+                             f"determinism bug")
+        if ev_sched.events_processed != po_sched.events_processed:
+            raise SystemExit(f"{scenario.name}: event count mismatch "
+                             f"{ev_sched.events_processed} != "
+                             f"{po_sched.events_processed}")
+    return {
+        "commits": ev_stats.total_commits,
+        "events": ev_sched.events_processed,
+        "event_wall_s": round(ev_wall, 3),
+        "poll_wall_s": round(po_wall, 3),
+        "event_events_per_s": round(ev_sched.events_processed / ev_wall),
+        "poll_events_per_s": round(po_sched.events_processed / po_wall),
+        "speedup": round(po_wall / ev_wall, 2),
+    }
+
+
+def check(results: Dict[str, Dict], baseline_path: Path, profile: str) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    recorded = baseline.get(profile, {})
+    budget = baseline.get("check", {})
+    min_speedup = budget.get("min_speedup", 1.05)
+    wall_budget = budget.get("wall_budget_factor", 3.0)
+    failures = []
+    for name, row in results.items():
+        if row["speedup"] < min_speedup:
+            failures.append(f"{name}: speedup {row['speedup']}x below the "
+                            f"floor {min_speedup}x")
+        base_row = recorded.get(name)
+        if base_row is None:
+            continue
+        limit = base_row["event_wall_s"] * wall_budget
+        if row["event_wall_s"] > limit:
+            failures.append(
+                f"{name}: event-mode wall {row['event_wall_s']}s exceeds "
+                f"{wall_budget}x the recorded {base_row['event_wall_s']}s")
+        if row["events"] != base_row["events"]:
+            failures.append(
+                f"{name}: simulated event count {row['events']} != recorded "
+                f"{base_row['events']} (behaviour changed for the same seed)")
+    for line in failures:
+        print("CHECK FAILED:", line, file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized runs (shorter horizons)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a recorded BENCH_sim.json")
+    parser.add_argument("--write", metavar="BASELINE",
+                        help="record results into BENCH_sim.json")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="timing repetitions per mode (default: 3 full, "
+                             "2 quick); best-of wall time is reported")
+    args = parser.parse_args(argv)
+    profile = "quick" if args.quick else "full"
+    repeat = args.repeat if args.repeat is not None else (2 if args.quick
+                                                          else 3)
+
+    results: Dict[str, Dict] = {}
+    for scenario in scenarios(args.quick):
+        row = measure(scenario, repeat)
+        results[scenario.name] = row
+        print(f"{scenario.name:>16}: event {row['event_wall_s']:7.3f}s "
+              f"({row['event_events_per_s']:>8} ev/s)   "
+              f"poll {row['poll_wall_s']:7.3f}s "
+              f"({row['poll_events_per_s']:>8} ev/s)   "
+              f"speedup {row['speedup']:.2f}x   "
+              f"commits {row['commits']}   bit-identical ✓")
+
+    if args.write:
+        path = Path(args.write)
+        data = json.loads(path.read_text()) if path.exists() else {}
+        data[profile] = results
+        data.setdefault("check", {"min_speedup": 1.05,
+                                  "wall_budget_factor": 3.0})
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"recorded {profile} baseline -> {path}")
+    if args.check:
+        return check(results, Path(args.check), profile)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -108,6 +108,7 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
         scheduler.schedule_callback(time, lambda fn=fn: fn(cc))
     scheduler.run(config.duration)
     scheduler.finish_accounting()
+    scheduler.close()
     stats.start_time = 0.0
     stats.end_time = config.duration
     violations = workload.check_invariants() if check_invariants else []

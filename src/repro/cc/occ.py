@@ -152,7 +152,8 @@ class SiloOCC(ConcurrencyControl):
                 owner = record.lock_owner
                 yield WaitFor(
                     lambda record=record: not record.is_locked_by_other(ctx),
-                    WaitKind.LOCK, (owner,) if owner is not None else ())
+                    WaitKind.LOCK, (owner,) if owner is not None else (),
+                    wake_keys=(record,))
             pending += cost.lock_acquire
         pending += cost.validate_read * len(ctx.rset)
         pending += cost.install_write * len(ctx.wset)

@@ -76,8 +76,11 @@ class TwoPL(ConcurrencyControl):
             raise
 
     def _release(self, ctx: TxnContext) -> None:
-        if self.locks is not None:
-            self.locks.release_all(ctx)
+        if self.locks is None:
+            return
+        worker = ctx.worker
+        notify = worker.scheduler.notify_lock if worker is not None else None
+        self.locks.release_all(ctx, on_release=notify)
 
     # ------------------------------------------------------------------ #
 
@@ -97,7 +100,8 @@ class TwoPL(ConcurrencyControl):
             yield WaitFor(
                 lambda table=table, key=key, mode=mode:
                     self.locks.is_free_for(ctx, table, key, mode),
-                WaitKind.LOCK, holders)
+                WaitKind.LOCK, holders,
+                wake_keys=(self.locks.wake_key(table, key),))
 
     def _execute_op(self, ctx: TxnContext, op) -> Generator:
         cost = self.config.cost

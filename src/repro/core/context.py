@@ -108,8 +108,10 @@ class TxnContext:
         self.wait_exempt: Set["TxnContext"] = set()
         #: active transactions that dirty-read one of our exposed versions;
         #: they are doomed the moment we abort (§4.3: aborting discards our
-        #: writes "and aborts transactions that have read those writes")
-        self.readers: Set["TxnContext"] = set()
+        #: writes "and aborts transactions that have read those writes").
+        #: A dict used as an insertion-ordered set: the doom cascade iterates
+        #: it, and set-of-objects order would vary run to run with id() hashes
+        self.readers: Dict["TxnContext", None] = {}
         #: set when a transaction we dirty-read from aborted — we must
         #: abort at the next opportunity instead of wasting more work
         self.doomed = False
@@ -136,6 +138,10 @@ class TxnContext:
     def note_progress(self, access_id: int) -> None:
         if access_id > self.progress:
             self.progress = access_id
+            worker = self.worker
+            if worker is not None:
+                # progress-wait conditions read this field
+                worker.scheduler.notify(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"TxnContext(id={self.txn_id}, type={self.type_name}, "

@@ -150,7 +150,8 @@ class PolicyExecutor(ConcurrencyControl):
                     return
                 except PieceRetry as retry:
                     piece_retries += 1
-                    worker.stats.record_piece_retry(ctx.type_name)
+                    worker.stats.record_piece_retry(ctx.type_name,
+                                                    worker.scheduler.now)
                     if worker.trace.enabled:
                         worker.trace.emit(TraceEvent(
                             worker.scheduler.now, EventKind.PIECE_RETRY,
@@ -271,7 +272,7 @@ class PolicyExecutor(ConcurrencyControl):
         ctx.touched_records.add(record)
         if from_ctx is not None:
             ctx.deps.add(from_ctx)
-            from_ctx.readers.add(ctx)
+            from_ctx.readers[ctx] = None
         return rentry
 
     def _do_write(self, ctx: TxnContext, policy: CCPolicy, op,
@@ -545,7 +546,8 @@ class PolicyExecutor(ConcurrencyControl):
                 owner = record.lock_owner
                 yield WaitFor(
                     lambda record=record: not record.is_locked_by_other(ctx),
-                    WaitKind.LOCK, (owner,) if owner is not None else ())
+                    WaitKind.LOCK, (owner,) if owner is not None else (),
+                    wake_keys=(record,))
             pending += cost.lock_acquire
         pending += cost.validate_read * len(ctx.rset)
         pending += cost.install_write * len(ctx.wset)

@@ -78,9 +78,15 @@ def scrub(ctx: TxnContext) -> None:
     """Remove every trace of ``ctx`` from shared storage state: access-list
     entries and commit locks.  Safe to call multiple times; called on both
     commit and abort."""
+    worker = ctx.worker
+    scheduler = worker.scheduler if worker is not None else None
     for record in ctx.touched_records:
         record.access_list.remove_txn(ctx)
-        record.unlock(ctx)
+        if record.lock_owner is ctx:
+            record.unlock(ctx)
+            if scheduler is not None:
+                # lock-wait conditions read is_locked_by_other(record)
+                scheduler.notify_lock(record)
     ctx.touched_records.clear()
 
 
@@ -95,15 +101,22 @@ def finish(ctx: TxnContext, status: str, reason: Optional[str] = None,
     ctx.status = status
     ctx.abort_reason = reason
     scrub(ctx)
+    worker = ctx.worker
+    scheduler = worker.scheduler if worker is not None else None
+    if scheduler is not None:
+        # progress/commit-dep wait conditions read is_active()/status
+        scheduler.notify(ctx)
     if status == TxnStatus.ABORTED:
         # eager cascade (§4.3): transactions that dirty-read our discarded
         # writes can never validate — doom them now so they stop wasting
         # work and stop spreading the poisoned versions further
-        worker = ctx.worker
         trace = worker.trace if worker is not None else None
         for reader in ctx.readers:
             if reader.is_active():
                 reader.doomed = True
+                if scheduler is not None:
+                    # a doomed waiter's conditions short-circuit true
+                    scheduler.notify(reader)
                 if trace is not None and trace.enabled:
                     trace.emit(TraceEvent(
                         worker.scheduler.now, EventKind.DOOM,

@@ -188,6 +188,9 @@ class FaultInjector:
                 self.skipped["doom"] = self.skipped.get("doom", 0) + 1
                 return
             ctx.doomed = True
+            # the target may be parked on a wait whose condition
+            # short-circuits on ctx.doomed ("wake up to die")
+            scheduler.notify(ctx)
             self._record("doom", event.worker, ctx, "scripted")
             return
         # abort / crash: kill the in-flight attempt

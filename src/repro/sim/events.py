@@ -16,7 +16,8 @@ classes with no behaviour beyond carrying data.
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Iterable, Optional, TYPE_CHECKING
+from typing import (Callable, FrozenSet, Iterable, Optional, Tuple,
+                    TYPE_CHECKING)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.context import TxnContext
@@ -67,27 +68,41 @@ class WaitFor:
     """Block until ``condition()`` is true.
 
     Attributes:
-        condition: zero-argument predicate, re-evaluated whenever any worker
-            makes progress.
+        condition: zero-argument predicate.  The scheduler subscribes the
+            parked worker on every ``dep_ctxs`` member (and every
+            ``wake_keys`` entry), and re-evaluates the predicate when one of
+            those is notified via ``Scheduler.notify`` /
+            ``Scheduler.notify_lock``.  A wait that declares neither
+            ``dep_ctxs`` nor ``wake_keys`` falls back to the legacy full
+            poll: it is re-evaluated after every worker advance.
         kind: a :class:`WaitKind` value.
-        dep_ctxs: the transactions being waited on — used by the scheduler's
-            wait-for-graph cycle detection.
+        dep_ctxs: the transactions being waited on — used both as the
+            scheduler's subscription keys and for wait-for-graph cycle
+            detection.
         abort_on_break: if a cycle or timeout breaks the wait, ``True`` means
             the waiter aborts (correctness waits), ``False`` means it simply
             proceeds (performance waits).
+        wake_keys: extra hashable subscription keys beyond ``dep_ctxs``
+            (e.g. the :class:`~repro.storage.record.Record` whose commit
+            lock is awaited, or a :meth:`LockTable.wake_key
+            <repro.storage.locks.LockTable.wake_key>`); they take no part
+            in cycle detection.
     """
 
-    __slots__ = ("condition", "kind", "dep_ctxs", "abort_on_break")
+    __slots__ = ("condition", "kind", "dep_ctxs", "abort_on_break",
+                 "wake_keys")
 
     def __init__(self, condition: Callable[[], bool], kind: str,
                  dep_ctxs: Optional[Iterable["TxnContext"]] = None,
-                 abort_on_break: Optional[bool] = None) -> None:
+                 abort_on_break: Optional[bool] = None,
+                 wake_keys: Iterable[object] = ()) -> None:
         self.condition = condition
         self.kind = kind
         self.dep_ctxs: FrozenSet["TxnContext"] = frozenset(dep_ctxs or ())
         if abort_on_break is None:
             abort_on_break = kind != WaitKind.PROGRESS
         self.abort_on_break = abort_on_break
+        self.wake_keys: Tuple[object, ...] = tuple(wake_keys)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"WaitFor(kind={self.kind}, deps={len(self.dep_ctxs)})"

@@ -3,21 +3,41 @@
 The scheduler owns simulated time.  It keeps a heap of (time, event) pairs;
 events are either worker wake-ups or arbitrary callbacks (used for policy
 switches and wait timeouts).  Workers blocked on a :class:`WaitFor` are held
-in a parked set; their conditions are re-evaluated after every worker
-advance, which is the only point at which shared state can change.
+in a parked set.
+
+Wake-ups are *event-driven* (subscription-based) by default: when a worker
+parks, it is registered on a wake index keyed by every transaction in the
+wait's ``dep_ctxs`` (plus its own in-flight context, and any extra
+``wake_keys`` such as the record whose commit lock it awaits).  The code
+that mutates shared state — progress advances, version exposure, piece
+validation, commit/abort termination, lock releases — calls
+:meth:`Scheduler.notify` / :meth:`Scheduler.notify_lock`, which flags the
+subscribed workers; at the end of the current worker advance (the only
+point at which shared state can have changed) only the flagged workers
+re-check their condition, in park order, so wake order is identical to the
+legacy polling scheduler's deterministic tie-break.  Waits that declare no
+dependencies and no wake keys fall back to the full poll — their condition
+is re-evaluated after every advance, exactly as before — so semantics
+never regress.  ``SimConfig.wait_wakeups = "poll"`` selects the legacy
+O(parked) polling path wholesale; same-seed runs are bit-identical across
+the two modes.
 
 Wait-for cycles (mutual dependency deadlocks) are detected when a worker
-parks: if the new edge closes a cycle, the parking worker either aborts
-(correctness waits: commit-phase dependency waits and lock waits) or simply
-proceeds (the paper's execution-time wait actions, which are performance
-hints).  A wait timeout provides a second-line safety valve.
+parks.  If the new edge closes a cycle through a correctness wait
+(commit-phase dependency waits and lock waits), the *youngest* transaction
+in the cycle is aborted — it has the fewest transactions depending on it,
+so the cascade it seeds is smallest; when the youngest is not the parking
+worker itself, the parker stays parked and the victim is aborted at its
+own wait.  Performance waits (the paper's execution-time wait actions,
+which are hints) simply proceed.  A wait timeout provides a second-line
+safety valve.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Dict, List, Optional, Tuple  # noqa: F401
+from typing import Callable, Dict, List, Optional, Set, Tuple  # noqa: F401
 
 from ..config import SimConfig
 from ..errors import (AbortReason, LivelockError, SchedulerError,
@@ -53,7 +73,33 @@ class Scheduler:
         self._workers: List[Worker] = []
         self._parked: Dict[Worker, WaitFor] = {}
         self._park_start: Dict[Worker, float] = {}
+        #: monotonically increasing park ticket per parked worker; wake-up
+        #: candidates are evaluated in park order, which is exactly the
+        #: polling scheduler's deterministic tie-break
+        self._park_order: Dict[Worker, int] = {}
+        self._park_counter = itertools.count()
+        #: "event" = subscription-based wake-ups, "poll" = legacy full poll
+        self._event_driven = config.wait_wakeups != "poll"
+        #: wake index: subscription key (TxnContext / Record / lock key) ->
+        #: subscribed parked workers (dict used as an ordered set)
+        self._subs: Dict[object, Dict[Worker, None]] = {}
+        #: parked worker -> the keys it is subscribed under (for cleanup)
+        self._sub_keys: Dict[Worker, List[object]] = {}
+        #: parked workers whose wait declared no deps/wake keys; their
+        #: condition is re-checked after every advance (full-poll fallback)
+        self._poll_parked: Dict[Worker, None] = {}
+        #: subscribed workers flagged by notify() since the last flush
+        self._dirty: Set[Worker] = set()
+        #: exception to throw into a worker at its next advance (used to
+        #: abort a cycle victim that is not the parking worker)
+        self._pending_exc: Dict[Worker, BaseException] = {}
+        #: horizon-clipped Cost remainder per sleeping worker: charged to
+        #: the accountant when the deferred wake fires in a later run()
+        self._deferred_cost: Dict[Worker, Tuple[float, str]] = {}
         self._run_until = 0.0
+        #: heap events popped by run() — the simulator-throughput numerator
+        #: reported by benchmarks/bench_sim.py (events/sec)
+        self.events_processed = 0
         #: statistics of safety-valve firings (exposed for tests/analysis)
         self.cycle_breaks = 0
         self.timeout_breaks = 0
@@ -100,6 +146,7 @@ class Scheduler:
         while self._heap and self._heap[0][0] <= until:
             time, _, kind, payload = heapq.heappop(self._heap)
             self.now = time
+            self.events_processed += 1
             if kind == _KIND_CALLBACK:
                 payload()
                 continue
@@ -116,6 +163,19 @@ class Scheduler:
                  initial_exc: Optional[BaseException] = None) -> None:
         """Resume ``worker`` until it sleeps, parks or finishes."""
         exc = initial_exc
+        if self._deferred_cost:
+            # the worker's sleep crossed a previous run() horizon: the wake
+            # has now fired, so the clipped remainder is simulated after all
+            # — charge it (satellite fix: segmented-run accounting identity)
+            deferred = self._deferred_cost.pop(worker, None)
+            if deferred is not None and self.accountant is not None:
+                ticks, kind = deferred
+                if kind == CostKind.BACKOFF:
+                    self.accountant.on_backoff(worker.worker_id, ticks)
+                else:
+                    self.accountant.on_exec(worker.worker_id, ticks)
+        if exc is None and self._pending_exc:
+            exc = self._pending_exc.pop(worker, None)
         if exc is None and self.faults is not None \
                 and self.faults.has_pending(worker.worker_id):
             exc, downtime = self.faults.consume_pending(worker)
@@ -138,14 +198,22 @@ class Scheduler:
                 if ticks <= 0:
                     continue
                 if self.accountant is not None:
-                    # charge only the span inside the run horizon: the wake
-                    # event past ``until`` never fires, so its remainder is
-                    # never simulated
-                    charge = min(ticks, max(0.0, self._run_until - self.now))
-                    if directive.kind == CostKind.BACKOFF:
-                        self.accountant.on_backoff(worker.worker_id, charge)
+                    # charge only the span inside the run horizon now; the
+                    # remainder is deferred and charged if/when the wake
+                    # fires in a later run() segment (it may never fire, in
+                    # which case the remainder is never simulated)
+                    horizon = max(0.0, self._run_until - self.now)
+                    if ticks > horizon:
+                        self._deferred_cost[worker] = (ticks - horizon,
+                                                       directive.kind)
+                        charge = horizon
                     else:
-                        self.accountant.on_exec(worker.worker_id, charge)
+                        charge = ticks
+                    if charge > 0.0:
+                        if directive.kind == CostKind.BACKOFF:
+                            self.accountant.on_backoff(worker.worker_id, charge)
+                        else:
+                            self.accountant.on_exec(worker.worker_id, charge)
                 self._schedule_worker(worker, self.now + ticks)
                 break
             # WaitFor
@@ -154,8 +222,7 @@ class Scheduler:
                 continue
             worker.park_token += 1
             worker.generation += 1  # invalidate any in-flight wake-ups
-            self._parked[worker] = wait
-            self._park_start[worker] = self.now
+            self._park(worker, wait)
             self.wait_count_by_kind[wait.kind] = \
                 self.wait_count_by_kind.get(wait.kind, 0) + 1
             if self.trace.enabled:
@@ -165,23 +232,102 @@ class Scheduler:
                     ctx.txn_id if ctx is not None else None,
                     ctx.type_name if ctx is not None else None,
                     {"wait_kind": wait.kind, "n_deps": len(wait.dep_ctxs)}))
-            if self._find_cycle(worker) is not None:
+            cycle = self._find_cycle(worker)
+            if cycle is not None:
                 self.cycle_breaks += 1
-                self._unpark(worker, outcome="cycle")
-                if wait.abort_on_break:
-                    exc = TransactionAborted(AbortReason.WAIT_CYCLE)
-                else:
+                if not wait.abort_on_break:
+                    # performance wait: the waiter just proceeds
+                    self._unpark(worker, outcome="cycle")
                     self._exempt_wait(worker, wait)
-                continue
+                    continue
+                victim = self._pick_cycle_victim(cycle)
+                if victim is worker:
+                    self._unpark(worker, outcome="cycle")
+                    exc = TransactionAborted(AbortReason.WAIT_CYCLE)
+                    continue
+                # the youngest is elsewhere in the cycle: abort it at its
+                # own wait (the edge it contributed disappears, so the
+                # cycle is broken) and leave the parker parked
+                self._unpark(victim, outcome="cycle")
+                self._pending_exc[victim] = \
+                    TransactionAborted(AbortReason.WAIT_CYCLE)
+                self._schedule_worker(victim, self.now)
             self._arm_timeout(worker, worker.park_token)
             break
         self._notify_parked()
 
-    def _notify_parked(self) -> None:
-        """Wake every parked worker whose condition has become true."""
-        if not self._parked:
+    def _park(self, worker: Worker, wait: WaitFor) -> None:
+        """Register ``worker`` as parked on ``wait`` and subscribe it on the
+        wait's wake keys (event mode).  A wait that declares neither
+        ``dep_ctxs`` nor ``wake_keys`` joins the full-poll fallback set."""
+        self._parked[worker] = wait
+        self._park_start[worker] = self.now
+        self._park_order[worker] = next(self._park_counter)
+        if not self._event_driven:
             return
-        ready = [w for w, wait in self._parked.items() if wait.condition()]
+        if not wait.dep_ctxs and not wait.wake_keys:
+            self._poll_parked[worker] = None
+            return
+        ctx = worker.current_ctx
+        keys: List[object] = []
+        own = () if ctx is None else (ctx,)
+        for key in itertools.chain(wait.dep_ctxs, wait.wake_keys, own):
+            subs = self._subs.get(key)
+            if subs is None:
+                subs = self._subs[key] = {}
+            if worker not in subs:
+                subs[worker] = None
+                keys.append(key)
+        self._sub_keys[worker] = keys
+
+    # ------------------------------------------------------------------ #
+    # wake-up notification
+
+    def notify(self, ctx: object) -> None:
+        """Flag workers subscribed on transaction ``ctx`` for a condition
+        re-check at the end of the current advance.  Called by the code
+        that changes ``ctx``'s observable wait state: progress advances,
+        version exposure / piece validation, commit/abort termination, and
+        dooming (validation failure, fault injection)."""
+        subs = self._subs.get(ctx)
+        if subs:
+            self._dirty.update(subs)
+
+    def notify_lock(self, key: object) -> None:
+        """Flag workers subscribed on a lock wake key (a record whose
+        commit lock was released, or a :meth:`LockTable.wake_key
+        <repro.storage.locks.LockTable.wake_key>`)."""
+        subs = self._subs.get(key)
+        if subs:
+            self._dirty.update(subs)
+
+    def _notify_parked(self) -> None:
+        """Wake every parked worker whose condition has become true.
+
+        Event mode re-checks only workers flagged dirty by notify() plus
+        the full-poll fallback set, in park order — which is exactly the
+        order the legacy poll visits them, so wake order (and therefore
+        every downstream tie-break) is bit-identical across modes."""
+        if self._event_driven:
+            dirty = self._dirty
+            poll = self._poll_parked
+            if not dirty and not poll:
+                return
+            if dirty:
+                candidates = list(dirty)
+                if poll:
+                    candidates.extend(poll)
+                candidates.sort(key=self._park_order.__getitem__)
+                dirty.clear()
+            else:
+                candidates = list(poll)
+            parked = self._parked
+            ready = [w for w in candidates if parked[w].condition()]
+        else:
+            if not self._parked:
+                return
+            ready = [w for w, wait in self._parked.items()
+                     if wait.condition()]
         for worker in ready:
             self._unpark(worker)
             self._schedule_worker(worker, self.now)
@@ -189,6 +335,18 @@ class Scheduler:
     def _unpark(self, worker: Worker, outcome: str = "satisfied") -> None:
         wait = self._parked.pop(worker)
         start = self._park_start.pop(worker, self.now)
+        del self._park_order[worker]
+        keys = self._sub_keys.pop(worker, None)
+        if keys is not None:
+            for key in keys:
+                subs = self._subs.get(key)
+                if subs is not None:
+                    subs.pop(worker, None)
+                    if not subs:
+                        del self._subs[key]
+        else:
+            self._poll_parked.pop(worker, None)
+        self._dirty.discard(worker)
         waited = self.now - start
         self.wait_time_by_kind[wait.kind] = \
             self.wait_time_by_kind.get(wait.kind, 0.0) + waited
@@ -216,6 +374,16 @@ class Scheduler:
                                         self.now - start)
                 self._park_start[worker] = self.now
 
+    def close(self) -> None:
+        """Tear down all workers in worker-id order, unwinding in-flight
+        attempts through their cleanup paths.  Without this, generators are
+        finalised by garbage collection in reference-drop order, and the
+        teardown's abort cascade (scrubs, dooms, trace events) would vary
+        from run to run."""
+        for worker in self._workers:
+            if not worker.finished:
+                worker.close()
+
     # ------------------------------------------------------------------ #
     # deadlock handling
 
@@ -230,6 +398,10 @@ class Scheduler:
             dep_worker = ctx.worker
             if dep_worker is not None:
                 result.append(dep_worker)
+        # dep_ctxs is a frozenset whose iteration order depends on object
+        # hashes; the DFS below picks *which* cycle is reported (and hence
+        # the victim), so the walk must be deterministic
+        result.sort(key=lambda w: w.worker_id)
         return result
 
     def _find_cycle(self, start: Worker) -> Optional[List[Worker]]:

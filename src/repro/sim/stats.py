@@ -101,7 +101,10 @@ class RunStats:
         #: from the last validation point instead of fully aborting)
         self.piece_retries: Dict[str, int] = {name: 0 for name in self.type_names}
         #: total simulated time spent in retry backoff across workers
+        #: (measurement window only; warm-up backoff is counted separately)
         self.backoff_time = 0.0
+        self.warmup_backoff_time = 0.0
+        self.warmup_piece_retries = 0
         self.warmup_commits = 0
         self.warmup_aborts = 0
         #: abort reasons seen during warm-up — kept separate so the
@@ -130,8 +133,19 @@ class RunStats:
         if self.collect_latency:
             self.latency[type_name].record(latency)
 
-    def record_piece_retry(self, type_name: str) -> None:
+    def record_piece_retry(self, type_name: str, now: float) -> None:
+        if now < self.warmup_end:
+            self.warmup_piece_retries += 1
+            return
         self.piece_retries[type_name] = self.piece_retries.get(type_name, 0) + 1
+
+    def record_backoff(self, pause: float, now: float) -> None:
+        """Accumulate retry-backoff time, gated on the warm-up window like
+        every other counter (``now`` is the time the backoff *starts*)."""
+        if now < self.warmup_end:
+            self.warmup_backoff_time += pause
+            return
+        self.backoff_time += pause
 
     def record_abort(self, type_name: str, now: float, reason: str) -> None:
         if now < self.warmup_end:

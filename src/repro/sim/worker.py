@@ -77,6 +77,15 @@ class Worker:
             self.finished = True
             return None
 
+    def close(self) -> None:
+        """Terminate the worker generator deterministically.  Raises
+        ``GeneratorExit`` at its current yield point, so an in-flight
+        attempt unwinds through the executor's cleanup (scrub + doom
+        cascade) instead of at whatever moment garbage collection would
+        have fired it."""
+        self._gen.close()
+        self.finished = True
+
     # ------------------------------------------------------------------ #
 
     def _main(self) -> Generator[Directive, None, None]:
@@ -121,7 +130,7 @@ class Worker:
                         # delay on top of the ordinary retry backoff
                         pause += self.faults.take_restart_delay(self.worker_id)
                     if pause > 0:
-                        self.stats.backoff_time += pause
+                        self.stats.record_backoff(pause, now)
                         if trace.enabled:
                             trace.emit(TraceEvent(
                                 self.scheduler.now, EventKind.BACKOFF,

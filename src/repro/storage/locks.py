@@ -16,7 +16,7 @@ Lock modes are shared (S) / exclusive (X) with upgrade support.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..obs.tracing import EventKind, TraceEvent
 
@@ -117,6 +117,13 @@ class LockTable:
             {"table": table, "key": repr(key), "mode": mode,
              "outcome": outcome, "n_holders": len(state.holders)}))
 
+    @staticmethod
+    def wake_key(table: str, key: tuple) -> Tuple[str, str, tuple]:
+        """Hashable scheduler-subscription key for the (table, key) lock —
+        passed as a ``WaitFor.wake_keys`` entry so lock waiters are woken
+        by :meth:`release_all`'s ``on_release`` callback."""
+        return ("lock", table, key)
+
     def holders(self, table: str, key: tuple) -> Set["TxnContext"]:
         """Current holders of the (table, key) lock (possibly empty)."""
         state = self._locks.get((table, key))
@@ -127,8 +134,13 @@ class LockTable:
         state = self._locks.get((table, key))
         return state is None or state.compatible(ctx, mode)
 
-    def release_all(self, ctx: "TxnContext") -> int:
-        """Release every lock held by ``ctx``; returns the count released."""
+    def release_all(self, ctx: "TxnContext",
+                    on_release: Optional[Callable[[tuple], None]] = None) -> int:
+        """Release every lock held by ``ctx``; returns the count released.
+
+        ``on_release`` (if given) is called with :meth:`wake_key` of every
+        released lock — the scheduler's ``notify_lock``, waking waiters
+        subscribed on it."""
         released = 0
         dead_keys = []
         for lock_key, state in self._locks.items():
@@ -141,6 +153,8 @@ class LockTable:
                 elif state.mode == LockMode.EXCLUSIVE:
                     # the exclusive holder left; remaining holders are readers
                     state.mode = LockMode.SHARED
+                if on_release is not None:
+                    on_release(self.wake_key(*lock_key))
         for lock_key in dead_keys:
             del self._locks[lock_key]
         return released

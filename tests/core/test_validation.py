@@ -151,19 +151,19 @@ class TestFinishAndScrub:
 
     def test_abort_dooms_active_readers(self):
         writer, reader = make_ctx(1), make_ctx(2)
-        writer.readers.add(reader)
+        writer.readers[reader] = None
         validation.finish(writer, TxnStatus.ABORTED)
         assert reader.doomed
 
     def test_abort_skips_terminal_readers(self):
         writer, reader = make_ctx(1), make_ctx(2)
         reader.status = TxnStatus.COMMITTED
-        writer.readers.add(reader)
+        writer.readers[reader] = None
         validation.finish(writer, TxnStatus.ABORTED)
         assert not reader.doomed
 
     def test_commit_does_not_doom_readers(self):
         writer, reader = make_ctx(1), make_ctx(2)
-        writer.readers.add(reader)
+        writer.readers[reader] = None
         validation.finish(writer, TxnStatus.COMMITTED)
         assert not reader.doomed

@@ -1,0 +1,358 @@
+"""Event-driven wait wake-ups: bit-identity vs polling, subscription
+mechanics, cycle-victim wiring, and segmented-run accounting.
+
+The subscription scheduler's contract is strict: a run under
+``wait_wakeups="event"`` must be *bit-identical* to the same seed under
+``wait_wakeups="poll"`` — same stats, same traces, same metrics — across
+every in-tree protocol, because only the *mechanism* of re-checking wait
+conditions changed, never the observable wake order.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.runner import run_named
+from repro.cc.seeds import occ_policy
+from repro.config import CostModel, SimConfig
+from repro.core.ops import UpdateOp
+from repro.core.protocol import TxnInvocation
+from repro.errors import AbortReason, TransactionAborted
+from repro.faults.plan import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import TimeAccountant, check_accounting
+from repro.obs.tracing import MemorySink
+from repro.sim.events import Cost, WaitFor, WaitKind
+
+from tests.helpers import CounterWorkload, counter_spec
+from tests.sim.test_scheduler import build
+
+
+#: a contended configuration: 8 workers hammering 4 counters parks often
+CONTENDED = dict(n_keys=4, n_accesses=3)
+
+PROTOCOLS = ["silo", "2pl", "ic3", "polyjuice"]
+
+
+class OrderedCounterWorkload(CounterWorkload):
+    """CounterWorkload with keys accessed in global (sorted) order, so the
+    2PL baseline's ordered-acquisition assumption holds and every protocol
+    makes progress under heavy contention."""
+
+    def make_invocation(self, type_name, rng, worker_id):
+        invocation = super().make_invocation(type_name, rng, worker_id)
+        ops = sorted(invocation.program(), key=lambda op: op.key)
+
+        def program():
+            for access_id, op in enumerate(ops):
+                yield UpdateOp(op.table, op.key, op.update_fn, access_id)
+
+        return TxnInvocation(invocation.type_index, invocation.type_name,
+                             program)
+
+
+def _run(cc_name: str, mode: str, seed: int,
+         fault_plan=None, duration: float = 20_000.0):
+    config = SimConfig(n_workers=8, duration=duration, warmup=2_000.0,
+                       seed=seed, wait_wakeups=mode)
+    sink = MemorySink()
+    metrics = MetricsRegistry()
+    accountant = TimeAccountant(config.n_workers, config.duration)
+    policy = occ_policy(counter_spec(3)) if cc_name == "polyjuice" else None
+    result = run_named(lambda: OrderedCounterWorkload(**CONTENDED), cc_name,
+                       config, policy=policy, trace_sink=sink,
+                       metrics=metrics, accountant=accountant,
+                       fault_plan=fault_plan)
+    return result, sink, metrics, accountant
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("cc_name", PROTOCOLS)
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_event_matches_poll(self, cc_name, seed):
+        ev_result, ev_sink, ev_metrics, ev_acct = _run(cc_name, "event", seed)
+        po_result, po_sink, po_metrics, po_acct = _run(cc_name, "poll", seed)
+        # byte-identical summaries
+        assert json.dumps(ev_result.stats.summary(), sort_keys=True) == \
+            json.dumps(po_result.stats.summary(), sort_keys=True)
+        # identical traces, event by event
+        assert len(ev_sink.events) == len(po_sink.events)
+        assert ev_sink.events == po_sink.events
+        # identical run metrics (waits, cycle breaks, backoff, latency)
+        assert ev_metrics.snapshot() == po_metrics.snapshot()
+        # identical time decomposition, and the books balance in both
+        assert ev_acct.breakdown() == po_acct.breakdown()
+        assert check_accounting(ev_acct) is None
+        assert ev_result.invariant_violations == []
+        # the run did exercise the parked path at all
+        assert ev_result.stats.total_commits > 0
+
+    def test_event_matches_poll_under_faults(self):
+        plan = FaultPlan(rates={"stall": 0.01, "abort": 0.005,
+                                "doom": 0.005})
+        ev_result, ev_sink, _, ev_acct = _run("polyjuice", "event", 5,
+                                              fault_plan=plan)
+        po_result, po_sink, _, po_acct = _run("polyjuice", "poll", 5,
+                                              fault_plan=plan)
+        assert ev_sink.events == po_sink.events
+        assert json.dumps(ev_result.stats.summary(), sort_keys=True) == \
+            json.dumps(po_result.stats.summary(), sort_keys=True)
+        assert ev_acct.breakdown() == po_acct.breakdown()
+        assert check_accounting(ev_acct) is None
+        assert ev_result.fault_counts == po_result.fault_counts
+
+
+class TestSubscriptions:
+    def test_wait_without_keys_falls_back_to_poll(self):
+        # a condition over a side flag, with no declared deps or wake keys:
+        # nobody will ever notify for it, so it must still wake via the
+        # full-poll fallback
+        flag = {"ready": False}
+
+        def waiter(ctx, sched, log):
+            yield WaitFor(lambda: flag["ready"], WaitKind.PROGRESS)
+            log.append(("woke", sched.now))
+
+        def setter(ctx, sched, log):
+            yield Cost(30.0)
+            flag["ready"] = True
+            yield Cost(1.0)
+
+        scheduler, cc, _ = build([waiter, setter], n_txns=[1, 1])
+        assert scheduler._event_driven
+        scheduler.run(100.0)
+        assert ("woke", 30.0) in cc.log
+
+    def test_subscription_index_cleaned_after_run(self):
+        # drive the scripted harness and check the wake maps fully drain
+        done = {"n": 0}
+
+        def make(worker_id, other_id, ctxs={}):
+            def script(ctx, sched, log):
+                ctxs[worker_id] = ctx
+                yield Cost(1.0 + worker_id)
+                other = ctxs.get(other_id)
+                if other is not None:
+                    yield WaitFor(lambda: other.is_terminal(),
+                                  WaitKind.PROGRESS, [other])
+                done["n"] += 1
+            return script
+
+        scheduler, cc, _ = build([make(0, 1), make(1, 0)], n_txns=[1, 1])
+        scheduler.run(9_000.0)
+        assert done["n"] == 2
+        assert scheduler._subs == {}
+        assert scheduler._sub_keys == {}
+        assert scheduler._poll_parked == {}
+        assert scheduler._dirty == set()
+        assert scheduler._park_order == {}
+
+    def test_notify_flags_only_subscribers(self):
+        ctxs = {}
+
+        def waiter(ctx, sched, log):
+            ctxs["waiter"] = ctx
+            yield Cost(1.0)
+            dep = ctxs["setter"]
+            yield WaitFor(lambda: dep.is_terminal(), WaitKind.PROGRESS, [dep])
+            log.append("woke")
+
+        def setter(ctx, sched, log):
+            ctxs["setter"] = ctx
+            yield Cost(5.0)
+
+        def bystander(ctx, sched, log):
+            yield Cost(0.5)
+            yield WaitFor(lambda: False, WaitKind.PROGRESS)
+
+        scheduler, cc, _ = build([waiter, setter, bystander],
+                                 n_txns=[1, 1, 1])
+        scheduler.run(3.0)  # waiter parked, setter still running
+        dep_ctx = ctxs["setter"]
+        assert dep_ctx in scheduler._subs
+        subs = scheduler._subs[dep_ctx]
+        assert len(subs) == 1  # only the waiter, not the bystander
+        scheduler.run(10_000.0)
+        assert "woke" in cc.log
+
+
+class TestCycleVictim:
+    def test_youngest_remote_victim_aborts_parker_survives(self):
+        """An older transaction parks last and closes a cycle: the
+        *younger* peer (already parked) must be the victim, not the
+        parker — the previously unreachable youngest-in-cycle policy."""
+        ctxs = {}
+        aborted = []
+
+        def make(worker_id, other_id, park_delay):
+            def script(ctx, sched, log):
+                ctxs[worker_id] = ctx
+                try:
+                    yield Cost(park_delay)
+                    # capture the dep once: the condition must read exactly
+                    # the ctxs it declares in dep_ctxs
+                    other = ctxs.get(other_id)
+                    deps = [other] if other is not None else []
+                    yield WaitFor(
+                        lambda: other is not None and other.is_terminal(),
+                        WaitKind.COMMIT_DEPS, deps)
+                    log.append(("done", worker_id))
+                except TransactionAborted:
+                    aborted.append(worker_id)
+                    raise
+            return script
+
+        # worker 1 (younger txn id) parks at t=1; worker 0 (older) parks
+        # at t=2 and closes the cycle
+        scheduler, cc, stats = build([make(0, 1, 2.0), make(1, 0, 1.0)],
+                                     n_txns=[1, 1])
+        scheduler.run(5_000.0)
+        assert scheduler.cycle_breaks >= 1
+        assert aborted[0] == 1  # the younger, remote, already-parked worker
+        assert 0 not in aborted  # the parker survived its wait
+        assert ("done", 0) in cc.log and ("done", 1) in cc.log
+        assert stats.abort_reasons.get(AbortReason.WAIT_CYCLE, 0) >= 1
+
+    def test_parker_aborts_when_it_is_youngest(self):
+        ctxs = {}
+        aborted = []
+
+        def make(worker_id, other_id, park_delay):
+            def script(ctx, sched, log):
+                ctxs[worker_id] = ctx
+                try:
+                    yield Cost(park_delay)
+                    # capture the dep once: the condition must read exactly
+                    # the ctxs it declares in dep_ctxs
+                    other = ctxs.get(other_id)
+                    deps = [other] if other is not None else []
+                    yield WaitFor(
+                        lambda: other is not None and other.is_terminal(),
+                        WaitKind.COMMIT_DEPS, deps)
+                    log.append(("done", worker_id))
+                except TransactionAborted:
+                    aborted.append(worker_id)
+                    raise
+            return script
+
+        # worker 0 (older) parks first at t=1; worker 1 (younger) parks
+        # at t=2 and closes the cycle — and is itself the youngest
+        scheduler, cc, stats = build([make(0, 1, 1.0), make(1, 0, 2.0)],
+                                     n_txns=[1, 1])
+        scheduler.run(5_000.0)
+        assert scheduler.cycle_breaks >= 1
+        assert aborted[0] == 1
+        assert 0 not in aborted
+
+
+class TestSegmentedAccounting:
+    @pytest.mark.parametrize("mode", ["event", "poll"])
+    def test_cost_remainder_charged_when_deferred_wake_fires(self, mode):
+        """A fully-busy worker must show zero idle even when run() is
+        called in segments whose horizons split its cost spans (the old
+        clip-and-drop lost the remainder to idle)."""
+        def script(ctx, sched, log):
+            yield Cost(80.0)
+            yield Cost(80.0)
+            yield Cost(80.0)
+
+        config = SimConfig(n_workers=1, duration=200.0, seed=1,
+                           wait_wakeups=mode)
+        from repro.sim.scheduler import Scheduler
+        from repro.sim.stats import RunStats
+        from repro.sim.worker import Worker
+        from tests.sim.test_scheduler import ScriptedCC, ScriptedWorkload
+        import random
+        accountant = TimeAccountant(1, 200.0)
+        scheduler = Scheduler(config, accountant=accountant)
+        cc = ScriptedCC([script])
+        stats = RunStats(["scripted"])
+        worker = Worker(0, scheduler, cc, ScriptedWorkload([1]), stats,
+                        config, random.Random(0))
+        scheduler.add_worker(worker)
+        for until in (50.0, 120.0, 200.0):
+            scheduler.run(until)
+        scheduler.finish_accounting()
+        row = accountant.breakdown()[0]
+        # busy from t=0 to t=200: nothing may leak into idle
+        assert row["idle"] == pytest.approx(0.0)
+        assert row["useful"] + row["in_flight"] == pytest.approx(200.0)
+        assert check_accounting(accountant) is None
+
+    def test_remainder_past_final_horizon_stays_uncharged(self):
+        def script(ctx, sched, log):
+            yield Cost(300.0)
+
+        config = SimConfig(n_workers=1, duration=200.0, seed=1)
+        from repro.sim.scheduler import Scheduler
+        from repro.sim.stats import RunStats
+        from repro.sim.worker import Worker
+        from tests.sim.test_scheduler import ScriptedCC, ScriptedWorkload
+        import random
+        accountant = TimeAccountant(1, 200.0)
+        scheduler = Scheduler(config, accountant=accountant)
+        worker = Worker(0, scheduler, ScriptedCC([script]),
+                        ScriptedWorkload([1]), RunStats(["scripted"]),
+                        config, random.Random(0))
+        scheduler.add_worker(worker)
+        scheduler.run(200.0)
+        scheduler.finish_accounting()
+        row = accountant.breakdown()[0]
+        # the wake at t=300 never fired: only 200 ticks were simulated
+        assert row["in_flight"] == pytest.approx(200.0)
+        assert row["idle"] == pytest.approx(0.0)
+        assert check_accounting(accountant) is None
+
+    def test_segmented_equals_single_run(self):
+        """Seed-for-seed, chopping run() into segments must not change
+        stats or the accounting of a real contended workload."""
+        def run_with(segments):
+            config = SimConfig(n_workers=4, duration=10_000.0, seed=9)
+            from repro.bench.runner import run_protocol
+            from repro.cc.occ import SiloOCC
+            # run_protocol drives a single run(duration); emulate segments
+            # manually through the same wiring
+            from repro.obs.profile import TimeAccountant
+            from repro.rng import spawn_rng
+            from repro.sim.scheduler import Scheduler
+            from repro.sim.stats import RunStats
+            from repro.sim.worker import Worker
+            workload = CounterWorkload(**CONTENDED)
+            db = workload.build_database()
+            cc = SiloOCC()
+            cc.setup(db, workload.spec, config)
+            stats = RunStats(workload.type_names())
+            accountant = TimeAccountant(config.n_workers, config.duration)
+            scheduler = Scheduler(config, accountant=accountant)
+            for worker_id in range(config.n_workers):
+                scheduler.add_worker(Worker(
+                    worker_id, scheduler, cc, workload, stats, config,
+                    spawn_rng(config.seed, worker_id)))
+            for until in segments:
+                scheduler.run(until)
+            scheduler.finish_accounting()
+            stats.end_time = config.duration
+            return stats, accountant
+
+        single_stats, single_acct = run_with([10_000.0])
+        seg_stats, seg_acct = run_with([1_000.0, 3_333.0, 7_000.0, 10_000.0])
+        assert json.dumps(single_stats.summary(), sort_keys=True) == \
+            json.dumps(seg_stats.summary(), sort_keys=True)
+        for single_row, seg_row in zip(single_acct.breakdown(),
+                                       seg_acct.breakdown()):
+            for key in single_row:
+                assert seg_row[key] == pytest.approx(single_row[key]), key
+        assert check_accounting(seg_acct) is None
+
+
+class TestConfig:
+    def test_wait_wakeups_validated(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            SimConfig(wait_wakeups="busy-loop")
+
+    def test_modes_accepted(self):
+        assert SimConfig(wait_wakeups="poll").wait_wakeups == "poll"
+        assert dataclasses.replace(
+            SimConfig(), wait_wakeups="event").wait_wakeups == "event"

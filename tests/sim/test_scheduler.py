@@ -59,6 +59,10 @@ class ScriptedCC(ConcurrencyControl):
         except TransactionAborted:
             ctx.status = TxnStatus.ABORTED
             raise
+        finally:
+            # real CCs notify via validation.finish; a scripted CC mutates
+            # ctx.status directly, so it must uphold the notify contract
+            worker.scheduler.notify(ctx)
 
 
 def build(scripts, n_txns=None, **config_kwargs):

@@ -110,9 +110,24 @@ class TestRunStats:
 
     def test_piece_retries(self):
         stats = self.make()
-        stats.record_piece_retry("a")
-        stats.record_piece_retry("a")
+        stats.record_piece_retry("a", 6000.0)
+        stats.record_piece_retry("a", 7000.0)
         assert stats.piece_retries["a"] == 2
+
+    def test_piece_retries_gated_on_warmup(self):
+        stats = self.make(warmup=5000.0)
+        stats.record_piece_retry("a", 4999.0)
+        stats.record_piece_retry("a", 5000.0)
+        assert stats.piece_retries["a"] == 1
+        assert stats.warmup_piece_retries == 1
+
+    def test_backoff_gated_on_warmup(self):
+        stats = self.make(warmup=5000.0)
+        stats.record_backoff(100.0, 4000.0)
+        stats.record_backoff(30.0, 5000.0)
+        stats.record_backoff(20.0, 6000.0)
+        assert stats.backoff_time == pytest.approx(50.0)
+        assert stats.warmup_backoff_time == pytest.approx(100.0)
 
     def test_timeline_series(self):
         stats = self.make(bucket=1000.0)
