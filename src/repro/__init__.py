@@ -16,7 +16,9 @@ everything the paper's evaluation needs:
 * the experiment harness regenerating every figure and table
   (:mod:`repro.bench`);
 * observability — event tracing, metrics, time accounting
-  (:mod:`repro.obs`).
+  (:mod:`repro.obs`);
+* epoch-durable group-commit logging, node-crash recovery and the
+  durability oracle (:mod:`repro.durability`).
 
 Quickstart::
 
@@ -28,7 +30,7 @@ Quickstart::
     print(result.throughput)
 """
 
-from .config import CostModel, SimConfig, TICKS_PER_SECOND
+from .config import CostModel, DurabilityConfig, SimConfig, TICKS_PER_SECOND
 from .errors import ReproError, TransactionAborted
 from .bench.runner import ExperimentResult, run_named, run_protocol
 from .cc import make_cc
@@ -41,6 +43,7 @@ __all__ = [
     "BackoffPolicy",
     "CCPolicy",
     "CostModel",
+    "DurabilityConfig",
     "ExperimentResult",
     "MemorySink",
     "MetricsRegistry",

@@ -11,6 +11,7 @@ import dataclasses
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..config import SimConfig
+from ..durability.manager import DurabilityManager
 from ..errors import ConfigError
 from ..faults.injector import FAULT_RNG_SALT, FaultInjector
 from ..faults.plan import FaultPlan
@@ -35,13 +36,14 @@ class ExperimentResult:
     """Outcome of one experiment."""
 
     __slots__ = ("cc_name", "stats", "invariant_violations", "detail",
-                 "fault_counts", "livelock_fires")
+                 "fault_counts", "livelock_fires", "durability")
 
     def __init__(self, cc_name: str, stats: RunStats,
                  invariant_violations: List[str],
                  detail: Optional[str] = None,
                  fault_counts: Optional[dict] = None,
-                 livelock_fires: int = 0) -> None:
+                 livelock_fires: int = 0,
+                 durability: Optional[DurabilityManager] = None) -> None:
         self.cc_name = cc_name
         self.stats = stats
         self.invariant_violations = invariant_violations
@@ -50,6 +52,8 @@ class ExperimentResult:
         self.fault_counts = fault_counts or {}
         #: progress-watchdog firings during the run
         self.livelock_fires = livelock_fires
+        #: the run's durability manager (``None`` unless durability was on)
+        self.durability = durability
 
     @property
     def throughput(self) -> float:
@@ -98,10 +102,18 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
                                  spawn_rng(config.seed, FAULT_RNG_SALT))
     scheduler = Scheduler(config, trace=trace_sink, accountant=accountant,
                           faults=injector)
+    manager = None
+    if config.durability is not None:
+        manager = DurabilityManager(config, db, workload, cc, stats)
+        scheduler.durability = manager
     for worker_id in range(config.n_workers):
         worker = Worker(worker_id, scheduler, cc, workload, stats, config,
                         spawn_rng(config.seed, worker_id))
         scheduler.add_worker(worker)
+    if manager is not None:
+        manager.install(scheduler,
+                        lambda wid, rng: Worker(wid, scheduler, cc, workload,
+                                                stats, config, rng))
     if injector is not None:
         injector.install(scheduler)
     for time, fn in callbacks:
@@ -109,23 +121,33 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
     scheduler.run(config.duration)
     scheduler.finish_accounting()
     scheduler.close()
+    if manager is not None:
+        manager.finalize()
     stats.start_time = 0.0
     stats.end_time = config.duration
     violations = workload.check_invariants() if check_invariants else []
     if check_invariants and injector is not None:
-        violations.extend(storage_residue(db))
+        # the run may have swapped databases during node-crash recovery;
+        # scan the one that is live at the end
+        final_db = manager.db if manager is not None else db
+        violations.extend(storage_residue(final_db))
+    if manager is not None:
+        violations.extend(manager.violations)
     cc_name = getattr(cc, "name", "cc")
     if metrics is not None:
-        _record_run_metrics(metrics, cc_name, stats, scheduler, injector)
+        _record_run_metrics(metrics, cc_name, stats, scheduler, injector,
+                            manager)
     return ExperimentResult(cc_name, stats, violations,
                             fault_counts=dict(injector.fired)
                             if injector is not None else None,
-                            livelock_fires=scheduler.livelock_fires)
+                            livelock_fires=scheduler.livelock_fires,
+                            durability=manager)
 
 
 def _record_run_metrics(metrics: MetricsRegistry, cc_name: str,
                         stats: RunStats, scheduler: Scheduler,
-                        injector: Optional[FaultInjector] = None) -> None:
+                        injector: Optional[FaultInjector] = None,
+                        manager: Optional[DurabilityManager] = None) -> None:
     """Populate the registry with one run's end-of-run aggregates."""
     metrics.gauge("run_throughput_tps", cc=cc_name).set(stats.throughput())
     metrics.gauge("run_abort_rate", cc=cc_name).set(stats.abort_rate())
@@ -153,6 +175,35 @@ def _record_run_metrics(metrics: MetricsRegistry, cc_name: str,
         for kind, count in injector.fired.items():
             metrics.counter("run_faults_injected_total", cc=cc_name,
                             kind=kind).inc(count)
+        if injector.downtime_injected:
+            metrics.counter("run_crash_downtime_total", cc=cc_name).inc(
+                injector.downtime_injected)
+    if manager is not None:
+        metrics.counter("durability_log_records_total",
+                        cc=cc_name).inc(manager.log_records_total)
+        metrics.counter("durability_log_bytes_total",
+                        cc=cc_name).inc(manager.log_bytes_total)
+        metrics.counter("durability_flushes_total",
+                        cc=cc_name).inc(manager.flushes)
+        metrics.counter("durability_flush_stalls_total",
+                        cc=cc_name).inc(manager.flush_stalls)
+        metrics.counter("durability_acked_commits_total",
+                        cc=cc_name).inc(manager.acked_commits)
+        metrics.counter("durability_checkpoints_total",
+                        cc=cc_name).inc(manager.checkpoints_taken)
+        metrics.gauge("durability_persistent_epoch",
+                      cc=cc_name).set(manager.persistent_epoch)
+        metrics.gauge("durability_epoch_lag_max",
+                      cc=cc_name).set(manager.max_epoch_lag)
+        if manager.crash_count:
+            metrics.counter("durability_node_crashes_total",
+                            cc=cc_name).inc(manager.crash_count)
+            metrics.counter("durability_recovery_ticks_total",
+                            cc=cc_name).inc(manager.recovery_ticks_total)
+            metrics.counter("durability_lost_inflight_total",
+                            cc=cc_name).inc(manager.lost_inflight_total)
+            metrics.counter("durability_lost_unflushed_total",
+                            cc=cc_name).inc(manager.lost_unflushed_total)
     for type_name, digest in stats.latency.items():
         if digest.count:
             metrics.gauge("run_latency_p99_us", cc=cc_name,
@@ -170,7 +221,7 @@ def _run_probed(workload_factory: WorkloadFactory, descriptor,
     probe_config = dataclasses.replace(
         config, duration=probe_duration,
         warmup=min(config.warmup, probe_duration / 2),
-        collect_latency=False)
+        collect_latency=False, durability=None)
     best_factory = None
     best_throughput = -1.0
     for factory in descriptor.candidates:
@@ -188,7 +239,8 @@ def _run_probed(workload_factory: WorkloadFactory, descriptor,
                             result.invariant_violations,
                             detail=f"picked {winner.name}",
                             fault_counts=result.fault_counts,
-                            livelock_fires=result.livelock_fires)
+                            livelock_fires=result.livelock_fires,
+                            durability=result.durability)
 
 
 def run_named(workload_factory: WorkloadFactory, cc_name: str,

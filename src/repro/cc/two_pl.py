@@ -44,6 +44,12 @@ class TwoPL(ConcurrencyControl):
         super().setup(db, spec, config)
         self.locks = LockTable(assume_ordered=self.assume_ordered)
 
+    def on_node_recovery(self, new_db) -> None:
+        # the old lock table's queues reference records of the crashed
+        # database; recovery starts with no locks held
+        super().on_node_recovery(new_db)
+        self.locks = LockTable(assume_ordered=self.assume_ordered)
+
     def make_backoff(self, worker: "Worker"):
         return ExponentialBackoffManager(self.config.cost)
 

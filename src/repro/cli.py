@@ -12,7 +12,11 @@ Commands:
 
 ``run`` and ``compare`` accept ``--faults PLAN.json`` (a deterministic
 fault plan, see :mod:`repro.faults`) and ``--watchdog TICKS`` /
-``--watchdog-action`` (progress watchdog).  ``train`` accepts
+``--watchdog-action`` (progress watchdog).  ``run``, ``compare`` and
+``chaos`` accept ``--durability`` (epoch group-commit logging with
+deferred acks, see :mod:`repro.durability`); ``chaos --node-crash TIME``
+crashes the whole node mid-run and audits checkpoint-plus-replay
+recovery with the durability oracle.  ``train`` accepts
 ``--checkpoint DIR`` / ``--resume`` for crash-safe resumable training;
 an interrupt (Ctrl-C) still writes the best policy found so far.
 ``train --jobs N`` fans fitness evaluations out to N worker processes
@@ -43,7 +47,7 @@ import os
 import sys
 from typing import Optional
 
-from .config import SimConfig
+from .config import DurabilityConfig, SimConfig
 from .bench.reporting import format_table
 from .bench.runner import run_named
 from .core.backoff import BackoffPolicy
@@ -70,12 +74,21 @@ def _workload(args):
     raise ReproError(f"unknown workload {args.workload!r}")
 
 
+def _durability_config(args) -> Optional[DurabilityConfig]:
+    if not getattr(args, "durability", False):
+        return None
+    return DurabilityConfig(epoch_length=args.epoch_length,
+                            log_flush=args.log_flush,
+                            checkpoint_interval=args.checkpoint_interval)
+
+
 def _sim_config(args) -> SimConfig:
     return SimConfig(n_workers=args.workers, duration=args.duration,
                      warmup=args.warmup, seed=args.seed,
                      watchdog_window=getattr(args, "watchdog", None),
                      watchdog_action=getattr(args, "watchdog_action",
-                                             "abort_oldest"))
+                                             "abort_oldest"),
+                     durability=_durability_config(args))
 
 
 def _load_fault_plan(args):
@@ -188,6 +201,21 @@ def _print_fault_summary(result, prefix: str = "") -> None:
         print(f"{prefix}watchdog livelock fires: {result.livelock_fires}")
 
 
+def _print_durability_summary(manager) -> None:
+    print(f"durability: persistent epoch {manager.persistent_epoch}, "
+          f"{manager.acked_commits:,} acked commits, "
+          f"{manager.log_bytes_total:,} log bytes in {manager.flushes} "
+          f"flushes ({manager.flush_stalls} stalled), "
+          f"max epoch lag {manager.max_epoch_lag}, "
+          f"{manager.checkpoints_taken} checkpoints")
+    for report in manager.recoveries:
+        print(f"  crash @ {report.time:,.0f}: recovered to epoch "
+              f"{report.persistent_epoch} (replayed {report.replayed:,} "
+              f"records in {report.recovery_ticks:,.0f} ticks; lost "
+              f"{report.lost_inflight} in-flight, "
+              f"{report.lost_unflushed} unflushed)")
+
+
 def cmd_run(args) -> int:
     spec, factory = _workload(args)
     fault_plan = _load_fault_plan(args)
@@ -197,6 +225,8 @@ def cmd_run(args) -> int:
                        backoff_policy=backoff, trace_sink=sink,
                        metrics=metrics, fault_plan=fault_plan)
     _print_result(result.cc_name, result)
+    if result.durability is not None:
+        _print_durability_summary(result.durability)
     if fault_plan is not None:
         _print_fault_summary(result)
     if sink is not None:
@@ -313,7 +343,7 @@ def cmd_train(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    from .faults import FaultPlan, default_plans, run_chaos
+    from .faults import FaultPlan, ScriptedFault, default_plans, run_chaos
     spec, factory = _workload(args)
     policy, backoff = _load_policy(args, spec)
     plans = None
@@ -322,6 +352,16 @@ def cmd_chaos(args) -> int:
     elif args.rates:
         rates = [float(r) for r in args.rates.split(",")]
         plans = default_plans(rates=rates)
+    if getattr(args, "node_crash", None) is not None:
+        if not args.durability:
+            raise ReproError("--node-crash requires --durability")
+        crash = ScriptedFault(time=args.node_crash, kind="node_crash")
+        if plans is None:
+            plans = [FaultPlan(events=[crash],
+                               name=f"node_crash@{args.node_crash:g}")]
+        else:
+            for plan in plans:
+                plan.events.append(crash)
     cc_names = [cc.strip() for cc in args.ccs.split(",")]
     rows = []
     failures = 0
@@ -427,6 +467,23 @@ def _add_obs(parser) -> None:
                              "else JSON)")
 
 
+def _add_durability(parser) -> None:
+    parser.add_argument("--durability", action="store_true",
+                        help="enable epoch-based group-commit logging: "
+                             "commits are acked when their epoch's flush "
+                             "completes, and node_crash faults recover via "
+                             "checkpoint + log replay")
+    parser.add_argument("--epoch-length", type=float, default=1_000.0,
+                        metavar="TICKS", help="group-commit epoch length")
+    parser.add_argument("--log-flush", type=float, default=200.0,
+                        metavar="TICKS",
+                        help="fixed cost of flushing one epoch's log batch")
+    parser.add_argument("--checkpoint-interval", type=float, default=0.0,
+                        metavar="TICKS",
+                        help="periodic checkpoint interval (0 = only the "
+                             "initial checkpoint)")
+
+
 def _add_faults(parser, watchdog_default: Optional[float] = None) -> None:
     parser.add_argument("--faults", metavar="PLAN.json",
                         help="fault plan to inject (see repro.faults)")
@@ -450,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run_parser)
     _add_obs(run_parser)
     _add_faults(run_parser)
+    _add_durability(run_parser)
     run_parser.add_argument("--cc", default="silo")
     run_parser.add_argument("--policy", help="policy JSON (for polyjuice)")
     run_parser.add_argument("--backoff", help="backoff JSON")
@@ -459,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(compare_parser)
     _add_obs(compare_parser)
     _add_faults(compare_parser)
+    _add_durability(compare_parser)
     compare_parser.add_argument("--ccs", default="silo,2pl,ic3,tebaldi")
     compare_parser.add_argument("--policy")
     compare_parser.add_argument("--backoff")
@@ -495,6 +554,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser = sub.add_parser(
         "chaos", help="fault-injection sweep with correctness oracles")
     _add_common(chaos_parser)
+    _add_durability(chaos_parser)
+    chaos_parser.add_argument("--node-crash", dest="node_crash", type=float,
+                              metavar="TIME",
+                              help="crash the whole node at this simulated "
+                                   "time and recover (requires --durability); "
+                                   "arms the durability oracle")
     chaos_parser.add_argument("--ccs", default="silo,2pl,ic3")
     chaos_parser.add_argument("--faults", metavar="PLAN.json",
                               help="run one specific fault plan instead of "

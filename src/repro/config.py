@@ -94,6 +94,50 @@ class CostModel:
 TICKS_PER_SECOND = 1_000_000.0
 
 
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Epoch-based group-commit durability (Silo's commit protocol plus
+    SiloR-style logging, checkpointing and recovery).
+
+    Committed transactions are appended to per-worker log buffers; at every
+    ``epoch_length`` boundary the buffers are flushed as one group commit
+    and client acks are released only once the flush completes, so "acked"
+    and "durable" coincide.  A scripted ``node_crash`` fault truncates the
+    log to the *persistent epoch* (the latest epoch fully flushed by every
+    worker) and recovers from the newest durable checkpoint plus log replay.
+
+    Attributes:
+        epoch_length: ticks between epoch boundaries (group-commit cadence).
+        log_write: ticks charged to the committing worker per log image
+            written (one commit-record header plus one image per write).
+        log_flush: ticks one epoch's group flush occupies the (serial)
+            log device; flushes of consecutive epochs queue behind each
+            other, so ``log_flush > epoch_length`` produces flush stalls.
+        checkpoint_interval: ticks between background database checkpoints
+            (0 = only the initial checkpoint at t=0).  Checkpoints are
+            charged no simulated time (SiloR takes them on spare threads).
+        recovery_base: fixed ticks of downtime after a node crash (process
+            restart + checkpoint load).
+        replay_per_record: additional recovery ticks per replayed log
+            record.
+    """
+
+    epoch_length: float = 1000.0
+    log_write: float = 0.05
+    log_flush: float = 200.0
+    checkpoint_interval: float = 0.0
+    recovery_base: float = 1000.0
+    replay_per_record: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.epoch_length <= 0:
+            raise ConfigError("durability epoch_length must be positive")
+        for name in ("log_write", "log_flush", "checkpoint_interval",
+                     "recovery_base", "replay_per_record"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"durability field {name!r} must be >= 0")
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalise a ``--jobs`` value into a concrete worker-process count.
 
@@ -141,6 +185,11 @@ class SimConfig:
             ``"poll"`` re-evaluates every parked condition after every
             worker advance (the legacy O(parked) hot path, kept as the
             bit-identical reference implementation).
+        durability: epoch-based group-commit durability parameters
+            (:class:`DurabilityConfig`).  ``None`` (the default) disables
+            durability entirely — no epochs, no log costs, no deferred
+            acks — and runs stay bit-identical to a build without the
+            durability subsystem.
     """
 
     n_workers: int = 8
@@ -154,6 +203,7 @@ class SimConfig:
     watchdog_window: Optional[float] = None
     watchdog_action: str = "abort_oldest"
     wait_wakeups: str = "event"
+    durability: Optional[DurabilityConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_workers <= 0:

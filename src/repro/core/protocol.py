@@ -76,6 +76,14 @@ class ConcurrencyControl(abc.ABC):
         self.config = config
         self.ids = TxnIdAllocator()
 
+    def on_node_recovery(self, new_db: "Database") -> None:
+        """Re-point the protocol at the recovered database after a
+        simulated whole-node crash (``repro.durability``).  The default
+        suffices for protocols whose only database-derived state is
+        ``self.db``; protocols with caches keyed on storage objects (e.g.
+        2PL's lock table) override and rebuild them."""
+        self.db = new_db
+
     @abc.abstractmethod
     def run_transaction(self, worker: "Worker", invocation: TxnInvocation,
                         attempt: int, first_start: float) -> Generator:

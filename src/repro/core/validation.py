@@ -125,8 +125,17 @@ def finish(ctx: TxnContext, status: str, reason: Optional[str] = None,
                          "doomed_type": reader.type_name,
                          "reason": reason}))
     ctx.readers.clear()
-    if recorder is not None and status == TxnStatus.COMMITTED:
-        recorder.on_commit(ctx)
+    if status == TxnStatus.COMMITTED:
+        if scheduler is not None:
+            # epoch group commit: append the installed write images to the
+            # worker's log buffer at the install point, so log order ==
+            # commit order (getattr: unit tests drive finish() with stub
+            # schedulers that predate the durability attribute)
+            durability = getattr(scheduler, "durability", None)
+            if durability is not None:
+                durability.log_commit(ctx)
+        if recorder is not None:
+            recorder.on_commit(ctx)
 
 
 def storage_residue(db: "Database") -> List[str]:

@@ -1,0 +1,88 @@
+"""The simulated write-ahead log: records, write images, size accounting.
+
+One :class:`LogRecord` is appended per committed transaction, in install
+order (the commit locks serialise installs, so append order — the global
+``seqno`` — *is* the commit order; replaying records in seqno order
+reproduces the committed state exactly).  Each record carries deep-enough
+copies of the installed write images that later installs cannot mutate
+what the log saw.
+
+The byte sizes are deterministic estimates (field names + fixed-width
+scalars), good enough for the ``durability_log_bytes_total`` metric and
+for reasoning about flush volume; nothing is actually serialised.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional, Tuple
+
+#: fixed per-record header estimate: seqno + epoch + txn id (8 bytes each)
+RECORD_HEADER_BYTES = 24
+#: fixed per-image overhead: version id + key-length/field-count framing
+IMAGE_HEADER_BYTES = 16
+
+
+class WriteImage:
+    """One installed write as the log sees it (``value is None`` = delete)."""
+
+    __slots__ = ("table", "key", "value", "vid")
+
+    def __init__(self, table: str, key: tuple, value: Optional[dict],
+                 vid: tuple) -> None:
+        self.table = table
+        self.key = key
+        self.value = None if value is None else copy.deepcopy(value)
+        self.vid = vid
+
+    def nbytes(self) -> int:
+        size = IMAGE_HEADER_BYTES + len(self.table) + 8 * len(self.key)
+        if self.value is not None:
+            size += sum(len(name) + 8 for name in self.value)
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WriteImage({self.table}{self.key}, vid={self.vid})"
+
+
+class LogRecord:
+    """One committed transaction's log entry."""
+
+    __slots__ = ("seqno", "epoch", "txn_id", "worker_id", "type_name",
+                 "first_start", "commit_time", "writes", "nbytes")
+
+    def __init__(self, seqno: int, epoch: int, txn_id: int, worker_id: int,
+                 type_name: str, first_start: float, commit_time: float,
+                 writes: List[WriteImage]) -> None:
+        #: global commit sequence number (1-based, install order)
+        self.seqno = seqno
+        #: epoch the commit belongs to (assigned at install time, so it is
+        #: nondecreasing in seqno — the durable log is a seqno prefix)
+        self.epoch = epoch
+        self.txn_id = txn_id
+        self.worker_id = worker_id
+        self.type_name = type_name
+        #: first-start time of the invocation (ack latency baseline)
+        self.first_start = first_start
+        self.commit_time = commit_time
+        self.writes = writes
+        self.nbytes = RECORD_HEADER_BYTES + sum(w.nbytes() for w in writes)
+
+    def digest(self) -> Tuple[int, int, int, int]:
+        """Compact identity used by prefix-equality tests:
+        (seqno, epoch, txn_id, worker_id)."""
+        return (self.seqno, self.epoch, self.txn_id, self.worker_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LogRecord(seq={self.seqno}, epoch={self.epoch}, "
+                f"txn={self.txn_id}, writes={len(self.writes)})")
+
+
+def apply_record(db, record: LogRecord) -> None:
+    """Replay one log record into ``db`` (recovery path).  Installs each
+    write image with its original version id; a ``None`` value replays the
+    delete as a tombstone, matching what ``Record.install`` produced."""
+    for image in record.writes:
+        table = db.create_table(image.table)
+        value = None if image.value is None else copy.deepcopy(image.value)
+        table.restore_row(image.key, value, image.vid)

@@ -1,0 +1,72 @@
+"""The durability oracle: what a correct recovery must satisfy.
+
+Three properties, straight from the Silo/SiloR contract:
+
+1. **Recovered state == durable prefix.**  The recovered database must be
+   byte-equal (values *and* version ids) to the state implied by replaying
+   the durable log — the committed prefix through the persistent epoch.
+2. **No acked transaction lost.**  A client ack is only sent when the
+   epoch's group flush completes, so every acked seqno must be <= the
+   durable seqno after truncation.
+3. **No uncommitted write surfaced.**  Every non-initial version id in the
+   recovered database must have been written by a durable log record —
+   nothing from an unflushed or in-flight transaction may reappear.
+
+:func:`filter_history` supports the serializability check *across* a
+crash: committed-but-lost transactions are erased from the recorded
+history.  This is sound because the lost set is dependency-closed (the
+commit-phase dependency wait orders a dependency's install — and hence its
+seqno and epoch — before its dependent's, so truncating to the persistent
+epoch removes a suffix that no surviving transaction read from).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from ..analysis.serializability import HistoryRecorder
+from ..storage.database import Database, diff_snapshots
+from ..storage.record import INITIAL_TXN_ID
+
+
+def verify_recovery(durable_view: Database, recovered: Database,
+                    max_acked_seqno: int, durable_seqno: int,
+                    durable_vids: Set[tuple]) -> List[str]:
+    """Check one recovery against the oracle; returns violations ([] = OK)."""
+    problems: List[str] = []
+    recovered_snapshot = recovered.snapshot()
+    for mismatch in diff_snapshots(durable_view.snapshot(),
+                                   recovered_snapshot):
+        problems.append(f"recovered state != durable prefix: {mismatch!r}")
+    if max_acked_seqno > durable_seqno:
+        problems.append(
+            f"acked transaction lost: max acked seqno {max_acked_seqno} > "
+            f"durable seqno {durable_seqno}")
+    for table_name, rows in recovered_snapshot.items():
+        for key, (vid, _value) in rows.items():
+            if vid[0] != INITIAL_TXN_ID and vid not in durable_vids:
+                problems.append(
+                    f"uncommitted write surfaced: {table_name}{key} has "
+                    f"version {vid} that no durable log record installed")
+    return problems
+
+
+def filter_history(recorder: HistoryRecorder,
+                   lost_txn_ids: Iterable[int]) -> HistoryRecorder:
+    """A copy of ``recorder`` with the crash-lost transactions erased.
+
+    Order is preserved, and per-key version chains are rebuilt from the
+    surviving commits (install order is commit order, so appending the
+    survivors' writes in sequence reproduces each chain minus the lost
+    versions).  The result is the history that actually survives the run:
+    the durable prefix plus everything committed after recovery.
+    """
+    lost = set(lost_txn_ids)
+    filtered = HistoryRecorder()
+    for txn in recorder.committed:
+        if txn.txn_id in lost:
+            continue
+        filtered.committed.append(txn)
+        for key, vid in txn.writes:
+            filtered.version_chain.setdefault(key, []).append(vid)
+    return filtered

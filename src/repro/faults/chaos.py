@@ -29,7 +29,7 @@ from .plan import FaultPlan
 DEFAULT_RATES = (0.0005, 0.002)
 
 #: default fault kinds exercised at each swept rate
-DEFAULT_KINDS = ("stall", "abort", "crash", "doom")
+DEFAULT_KINDS = ("stall", "abort", "crash", "doom", "slow")
 
 
 class ChaosResult:
@@ -87,7 +87,14 @@ def run_chaos_cell(workload_factory: Callable[[], Workload], cc_name: str,
     accounting_problem = check_accounting(accountant)
     if accounting_problem is not None:
         violations.append(f"time accounting: {accounting_problem}")
-    checker = SerializabilityChecker(recorder)
+    history = recorder
+    if result.durability is not None and result.durability.lost_txn_ids:
+        # node-crash recovery discarded the unflushed suffix; the surviving
+        # history is the committed prefix minus the lost transactions
+        # (a dependency-closed set, so the filtered history is well-formed)
+        from ..durability.oracle import filter_history
+        history = filter_history(recorder, result.durability.lost_txn_ids)
+    checker = SerializabilityChecker(history)
     if not checker.check():
         violations.extend(f"serializability: {error}"
                           for error in checker.errors)

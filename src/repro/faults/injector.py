@@ -58,6 +58,9 @@ class FaultInjector:
         self.fired: Dict[str, int] = {}
         #: count of faults that found no eligible target
         self.skipped: Dict[str, int] = {}
+        #: total worker downtime injected by crashes (ticks), exported as
+        #: the ``run_crash_downtime_total`` metric
+        self.downtime_injected = 0.0
         # per-worker pending state
         self._pending_abort: Dict[int, str] = {}
         self._pending_stall: Dict[int, float] = {}
@@ -73,7 +76,12 @@ class FaultInjector:
         self.scheduler = scheduler
         n_workers = len(scheduler._workers)
         for index, event in enumerate(self.plan.events):
-            if event.worker >= n_workers:
+            if event.kind == "node_crash":
+                if getattr(scheduler, "durability", None) is None:
+                    raise FaultPlanError(
+                        f"events[{index}]: node_crash requires durability "
+                        f"(run with --durability / SimConfig.durability)")
+            elif event.worker >= n_workers:
                 raise FaultPlanError(
                     f"events[{index}].worker: worker {event.worker} does not "
                     f"exist (run has {n_workers} workers)")
@@ -135,9 +143,19 @@ class FaultInjector:
             downtime = self.plan.crash_downtime
             self._restart_delay[worker_id] = \
                 self._restart_delay.get(worker_id, 0.0) + downtime
+            self.downtime_injected += downtime
             self._record("crash", worker_id, ctx, "rate", downtime=downtime)
             return ticks, TransactionAborted(AbortReason.FAULT,
                                              "worker crash")
+        threshold += self.plan.rate("slow")
+        if draw < threshold:
+            self._slow[worker_id] = (self.plan.slow_factor,
+                                     self.scheduler.now +
+                                     self.plan.slow_duration)
+            self._record("slow", worker_id, ctx, "rate",
+                         factor=self.plan.slow_factor,
+                         duration=self.plan.slow_duration)
+            return ticks, None
         return ticks, None
 
     def on_access(self, ctx: "TxnContext") -> None:
@@ -157,11 +175,26 @@ class FaultInjector:
         worker's abort path charges it as backoff)."""
         return self._restart_delay.pop(worker_id, 0.0)
 
+    def on_node_crash(self) -> None:
+        """Drop all per-worker pending state: the workers it targeted died
+        with the node, and their replacements start clean."""
+        self._pending_abort.clear()
+        self._pending_stall.clear()
+        self._restart_delay.clear()
+        self._slow.clear()
+
     # ------------------------------------------------------------------ #
     # scripted events
 
     def _fire_scripted(self, event: ScriptedFault) -> None:
         scheduler = self.scheduler
+        if event.kind == "node_crash":
+            # whole-node crash: every worker dies at once; the durability
+            # manager truncates the log to the persistent epoch, runs
+            # checkpoint-plus-replay recovery and restarts the workers
+            self._record("node_crash", -1, None, "scripted")
+            scheduler.durability.node_crash()
+            return
         worker = scheduler._workers[event.worker]
         if worker.finished:
             self.skipped[event.kind] = self.skipped.get(event.kind, 0) + 1
@@ -198,6 +231,7 @@ class FaultInjector:
         if event.kind == "crash":
             self._restart_delay[event.worker] = \
                 self._restart_delay.get(event.worker, 0.0) + event.downtime
+            self.downtime_injected += event.downtime
             self._record("crash", event.worker, ctx, "scripted",
                          downtime=event.downtime)
         else:

@@ -24,6 +24,10 @@ doom      the in-flight transaction is force-doomed (``ctx.doomed``);
           machinery (no effect on executors that never dirty-read)
 slow      the worker's execution costs are inflated by ``factor``
           (slow-node emulation), optionally for a bounded duration
+node      the *whole node* crashes at an exact simulated time
+_crash    (scripted only; requires ``SimConfig.durability``): every
+          worker dies, the log is truncated to the persistent epoch,
+          and the run continues after checkpoint-plus-replay recovery
 ========  ===========================================================
 
 Plans serialize to/from JSON (``repro run --faults PLAN.json``) and are
@@ -43,10 +47,10 @@ from ..ioutil import atomic_write_json
 FAULT_PLAN_FORMAT_VERSION = 1
 
 #: rate-based fault kinds (probability per eligible work cost / access)
-RATE_KINDS = ("stall", "abort", "crash", "doom")
+RATE_KINDS = ("stall", "abort", "crash", "doom", "slow")
 
 #: scripted event kinds
-EVENT_KINDS = ("stall", "abort", "crash", "doom", "slow")
+EVENT_KINDS = ("stall", "abort", "crash", "doom", "slow", "node_crash")
 
 
 @dataclass
@@ -55,7 +59,9 @@ class ScriptedFault:
 
     time: float
     kind: str
-    worker: int
+    #: target worker id; ignored by ``node_crash`` (which takes down the
+    #: whole node), where the conventional value is ``-1``
+    worker: int = -1
     #: stall length (``kind == "stall"``)
     ticks: float = 0.0
     #: worker downtime after the crash (``kind == "crash"``)
@@ -73,7 +79,7 @@ class ScriptedFault:
                 f"(expected one of {', '.join(EVENT_KINDS)})")
         if self.time < 0:
             raise FaultPlanError(f"{where}.time: must be >= 0, got {self.time}")
-        if self.worker < 0:
+        if self.worker < 0 and self.kind != "node_crash":
             raise FaultPlanError(
                 f"{where}.worker: must be >= 0, got {self.worker}")
         if self.kind == "stall" and self.ticks <= 0:
@@ -91,7 +97,9 @@ class ScriptedFault:
                     f"{where}.duration: must be >= 0, got {self.duration}")
 
     def to_dict(self) -> dict:
-        data = {"time": self.time, "kind": self.kind, "worker": self.worker}
+        data = {"time": self.time, "kind": self.kind}
+        if self.kind != "node_crash":
+            data["worker"] = self.worker
         if self.kind == "stall":
             data["ticks"] = self.ticks
         elif self.kind == "crash":
@@ -110,7 +118,7 @@ class ScriptedFault:
                                  f"{type(data).__name__}")
         try:
             event = cls(time=float(data["time"]), kind=str(data["kind"]),
-                        worker=int(data["worker"]),
+                        worker=int(data.get("worker", -1)),
                         ticks=float(data.get("ticks", 0.0)),
                         downtime=float(data.get("downtime", 0.0)),
                         factor=float(data.get("factor", 1.0)),
@@ -134,6 +142,11 @@ class FaultPlan:
     stall_ticks: Tuple[float, float] = (10.0, 100.0)
     #: worker downtime after a rate-drawn crash
     crash_downtime: float = 500.0
+    #: cost multiplier applied by a rate-drawn slowdown
+    slow_factor: float = 2.0
+    #: how long a rate-drawn slowdown lasts (ticks; must be bounded, or a
+    #: single draw would degrade the worker for the rest of the run)
+    slow_duration: float = 500.0
     #: scripted events, fired at exact simulated times
     events: List[ScriptedFault] = field(default_factory=list)
     #: corrupt one random policy cell at load time (exercises the
@@ -160,6 +173,12 @@ class FaultPlan:
         if self.crash_downtime < 0:
             raise FaultPlanError(
                 f"crash_downtime: must be >= 0, got {self.crash_downtime}")
+        if self.slow_factor <= 0:
+            raise FaultPlanError(
+                f"slow_factor: must be > 0, got {self.slow_factor}")
+        if self.slow_duration <= 0:
+            raise FaultPlanError(
+                f"slow_duration: must be > 0, got {self.slow_duration}")
         for index, event in enumerate(self.events):
             event.validate(index)
 
@@ -170,7 +189,7 @@ class FaultPlan:
     def any_work_rate(self) -> bool:
         """True when any per-work-cost rate is non-zero."""
         return any(self.rate(kind) > 0.0
-                   for kind in ("stall", "abort", "crash"))
+                   for kind in ("stall", "abort", "crash", "slow"))
 
     # ------------------------------------------------------------------ #
     # serialization
@@ -182,6 +201,8 @@ class FaultPlan:
             "rates": dict(self.rates),
             "stall_ticks": list(self.stall_ticks),
             "crash_downtime": self.crash_downtime,
+            "slow_factor": self.slow_factor,
+            "slow_duration": self.slow_duration,
             "events": [event.to_dict() for event in self.events],
             "corrupt_policy": self.corrupt_policy,
         }
@@ -215,6 +236,8 @@ class FaultPlan:
             raise FaultPlanError("events: must be a list")
         try:
             crash_downtime = float(data.get("crash_downtime", 500.0))
+            slow_factor = float(data.get("slow_factor", 2.0))
+            slow_duration = float(data.get("slow_duration", 500.0))
             stall_lo, stall_hi = float(stall_ticks[0]), float(stall_ticks[1])
         except (TypeError, ValueError) as exc:
             raise FaultPlanError(f"fault plan: {exc}") from exc
@@ -222,6 +245,8 @@ class FaultPlan:
             rates=rates,
             stall_ticks=(stall_lo, stall_hi),
             crash_downtime=crash_downtime,
+            slow_factor=slow_factor,
+            slow_duration=slow_duration,
             events=[ScriptedFault.from_dict(event, index)
                     for index, event in enumerate(raw_events)],
             corrupt_policy=bool(data.get("corrupt_policy", False)),

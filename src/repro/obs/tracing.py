@@ -56,9 +56,17 @@ class EventKind:
     #: the progress watchdog saw no commit for a full window
     #: (attrs: window, action, parked, wait_edges)
     LIVELOCK = "livelock"
+    #: an epoch's group-commit flush completed; its commits are now durable
+    #: and acked (attrs: epoch, records, bytes, stalled)
+    EPOCH = "epoch"
+    #: the whole node crashed (attrs: crash, lost_inflight, lost_unflushed)
+    NODE_CRASH = "node_crash"
+    #: recovery finished; workers restart (attrs: replayed, recovery_ticks)
+    RECOVERY = "recovery"
 
     ALL = (TX_START, ACCESS, WAIT_BEGIN, WAIT_END, VALIDATE, ABORT, COMMIT,
-           BACKOFF, PIECE_RETRY, DOOM, LOCK, FAULT, LIVELOCK)
+           BACKOFF, PIECE_RETRY, DOOM, LOCK, FAULT, LIVELOCK, EPOCH,
+           NODE_CRASH, RECOVERY)
 
 
 class TraceEvent:

@@ -68,6 +68,10 @@ class Scheduler:
         #: optional :class:`~repro.faults.FaultInjector`; ``None`` keeps the
         #: fault hooks off the hot path entirely
         self.faults = faults
+        #: optional :class:`~repro.durability.DurabilityManager`, attached
+        #: by the bench runner when ``config.durability`` is set; ``None``
+        #: keeps every durability hook to one falsy attribute check
+        self.durability = None
         self._heap: List[Tuple[float, int, int, object]] = []
         self._seq = itertools.count()
         self._workers: List[Worker] = []
@@ -96,6 +100,10 @@ class Scheduler:
         #: horizon-clipped Cost remainder per sleeping worker: charged to
         #: the accountant when the deferred wake fires in a later run()
         self._deferred_cost: Dict[Worker, Tuple[float, str]] = {}
+        #: (charged span end, cost kind) of each sleeping worker's current
+        #: cost; tracked only in durability mode so a node crash can refund
+        #: the pre-charged span beyond the crash instant
+        self._sleep_charge: Dict[Worker, Tuple[float, str]] = {}
         self._run_until = 0.0
         #: heap events popped by run() — the simulator-throughput numerator
         #: reported by benchmarks/bench_sim.py (events/sec)
@@ -163,6 +171,9 @@ class Scheduler:
                  initial_exc: Optional[BaseException] = None) -> None:
         """Resume ``worker`` until it sleeps, parks or finishes."""
         exc = initial_exc
+        if self._sleep_charge:
+            # the sleep completed normally; nothing left to refund on crash
+            self._sleep_charge.pop(worker, None)
         if self._deferred_cost:
             # the worker's sleep crossed a previous run() horizon: the wake
             # has now fired, so the clipped remainder is simulated after all
@@ -214,6 +225,9 @@ class Scheduler:
                             self.accountant.on_backoff(worker.worker_id, charge)
                         else:
                             self.accountant.on_exec(worker.worker_id, charge)
+                        if self.durability is not None:
+                            self._sleep_charge[worker] = (self.now + charge,
+                                                          directive.kind)
                 self._schedule_worker(worker, self.now + ticks)
                 break
             # WaitFor
@@ -475,6 +489,59 @@ class Scheduler:
         """Forcibly unpark a worker (the fault injector interrupting a
         parked worker).  The caller drives the worker afterwards."""
         self._unpark(worker, outcome=outcome)
+
+    # ------------------------------------------------------------------ #
+    # whole-node crash support (repro.durability)
+
+    def crash_all_workers(self) -> int:
+        """Tear down every worker at the current instant (a simulated
+        whole-node crash).  Parked workers are unparked (their wait time is
+        charged), sleeping workers get the pre-charged span beyond ``now``
+        refunded, and each generator is closed in worker-id order so
+        in-flight attempts abort through their normal cleanup paths.
+        Returns the number of in-flight transaction attempts lost."""
+        lost_inflight = 0
+        for worker in self._workers:
+            if worker.finished:
+                continue
+            if worker in self._parked:
+                self._unpark(worker, outcome="node_crash")
+            else:
+                sleep = self._sleep_charge.pop(worker, None)
+                if sleep is not None and self.accountant is not None:
+                    end, kind = sleep
+                    refund = end - self.now
+                    if refund > 0.0:
+                        # the crash cut the sleep short: the span beyond
+                        # now was charged but never simulated
+                        if kind == CostKind.BACKOFF:
+                            self.accountant.on_backoff(worker.worker_id,
+                                                       -refund)
+                        else:
+                            self.accountant.on_exec(worker.worker_id,
+                                                    -refund)
+            self._deferred_cost.pop(worker, None)
+            self._pending_exc.pop(worker, None)
+            ctx = worker.current_ctx
+            had_active = ctx is not None and ctx.is_active()
+            worker.close()
+            if had_active:
+                lost_inflight += 1
+                if self.accountant is not None:
+                    self.accountant.on_attempt_end(worker.worker_id,
+                                                   committed=False)
+        self._sleep_charge.clear()
+        self._dirty.clear()
+        return lost_inflight
+
+    def replace_workers(self, workers: List[Worker],
+                        start_time: float) -> None:
+        """Swap in a fresh worker set (post-recovery restart), scheduling
+        each at ``start_time``.  The old workers must already be finished;
+        their stale heap events are skipped via the generation guard."""
+        self._workers = list(workers)
+        for worker in self._workers:
+            self._schedule_worker(worker, start_time)
 
     # ------------------------------------------------------------------ #
     # progress watchdog

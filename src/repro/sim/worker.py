@@ -93,6 +93,7 @@ class Worker:
         self.backoff_manager = backoff
         trace = self.trace
         accountant = self.scheduler.accountant
+        durability = self.scheduler.durability
         while True:
             invocation = self.workload.next_invocation(self.rng, self.worker_id)
             if invocation is None:
@@ -145,8 +146,9 @@ class Worker:
                 now = self.scheduler.now
                 self.scheduler.last_commit_time = now
                 backoff.on_commit(invocation.type_index, attempt)
-                self.stats.record_commit(invocation.type_name, now,
-                                         now - first_start)
+                if durability is None:
+                    self.stats.record_commit(invocation.type_name, now,
+                                             now - first_start)
                 if accountant is not None:
                     accountant.on_attempt_end(self.worker_id, committed=True)
                 if trace.enabled:
@@ -155,6 +157,13 @@ class Worker:
                         txn_type=invocation.type_name,
                         attrs={"attempts": attempt + 1,
                                "latency": now - first_start}))
+                if durability is not None:
+                    # group commit: the ack (stats.record_commit) happens
+                    # when this epoch's flush completes; the worker only
+                    # pays its buffered log-append cost here
+                    log_cost = durability.consume_log_cost(self.worker_id)
+                    if log_cost > 0.0:
+                        yield Cost(log_cost)
                 break
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

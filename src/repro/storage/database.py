@@ -2,11 +2,70 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+import copy
+from typing import Dict, Iterable, List, Optional
 
 from ..errors import UnknownTableError
 from .record import Record, VersionIdAllocator
 from .table import Table
+
+#: snapshot layout: {table name: {key: (version id, value)}} — live rows
+#: only (tombstones behave as absent keys, exactly like committed reads)
+Snapshot = Dict[str, Dict[tuple, tuple]]
+
+
+class Mismatch:
+    """One structured difference between two committed states."""
+
+    __slots__ = ("kind", "table", "key", "expected", "actual")
+
+    def __init__(self, kind: str, table: str, key: Optional[tuple] = None,
+                 expected=None, actual=None) -> None:
+        #: one of: missing_table / extra_table / missing_row / extra_row /
+        #: value_mismatch / version_mismatch
+        self.kind = kind
+        self.table = table
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+
+    def __repr__(self) -> str:
+        where = f"{self.table}" + (f"{self.key}" if self.key is not None else "")
+        return (f"{self.kind} at {where}: expected {self.expected!r}, "
+                f"got {self.actual!r}")
+
+
+def diff_snapshots(expected: Snapshot, actual: Snapshot) -> List[Mismatch]:
+    """Structured comparison of two committed-state snapshots (as produced
+    by :meth:`Database.snapshot`, keyed table -> key -> (vid, value))."""
+    problems: List[Mismatch] = []
+    for name in sorted(expected):
+        if name not in actual:
+            problems.append(Mismatch("missing_table", name))
+            continue
+        exp_rows, act_rows = expected[name], actual[name]
+        for key in sorted(exp_rows):
+            if key not in act_rows:
+                problems.append(Mismatch("missing_row", name, key,
+                                         expected=exp_rows[key]))
+                continue
+            exp_vid, exp_value = exp_rows[key]
+            act_vid, act_value = act_rows[key]
+            if exp_value != act_value:
+                problems.append(Mismatch("value_mismatch", name, key,
+                                         expected=exp_value,
+                                         actual=act_value))
+            elif exp_vid != act_vid:
+                problems.append(Mismatch("version_mismatch", name, key,
+                                         expected=exp_vid, actual=act_vid))
+        for key in sorted(act_rows):
+            if key not in exp_rows:
+                problems.append(Mismatch("extra_row", name, key,
+                                         actual=act_rows[key]))
+    for name in sorted(actual):
+        if name not in expected:
+            problems.append(Mismatch("extra_table", name))
+    return problems
 
 
 class Database:
@@ -53,6 +112,49 @@ class Database:
 
     def total_rows(self) -> int:
         return sum(len(t) for t in self._tables.values())
+
+    # ------------------------------------------------------------------ #
+    # committed-state snapshots (checkpoints + the durability oracle)
+
+    def snapshot(self) -> Snapshot:
+        """Deep copy of the committed state: {table: {key: (vid, value)}}.
+
+        Only live rows are captured (a tombstone behaves exactly like an
+        absent key for committed reads).  Because :meth:`Record.install` is
+        the sole mutation of ``Record.value``, a snapshot taken between
+        scheduler events is a transaction-consistent committed state, even
+        with transactions in flight.  Iteration is sorted, so two equal
+        states produce byte-identical (e.g. pickled) snapshots.
+        """
+        tables: Snapshot = {}
+        for name in sorted(self._tables):
+            rows: Dict[tuple, tuple] = {}
+            for key in self._tables[name]._sorted_keys:
+                record = self._tables[name]._records[key]
+                if record.value is None:
+                    continue
+                rows[key] = (record.version_id, copy.deepcopy(record.value))
+            tables[name] = rows
+        return tables
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Snapshot,
+                      allocator_seq: int = 0) -> "Database":
+        """Materialise a fresh database from a snapshot, preserving the
+        recorded version ids (recovery: checkpoint load)."""
+        db = cls()
+        for name in sorted(snapshot):
+            table = db.create_table(name)
+            for key in sorted(snapshot[name]):
+                vid, value = snapshot[name][key]
+                table.restore_row(key, copy.deepcopy(value), vid)
+        db.allocator._next_seq = allocator_seq
+        return db
+
+    def diff(self, other: "Database") -> List[Mismatch]:
+        """Structured committed-state comparison against ``other`` (self is
+        the expected state).  Empty list = identical committed states."""
+        return diff_snapshots(self.snapshot(), other.snapshot())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Database(tables={self.table_names()})"

@@ -65,6 +65,21 @@ class Table:
             bisect.insort(self._sorted_keys, key)
         return record
 
+    def restore_row(self, key: tuple, value: Optional[dict],
+                    version_id: VersionId) -> Record:
+        """Install a committed row with a *preserved* version id (recovery:
+        checkpoint restore and log replay must reproduce the exact version
+        ids the original run committed, not allocate fresh ones)."""
+        record = self._records.get(key)
+        if record is None:
+            record = Record(key, value, version_id)
+            self._records[key] = record
+            bisect.insort(self._sorted_keys, key)
+        else:
+            record.value = value
+            record.version_id = version_id
+        return record
+
     def committed_value(self, key: tuple) -> Optional[dict]:
         """The committed value of ``key`` (``None`` if absent/tombstoned)."""
         record = self._records.get(key)

@@ -1,0 +1,127 @@
+"""Epoch group-commit logging: deferred acks, the serial flush device,
+persistent-epoch advancement and determinism (no crashes here; recovery is
+covered by test_recovery.py)."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runner import run_protocol
+from repro.cc import make_cc
+from repro.config import DurabilityConfig, SimConfig
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry
+
+from tests.helpers import CounterWorkload
+
+
+def durable_config(seed=11, **kwargs):
+    defaults = dict(epoch_length=400.0, checkpoint_interval=1500.0)
+    defaults.update(kwargs)
+    return SimConfig(n_workers=4, duration=4000.0, seed=seed, warmup=0.0,
+                     durability=DurabilityConfig(**defaults))
+
+
+def run_durable(cc_name="silo", config=None, metrics=None):
+    if config is None:
+        config = durable_config()
+    return run_protocol(lambda: CounterWorkload(n_keys=8), make_cc(cc_name),
+                        config, metrics=metrics)
+
+
+class TestGroupCommit:
+    def test_acks_equal_flushed_records(self):
+        result = run_durable()
+        manager = result.durability
+        assert manager is not None
+        # only flushed (durable) commits are acked; the reported commit
+        # count is exactly the acked count
+        assert result.stats.total_commits == manager.acked_commits
+        assert manager.acked_commits == len(manager.durable_log)
+        assert manager.acked_commits > 0
+
+    def test_acks_trail_installs(self):
+        result = run_durable()
+        manager = result.durability
+        # installs still buffered or mid-flush at the horizon never ack
+        assert manager.acked_commits <= manager.seqno
+        assert manager.unflushed_records == \
+            manager.seqno - len(manager.durable_log)
+
+    def test_persistent_epoch_advances(self):
+        result = run_durable()
+        manager = result.durability
+        assert manager.persistent_epoch >= 8  # 4000 / 400 minus the tail
+        assert manager.max_epoch_lag >= 1
+        assert manager.flushes > 0
+        assert manager.log_bytes_total > 0
+        assert manager.violations == []
+
+    def test_durable_log_is_in_seqno_order(self):
+        manager = run_durable().durability
+        seqnos = [record.seqno for record in manager.durable_log]
+        assert seqnos == sorted(seqnos)
+        assert len(set(seqnos)) == len(seqnos)
+        # epochs are nondecreasing in seqno (dependency-closed truncation
+        # relies on this)
+        epochs = [record.epoch for record in manager.durable_log]
+        assert epochs == sorted(epochs)
+
+    def test_slow_flush_device_stalls(self):
+        # flushing takes longer than an epoch: the serial device falls
+        # behind and every later flush starts late
+        config = durable_config(epoch_length=300.0, log_flush=900.0)
+        manager = run_durable(config=config).durability
+        assert manager.flush_stalls > 0
+        assert manager.max_epoch_lag > 1
+
+    def test_group_commit_latency_exceeds_install_latency(self):
+        plain = dataclasses.replace(durable_config(), durability=None)
+        base = run_protocol(lambda: CounterWorkload(n_keys=8),
+                            make_cc("silo"), plain)
+        durable = run_durable()
+        # acked latency includes the wait for the epoch flush
+        assert durable.stats.latency["bump"].summary()["avg"] > \
+            base.stats.latency["bump"].summary()["avg"]
+
+    def test_checkpoints_taken_and_pruned(self):
+        manager = run_durable().durability
+        assert manager.checkpoints_taken >= 3  # t=0 plus every 1500 ticks
+        # pruning keeps the newest usable checkpoint plus later ones
+        assert len(manager.checkpoints) <= manager.checkpoints_taken
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("cc_name", ["silo", "2pl", "ic3"])
+    def test_identical_runs_identical_logs(self, cc_name):
+        a = run_durable(cc_name).durability
+        b = run_durable(cc_name).durability
+        assert [r.digest() for r in a.durable_log] == \
+            [r.digest() for r in b.durable_log]
+        assert (a.seqno, a.acked_commits, a.log_bytes_total) == \
+            (b.seqno, b.acked_commits, b.log_bytes_total)
+
+
+class TestMetrics:
+    def test_durability_metrics_recorded(self):
+        metrics = MetricsRegistry()
+        result = run_durable(metrics=metrics)
+        manager = result.durability
+        assert metrics.counter("durability_log_records_total",
+                               cc="silo").value == manager.log_records_total
+        assert metrics.counter("durability_acked_commits_total",
+                               cc="silo").value == manager.acked_commits
+        assert metrics.gauge("durability_persistent_epoch",
+                             cc="silo").value == manager.persistent_epoch
+
+
+class TestConfigValidation:
+    def test_manager_requires_durability_config(self):
+        from repro.durability import DurabilityManager
+        config = SimConfig(n_workers=2, duration=100.0)
+        with pytest.raises(ReproError):
+            DurabilityManager(config, None, None, None, None)
+
+    def test_epoch_length_must_be_positive(self):
+        with pytest.raises(ReproError):
+            DurabilityConfig(epoch_length=0.0)

@@ -1,0 +1,139 @@
+"""Whole-node crash and recovery: determinism, committed-prefix
+consistency, the durability oracle, and time accounting across the crash."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.serializability import HistoryRecorder, SerializabilityChecker
+from repro.bench.runner import run_named
+from repro.cc.seeds import occ_policy
+from repro.config import DurabilityConfig, SimConfig
+from repro.durability import apply_record, filter_history
+from repro.errors import FaultPlanError
+from repro.faults import FaultPlan, ScriptedFault
+from repro.obs import TimeAccountant, check_accounting
+from repro.storage.database import Database, diff_snapshots
+
+from tests.helpers import CounterWorkload, counter_spec
+
+CCS = ["silo", "2pl", "ic3", "polyjuice"]
+
+CRASH_TIME = 2_750.0  # mid-epoch: unflushed buffers exist at the crash
+
+
+def crash_plan(time=CRASH_TIME):
+    return FaultPlan(events=[ScriptedFault(time=time, kind="node_crash")],
+                     name="node_crash")
+
+
+def make_config(seed=19, duration=6_000.0):
+    return SimConfig(n_workers=4, duration=duration, seed=seed, warmup=0.0,
+                     durability=DurabilityConfig(epoch_length=400.0,
+                                                 checkpoint_interval=1_500.0))
+
+
+def run_cell(cc_name, config, plan=None, recorder=None, accountant=None):
+    policy = occ_policy(counter_spec()) if cc_name == "polyjuice" else None
+    return run_named(lambda: CounterWorkload(n_keys=8), cc_name, config,
+                     policy=policy, fault_plan=plan, recorder=recorder,
+                     accountant=accountant)
+
+
+@pytest.mark.parametrize("cc_name", CCS)
+class TestRecoveryDeterminism:
+    def test_recover_twice_byte_identical(self, cc_name):
+        reports = []
+        for _ in range(2):
+            result = run_cell(cc_name, make_config(), crash_plan())
+            assert len(result.durability.recoveries) == 1
+            reports.append(result.durability.recoveries[0])
+        a, b = reports
+        assert pickle.dumps(a.recovered_snapshot) == \
+            pickle.dumps(b.recovered_snapshot)
+        assert (a.durable_seqno, a.persistent_epoch, a.replayed,
+                a.lost_inflight, a.lost_unflushed) == \
+            (b.durable_seqno, b.persistent_epoch, b.replayed,
+             b.lost_inflight, b.lost_unflushed)
+
+    def test_recovered_prefix_matches_uninterrupted_run(self, cc_name):
+        crashed = run_cell(cc_name, make_config(), crash_plan()).durability
+        baseline = run_cell(cc_name, make_config()).durability
+        report = crashed.recoveries[0]
+        n = report.durable_seqno
+        # pre-crash seqnos are contiguous from 1, so the durable prefix is
+        # the first n records — and it must be the same transactions, in
+        # the same order, as the uninterrupted run's
+        assert [r.digest() for r in crashed.durable_log[:n]] == \
+            [r.digest() for r in baseline.durable_log[:n]]
+        # replaying that prefix over the initial state reproduces the
+        # recovered database exactly
+        initial = CounterWorkload(n_keys=8).build_database().snapshot()
+        replayed = Database.from_snapshot(initial)
+        for record in baseline.durable_log[:n]:
+            apply_record(replayed, record)
+        assert diff_snapshots(report.recovered_snapshot,
+                              replayed.snapshot()) == []
+
+    def test_oracle_and_invariants_clean(self, cc_name):
+        recorder = HistoryRecorder()
+        config = make_config()
+        accountant = TimeAccountant(config.n_workers, config.duration)
+        result = run_cell(cc_name, config, crash_plan(), recorder=recorder,
+                          accountant=accountant)
+        assert result.invariant_violations == []
+        assert result.durability.violations == []
+        assert check_accounting(accountant) is None
+        history = filter_history(recorder, result.durability.lost_txn_ids)
+        checker = SerializabilityChecker(history)
+        assert checker.check(), checker.errors
+
+    def test_run_continues_after_recovery(self, cc_name):
+        result = run_cell(cc_name, make_config(), crash_plan())
+        manager = result.durability
+        report = manager.recoveries[0]
+        # commits were acked after the restart, i.e. the workload resumed
+        assert manager.max_acked_seqno > report.durable_seqno
+        assert manager.persistent_epoch > report.persistent_epoch
+        assert result.stats.total_commits == manager.acked_commits
+
+
+class TestCrashSemantics:
+    def test_lost_work_is_counted_not_acked(self):
+        result = run_cell("silo", make_config(), crash_plan())
+        manager = result.durability
+        report = manager.recoveries[0]
+        # a mid-epoch crash loses the open epoch's buffered installs
+        assert report.lost_unflushed > 0
+        assert manager.lost_txn_ids
+        acked = {r.txn_id for r in manager.durable_log}
+        assert not (manager.lost_txn_ids & acked)
+
+    def test_recovery_downtime_charged(self):
+        config = make_config()
+        accountant = TimeAccountant(config.n_workers, config.duration)
+        result = run_cell("silo", config, crash_plan(), accountant=accountant)
+        report = result.durability.recoveries[0]
+        assert report.recovery_ticks > 0
+        for row in accountant.breakdown():
+            assert row["wait:recovery"] == pytest.approx(
+                report.recovery_ticks)
+
+    def test_post_recovery_checkpoint_bounds_second_replay(self):
+        plan = FaultPlan(events=[
+            ScriptedFault(time=2_750.0, kind="node_crash"),
+            ScriptedFault(time=5_000.0, kind="node_crash")],
+            name="double_crash")
+        result = run_cell("silo", make_config(duration=8_000.0), plan)
+        manager = result.durability
+        assert len(manager.recoveries) == 2
+        assert manager.violations == []
+        second = manager.recoveries[1]
+        # the checkpoint appended at the first restart covers the first
+        # crash's durable prefix, so the second replay starts after it
+        assert second.checkpoint_seqno >= manager.recoveries[0].durable_seqno
+
+    def test_node_crash_requires_durability(self):
+        config = SimConfig(n_workers=4, duration=2_000.0, seed=19)
+        with pytest.raises(FaultPlanError, match="node_crash"):
+            run_cell("silo", config, crash_plan(1_000.0))

@@ -1,0 +1,91 @@
+"""Rate-drawn slowdowns ("slow" as a first-class chaos kind) and the
+``run_crash_downtime_total`` metric."""
+
+from repro.analysis.serializability import HistoryRecorder, SerializabilityChecker
+from repro.bench.runner import run_protocol
+from repro.cc import make_cc
+from repro.config import SimConfig
+from repro.faults import FaultPlan
+from repro.faults.chaos import DEFAULT_KINDS, default_plans
+from repro.obs import MetricsRegistry, TimeAccountant, check_accounting
+
+from tests.helpers import CounterWorkload
+
+
+def run_with_plan(plan, metrics=None, seed=29):
+    config = SimConfig(n_workers=4, duration=3_000.0, seed=seed)
+    recorder = HistoryRecorder()
+    accountant = TimeAccountant(config.n_workers, config.duration)
+    holder = {}
+
+    def factory():
+        holder["workload"] = CounterWorkload(n_keys=6)
+        return holder["workload"]
+
+    result = run_protocol(factory, make_cc("silo"), config,
+                          recorder=recorder, accountant=accountant,
+                          metrics=metrics, fault_plan=plan)
+    violations = list(result.invariant_violations)
+    accounting = check_accounting(accountant)
+    if accounting is not None:
+        violations.append(f"accounting: {accounting}")
+    checker = SerializabilityChecker(recorder)
+    if not checker.check():
+        violations.extend(checker.errors)
+    violations.extend(holder["workload"].check_against_commits(
+        result.stats.total_commits))
+    return result, violations
+
+
+class TestSlowKind:
+    def test_slow_is_a_default_chaos_kind(self):
+        assert "slow" in DEFAULT_KINDS
+        plans = default_plans(rates=(0.01,))
+        assert any(plan.name.startswith("slow@") for plan in plans)
+        assert all("slow" in plan.rates for plan in plans
+                   if plan.name == "mixed")
+
+    def test_rate_slow_fires_and_degrades_throughput(self):
+        slow, violations = run_with_plan(
+            FaultPlan(rates={"slow": 0.01}, slow_factor=6.0,
+                      slow_duration=400.0, name="slow"))
+        assert violations == []
+        assert slow.fault_counts.get("slow", 0) > 0
+        clean, _ = run_with_plan(None)
+        assert slow.stats.total_commits < clean.stats.total_commits
+
+    def test_rate_slow_is_deterministic(self):
+        plan = FaultPlan(rates={"slow": 0.01}, name="slow")
+        a, _ = run_with_plan(plan)
+        b, _ = run_with_plan(plan)
+        assert a.fault_counts == b.fault_counts
+        assert a.stats.total_commits == b.stats.total_commits
+
+    def test_slow_fields_round_trip(self):
+        plan = FaultPlan(rates={"slow": 0.01}, slow_factor=3.5,
+                         slow_duration=250.0)
+        loaded = FaultPlan.from_json(plan.to_json())
+        assert loaded.slow_factor == 3.5
+        assert loaded.slow_duration == 250.0
+
+
+class TestCrashDowntimeMetric:
+    def test_downtime_counted_alongside_fault_counts(self):
+        metrics = MetricsRegistry()
+        result, violations = run_with_plan(
+            FaultPlan(rates={"crash": 0.005}, crash_downtime=300.0,
+                      name="crash"), metrics=metrics)
+        assert violations == []
+        crashes = result.fault_counts.get("crash", 0)
+        assert crashes > 0
+        assert metrics.counter("run_faults_injected_total", cc="silo",
+                               kind="crash").value == crashes
+        assert metrics.counter("run_crash_downtime_total",
+                               cc="silo").value == crashes * 300.0
+
+    def test_no_downtime_metric_without_crashes(self):
+        metrics = MetricsRegistry()
+        run_with_plan(FaultPlan(rates={"stall": 0.01}, name="stall"),
+                      metrics=metrics)
+        names = {row["name"] for row in metrics.snapshot()}
+        assert "run_crash_downtime_total" not in names

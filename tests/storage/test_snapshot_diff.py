@@ -1,0 +1,111 @@
+"""Database.snapshot() / diff(): the committed-state comparison used by
+checkpoints and the durability oracle."""
+
+import pickle
+
+from repro.storage.database import Database, diff_snapshots
+
+
+def make_db():
+    db = Database(["T"])
+    db.load("T", (1,), {"value": 10})
+    db.load("T", (2,), {"value": 20})
+    return db
+
+
+class TestSnapshot:
+    def test_snapshot_is_deep_copy(self):
+        db = make_db()
+        snap = db.snapshot()
+        # mutate the live database after the snapshot
+        db.table("T").get_record((1,)).value["value"] = 999
+        assert snap["T"][(1,)][1] == {"value": 10}
+
+    def test_snapshot_value_mutation_does_not_leak_back(self):
+        db = make_db()
+        snap = db.snapshot()
+        snap["T"][(2,)][1]["value"] = -1
+        assert db.committed_value("T", (2,)) == {"value": 20}
+
+    def test_tombstones_excluded(self):
+        db = make_db()
+        db.table("T").restore_row((1,), None, (0, 0))
+        snap = db.snapshot()
+        assert (1,) not in snap["T"]
+        assert (2,) in snap["T"]
+
+    def test_sorted_iteration_pickles_identically(self):
+        a, b = make_db(), make_db()
+        assert pickle.dumps(a.snapshot()) == pickle.dumps(b.snapshot())
+
+
+class TestFromSnapshot:
+    def test_round_trip(self):
+        db = make_db()
+        restored = Database.from_snapshot(db.snapshot())
+        assert db.diff(restored) == []
+        assert restored.committed_value("T", (1,)) == {"value": 10}
+
+    def test_round_trip_preserves_version_ids(self):
+        db = make_db()
+        original = db.table("T").get_record((2,)).version_id
+        restored = Database.from_snapshot(db.snapshot())
+        assert restored.table("T").get_record((2,)).version_id == original
+
+    def test_allocator_seq_carried(self):
+        db = make_db()
+        restored = Database.from_snapshot(db.snapshot(), allocator_seq=77)
+        assert restored.allocator._next_seq == 77
+
+    def test_restored_db_is_independent(self):
+        db = make_db()
+        restored = Database.from_snapshot(db.snapshot())
+        restored.table("T").get_record((1,)).value["value"] = -5
+        assert db.committed_value("T", (1,)) == {"value": 10}
+
+
+class TestDiff:
+    def test_identical_states_diff_empty(self):
+        assert make_db().diff(make_db()) == []
+
+    def test_missing_table(self):
+        db = make_db()
+        problems = diff_snapshots(db.snapshot(), Database().snapshot())
+        assert [p.kind for p in problems] == ["missing_table"]
+        assert problems[0].table == "T"
+
+    def test_extra_table(self):
+        other = make_db()
+        other.create_table("EXTRA")
+        problems = make_db().diff(other)
+        assert [p.kind for p in problems] == ["extra_table"]
+
+    def test_missing_row(self):
+        other = make_db()
+        other.table("T").restore_row((2,), None, (0, 0))
+        problems = make_db().diff(other)
+        assert [(p.kind, p.key) for p in problems] == [("missing_row", (2,))]
+
+    def test_extra_row(self):
+        other = make_db()
+        other.load("T", (3,), {"value": 30})
+        problems = make_db().diff(other)
+        assert [(p.kind, p.key) for p in problems] == [("extra_row", (3,))]
+
+    def test_value_mismatch(self):
+        other = make_db()
+        record = other.table("T").get_record((1,))
+        record.value = {"value": 11}
+        problems = make_db().diff(other)
+        assert [(p.kind, p.key) for p in problems] == \
+            [("value_mismatch", (1,))]
+        assert problems[0].expected == {"value": 10}
+        assert problems[0].actual == {"value": 11}
+
+    def test_version_mismatch(self):
+        other = make_db()
+        record = other.table("T").get_record((1,))
+        other.table("T").restore_row((1,), record.value, (42, 0))
+        problems = make_db().diff(other)
+        assert [(p.kind, p.key) for p in problems] == \
+            [("version_mismatch", (1,))]

@@ -1,0 +1,48 @@
+"""CLI durability features: --durability, chaos --node-crash, and the
+bit-identity guarantee that the flag defaults to off."""
+
+from repro.cli import main
+
+FAST = ["--workload", "micro", "--theta", "0.5", "--workers", "2",
+        "--duration", "1500", "--warmup", "0"]
+
+
+class TestRunDurability:
+    def test_run_prints_durability_summary(self, capsys):
+        assert main(["run", "--cc", "silo", "--durability",
+                     "--epoch-length", "300"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "durability: persistent epoch" in out
+        assert "acked commits" in out
+
+    def test_durability_off_by_default(self, capsys):
+        assert main(["run", "--cc", "silo"] + FAST) == 0
+        assert "durability:" not in capsys.readouterr().out
+
+    def test_compare_accepts_durability(self, capsys):
+        assert main(["compare", "--ccs", "silo,2pl", "--durability",
+                     "--epoch-length", "300"] + FAST) == 0
+        assert "comparison" in capsys.readouterr().out
+
+
+class TestChaosNodeCrash:
+    def test_node_crash_cell(self, capsys):
+        assert main(["chaos", "--ccs", "silo", "--durability",
+                     "--epoch-length", "300", "--node-crash", "700",
+                     "--watchdog", "1000"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "node_crash=1" in out
+        assert "all 1 cells clean" in out
+
+    def test_node_crash_requires_durability_flag(self, capsys):
+        assert main(["chaos", "--ccs", "silo", "--node-crash", "700"]
+                    + FAST) == 2
+        assert "--node-crash requires --durability" in \
+            capsys.readouterr().err
+
+    def test_node_crash_composes_with_rate_sweep(self, capsys):
+        assert main(["chaos", "--ccs", "silo", "--durability",
+                     "--epoch-length", "300", "--node-crash", "700",
+                     "--rates", "0.002", "--watchdog", "1000"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "node_crash=1" in out
