@@ -70,7 +70,8 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
                  trace_sink: Optional[TraceSink] = None,
                  accountant: Optional[TimeAccountant] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> ExperimentResult:
+                 fault_plan: Optional[FaultPlan] = None,
+                 timeline=None) -> ExperimentResult:
     """Execute one run of ``cc`` (an instantiated protocol) over a fresh
     database built by ``workload_factory``.
 
@@ -87,7 +88,8 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
     if getattr(cc, "requires_probe", False):
         return _run_probed(workload_factory, cc, config, recorder,
                            timeline_bucket, check_invariants,
-                           trace_sink, accountant, metrics, fault_plan)
+                           trace_sink, accountant, metrics, fault_plan,
+                           timeline)
     workload = workload_factory()
     db = workload.build_database()
     cc.setup(db, workload.spec, config)
@@ -102,6 +104,11 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
                                  spawn_rng(config.seed, FAULT_RNG_SALT))
     scheduler = Scheduler(config, trace=trace_sink, accountant=accountant,
                           faults=injector)
+    if timeline is not None:
+        # the windowed run-insight sampler: the scheduler feeds it waits,
+        # stats feeds commits/aborts/backoff, durability feeds flushes
+        scheduler.timeline = timeline
+        stats.sampler = timeline
     manager = None
     if config.durability is not None:
         manager = DurabilityManager(config, db, workload, cc, stats)
@@ -137,6 +144,8 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
     if metrics is not None:
         _record_run_metrics(metrics, cc_name, stats, scheduler, injector,
                             manager)
+        if timeline is not None:
+            timeline.install_metrics(metrics, cc=cc_name)
     return ExperimentResult(cc_name, stats, violations,
                             fault_counts=dict(injector.fired)
                             if injector is not None else None,
@@ -213,7 +222,8 @@ def _record_run_metrics(metrics: MetricsRegistry, cc_name: str,
 def _run_probed(workload_factory: WorkloadFactory, descriptor,
                 config: SimConfig, recorder, timeline_bucket,
                 check_invariants: bool, trace_sink=None, accountant=None,
-                metrics=None, fault_plan=None) -> ExperimentResult:
+                metrics=None, fault_plan=None,
+                timeline=None) -> ExperimentResult:
     """CormCC-style probe-and-pick: short probe per candidate, full run of
     the winner.  Observability attaches to the winner's run only — probes
     are throwaway measurements."""
@@ -234,7 +244,8 @@ def _run_probed(workload_factory: WorkloadFactory, descriptor,
     result = run_protocol(workload_factory, winner, config, recorder,
                           timeline_bucket, check_invariants=check_invariants,
                           trace_sink=trace_sink, accountant=accountant,
-                          metrics=metrics, fault_plan=fault_plan)
+                          metrics=metrics, fault_plan=fault_plan,
+                          timeline=timeline)
     return ExperimentResult(descriptor.name, result.stats,
                             result.invariant_violations,
                             detail=f"picked {winner.name}",

@@ -118,7 +118,8 @@ class SiloOCC(ConcurrencyControl):
             record = table.ensure_record(key, self.db.allocator.next_initial())
             if record.value is not None:
                 raise TransactionAborted(AbortReason.VALIDATION,
-                                         f"duplicate insert {table_name}{key}")
+                                         f"duplicate insert {table_name}{key}",
+                                         site=(table_name, key))
             entry_key = (table_name, key)
             if entry_key not in ctx.rset:
                 ctx.rset[entry_key] = ReadEntry(table_name, key, record,
@@ -171,7 +172,8 @@ class SiloOCC(ConcurrencyControl):
             if not validation.read_entry_final_ok(ctx, rentry):
                 raise TransactionAborted(
                     AbortReason.VALIDATION,
-                    f"read of {rentry.table}{rentry.key} invalidated")
+                    f"read of {rentry.table}{rentry.key} invalidated",
+                    site=(rentry.table, rentry.key))
         for wentry in sorted(ctx.wset.values(), key=lambda w: w.order):
             value = dict(wentry.value) if wentry.value is not None else None
             vid = ctx.next_version_id()

@@ -101,7 +101,8 @@ class TwoPL(ConcurrencyControl):
                 return
             if outcome == LockRequestOutcome.MUST_DIE:
                 raise TransactionAborted(AbortReason.LOCK_DIE,
-                                         f"wait-die on {table}{key}")
+                                         f"wait-die on {table}{key}",
+                                         site=(table, key))
             holders = self.locks.holders(table, key)
             yield WaitFor(
                 lambda table=table, key=key, mode=mode:
@@ -169,7 +170,8 @@ class TwoPL(ConcurrencyControl):
             record = table.ensure_record(key, self.db.allocator.next_initial())
             if record.value is not None:
                 raise TransactionAborted(AbortReason.VALIDATION,
-                                         f"duplicate insert {table_name}{key}")
+                                         f"duplicate insert {table_name}{key}",
+                                         site=(table_name, key))
         else:
             record = table.get_record(key)
             if record is None:

@@ -8,7 +8,10 @@ Commands:
 * ``chaos``    — fault-injection sweep with every correctness oracle armed;
 * ``profile``  — per-worker time-accounting breakdown of one run;
 * ``trace``    — the §7.6 trace-predictability analysis;
-* ``inspect``  — pretty-print a saved policy and diff it against the seeds.
+* ``inspect``  — pretty-print a saved policy and diff it against the seeds;
+* ``report``   — render a one-page run report (summary, timeline, conflict
+  attribution, latency critical path, policy audit) from the artifacts a
+  run exported, or ``--compare`` two metrics snapshots as a CI gate.
 
 ``run`` and ``compare`` accept ``--faults PLAN.json`` (a deterministic
 fault plan, see :mod:`repro.faults`) and ``--watchdog TICKS`` /
@@ -26,9 +29,12 @@ worker process.
 
 ``run``, ``compare``, ``train`` and ``profile`` accept ``--trace FILE``
 (structured event trace; ``.json`` selects Chrome trace-event format for
-Perfetto / chrome://tracing, anything else selects JSONL) and
+Perfetto / chrome://tracing, anything else selects JSONL),
 ``--metrics FILE`` (metrics-registry snapshot; ``.csv`` selects CSV,
-anything else JSON).
+anything else JSON) and ``--timeline FILE`` (windowed run time-series;
+``--timeline-window`` overrides the window width, which defaults to one
+durability epoch).  ``repro report`` turns those artifacts back into a
+markdown/JSON diagnosis.
 
 Examples::
 
@@ -145,6 +151,31 @@ def _make_obs(args):
     return sink, metrics
 
 
+def _make_timeline(args, config: SimConfig):
+    """Build the windowed run-insight sampler requested by ``--timeline``
+    (``None`` when the flag is absent — zero overhead for the run)."""
+    if not getattr(args, "timeline_out", None):
+        return None
+    from .obs import TimelineSampler, default_timeline_window
+    _check_writable(args.timeline_out)
+    window = getattr(args, "timeline_window", None)
+    if window is None:
+        window = default_timeline_window(config)
+    return TimelineSampler(window, config.n_workers)
+
+
+def _write_timeline(path: str, timeline) -> None:
+    try:
+        with atomic_write(path) as fh:
+            if path.endswith(".csv"):
+                timeline.write_csv(fh)
+            else:
+                timeline.write_json(fh)
+    except OSError as exc:
+        raise ReproError(f"cannot write timeline {path}: {exc}") from exc
+    print(f"wrote {len(timeline.rows())} timeline windows to {path}")
+
+
 def _write_trace(path: str, events) -> None:
     from .obs import export_chrome_trace, write_jsonl
     try:
@@ -186,6 +217,9 @@ def _print_result(cc_name, result) -> None:
     if rows:
         print(format_table(["type", "commits", "avg us", "p50", "p90", "p99"],
                            rows))
+    else:
+        print("  (no committed transactions in the measurement window — "
+              "no latency data)")
     if result.invariant_violations:
         print("INVARIANT VIOLATIONS:")
         for violation in result.invariant_violations[:10]:
@@ -221,9 +255,12 @@ def cmd_run(args) -> int:
     fault_plan = _load_fault_plan(args)
     policy, backoff = _load_policy(args, spec, fault_plan)
     sink, metrics = _make_obs(args)
-    result = run_named(factory, args.cc, _sim_config(args), policy=policy,
+    config = _sim_config(args)
+    timeline = _make_timeline(args, config)
+    result = run_named(factory, args.cc, config, policy=policy,
                        backoff_policy=backoff, trace_sink=sink,
-                       metrics=metrics, fault_plan=fault_plan)
+                       metrics=metrics, fault_plan=fault_plan,
+                       timeline=timeline)
     _print_result(result.cc_name, result)
     if result.durability is not None:
         _print_durability_summary(result.durability)
@@ -233,6 +270,8 @@ def cmd_run(args) -> int:
         _write_trace(args.trace_out, sink.events)
     if metrics is not None:
         _write_metrics(args.metrics_out, metrics)
+    if timeline is not None:
+        _write_timeline(args.timeline_out, timeline)
     return 1 if result.invariant_violations else 0
 
 
@@ -251,21 +290,26 @@ def cmd_compare(args) -> int:
     fault_plan = _load_fault_plan(args)
     policy, backoff = _load_policy(args, spec, fault_plan)
     _sink, metrics = _make_obs(args)
+    config = _sim_config(args)
     rows = []
     traces = []
+    timelines = []
     fault_results = []
     for cc in args.ccs.split(","):
         cc = cc.strip()
         sink = MemorySink() if getattr(args, "trace_out", None) else None
-        result = run_named(factory, cc, _sim_config(args),
+        timeline = _make_timeline(args, config)  # fresh sampler per protocol
+        result = run_named(factory, cc, config,
                            policy=policy, backoff_policy=backoff,
                            trace_sink=sink, metrics=metrics,
-                           fault_plan=fault_plan)
+                           fault_plan=fault_plan, timeline=timeline)
         rows.append([cc, result.throughput, result.stats.abort_rate(),
                      result.stats.total_commits])
         fault_results.append((cc, result))
         if sink is not None:
             traces.append((cc, sink.events))
+        if timeline is not None:
+            timelines.append((cc, timeline))
     print(format_table(["cc", "TPS", "abort rate", "commits"], rows,
                        title=f"{args.workload} comparison"))
     if fault_plan is not None:
@@ -273,6 +317,8 @@ def cmd_compare(args) -> int:
             _print_fault_summary(result, prefix=f"[{cc}] ")
     for cc, events in traces:
         _write_trace(_per_cc_path(args.trace_out, cc), events)
+    for cc, timeline in timelines:
+        _write_timeline(_per_cc_path(args.timeline_out, cc), timeline)
     if metrics is not None:
         _write_metrics(args.metrics_out, metrics)
     return 0
@@ -331,12 +377,18 @@ def cmd_train(args) -> int:
           f"({result.evaluations} evaluations)")
     if result.interrupted:
         return 130
-    if sink is not None:
-        # trace one verification run of the trained policy
-        run_named(factory, "polyjuice", _sim_config(args),
+    config = _sim_config(args)
+    timeline = _make_timeline(args, config)
+    if sink is not None or timeline is not None:
+        # trace one verification run of the trained policy (with the
+        # run-insight timeline attached when requested)
+        run_named(factory, "polyjuice", config,
                   policy=result.best_policy, trace_sink=sink,
-                  metrics=metrics)
-        _write_trace(args.trace_out, sink.events)
+                  metrics=metrics, timeline=timeline)
+        if sink is not None:
+            _write_trace(args.trace_out, sink.events)
+        if timeline is not None:
+            _write_timeline(args.timeline_out, timeline)
     if metrics is not None:
         _write_metrics(args.metrics_out, metrics)
     return 0
@@ -402,9 +454,11 @@ def cmd_profile(args) -> int:
     sink, metrics = _make_obs(args)
     config = _sim_config(args)
     accountant = TimeAccountant(config.n_workers, config.duration)
+    timeline = _make_timeline(args, config)
     result = run_named(factory, args.cc, config, policy=policy,
                        backoff_policy=backoff, trace_sink=sink,
-                       accountant=accountant, metrics=metrics)
+                       accountant=accountant, metrics=metrics,
+                       timeline=timeline)
     print(f"{result.cc_name}: {result.stats.throughput():,.0f} TPS over "
           f"{config.duration:,.0f} simulated ticks, "
           f"{config.n_workers} workers")
@@ -413,6 +467,8 @@ def cmd_profile(args) -> int:
         _write_trace(args.trace_out, sink.events)
     if metrics is not None:
         _write_metrics(args.metrics_out, metrics)
+    if timeline is not None:
+        _write_timeline(args.timeline_out, timeline)
     violation = check_accounting(accountant)
     if violation is not None:
         print(f"ACCOUNTING VIOLATION: {violation}", file=sys.stderr)
@@ -444,6 +500,48 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    import json as _json
+    from .obs import (build_report, compare_metrics, render_compare,
+                      render_markdown)
+
+    def emit(text: str) -> None:
+        if args.out:
+            try:
+                with atomic_write(args.out) as fh:
+                    fh.write(text if text.endswith("\n") else text + "\n")
+            except OSError as exc:
+                raise ReproError(
+                    f"cannot write report {args.out}: {exc}") from exc
+            print(f"wrote report to {args.out}")
+        else:
+            print(text)
+
+    if args.compare:
+        baseline, candidate = args.compare
+        comparison = compare_metrics(baseline, candidate,
+                                     threshold=args.threshold)
+        if args.format == "json":
+            emit(_json.dumps(comparison, indent=2))
+        else:
+            emit(render_compare(comparison))
+        return 1 if comparison["regressions"] else 0
+
+    policy = None
+    if getattr(args, "policy", None):
+        spec, _factory = _workload(args)
+        policy = CCPolicy.load(spec, args.policy)
+    report = build_report(trace_path=args.trace_in,
+                          metrics_path=args.metrics_in,
+                          timeline_path=args.timeline_in,
+                          policy=policy, top_k=args.top_k)
+    if args.format == "json":
+        emit(_json.dumps(report, indent=2, default=str))
+    else:
+        emit(render_markdown(report))
+    return 0
+
+
 def _add_common(parser) -> None:
     parser.add_argument("--workload", default="tpcc",
                         choices=["tpcc", "tpce", "micro"])
@@ -465,6 +563,13 @@ def _add_obs(parser) -> None:
     parser.add_argument("--metrics", dest="metrics_out", metavar="FILE",
                         help="write a metrics snapshot (.csv = CSV, "
                              "else JSON)")
+    parser.add_argument("--timeline", dest="timeline_out", metavar="FILE",
+                        help="write the windowed run timeline (.csv = CSV, "
+                             "else JSON)")
+    parser.add_argument("--timeline-window", dest="timeline_window",
+                        type=float, metavar="TICKS", default=None,
+                        help="timeline window width (default: one "
+                             "durability epoch, else 1000 ticks)")
 
 
 def _add_durability(parser) -> None:
@@ -582,6 +687,44 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--policy", help="policy JSON (polyjuice)")
     profile_parser.add_argument("--backoff", help="backoff JSON")
     profile_parser.set_defaults(fn=cmd_profile)
+
+    report_parser = sub.add_parser(
+        "report", help="render a run report from trace/metrics/timeline "
+                       "artifacts, or diff two metrics snapshots")
+    report_parser.add_argument("--trace", dest="trace_in", metavar="FILE",
+                               help="JSONL trace to analyse")
+    report_parser.add_argument("--metrics", dest="metrics_in",
+                               metavar="FILE",
+                               help="JSON metrics snapshot to summarise")
+    report_parser.add_argument("--timeline", dest="timeline_in",
+                               metavar="FILE",
+                               help="JSON timeline artifact to include")
+    report_parser.add_argument("--policy", metavar="FILE",
+                               help="policy JSON for the policy-audit join "
+                                    "(requires matching --workload)")
+    report_parser.add_argument("--workload", default="tpcc",
+                               choices=["tpcc", "tpce", "micro"],
+                               help="workload of the run (only used to "
+                                    "resolve --policy)")
+    report_parser.add_argument("--warehouses", type=int, default=1)
+    report_parser.add_argument("--theta", type=float, default=0.8)
+    report_parser.add_argument("--seed", type=int, default=42)
+    report_parser.add_argument("--format", choices=["md", "json"],
+                               default="md")
+    report_parser.add_argument("--out", metavar="FILE",
+                               help="write the report here (default: stdout)")
+    report_parser.add_argument("--top-k", dest="top_k", type=int, default=10,
+                               help="hot keys to list in the attribution")
+    report_parser.add_argument("--compare", nargs=2,
+                               metavar=("BASELINE", "CANDIDATE"),
+                               help="diff two metrics snapshots instead of "
+                                    "rendering a report; exits 1 when a "
+                                    "regression crosses --threshold")
+    report_parser.add_argument("--threshold", type=float, default=0.10,
+                               help="relative regression threshold for "
+                                    "--compare (abort rate uses a 0.05 "
+                                    "absolute slack)")
+    report_parser.set_defaults(fn=cmd_report)
 
     trace_parser = sub.add_parser("trace", help="trace predictability")
     trace_parser.add_argument("--days", type=int, default=120)

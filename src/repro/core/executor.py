@@ -153,11 +153,15 @@ class PolicyExecutor(ConcurrencyControl):
                     worker.stats.record_piece_retry(ctx.type_name,
                                                     worker.scheduler.now)
                     if worker.trace.enabled:
+                        attrs = {"retries": piece_retries,
+                                 "detail": retry.detail}
+                        if retry.site is not None:
+                            attrs["table"] = retry.site[0]
+                            attrs["key"] = list(retry.site[1])
                         worker.trace.emit(TraceEvent(
                             worker.scheduler.now, EventKind.PIECE_RETRY,
                             worker.worker_id, ctx.txn_id, ctx.type_name,
-                            {"retries": piece_retries,
-                             "detail": retry.detail}))
+                            attrs))
                     if piece_retries > MAX_PIECE_RETRIES:
                         raise TransactionAborted(
                             AbortReason.EARLY_VALIDATION,
@@ -210,6 +214,8 @@ class PolicyExecutor(ConcurrencyControl):
                 worker.scheduler.now, EventKind.ACCESS, worker.worker_id,
                 ctx.txn_id, ctx.type_name,
                 {"access_id": op.access_id, "table": op.table,
+                 "key": list(op.key) if getattr(op, "key", None) is not None
+                 else None,
                  "op": type(op).__name__}))
         if isinstance(op, ReadOp):
             return (yield from self._do_read(ctx, policy, op))
@@ -284,7 +290,8 @@ class PolicyExecutor(ConcurrencyControl):
             if record.value is not None:
                 # the key is already committed: this insert can never win
                 raise TransactionAborted(AbortReason.VALIDATION,
-                                         f"duplicate insert {op.table}{op.key}")
+                                         f"duplicate insert {op.table}{op.key}",
+                                         site=(op.table, op.key))
         else:
             record = table.get_record(op.key)
             if record is None:
@@ -477,7 +484,7 @@ class PolicyExecutor(ConcurrencyControl):
                 continue
             doom = validation.read_entry_doomed(ctx, entry)
             if doom is not None:
-                raise PieceRetry(doom)
+                raise PieceRetry(doom, site=(entry.table, entry.key))
         self._publish(ctx, publish_writes)
         ctx.undo_log.clear()  # the window is validated: new retry point
 
@@ -566,7 +573,8 @@ class PolicyExecutor(ConcurrencyControl):
             if not validation.read_entry_final_ok(ctx, rentry):
                 raise TransactionAborted(
                     AbortReason.VALIDATION,
-                    f"read of {rentry.table}{rentry.key} invalidated")
+                    f"read of {rentry.table}{rentry.key} invalidated",
+                    site=(rentry.table, rentry.key))
         # step 4: install writes, then release locks / scrub access lists
         for wentry in sorted(ctx.wset.values(), key=lambda w: w.order):
             if wentry.dirty_since_expose or wentry.exposed_vid is None:

@@ -111,12 +111,16 @@ def finish(ctx: TxnContext, status: str, reason: Optional[str] = None,
         # writes can never validate — doom them now so they stop wasting
         # work and stop spreading the poisoned versions further
         trace = worker.trace if worker is not None else None
+        # getattr: stub schedulers in unit tests predate the timeline attr
+        timeline = getattr(scheduler, "timeline", None)
         for reader in ctx.readers:
             if reader.is_active():
                 reader.doomed = True
                 if scheduler is not None:
                     # a doomed waiter's conditions short-circuit true
                     scheduler.notify(reader)
+                if timeline is not None:
+                    timeline.on_doom(scheduler.now)
                 if trace is not None and trace.enabled:
                     trace.emit(TraceEvent(
                         worker.scheduler.now, EventKind.DOOM,

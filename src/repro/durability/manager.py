@@ -264,6 +264,11 @@ class DurabilityManager:
             self.flushes += 1
             if start > now:
                 self.flush_stalls += 1
+            # getattr: durability unit tests drive stub schedulers that
+            # predate the timeline attribute
+            timeline = getattr(scheduler, "timeline", None)
+            if timeline is not None:
+                timeline.on_flush(now, stalled=start > now)
             completion = start + self.dc.log_flush
         else:
             completion = start  # empty epoch: a free marker, still ordered
@@ -283,6 +288,9 @@ class DurabilityManager:
         scheduler = self.scheduler
         now = scheduler.now
         nbytes = 0
+        #: per-type [count, total ack latency] — built only for the trace,
+        #: consumed by the latency critical path's epoch_flush component
+        acks = {} if scheduler.trace.enabled else None
         for record in records:
             self.durable_log.append(record)
             for image in record.writes:
@@ -292,6 +300,10 @@ class DurabilityManager:
             # counts as committed (group-commit latency included)
             self.stats.record_commit(record.type_name, now,
                                      now - record.first_start)
+            if acks is not None:
+                stat = acks.setdefault(record.type_name, [0, 0.0])
+                stat[0] += 1
+                stat[1] += now - record.first_start
             self.acked_commits += 1
             self.max_acked_seqno = record.seqno
         for record in records:
@@ -302,7 +314,7 @@ class DurabilityManager:
             scheduler.trace.emit(TraceEvent(
                 now, EventKind.EPOCH, -1,
                 attrs={"epoch": epoch, "records": len(records),
-                       "bytes": nbytes}))
+                       "bytes": nbytes, "acks": acks}))
         self._prune_checkpoints()
 
     # ------------------------------------------------------------------ #
@@ -399,12 +411,14 @@ class DurabilityManager:
         self.db = new_db
         self.workload.db = new_db
         self.cc.on_node_recovery(new_db)
-        if scheduler.accountant is not None:
-            charged_until = min(restart, self.config.duration)
-            if charged_until > now:
-                for worker_id in range(self.config.n_workers):
-                    scheduler.accountant.on_wait(worker_id, "recovery",
-                                                 charged_until - now)
+        charged_until = min(restart, self.config.duration)
+        if scheduler.accountant is not None and charged_until > now:
+            for worker_id in range(self.config.n_workers):
+                scheduler.accountant.on_wait(worker_id, "recovery",
+                                             charged_until - now)
+        timeline = getattr(scheduler, "timeline", None)
+        if timeline is not None:
+            timeline.on_recovery(now, charged_until, self.config.n_workers)
         if scheduler.trace.enabled:
             scheduler.trace.emit(TraceEvent(
                 now, EventKind.NODE_CRASH, -1,

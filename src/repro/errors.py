@@ -130,9 +130,12 @@ class PieceRetry(ReproError):
     already-published prefix stays in place and only the unvalidated suffix
     is rolled back and re-executed."""
 
-    def __init__(self, detail: str = "") -> None:
+    def __init__(self, detail: str = "", site=None) -> None:
         super().__init__(f"early validation failed: {detail}")
         self.detail = detail
+        #: optional ``(table, key)`` of the access that failed validation,
+        #: used by the tracer for conflict attribution
+        self.site = site
 
 
 class TransactionAborted(ReproError):
@@ -143,9 +146,12 @@ class TransactionAborted(ReproError):
     the paper's retry-until-commit methodology (§7.1).
     """
 
-    def __init__(self, reason: str, detail: str = "") -> None:
+    def __init__(self, reason: str, detail: str = "", site=None) -> None:
         if reason not in AbortReason.ALL:
             raise ValueError(f"unknown abort reason: {reason!r}")
         super().__init__(f"transaction aborted: {reason}" + (f" ({detail})" if detail else ""))
         self.reason = reason
         self.detail = detail
+        #: optional ``(table, key)`` of the conflicting access, used by the
+        #: tracer for conflict attribution (None when no single site applies)
+        self.site = site

@@ -27,6 +27,10 @@ from ..errors import ReproError
 
 LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
+#: schema tag/version of JSON metrics exports (see load_metrics_json)
+METRICS_SCHEMA = "repro.metrics"
+METRICS_SCHEMA_VERSION = 1
+
 
 def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
     """Nearest-rank percentile (mirrors :func:`repro.sim.stats.percentile`,
@@ -182,7 +186,13 @@ class MetricsRegistry:
                 for key in sorted(self._metrics)]
 
     def to_json(self, indent: Optional[int] = 2) -> str:
-        return json.dumps(self.snapshot(), indent=indent)
+        """Serialise as a versioned envelope: ``{"schema": ...,
+        "version": ..., "metrics": [...]}`` (see :func:`load_metrics_json`;
+        pre-envelope bare-list files are still readable)."""
+        document = {"schema": METRICS_SCHEMA,
+                    "version": METRICS_SCHEMA_VERSION,
+                    "metrics": self.snapshot()}
+        return json.dumps(document, indent=indent)
 
     def write_json(self, path_or_fh: Union[str, IO[str]]) -> None:
         if isinstance(path_or_fh, str):
@@ -216,3 +226,34 @@ class MetricsRegistry:
                 dump(fh)
         else:
             dump(path_or_fh)
+
+
+def load_metrics_json(path: str) -> List[dict]:
+    """Load a JSON metrics snapshot back into its row list.
+
+    Accepts the versioned envelope written by :meth:`MetricsRegistry.\
+write_json` and the pre-envelope bare list; rejects unknown schemas and
+    versions with a clear :class:`ReproError` so a future build's artifact
+    fails loudly instead of being half-parsed."""
+    try:
+        with open(path) as fh:
+            document = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read metrics {path}: {exc}") from exc
+    if isinstance(document, list):
+        return document  # legacy bare snapshot (pre-versioning)
+    if not isinstance(document, dict) or "metrics" not in document:
+        raise ReproError(f"{path} is not a {METRICS_SCHEMA} artifact")
+    schema = document.get("schema")
+    if schema != METRICS_SCHEMA:
+        raise ReproError(f"{path}: unknown metrics schema {schema!r} "
+                         f"(expected {METRICS_SCHEMA!r})")
+    version = document.get("version")
+    if version != METRICS_SCHEMA_VERSION:
+        raise ReproError(
+            f"{path}: unsupported {METRICS_SCHEMA} version {version!r} "
+            f"(this build reads version {METRICS_SCHEMA_VERSION})")
+    rows = document["metrics"]
+    if not isinstance(rows, list):
+        raise ReproError(f"{path}: 'metrics' must be a list")
+    return rows

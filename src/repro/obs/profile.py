@@ -125,6 +125,8 @@ def format_profile_table(accountant: TimeAccountant,
         from ..bench.reporting import format_table as _ft
         format_table = _ft
     rows = accountant.breakdown()
+    if not rows:
+        return "(no workers — no time-accounting data)"
     categories = [key for key in rows[0] if key != "total"]
     headers = ["worker"] + categories + ["total"]
     table_rows = []
@@ -137,10 +139,11 @@ def format_profile_table(accountant: TimeAccountant,
                       + [f"{totals[c]:,.0f}" for c in categories]
                       + [f"{totals['total']:,.0f}"])
     denominator = accountant.n_workers * accountant.duration
-    table_rows.append(["%"]
-                      + [f"{100.0 * totals[c] / denominator:.1f}"
-                         for c in categories]
-                      + ["100.0"])
+    if denominator > 0:
+        table_rows.append(["%"]
+                          + [f"{100.0 * totals[c] / denominator:.1f}"
+                             for c in categories]
+                          + ["100.0"])
     return format_table(headers, table_rows)
 
 

@@ -1,0 +1,336 @@
+"""One-page run reports and run-to-run regression diffs (``repro report``).
+
+:func:`build_report` folds a run's artifacts — a JSONL trace, a metrics
+snapshot, a timeline export — into one plain-dict report: headline
+numbers, the per-window timeline, conflict attribution, the latency
+critical path and the policy audit.  :func:`render_markdown` renders it
+as a single markdown page; ``--format json`` emits the dict verbatim.
+Every section degrades to an explicit "no data" note when its input is
+absent or empty (a zero-commit run produces a report, not a crash).
+
+:func:`compare_metrics` diffs two metrics snapshots (throughput, abort
+rate, per-type p99) and flags regressions beyond a threshold; the CLI
+exits nonzero on any flagged row, which makes ``repro report --compare``
+usable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from ..errors import ReproError
+from .insight import conflict_attribution, latency_critical_path, policy_audit
+from .metrics import load_metrics_json
+from .timeline import load_timeline_json
+from .tracing import read_jsonl
+
+#: compare: relative throughput / p99 change beyond this flags a regression
+DEFAULT_COMPARE_THRESHOLD = 0.10
+#: compare: absolute abort-rate increase beyond this flags a regression
+ABORT_RATE_SLACK = 0.05
+
+
+# ---------------------------------------------------------------------- #
+# building
+
+
+def build_report(trace_path: Optional[str] = None,
+                 metrics_path: Optional[str] = None,
+                 timeline_path: Optional[str] = None,
+                 policy=None, top_k: int = 10) -> dict:
+    """Assemble the report dict from whichever artifacts were supplied."""
+    report: dict = {"inputs": {}}
+    events = None
+    if trace_path:
+        events = read_jsonl(trace_path)
+        report["inputs"]["trace"] = os.path.basename(trace_path)
+    metrics_rows = None
+    if metrics_path:
+        metrics_rows = load_metrics_json(metrics_path)
+        report["inputs"]["metrics"] = os.path.basename(metrics_path)
+    if timeline_path:
+        document = load_timeline_json(timeline_path)
+        report["inputs"]["timeline"] = os.path.basename(timeline_path)
+        report["timeline"] = {"window": document.get("window"),
+                              "rows": document.get("rows", [])}
+    if metrics_rows is not None:
+        report["summary"] = _summary_from_metrics(metrics_rows)
+    if events is not None:
+        report["trace_events"] = len(events)
+        report["attribution"] = conflict_attribution(events, top_k=top_k)
+        report["critical_path"] = latency_critical_path(events)
+        report["policy_audit"] = policy_audit(events, policy=policy)
+        if "timeline" not in report:
+            timeline = _timeline_from_events(events)
+            if timeline is not None:
+                report["timeline"] = timeline
+    if events is None and metrics_rows is None and not timeline_path:
+        raise ReproError(
+            "repro report needs at least one artifact "
+            "(--trace, --metrics or --timeline)")
+    return report
+
+
+def _summary_from_metrics(rows: List[dict]) -> dict:
+    summary: dict = {}
+    for row in rows:
+        name = row.get("name")
+        labels = row.get("labels", {})
+        if name == "run_throughput_tps":
+            summary.setdefault("throughput_tps", {})[
+                labels.get("cc", "?")] = row.get("value", 0.0)
+        elif name == "run_abort_rate":
+            summary.setdefault("abort_rate", {})[
+                labels.get("cc", "?")] = row.get("value", 0.0)
+        elif name == "run_commits_total":
+            summary["commits_total"] = summary.get("commits_total", 0) \
+                + row.get("value", 0)
+        elif name == "run_latency_p99_us":
+            summary.setdefault("latency_p99_us", {})[
+                f"{labels.get('cc', '?')}/{labels.get('type', '?')}"] = \
+                row.get("value", 0.0)
+    return summary
+
+
+def _timeline_from_events(events, window: float = 1000.0) -> Optional[dict]:
+    """Fallback per-window throughput derived straight from COMMIT events
+    when no timeline artifact was exported alongside the trace."""
+    from .timeline import TimelineSampler
+    from .tracing import EventKind
+    workers = {e.worker for e in events if e.worker >= 0}
+    sampler = TimelineSampler(window, max(1, len(workers)))
+    seen = False
+    for event in events:
+        if event.kind == EventKind.COMMIT:
+            attrs = event.attrs or {}
+            sampler.on_commit(event.ts, event.txn_type or "?",
+                              attrs.get("latency", 0.0))
+            seen = True
+        elif event.kind == EventKind.ABORT:
+            attrs = event.attrs or {}
+            sampler.on_abort(event.ts, event.txn_type or "?",
+                             attrs.get("reason", "?"))
+            seen = True
+        elif event.kind == EventKind.WAIT_END:
+            attrs = event.attrs or {}
+            sampler.on_wait(event.ts, attrs.get("wait_kind", "?"),
+                            attrs.get("waited", 0.0))
+    if not seen:
+        return None
+    return {"window": window, "rows": sampler.rows(),
+            "derived_from_trace": True}
+
+
+# ---------------------------------------------------------------------- #
+# rendering
+
+
+def _table(headers: List[str], rows: List[list]) -> List[str]:
+    out = ["| " + " | ".join(headers) + " |",
+           "| " + " | ".join("---" for _ in headers) + " |"]
+    for row in rows:
+        out.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return out
+
+
+def _fmt(value, digits: int = 1) -> str:
+    if isinstance(value, float):
+        return f"{value:,.{digits}f}"
+    return f"{value:,}" if isinstance(value, int) else str(value)
+
+
+def render_markdown(report: dict) -> str:
+    lines: List[str] = ["# Run report", ""]
+    inputs = report.get("inputs", {})
+    if inputs:
+        lines.append("inputs: " + ", ".join(
+            f"{kind} `{name}`" for kind, name in sorted(inputs.items())))
+        lines.append("")
+
+    lines.append("## Summary")
+    summary = report.get("summary")
+    if summary:
+        for cc, tps in sorted(summary.get("throughput_tps", {}).items()):
+            abort = summary.get("abort_rate", {}).get(cc, 0.0)
+            lines.append(f"- **{cc}**: {_fmt(tps, 0)} TPS, "
+                         f"abort rate {abort:.3f}")
+        if "commits_total" in summary:
+            lines.append(f"- commits: {_fmt(int(summary['commits_total']))}")
+    else:
+        lines.append("_no metrics artifact — no summary data_")
+    lines.append("")
+
+    lines.append("## Timeline")
+    timeline = report.get("timeline")
+    rows = (timeline or {}).get("rows") or []
+    if rows:
+        if (timeline or {}).get("derived_from_trace"):
+            lines.append("_(derived from trace COMMIT events; export a "
+                         "timeline artifact for wait/flush columns)_")
+        headers = ["window", "start", "commits", "TPS", "abort rate",
+                   "conflict wait", "p99 us"]
+        body = [[r["window"], _fmt(r["start"], 0), r["commits"],
+                 _fmt(r["throughput_tps"], 0), f"{r['abort_rate']:.3f}",
+                 f"{r.get('conflict_wait_frac', 0.0):.3f}",
+                 _fmt(r.get("latency_p99_us", 0.0), 1)] for r in rows]
+        lines.extend(_table(headers, body))
+    else:
+        lines.append("_no timeline data (zero-commit run or no artifact)_")
+    lines.append("")
+
+    lines.append("## Conflict attribution")
+    attribution = report.get("attribution")
+    pairs = (attribution or {}).get("pairs") or []
+    if pairs:
+        headers = ["type", "vs", "table", "piece", "waits", "wait ticks",
+                   "aborts", "dooms", "piece retries"]
+        body = [[p["type"], p["other"], p["table"], p["access_id"],
+                 p["waits"], _fmt(p["wait_ticks"], 0), p["aborts"],
+                 p["dooms"], p["piece_retries"]] for p in pairs[:15]]
+        lines.extend(_table(headers, body))
+        hot = attribution.get("hot_keys") or []
+        if hot:
+            lines.append("")
+            lines.append("### Hot keys")
+            lines.extend(_table(
+                ["table", "key", "waits", "aborts"],
+                [[h["table"], h["key"], h["waits"], h["aborts"]]
+                 for h in hot]))
+    else:
+        lines.append("_no conflict events in trace (or no trace)_")
+    lines.append("")
+
+    lines.append("## Latency critical path")
+    critical = report.get("critical_path")
+    types = (critical or {}).get("types") or {}
+    if types:
+        kinds: List[str] = []
+        for entry in types.values():
+            for column in entry:
+                if column.startswith("wait:") and column not in kinds:
+                    kinds.append(column)
+        kinds.sort()
+        headers = ["type", "commits", "mean latency", "execute"] + kinds \
+            + ["backoff", "log buffer", "epoch flush"]
+        body = []
+        for type_name, entry in types.items():
+            commits = entry["commits"] or 1
+            body.append(
+                [type_name, entry["commits"],
+                 _fmt(entry["latency_total"] / commits)]
+                + [_fmt(entry["execute"] / commits)]
+                + [_fmt(entry.get(k, 0.0) / commits) for k in kinds]
+                + [_fmt(entry["backoff"] / commits),
+                   _fmt(entry["log_buffer"] / commits),
+                   _fmt(entry.get("epoch_flush", 0.0))])
+        lines.extend(_table(headers, body))
+        violations = critical.get("residual_violations", 0)
+        if violations:
+            lines.append("")
+            lines.append(f"**WARNING: {violations} transaction(s) with a "
+                         "negative execute residual (accounting bug)**")
+    else:
+        lines.append("_no committed transactions in trace (or no trace)_")
+    lines.append("")
+
+    lines.append("## Policy audit")
+    audit = report.get("policy_audit")
+    states = (audit or {}).get("states") or []
+    if states:
+        headers = ["state", "hits", "actions"]
+        body = []
+        for state in states[:20]:
+            actions = state.get("actions")
+            if actions:
+                waits = actions["waits"]
+                description = (f"{actions['read']} read, "
+                               f"{actions['write']} write"
+                               + (", validate" if actions["early_validate"]
+                                  else "")
+                               + (f", waits {waits}" if waits else ""))
+            else:
+                description = "-"
+            body.append([f"{state['type']} a{state['access_id']}",
+                         state["hits"], description])
+        lines.extend(_table(headers, body))
+    else:
+        lines.append("_no policy-executor ACCESS events (protocol bypasses "
+                     "the policy layer, or no trace)_")
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# comparing
+
+
+def compare_metrics(baseline_path: str, candidate_path: str,
+                    threshold: float = DEFAULT_COMPARE_THRESHOLD) -> dict:
+    """Diff two metrics snapshots.  Returns ``{"rows": [...],
+    "regressions": [...]}`` where each row is one compared quantity with
+    its baseline/candidate values and relative delta; regressions are the
+    rows whose delta crosses ``threshold`` in the bad direction."""
+    baseline = _summary_from_metrics(load_metrics_json(baseline_path))
+    candidate = _summary_from_metrics(load_metrics_json(candidate_path))
+    rows: List[dict] = []
+    regressions: List[dict] = []
+
+    def add(name: str, base: float, cand: float, bad_if: str,
+            absolute: bool = False) -> None:
+        if absolute:
+            delta = cand - base
+        else:
+            delta = (cand - base) / base if base else 0.0
+        row = {"metric": name, "baseline": base, "candidate": cand,
+               "delta": delta, "absolute": absolute}
+        rows.append(row)
+        limit = ABORT_RATE_SLACK if absolute else threshold
+        if bad_if == "lower" and delta < -limit:
+            regressions.append(row)
+        elif bad_if == "higher" and delta > limit:
+            regressions.append(row)
+
+    for cc in sorted(set(baseline.get("throughput_tps", {}))
+                     & set(candidate.get("throughput_tps", {}))):
+        add(f"throughput_tps[{cc}]",
+            baseline["throughput_tps"][cc],
+            candidate["throughput_tps"][cc], bad_if="lower")
+    for cc in sorted(set(baseline.get("abort_rate", {}))
+                     & set(candidate.get("abort_rate", {}))):
+        add(f"abort_rate[{cc}]", baseline["abort_rate"][cc],
+            candidate["abort_rate"][cc], bad_if="higher", absolute=True)
+    for key in sorted(set(baseline.get("latency_p99_us", {}))
+                      & set(candidate.get("latency_p99_us", {}))):
+        add(f"latency_p99_us[{key}]", baseline["latency_p99_us"][key],
+            candidate["latency_p99_us"][key], bad_if="higher")
+    if not rows:
+        raise ReproError(
+            "no comparable run metrics found in both snapshots "
+            "(were both produced by `repro run --metrics`?)")
+    return {"rows": rows, "regressions": regressions,
+            "threshold": threshold}
+
+
+def render_compare(comparison: dict) -> str:
+    lines = ["# Run comparison", ""]
+    headers = ["metric", "baseline", "candidate", "delta"]
+    body = []
+    for row in comparison["rows"]:
+        delta = row["delta"]
+        rendered = f"{delta:+.3f}" if row["absolute"] else f"{delta:+.1%}"
+        body.append([row["metric"], _fmt(row["baseline"]),
+                     _fmt(row["candidate"]), rendered])
+    lines.extend(_table(headers, body))
+    lines.append("")
+    regressions = comparison["regressions"]
+    if regressions:
+        lines.append(f"**{len(regressions)} regression(s) beyond threshold "
+                     f"{comparison['threshold']:.0%}:**")
+        for row in regressions:
+            lines.append(f"- {row['metric']}")
+    else:
+        lines.append("no regressions beyond threshold "
+                     f"{comparison['threshold']:.0%}")
+    lines.append("")
+    return "\n".join(lines)

@@ -25,6 +25,18 @@ from __future__ import annotations
 import json
 from typing import Dict, IO, Iterable, List, Optional, Sequence, Union
 
+from ..errors import ReproError
+
+#: schema tag/version written as the first line of JSONL traces; bump the
+#: version when the event vocabulary or field meanings change incompatibly
+TRACE_SCHEMA = "repro.trace"
+TRACE_SCHEMA_VERSION = 1
+
+
+def _schema_header() -> str:
+    return json.dumps({"schema": TRACE_SCHEMA,
+                       "version": TRACE_SCHEMA_VERSION})
+
 
 class EventKind:
     """The typed vocabulary of trace events."""
@@ -166,6 +178,7 @@ class JsonlStreamSink(TraceSink):
 
     def __init__(self, fh: IO[str]) -> None:
         self._fh = fh
+        self._fh.write(_schema_header() + "\n")
 
     def emit(self, event: TraceEvent) -> None:
         self._fh.write(json.dumps(event.to_dict()) + "\n")
@@ -183,10 +196,13 @@ def write_jsonl(events: Iterable[TraceEvent],
     """Write events one-JSON-object-per-line; returns the event count.
 
     Accepts a path or an open file handle (the CLI passes a handle from an
-    atomic-write context so a killed process never truncates the trace)."""
+    atomic-write context so a killed process never truncates the trace).
+    The first line is a ``{"schema": ..., "version": ...}`` header (not
+    counted); :func:`read_jsonl` validates it on the way back in."""
     if isinstance(path_or_fh, str):
         with open(path_or_fh, "w") as fh:
             return write_jsonl(events, fh)
+    path_or_fh.write(_schema_header() + "\n")
     count = 0
     for event in events:
         path_or_fh.write(json.dumps(event.to_dict()) + "\n")
@@ -195,13 +211,44 @@ def write_jsonl(events: Iterable[TraceEvent],
 
 
 def read_jsonl(path: str) -> List[TraceEvent]:
-    """Load a JSONL trace back into :class:`TraceEvent` objects."""
+    """Load a JSONL trace back into :class:`TraceEvent` objects.
+
+    The first non-blank line may be a schema header; a header naming an
+    unknown schema or version is rejected with a :class:`ReproError`
+    (don't half-parse artifacts from a future build).  Headerless files
+    (pre-versioning traces) are accepted as version 1."""
     events = []
-    with open(path) as fh:
+    first = True
+    try:
+        fh = open(path)
+    except OSError as exc:
+        raise ReproError(f"cannot read trace {path}: {exc}") from exc
+    with fh:
         for line in fh:
             line = line.strip()
-            if line:
-                events.append(TraceEvent.from_dict(json.loads(line)))
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError as exc:
+                raise ReproError(
+                    f"{path}: not a JSONL trace: {exc}") from exc
+            if first:
+                first = False
+                if isinstance(data, dict) and "schema" in data:
+                    schema = data.get("schema")
+                    version = data.get("version")
+                    if schema != TRACE_SCHEMA:
+                        raise ReproError(
+                            f"{path}: unknown trace schema {schema!r} "
+                            f"(expected {TRACE_SCHEMA!r})")
+                    if version != TRACE_SCHEMA_VERSION:
+                        raise ReproError(
+                            f"{path}: unsupported {TRACE_SCHEMA} version "
+                            f"{version!r} (this build reads version "
+                            f"{TRACE_SCHEMA_VERSION})")
+                    continue  # header consumed; not an event
+            events.append(TraceEvent.from_dict(data))
     return events
 
 

@@ -72,6 +72,10 @@ class Scheduler:
         #: by the bench runner when ``config.durability`` is set; ``None``
         #: keeps every durability hook to one falsy attribute check
         self.durability = None
+        #: optional :class:`~repro.obs.timeline.TimelineSampler`, attached
+        #: by the bench runner; ``None`` keeps the timeline hooks to one
+        #: falsy attribute check per site (same contract as the tracer)
+        self.timeline = None
         self._heap: List[Tuple[float, int, int, object]] = []
         self._seq = itertools.count()
         self._workers: List[Worker] = []
@@ -241,11 +245,18 @@ class Scheduler:
                 self.wait_count_by_kind.get(wait.kind, 0) + 1
             if self.trace.enabled:
                 ctx = worker.current_ctx
+                attrs = {"wait_kind": wait.kind,
+                         "n_deps": len(wait.dep_ctxs)}
+                if wait.dep_ctxs:
+                    # dependency *types*, for conflict attribution — the
+                    # txn-type-pair key of repro.obs.insight
+                    attrs["deps"] = sorted(
+                        {d.type_name for d in wait.dep_ctxs})
                 self.trace.emit(TraceEvent(
                     self.now, EventKind.WAIT_BEGIN, worker.worker_id,
                     ctx.txn_id if ctx is not None else None,
                     ctx.type_name if ctx is not None else None,
-                    {"wait_kind": wait.kind, "n_deps": len(wait.dep_ctxs)}))
+                    attrs))
             cycle = self._find_cycle(worker)
             if cycle is not None:
                 self.cycle_breaks += 1
@@ -366,6 +377,8 @@ class Scheduler:
             self.wait_time_by_kind.get(wait.kind, 0.0) + waited
         if self.accountant is not None:
             self.accountant.on_wait(worker.worker_id, wait.kind, waited)
+        if self.timeline is not None:
+            self.timeline.on_wait(self.now, wait.kind, waited)
         if self.trace.enabled:
             ctx = worker.current_ctx
             self.trace.emit(TraceEvent(
@@ -379,13 +392,17 @@ class Scheduler:
         """Charge wait time of workers still parked when the run horizon is
         reached, so parked tails show up as waits, not idle time.  Safe to
         call more than once (the park start is advanced to ``now``)."""
-        if self.accountant is None:
+        if self.accountant is None and self.timeline is None:
             return
         for worker, wait in self._parked.items():
             start = self._park_start.get(worker, self.now)
             if self.now > start:
-                self.accountant.on_wait(worker.worker_id, wait.kind,
-                                        self.now - start)
+                if self.accountant is not None:
+                    self.accountant.on_wait(worker.worker_id, wait.kind,
+                                            self.now - start)
+                if self.timeline is not None:
+                    self.timeline.on_wait(self.now, wait.kind,
+                                          self.now - start)
                 self._park_start[worker] = self.now
 
     def close(self) -> None:

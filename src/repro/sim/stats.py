@@ -117,6 +117,11 @@ class RunStats:
         #: width (ticks) of throughput-timeline buckets (Fig 10); None = off
         self.timeline_bucket = timeline_bucket
         self.timeline: Dict[int, int] = {}
+        #: optional :class:`repro.obs.timeline.TimelineSampler` — the
+        #: run-insight windowed sampler, fed from the same record_* calls
+        #: as the counters (but over the whole run, warm-up included, so
+        #: the early windows are visible); None keeps it zero-overhead
+        self.sampler = None
         self.start_time = 0.0
         self.end_time = 0.0
 
@@ -126,6 +131,8 @@ class RunStats:
         if self.timeline_bucket is not None:
             bucket = int(now // self.timeline_bucket)
             self.timeline[bucket] = self.timeline.get(bucket, 0) + 1
+        if self.sampler is not None:
+            self.sampler.on_commit(now, type_name, latency)
         if now < self.warmup_end:
             self.warmup_commits += 1
             return
@@ -142,12 +149,16 @@ class RunStats:
     def record_backoff(self, pause: float, now: float) -> None:
         """Accumulate retry-backoff time, gated on the warm-up window like
         every other counter (``now`` is the time the backoff *starts*)."""
+        if self.sampler is not None:
+            self.sampler.on_backoff(now, pause)
         if now < self.warmup_end:
             self.warmup_backoff_time += pause
             return
         self.backoff_time += pause
 
     def record_abort(self, type_name: str, now: float, reason: str) -> None:
+        if self.sampler is not None:
+            self.sampler.on_abort(now, type_name, reason)
         if now < self.warmup_end:
             self.warmup_aborts += 1
             self.warmup_abort_reasons[reason] = \

@@ -117,10 +117,14 @@ class Worker:
                         accountant.on_attempt_end(self.worker_id,
                                                   committed=False)
                     if trace.enabled:
+                        attrs = {"reason": exc.reason, "attempt": attempt}
+                        site = getattr(exc, "site", None)
+                        if site is not None:
+                            attrs["table"] = site[0]
+                            attrs["key"] = list(site[1])
                         trace.emit(TraceEvent(
                             now, EventKind.ABORT, self.worker_id,
-                            txn_type=invocation.type_name,
-                            attrs={"reason": exc.reason, "attempt": attempt}))
+                            txn_type=invocation.type_name, attrs=attrs))
                     attempt += 1
                     limit = self.config.max_retries
                     if limit is not None and attempt > limit:
@@ -151,19 +155,22 @@ class Worker:
                                              now - first_start)
                 if accountant is not None:
                     accountant.on_attempt_end(self.worker_id, committed=True)
-                if trace.enabled:
-                    trace.emit(TraceEvent(
-                        now, EventKind.COMMIT, self.worker_id,
-                        txn_type=invocation.type_name,
-                        attrs={"attempts": attempt + 1,
-                               "latency": now - first_start}))
+                log_cost = 0.0
                 if durability is not None:
                     # group commit: the ack (stats.record_commit) happens
                     # when this epoch's flush completes; the worker only
                     # pays its buffered log-append cost here
                     log_cost = durability.consume_log_cost(self.worker_id)
-                    if log_cost > 0.0:
-                        yield Cost(log_cost)
+                if trace.enabled:
+                    attrs = {"attempts": attempt + 1,
+                             "latency": now - first_start}
+                    if durability is not None:
+                        attrs["log_cost"] = log_cost
+                    trace.emit(TraceEvent(
+                        now, EventKind.COMMIT, self.worker_id,
+                        txn_type=invocation.type_name, attrs=attrs))
+                if log_cost > 0.0:
+                    yield Cost(log_cost)
                 break
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

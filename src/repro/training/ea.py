@@ -378,6 +378,13 @@ class EvolutionaryTrainer:
                     self.metrics.gauge("ea_fitness_mean").set(mean)
                     self.metrics.histogram("ea_fitness_best_history").observe(
                         best.fitness)
+                    # per-generation timeline of the best candidate
+                    # (zero-padded label: label sort == generation order)
+                    generation = str(iteration).zfill(4)
+                    self.metrics.gauge("ea_timeline_fitness_best",
+                                       generation=generation).set(best.fitness)
+                    self.metrics.gauge("ea_timeline_fitness_mean",
+                                       generation=generation).set(mean)
                     self.metrics.counter("ea_evaluations_total").inc(
                         self.evaluator.evaluations
                         - self.metrics.counter("ea_evaluations_total").value)

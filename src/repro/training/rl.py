@@ -355,6 +355,15 @@ class PolicyGradientTrainer:
                     hist = self.metrics.histogram("rl_grad_norm")
                     for norm in grad_norms:
                         hist.observe(norm)
+                    # per-iteration timeline of the best candidate
+                    # (zero-padded label: label sort == iteration order)
+                    generation = str(iteration).zfill(4)
+                    self.metrics.gauge("rl_timeline_fitness_best",
+                                       generation=generation).set(best_fitness)
+                    self.metrics.gauge(
+                        "rl_timeline_reward_mean",
+                        generation=generation).set(
+                            mean_reward * self.config.reward_scale)
                 if progress is not None:
                     progress(iteration, best_fitness,
                              mean_reward * self.config.reward_scale)

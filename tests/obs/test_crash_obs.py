@@ -1,0 +1,96 @@
+"""Observability across a scripted node crash: pre-crash events survive,
+the crash/recovery shows up in trace and timeline, and disabling
+observability never changes the simulation."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import run_named
+from repro.config import DurabilityConfig, SimConfig
+from repro.faults import FaultPlan, ScriptedFault
+from repro.obs import MemorySink, TimelineSampler
+from repro.obs.tracing import EventKind
+
+from tests.helpers import CounterWorkload
+
+CRASH_TIME = 2_750.0
+
+
+def crash_plan():
+    return FaultPlan(events=[ScriptedFault(time=CRASH_TIME,
+                                           kind="node_crash")],
+                     name="node_crash")
+
+
+def make_config(seed=19):
+    return SimConfig(n_workers=4, duration=6_000.0, seed=seed, warmup=0.0,
+                     durability=DurabilityConfig(epoch_length=400.0,
+                                                 checkpoint_interval=1_500.0))
+
+
+def run_cell(config, sink=None, timeline=None, plan=True):
+    return run_named(lambda: CounterWorkload(n_keys=8), "silo", config,
+                     fault_plan=crash_plan() if plan else None,
+                     trace_sink=sink, timeline=timeline)
+
+
+class TestCrashTracing:
+    def test_pre_crash_events_survive_and_crash_is_marked(self):
+        sink = MemorySink()
+        result = run_cell(make_config(), sink=sink)
+        assert len(result.durability.recoveries) == 1
+        pre_crash = [e for e in sink.events if e.ts < CRASH_TIME]
+        assert pre_crash, "events recorded before the crash must remain"
+        kinds = {e.kind for e in sink.events}
+        assert EventKind.NODE_CRASH in kinds
+        assert EventKind.RECOVERY in kinds
+        crash = next(e for e in sink.events
+                     if e.kind == EventKind.NODE_CRASH)
+        recovery = next(e for e in sink.events
+                        if e.kind == EventKind.RECOVERY)
+        assert crash.ts == CRASH_TIME == recovery.ts
+        assert recovery.attrs["restart"] > CRASH_TIME
+
+    def test_downtime_appears_in_timeline(self):
+        config = make_config()
+        timeline = TimelineSampler(400.0, config.n_workers)
+        result = run_cell(config, timeline=timeline)
+        report = result.durability.recoveries[0]
+        rows = timeline.rows()
+        recovery_ticks = sum(r.get("wait:recovery", 0.0) for r in rows)
+        expected = (min(report.restart_time, config.duration)
+                    - report.time) * config.n_workers
+        assert recovery_ticks == pytest.approx(expected)
+        # the crash window itself shows the outage starting
+        crash_window = int(CRASH_TIME // 400.0)
+        assert rows[crash_window].get("wait:recovery", 0.0) > 0
+
+    def test_flush_columns_populated(self):
+        config = make_config()
+        timeline = TimelineSampler(400.0, config.n_workers)
+        run_cell(config, timeline=timeline)
+        assert sum(r["flushes"] for r in timeline.rows()) > 0
+
+
+class TestDisabledObservabilityIdentity:
+    def test_crash_run_identical_with_and_without_observability(self):
+        bare = run_cell(make_config(), plan=True)
+        sink = MemorySink()
+        timeline = TimelineSampler(400.0, 4)
+        observed = run_cell(make_config(), sink=sink, timeline=timeline,
+                            plan=True)
+        assert json.dumps(bare.stats.summary(), sort_keys=True) == \
+            json.dumps(observed.stats.summary(), sort_keys=True)
+        a, b = (bare.durability.recoveries[0],
+                observed.durability.recoveries[0])
+        assert (a.durable_seqno, a.persistent_epoch, a.replayed,
+                a.lost_inflight, a.lost_unflushed) == \
+            (b.durable_seqno, b.persistent_epoch, b.replayed,
+             b.lost_inflight, b.lost_unflushed)
+
+    def test_disabled_runs_are_deterministic(self):
+        first = run_cell(make_config(), plan=True)
+        second = run_cell(make_config(), plan=True)
+        assert json.dumps(first.stats.summary(), sort_keys=True) == \
+            json.dumps(second.stats.summary(), sort_keys=True)

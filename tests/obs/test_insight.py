@@ -1,0 +1,123 @@
+"""Post-run trace analyzers: conflict attribution, the latency critical
+path's exact-sum invariant, and the policy audit."""
+
+import pytest
+
+from repro.bench.runner import run_named
+from repro.cc.seeds import seed_policy_map
+from repro.config import DurabilityConfig, SimConfig
+from repro.obs import (MemorySink, conflict_attribution,
+                       latency_critical_path, policy_audit, read_jsonl,
+                       write_jsonl)
+from repro.obs.tracing import EventKind
+from repro.workloads.tpcc import make_tpcc_factory, tpcc_spec
+
+CCS = ["silo", "2pl", "ic3"]
+
+
+def traced_run(cc_name, seed=13, policy=None, **overrides):
+    defaults = dict(n_workers=4, duration=4_000.0, warmup=0.0, seed=seed)
+    defaults.update(overrides)
+    config = SimConfig(**defaults)
+    sink = MemorySink()
+    result = run_named(make_tpcc_factory(n_warehouses=1, seed=seed), cc_name,
+                       config, policy=policy, trace_sink=sink)
+    return result, sink.events
+
+
+class TestCriticalPath:
+    @pytest.mark.parametrize("cc_name", CCS)
+    def test_exact_sum_invariant(self, cc_name):
+        """Per type: latency_total == execute + waits + backoff exactly,
+        and no transaction had a negative execute residual."""
+        result, events = traced_run(cc_name)
+        critical = latency_critical_path(events)
+        assert critical["residual_violations"] == 0
+        assert critical["types"], "a committing run must decompose"
+        for type_name, entry in critical["types"].items():
+            waits = sum(v for k, v in entry.items() if k.startswith("wait:"))
+            total = entry["execute"] + waits + entry["backoff"]
+            assert total == pytest.approx(entry["latency_total"], abs=1e-6), \
+                f"{cc_name}/{type_name}: components must sum to latency"
+            assert entry["execute"] >= 0.0
+
+    def test_commit_counts_match_trace(self):
+        result, events = traced_run("ic3")
+        critical = latency_critical_path(events)
+        commits = sum(e["commits"] for e in critical["types"].values())
+        assert commits == sum(1 for e in events
+                              if e.kind == EventKind.COMMIT)
+
+    def test_log_buffer_on_durability_runs(self):
+        result, events = traced_run(
+            "silo", durability=DurabilityConfig(epoch_length=500.0,
+                                                log_flush=100.0))
+        critical = latency_critical_path(events)
+        assert sum(e["log_buffer"] for e in critical["types"].values()) > 0
+        # EPOCH ack harvesting: group commit delays acks past install time
+        assert any("epoch_flush" in e for e in critical["types"].values())
+
+    def test_survives_jsonl_round_trip(self, tmp_path):
+        """Analyzer output is identical on read-back events (attrs must be
+        JSON-representable — tuples would silently become lists)."""
+        _result, events = traced_run("ic3")
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(events, path)
+        reread = read_jsonl(path)
+        assert latency_critical_path(reread) == latency_critical_path(events)
+        assert conflict_attribution(reread) == conflict_attribution(events)
+
+
+class TestConflictAttribution:
+    def test_nonempty_on_contended_run(self):
+        _result, events = traced_run("ic3")
+        attribution = conflict_attribution(events)
+        assert attribution["pairs"], "a contended TPC-C run must attribute"
+        top = attribution["pairs"][0]
+        assert top["total"] >= attribution["pairs"][-1]["total"]
+        for field in ("type", "other", "table", "access_id", "waits",
+                      "wait_ticks", "aborts", "dooms", "piece_retries"):
+            assert field in top
+
+    def test_hot_keys_capped_at_top_k(self):
+        _result, events = traced_run("ic3")
+        attribution = conflict_attribution(events, top_k=3)
+        assert len(attribution["hot_keys"]) <= 3
+
+    def test_abort_sites_are_keyed(self):
+        """Aborts carrying a site land on that table, not on UNKNOWN."""
+        _result, events = traced_run("silo")
+        aborted = [e for e in events if e.kind == EventKind.ABORT
+                   and (e.attrs or {}).get("table")]
+        assert aborted, "contended silo must produce sited validation aborts"
+        attribution = conflict_attribution(events)
+        tables = {p["table"] for p in attribution["pairs"] if p["aborts"]}
+        assert tables & {e.attrs["table"] for e in aborted}
+
+    def test_empty_trace(self):
+        attribution = conflict_attribution([])
+        assert attribution == {"pairs": [], "hot_keys": []}
+
+
+class TestPolicyAudit:
+    def test_joins_policy_actions(self):
+        spec = tpcc_spec()
+        policy = seed_policy_map(spec)["ic3"]
+        _result, events = traced_run("polyjuice", policy=policy)
+        audit = policy_audit(events, policy=policy)
+        assert audit["states"], "the policy executor emits ACCESS events"
+        top = audit["states"][0]
+        assert top["hits"] > 0
+        assert top["actions"]["read"] in ("dirty", "clean")
+        assert top["actions"]["write"] in ("public", "private")
+
+    def test_no_policy_still_counts_hits(self):
+        spec = tpcc_spec()
+        policy = seed_policy_map(spec)["ic3"]
+        _result, events = traced_run("polyjuice", policy=policy)
+        audit = policy_audit(events)
+        assert audit["states"] and "actions" not in audit["states"][0]
+
+    def test_bypassing_protocols_audit_empty(self):
+        _result, events = traced_run("silo")
+        assert policy_audit(events) == {"states": []}

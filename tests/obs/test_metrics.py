@@ -109,7 +109,10 @@ class TestExport:
         path = str(tmp_path / "m.json")
         self.make().write_json(path)
         with open(path) as fh:
-            rows = json.load(fh)
+            document = json.load(fh)
+        assert document["schema"] == "repro.metrics"
+        assert document["version"] == 1
+        rows = document["metrics"]
         assert {row["name"] for row in rows} == {"commits", "tps", "lat"}
 
     def test_csv_shape(self):

@@ -1,0 +1,169 @@
+"""The windowed run-timeline sampler: hook math, export schema, run
+integration, and the zero-perturbation contract."""
+
+import io
+import json
+
+import pytest
+
+from repro.bench.runner import run_named
+from repro.config import DurabilityConfig, SimConfig
+from repro.errors import ReproError
+from repro.obs import (MemorySink, MetricsRegistry, TIMELINE_SCHEMA,
+                       TIMELINE_SCHEMA_VERSION, TimelineSampler,
+                       default_timeline_window, load_timeline_json)
+from repro.workloads.tpcc import make_tpcc_factory
+
+
+def make_config(**overrides):
+    defaults = dict(n_workers=4, duration=4_000.0, warmup=0.0, seed=11)
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+class TestSamplerMath:
+    def test_commit_windows_and_gaps(self):
+        sampler = TimelineSampler(window=100.0, n_workers=2)
+        sampler.on_commit(50.0, "a", 10.0)
+        sampler.on_commit(60.0, "a", 30.0)
+        sampler.on_commit(350.0, "b", 20.0)  # windows 1 and 2 are gaps
+        rows = sampler.rows()
+        assert [r["window"] for r in rows] == [0, 1, 2, 3]
+        assert [r["commits"] for r in rows] == [2, 0, 0, 1]
+        # 2 commits / 100 ticks = 20k TPS (1 tick = 1 us)
+        assert rows[0]["throughput_tps"] == pytest.approx(20_000.0)
+        assert rows[0]["latency_mean_us"] == pytest.approx(20.0)
+        assert rows[1]["commits"] == 0 and rows[1]["abort_rate"] == 0.0
+
+    def test_abort_rate_and_dooms(self):
+        sampler = TimelineSampler(window=100.0, n_workers=1)
+        sampler.on_commit(10.0, "a", 1.0)
+        sampler.on_abort(20.0, "a", "validation")
+        sampler.on_abort(30.0, "a", "validation")
+        sampler.on_doom(40.0)
+        row = sampler.rows()[0]
+        assert row["aborts"] == 2 and row["dooms"] == 1
+        assert row["abort_rate"] == pytest.approx(2 / 3)
+
+    def test_conflict_wait_fraction(self):
+        sampler = TimelineSampler(window=100.0, n_workers=2)
+        sampler.on_wait(50.0, "progress", 30.0)
+        sampler.on_wait(60.0, "lock", 10.0)
+        sampler.on_wait(70.0, "recovery", 40.0)  # not a conflict kind
+        row = sampler.rows()[0]
+        # capacity = 100 ticks * 2 workers; conflict = 30 + 10
+        assert row["conflict_wait_frac"] == pytest.approx(40.0 / 200.0)
+        assert row["wait:recovery"] == pytest.approx(40.0)
+
+    def test_recovery_spreads_across_windows(self):
+        sampler = TimelineSampler(window=100.0, n_workers=3)
+        sampler.on_recovery(150.0, 350.0, n_workers=3)
+        rows = sampler.rows()
+        assert [r.get("wait:recovery", 0.0) for r in rows] == \
+            pytest.approx([0.0, 50.0 * 3, 100.0 * 3, 50.0 * 3])
+
+    def test_backoff_and_flushes(self):
+        sampler = TimelineSampler(window=100.0, n_workers=1)
+        sampler.on_backoff(10.0, 25.0)
+        sampler.on_flush(20.0, stalled=False)
+        sampler.on_flush(30.0, stalled=True)
+        row = sampler.rows()[0]
+        assert row["backoff_ticks"] == pytest.approx(25.0)
+        assert row["flushes"] == 2 and row["flush_stalls"] == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ReproError):
+            TimelineSampler(window=0.0, n_workers=1)
+        with pytest.raises(ReproError):
+            TimelineSampler(window=100.0, n_workers=0)
+
+
+class TestExport:
+    def make(self):
+        sampler = TimelineSampler(window=100.0, n_workers=2)
+        sampler.on_commit(10.0, "a", 5.0)
+        sampler.on_wait(20.0, "lock", 3.0)
+        return sampler
+
+    def test_json_schema_round_trip(self, tmp_path):
+        path = str(tmp_path / "tl.json")
+        self.make().write_json(path)
+        document = load_timeline_json(path)
+        assert document["schema"] == TIMELINE_SCHEMA
+        assert document["version"] == TIMELINE_SCHEMA_VERSION
+        assert document["window"] == 100.0
+        assert document["rows"][0]["commits"] == 1
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = str(tmp_path / "tl.json")
+        self.make().write_json(path)
+        document = json.loads(open(path).read())
+        document["version"] = 999
+        open(path, "w").write(json.dumps(document))
+        with pytest.raises(ReproError, match="version"):
+            load_timeline_json(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = str(tmp_path / "tl.json")
+        open(path, "w").write(json.dumps({"schema": "other", "version": 1}))
+        with pytest.raises(ReproError, match="not a"):
+            load_timeline_json(path)
+
+    def test_csv_header(self):
+        buffer = io.StringIO()
+        self.make().write_csv(buffer)
+        header = buffer.getvalue().splitlines()[0]
+        assert header.startswith("window,start,end,commits,throughput_tps")
+        assert "wait:lock" in header
+
+    def test_install_metrics_zero_padded(self):
+        registry = MetricsRegistry()
+        self.make().install_metrics(registry, cc="silo")
+        gauge = registry.gauge("timeline_throughput_tps", cc="silo",
+                               window="0000")
+        assert gauge.value == pytest.approx(10_000.0)
+
+
+class TestDefaultWindow:
+    def test_durability_uses_epoch_length(self):
+        config = make_config(
+            durability=DurabilityConfig(epoch_length=750.0))
+        assert default_timeline_window(config) == 750.0
+
+    def test_no_durability_uses_1000(self):
+        assert default_timeline_window(make_config()) == 1000.0
+
+
+class TestRunIntegration:
+    def test_timeline_covers_the_run(self):
+        config = make_config()
+        timeline = TimelineSampler(1_000.0, config.n_workers)
+        result = run_named(make_tpcc_factory(n_warehouses=1, seed=11), "ic3",
+                           config, timeline=timeline)
+        rows = timeline.rows()
+        assert rows, "a committing run must produce timeline windows"
+        # the sampler sees every commit, warm-up included
+        assert sum(r["commits"] for r in rows) == \
+            result.stats.total_commits + result.stats.warmup_commits
+        assert any(r["throughput_tps"] > 0 for r in rows)
+
+    def test_durability_run_records_flushes(self):
+        config = make_config(
+            durability=DurabilityConfig(epoch_length=500.0, log_flush=100.0))
+        timeline = TimelineSampler(500.0, config.n_workers)
+        run_named(make_tpcc_factory(n_warehouses=1, seed=11), "silo",
+                  config, timeline=timeline)
+        assert sum(r["flushes"] for r in timeline.rows()) > 0
+
+    def test_attaching_timeline_does_not_perturb_the_run(self):
+        config = make_config()
+        sink_a = MemorySink()
+        base = run_named(make_tpcc_factory(n_warehouses=1, seed=11), "ic3",
+                         config, trace_sink=sink_a)
+        sink_b = MemorySink()
+        timeline = TimelineSampler(1_000.0, config.n_workers)
+        sampled = run_named(make_tpcc_factory(n_warehouses=1, seed=11), "ic3",
+                            config, trace_sink=sink_b, timeline=timeline)
+        assert json.dumps(base.stats.summary(), sort_keys=True) == \
+            json.dumps(sampled.stats.summary(), sort_keys=True)
+        assert sink_a.events == sink_b.events

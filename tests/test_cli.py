@@ -79,14 +79,14 @@ class TestCommands:
 
 class TestObservabilityFlags:
     def test_run_with_trace_and_metrics(self, tmp_path, capsys):
-        from repro.obs import read_jsonl
+        from repro.obs import load_metrics_json, read_jsonl
         trace_path = tmp_path / "t.jsonl"
         metrics_path = tmp_path / "m.json"
         assert main(["run", "--cc", "silo", "--trace", str(trace_path),
                      "--metrics", str(metrics_path)] + FAST) == 0
         events = read_jsonl(str(trace_path))
         assert events, "trace file must be non-empty"
-        rows = json.loads(metrics_path.read_text())
+        rows = load_metrics_json(str(metrics_path))
         assert any(row["name"] == "run_throughput_tps" for row in rows)
         out = capsys.readouterr().out
         assert "trace events" in out and "metrics" in out
