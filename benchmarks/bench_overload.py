@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Overload robustness benchmark: the saturation curve and graceful
+degradation under open-loop arrivals.
+
+Measures the closed-loop saturation throughput of a configuration, then
+sweeps open-loop offered load across multiples of it (default 0.5x, 1x,
+2x) with a bounded admission queue and deadlines armed.  For each point
+it reports offered load, goodput (commits within deadline), SLO
+attainment, shed counts and max queue depth.
+
+A robust system *degrades gracefully*: past saturation, goodput flattens
+near the peak instead of collapsing (no livelock, no unbounded queueing).
+``--check`` enforces exactly that, which is how the ``overload-smoke`` CI
+job uses this module::
+
+    PYTHONPATH=src python benchmarks/bench_overload.py --quick
+    PYTHONPATH=src python benchmarks/bench_overload.py --quick \\
+        --check BENCH_overload.json
+    PYTHONPATH=src python benchmarks/bench_overload.py --write \\
+        BENCH_overload.json
+
+Checks (budgets recorded in ``BENCH_overload.json``):
+
+* goodput at the highest offered load >= ``min_peak_fraction`` of the
+  peak goodput over the sweep (default 0.8 — "within 20% of peak");
+* admission-queue depth never exceeds the cap at any point of the sweep;
+* zero livelock-watchdog firings;
+* zero invariant/oracle violations (conservation ledger, storage residue);
+* the committed-transaction count at each multiple matches the recorded
+  baseline exactly (bit-determinism for the same seed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+from repro.bench.runner import run_named
+from repro.config import FrontendConfig, SimConfig, TICKS_PER_SECOND
+from repro.workloads.micro import make_micro_factory
+
+SEED = 97
+N_WORKERS = 4
+QUEUE_CAP = 16
+DEADLINE = 5_000.0
+RETRY_BUDGET = 8
+MULTIPLES = (0.5, 1.0, 2.0)
+
+
+def _config(duration: float, warmup: float,
+            frontend: FrontendConfig = None) -> SimConfig:
+    return SimConfig(n_workers=N_WORKERS, duration=duration, warmup=warmup,
+                     seed=SEED, frontend=frontend)
+
+
+def measure_saturation(duration: float, warmup: float) -> float:
+    """Closed-loop throughput with every worker always busy — the service
+    capacity the open-loop sweep is scaled against."""
+    result = run_named(make_micro_factory(seed=SEED), "silo",
+                       _config(duration, warmup))
+    if result.invariant_violations:
+        raise SystemExit(f"closed-loop baseline violated invariants: "
+                         f"{result.invariant_violations[:3]}")
+    return result.stats.throughput()
+
+
+def run_point(multiple: float, saturation_tps: float, duration: float,
+              warmup: float) -> Dict:
+    frontend = FrontendConfig(arrival_rate=multiple * saturation_tps,
+                              queue_cap=QUEUE_CAP, deadline=DEADLINE,
+                              retry_budget=RETRY_BUDGET)
+    result = run_named(make_micro_factory(seed=SEED), "silo",
+                       _config(duration, warmup, frontend))
+    stats = result.stats
+    fe = result.frontend
+    if result.invariant_violations:
+        raise SystemExit(f"{multiple}x: oracle violations: "
+                         f"{result.invariant_violations[:3]}")
+    return {
+        "offered_tps": round(multiple * saturation_tps),
+        "goodput_tps": round(stats.goodput()),
+        "attainment": round(stats.slo_attainment(), 4),
+        "commits": sum(stats.commits.values()),
+        "late": stats.late_commits,
+        "shed": dict(sorted(stats.shed.items())),
+        "arrivals": fe.arrivals,
+        "depth_max": fe.depth_max,
+        "queue_cap": QUEUE_CAP,
+        "livelock_fires": result.livelock_fires,
+    }
+
+
+def sweep(quick: bool) -> Dict[str, Dict]:
+    duration = 30_000.0 if quick else 100_000.0
+    warmup = 3_000.0 if quick else 10_000.0
+    saturation = measure_saturation(duration, warmup)
+    print(f"closed-loop saturation: {saturation:,.0f} TPS "
+          f"({N_WORKERS} workers, seed {SEED})")
+    results: Dict[str, Dict] = {}
+    for multiple in MULTIPLES:
+        row = run_point(multiple, saturation, duration, warmup)
+        results[f"{multiple}x"] = row
+        shed = sum(row["shed"].values())
+        print(f"  {multiple:>4}x offered {row['offered_tps']:>9,} TPS -> "
+              f"goodput {row['goodput_tps']:>9,} TPS  "
+              f"attainment {row['attainment']:.3f}  "
+              f"depth {row['depth_max']}/{row['queue_cap']}  "
+              f"shed {shed}  livelocks {row['livelock_fires']}")
+    return {"saturation_tps": round(saturation), "points": results}
+
+
+def check(results: Dict, baseline_path: Path, profile: str) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    recorded = baseline.get(profile, {})
+    budget = baseline.get("check", {})
+    min_peak_fraction = budget.get("min_peak_fraction", 0.8)
+    points = results["points"]
+    peak = max(row["goodput_tps"] for row in points.values())
+    top = points[f"{max(MULTIPLES)}x"]
+    failures = []
+    if top["goodput_tps"] < min_peak_fraction * peak:
+        failures.append(
+            f"goodput at {max(MULTIPLES)}x ({top['goodput_tps']:,} TPS) "
+            f"fell below {min_peak_fraction:.0%} of the sweep peak "
+            f"({peak:,} TPS) — degradation is not graceful")
+    for name, row in points.items():
+        if row["depth_max"] > row["queue_cap"]:
+            failures.append(f"{name}: queue depth {row['depth_max']} "
+                            f"exceeded cap {row['queue_cap']}")
+        if row["livelock_fires"]:
+            failures.append(f"{name}: {row['livelock_fires']} livelock "
+                            f"watchdog firing(s) under overload")
+        base_row = (recorded.get("points") or {}).get(name)
+        if base_row is not None and row["commits"] != base_row["commits"]:
+            failures.append(
+                f"{name}: commit count {row['commits']} != recorded "
+                f"{base_row['commits']} (behaviour changed for the same "
+                f"seed)")
+    for line in failures:
+        print("CHECK FAILED:", line, file=sys.stderr)
+    if not failures:
+        print(f"check ok: goodput holds >= {min_peak_fraction:.0%} of peak "
+              f"past saturation, queue bounded, no livelock")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized runs (shorter horizons)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a recorded BENCH_overload.json")
+    parser.add_argument("--write", metavar="BASELINE",
+                        help="record results into BENCH_overload.json")
+    args = parser.parse_args(argv)
+    profile = "quick" if args.quick else "full"
+    results = sweep(args.quick)
+    if args.write:
+        path = Path(args.write)
+        data = json.loads(path.read_text()) if path.exists() else {}
+        data[profile] = results
+        data.setdefault("check", {"min_peak_fraction": 0.8})
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"recorded {profile} baseline -> {path}")
+    if args.check:
+        return check(results, Path(args.check), profile)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

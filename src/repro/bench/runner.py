@@ -15,6 +15,7 @@ from ..durability.manager import DurabilityManager
 from ..errors import ConfigError
 from ..faults.injector import FAULT_RNG_SALT, FaultInjector
 from ..faults.plan import FaultPlan
+from ..frontend import Frontend
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import TimeAccountant
 from ..obs.tracing import TraceSink
@@ -36,14 +37,15 @@ class ExperimentResult:
     """Outcome of one experiment."""
 
     __slots__ = ("cc_name", "stats", "invariant_violations", "detail",
-                 "fault_counts", "livelock_fires", "durability")
+                 "fault_counts", "livelock_fires", "durability", "frontend")
 
     def __init__(self, cc_name: str, stats: RunStats,
                  invariant_violations: List[str],
                  detail: Optional[str] = None,
                  fault_counts: Optional[dict] = None,
                  livelock_fires: int = 0,
-                 durability: Optional[DurabilityManager] = None) -> None:
+                 durability: Optional[DurabilityManager] = None,
+                 frontend: Optional[Frontend] = None) -> None:
         self.cc_name = cc_name
         self.stats = stats
         self.invariant_violations = invariant_violations
@@ -54,6 +56,8 @@ class ExperimentResult:
         self.livelock_fires = livelock_fires
         #: the run's durability manager (``None`` unless durability was on)
         self.durability = durability
+        #: the run's open-loop frontend (``None`` for closed-loop runs)
+        self.frontend = frontend
 
     @property
     def throughput(self) -> float:
@@ -113,6 +117,11 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
     if config.durability is not None:
         manager = DurabilityManager(config, db, workload, cc, stats)
         scheduler.durability = manager
+    frontend = None
+    if config.frontend is not None:
+        frontend = Frontend(config, workload, stats,
+                            backoff_policy=getattr(cc, "backoff_policy",
+                                                   None))
     for worker_id in range(config.n_workers):
         worker = Worker(worker_id, scheduler, cc, workload, stats, config,
                         spawn_rng(config.seed, worker_id))
@@ -121,6 +130,10 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
         manager.install(scheduler,
                         lambda wid, rng: Worker(wid, scheduler, cc, workload,
                                                 stats, config, rng))
+    if frontend is not None:
+        # before injector.install: scripted burst events validate against
+        # scheduler.frontend
+        frontend.install(scheduler)
     if injector is not None:
         injector.install(scheduler)
     for time, fn in callbacks:
@@ -130,33 +143,41 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
     scheduler.close()
     if manager is not None:
         manager.finalize()
+    if frontend is not None:
+        frontend.finalize(config.duration)
     stats.start_time = 0.0
     stats.end_time = config.duration
     violations = workload.check_invariants() if check_invariants else []
-    if check_invariants and injector is not None:
+    if check_invariants and (injector is not None or frontend is not None):
         # the run may have swapped databases during node-crash recovery;
-        # scan the one that is live at the end
+        # scan the one that is live at the end.  Under overload the scan
+        # also proves shed / deadline-aborted txns left no lock or
+        # access-list residue behind.
         final_db = manager.db if manager is not None else db
         violations.extend(storage_residue(final_db))
     if manager is not None:
         violations.extend(manager.violations)
+    if frontend is not None and check_invariants:
+        violations.extend(frontend.check_invariants())
     cc_name = getattr(cc, "name", "cc")
     if metrics is not None:
         _record_run_metrics(metrics, cc_name, stats, scheduler, injector,
-                            manager)
+                            manager, frontend)
         if timeline is not None:
             timeline.install_metrics(metrics, cc=cc_name)
     return ExperimentResult(cc_name, stats, violations,
                             fault_counts=dict(injector.fired)
                             if injector is not None else None,
                             livelock_fires=scheduler.livelock_fires,
-                            durability=manager)
+                            durability=manager,
+                            frontend=frontend)
 
 
 def _record_run_metrics(metrics: MetricsRegistry, cc_name: str,
                         stats: RunStats, scheduler: Scheduler,
                         injector: Optional[FaultInjector] = None,
-                        manager: Optional[DurabilityManager] = None) -> None:
+                        manager: Optional[DurabilityManager] = None,
+                        frontend: Optional[Frontend] = None) -> None:
     """Populate the registry with one run's end-of-run aggregates."""
     metrics.gauge("run_throughput_tps", cc=cc_name).set(stats.throughput())
     metrics.gauge("run_abort_rate", cc=cc_name).set(stats.abort_rate())
@@ -213,6 +234,23 @@ def _record_run_metrics(metrics: MetricsRegistry, cc_name: str,
                             cc=cc_name).inc(manager.lost_inflight_total)
             metrics.counter("durability_lost_unflushed_total",
                             cc=cc_name).inc(manager.lost_unflushed_total)
+    if frontend is not None:
+        metrics.gauge("frontend_goodput_tps",
+                      cc=cc_name).set(stats.goodput())
+        metrics.gauge("frontend_slo_attainment",
+                      cc=cc_name).set(stats.slo_attainment())
+        metrics.counter("frontend_arrivals_total",
+                        cc=cc_name).inc(frontend.arrivals)
+        metrics.counter("frontend_admitted_total",
+                        cc=cc_name).inc(frontend.admitted)
+        for reason, count in sorted(stats.shed.items()):
+            metrics.counter("frontend_shed_total", cc=cc_name,
+                            reason=reason).inc(count)
+        metrics.gauge("frontend_queue_depth_max",
+                      cc=cc_name).set(frontend.depth_max)
+        if stats.queue_wait.count:
+            metrics.gauge("frontend_queue_wait_p99_us",
+                          cc=cc_name).set(stats.queue_wait.pct(0.99))
     for type_name, digest in stats.latency.items():
         if digest.count:
             metrics.gauge("run_latency_p99_us", cc=cc_name,
@@ -231,7 +269,7 @@ def _run_probed(workload_factory: WorkloadFactory, descriptor,
     probe_config = dataclasses.replace(
         config, duration=probe_duration,
         warmup=min(config.warmup, probe_duration / 2),
-        collect_latency=False, durability=None)
+        collect_latency=False, durability=None, frontend=None)
     best_factory = None
     best_throughput = -1.0
     for factory in descriptor.candidates:
@@ -251,7 +289,8 @@ def _run_probed(workload_factory: WorkloadFactory, descriptor,
                             detail=f"picked {winner.name}",
                             fault_counts=result.fault_counts,
                             livelock_fires=result.livelock_fires,
-                            durability=result.durability)
+                            durability=result.durability,
+                            frontend=result.frontend)
 
 
 def run_named(workload_factory: WorkloadFactory, cc_name: str,

@@ -16,6 +16,11 @@ Commands:
 ``run`` and ``compare`` accept ``--faults PLAN.json`` (a deterministic
 fault plan, see :mod:`repro.faults`) and ``--watchdog TICKS`` /
 ``--watchdog-action`` (progress watchdog).  ``run``, ``compare`` and
+``chaos`` accept ``--arrival-rate TPS`` to switch from the default
+closed loop to *open-loop* mode (seeded Poisson arrivals, a bounded
+admission queue with ``--queue-cap`` / ``--shed-policy`` load shedding,
+per-transaction ``--deadline`` enforcement and a bounded
+``--retry-budget``; see :mod:`repro.frontend`).  ``run``, ``compare`` and
 ``chaos`` accept ``--durability`` (epoch group-commit logging with
 deferred acks, see :mod:`repro.durability`); ``chaos --node-crash TIME``
 crashes the whole node mid-run and audits checkpoint-plus-replay
@@ -53,7 +58,7 @@ import os
 import sys
 from typing import Optional
 
-from .config import DurabilityConfig, SimConfig
+from .config import DurabilityConfig, FrontendConfig, SimConfig
 from .bench.reporting import format_table
 from .bench.runner import run_named
 from .core.backoff import BackoffPolicy
@@ -88,13 +93,27 @@ def _durability_config(args) -> Optional[DurabilityConfig]:
                             checkpoint_interval=args.checkpoint_interval)
 
 
+def _frontend_config(args) -> Optional[FrontendConfig]:
+    """Build the open-loop frontend config; ``None`` (closed loop) unless
+    ``--arrival-rate`` was given, so default runs stay bit-identical."""
+    rate = getattr(args, "arrival_rate", None)
+    if rate is None:
+        return None
+    return FrontendConfig(arrival_rate=rate,
+                          queue_cap=args.queue_cap,
+                          deadline=args.deadline,
+                          retry_budget=args.retry_budget,
+                          shed_policy=args.shed_policy)
+
+
 def _sim_config(args) -> SimConfig:
     return SimConfig(n_workers=args.workers, duration=args.duration,
                      warmup=args.warmup, seed=args.seed,
                      watchdog_window=getattr(args, "watchdog", None),
                      watchdog_action=getattr(args, "watchdog_action",
                                              "abort_oldest"),
-                     durability=_durability_config(args))
+                     durability=_durability_config(args),
+                     frontend=_frontend_config(args))
 
 
 def _load_fault_plan(args):
@@ -250,6 +269,24 @@ def _print_durability_summary(manager) -> None:
               f"{report.lost_unflushed} unflushed)")
 
 
+def _print_frontend_summary(result) -> None:
+    frontend = result.frontend
+    stats = result.stats
+    shed = ", ".join(f"{reason}={count}" for reason, count
+                     in sorted(stats.shed.items())) or "none"
+    print(f"open loop: {frontend.arrivals:,} arrivals, "
+          f"{frontend.admitted:,} admitted, queue depth max "
+          f"{frontend.depth_max}/{frontend.fc.queue_cap}")
+    print(f"  goodput {stats.goodput():,.0f} TPS, SLO attainment "
+          f"{stats.slo_attainment():.3f} "
+          f"({stats.slo_commits:,} in-deadline, {stats.late_commits:,} late)")
+    print(f"  shed: {shed}")
+    if stats.queue_wait.count:
+        wait = stats.queue_wait.summary()
+        print(f"  queue wait us: avg {wait['avg']:.1f}  "
+              f"p50 {wait['p50']:.1f}  p99 {wait['p99']:.1f}")
+
+
 def cmd_run(args) -> int:
     spec, factory = _workload(args)
     fault_plan = _load_fault_plan(args)
@@ -262,6 +299,8 @@ def cmd_run(args) -> int:
                        metrics=metrics, fault_plan=fault_plan,
                        timeline=timeline)
     _print_result(result.cc_name, result)
+    if result.frontend is not None:
+        _print_frontend_summary(result)
     if result.durability is not None:
         _print_durability_summary(result.durability)
     if fault_plan is not None:
@@ -589,6 +628,31 @@ def _add_durability(parser) -> None:
                              "initial checkpoint)")
 
 
+def _add_frontend(parser) -> None:
+    from .config import SHED_POLICIES
+    parser.add_argument("--arrival-rate", dest="arrival_rate", type=float,
+                        metavar="TPS", default=None,
+                        help="switch to open-loop mode: seeded Poisson "
+                             "arrivals at this rate (transactions per "
+                             "simulated second) feed a bounded admission "
+                             "queue; default is closed-loop")
+    parser.add_argument("--queue-cap", dest="queue_cap", type=int,
+                        default=64, metavar="N",
+                        help="admission queue capacity (open-loop)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="TICKS",
+                        help="per-transaction deadline from arrival; "
+                             "exceeded in queue or in flight = shed "
+                             "(open-loop)")
+    parser.add_argument("--retry-budget", dest="retry_budget", type=int,
+                        default=8, metavar="N",
+                        help="max retry attempts per invocation before "
+                             "permanent rejection (open-loop)")
+    parser.add_argument("--shed-policy", dest="shed_policy",
+                        choices=list(SHED_POLICIES), default="reject-newest",
+                        help="what to drop when the admission queue is full")
+
+
 def _add_faults(parser, watchdog_default: Optional[float] = None) -> None:
     parser.add_argument("--faults", metavar="PLAN.json",
                         help="fault plan to inject (see repro.faults)")
@@ -613,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs(run_parser)
     _add_faults(run_parser)
     _add_durability(run_parser)
+    _add_frontend(run_parser)
     run_parser.add_argument("--cc", default="silo")
     run_parser.add_argument("--policy", help="policy JSON (for polyjuice)")
     run_parser.add_argument("--backoff", help="backoff JSON")
@@ -623,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs(compare_parser)
     _add_faults(compare_parser)
     _add_durability(compare_parser)
+    _add_frontend(compare_parser)
     compare_parser.add_argument("--ccs", default="silo,2pl,ic3,tebaldi")
     compare_parser.add_argument("--policy")
     compare_parser.add_argument("--backoff")
@@ -677,6 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="progress watchdog window (abort_oldest)")
     chaos_parser.add_argument("--policy", help="policy JSON (polyjuice)")
     chaos_parser.add_argument("--backoff", help="backoff JSON")
+    _add_frontend(chaos_parser)  # burst fault plans need an open loop
     chaos_parser.set_defaults(fn=cmd_chaos)
 
     profile_parser = sub.add_parser(

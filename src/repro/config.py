@@ -14,8 +14,9 @@ Silo-derived C++ engine the paper measures.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from .errors import ConfigError
 
@@ -65,8 +66,14 @@ class CostModel:
         for name in ("access", "scan_per_row", "policy_overhead", "lock_acquire",
                      "validate_read", "install_write", "commit_base", "abort_base",
                      "early_validate_entry", "wait_poll"):
-            if getattr(self, name) < 0:
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ConfigError(f"cost model field {name!r} must be finite")
+            if value < 0:
                 raise ConfigError(f"cost model field {name!r} must be >= 0")
+        for name in ("backoff_initial", "backoff_max", "wait_timeout"):
+            if not math.isfinite(getattr(self, name)):
+                raise ConfigError(f"cost model field {name!r} must be finite")
         if self.backoff_initial <= 0 or self.backoff_max < self.backoff_initial:
             raise ConfigError("backoff bounds must satisfy 0 < initial <= max")
         if self.wait_timeout <= 0:
@@ -138,6 +145,118 @@ class DurabilityConfig:
                 raise ConfigError(f"durability field {name!r} must be >= 0")
 
 
+#: shed policies accepted by :class:`FrontendConfig`
+SHED_POLICIES = ("reject-newest", "reject-oldest", "priority")
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Open-loop admission control (:mod:`repro.frontend`).
+
+    When attached to a :class:`SimConfig` the run switches from the paper's
+    closed-loop retry-until-success workers (§7.1) to an open-loop client
+    model: a seeded Poisson arrival process enqueues timestamped invocations
+    onto a bounded admission queue from which workers pull.  Arrivals that
+    cannot be admitted are shed; admitted transactions carry an optional
+    deadline and a bounded retry budget.
+
+    Attributes:
+        arrival_rate: mean offered load in transactions per simulated
+            second (Poisson; inter-arrival gaps are exponential).
+        queue_cap: admission-queue capacity; arrivals beyond it are shed
+            according to ``shed_policy``.
+        deadline: per-transaction deadline in ticks from arrival (``None``
+            disables deadlines).  Expiry is enforced in-queue (lazily, at
+            dequeue) and in-flight (a scheduler-armed deadline abort).
+        retry_budget: aborted attempts allowed per invocation before it is
+            permanently rejected (``None`` = retry until the deadline, or
+            forever if no deadline is set).
+        shed_policy: what to do when an arrival finds the queue full —
+            ``"reject-newest"`` drops the arrival, ``"reject-oldest"``
+            evicts the queue head and admits the arrival, ``"priority"``
+            evicts the lowest-priority entry if the arrival outranks it.
+        priorities: ``(type_name, priority)`` pairs for the ``"priority"``
+            policy; higher wins, unlisted types default to 0.
+        bursts: scripted rate bursts, ``(start, duration, factor)`` triples
+            in ticks; overlapping bursts multiply.  Scripted ``burst``
+            events in a :class:`~repro.faults.FaultPlan` add to these.
+        retry_initial: first retry backoff in ticks (``None`` = the cost
+            model's ``backoff_initial``).
+        retry_cap: hard cap on any retry backoff (``None`` = the cost
+            model's ``backoff_max``).
+        retry_jitter: fraction of each backoff randomised away (0 = fully
+            deterministic pauses, 1 = uniform in (0, pause]).
+        n_clients: size of the simulated client-id stream arrivals cycle
+            through (affects workloads that partition by client, e.g.
+            TPC-C home warehouses).  0 = one client per worker.
+    """
+
+    arrival_rate: float = 100_000.0
+    queue_cap: int = 64
+    deadline: Optional[float] = None
+    retry_budget: Optional[int] = 8
+    shed_policy: str = "reject-newest"
+    priorities: Tuple[Tuple[str, float], ...] = ()
+    bursts: Tuple[Tuple[float, float, float], ...] = ()
+    retry_initial: Optional[float] = None
+    retry_cap: Optional[float] = None
+    retry_jitter: float = 0.1
+    n_clients: int = 0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.arrival_rate) or self.arrival_rate <= 0:
+            raise ConfigError("frontend arrival_rate must be positive and "
+                              "finite")
+        if self.queue_cap < 1:
+            raise ConfigError("frontend queue_cap must be >= 1")
+        if self.deadline is not None and (
+                not math.isfinite(self.deadline) or self.deadline <= 0):
+            raise ConfigError("frontend deadline must be None or a positive "
+                              "finite tick count")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ConfigError("frontend retry_budget must be None or >= 0")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigError(
+                f"unknown shed_policy: {self.shed_policy!r} "
+                f"(expected one of {', '.join(SHED_POLICIES)})")
+        for pair in self.priorities:
+            if (len(pair) != 2 or not isinstance(pair[0], str)
+                    or not math.isfinite(pair[1])):
+                raise ConfigError(
+                    f"frontend priorities entries must be (type_name, "
+                    f"finite priority) pairs, got {pair!r}")
+        for burst in self.bursts:
+            if len(burst) != 3:
+                raise ConfigError(
+                    f"frontend bursts entries must be (start, duration, "
+                    f"factor) triples, got {burst!r}")
+            start, duration, factor = burst
+            if not math.isfinite(start) or start < 0:
+                raise ConfigError("frontend burst start must be >= 0")
+            if not math.isfinite(duration) or duration <= 0:
+                raise ConfigError("frontend burst duration must be positive")
+            if not math.isfinite(factor) or factor <= 0:
+                raise ConfigError("frontend burst factor must be positive")
+        for name in ("retry_initial", "retry_cap"):
+            value = getattr(self, name)
+            if value is not None and (not math.isfinite(value) or value <= 0):
+                raise ConfigError(
+                    f"frontend {name} must be None or positive and finite")
+        if (self.retry_initial is not None and self.retry_cap is not None
+                and self.retry_cap < self.retry_initial):
+            raise ConfigError("frontend retry_cap must be >= retry_initial")
+        if not math.isfinite(self.retry_jitter) or not (
+                0.0 <= self.retry_jitter <= 1.0):
+            raise ConfigError("frontend retry_jitter must lie in [0, 1]")
+        if self.n_clients < 0:
+            raise ConfigError("frontend n_clients must be >= 0")
+
+    @property
+    def arrivals_per_tick(self) -> float:
+        """The Poisson rate in arrivals per tick (rate is per second)."""
+        return self.arrival_rate / TICKS_PER_SECOND
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalise a ``--jobs`` value into a concrete worker-process count.
 
@@ -190,6 +309,9 @@ class SimConfig:
             durability entirely — no epochs, no log costs, no deferred
             acks — and runs stay bit-identical to a build without the
             durability subsystem.
+        frontend: open-loop admission control (:class:`FrontendConfig`).
+            ``None`` (the default) keeps the paper's closed-loop workers,
+            bit-identical to a build without the frontend subsystem.
     """
 
     n_workers: int = 8
@@ -204,6 +326,7 @@ class SimConfig:
     watchdog_action: str = "abort_oldest"
     wait_wakeups: str = "event"
     durability: Optional[DurabilityConfig] = None
+    frontend: Optional[FrontendConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_workers <= 0:

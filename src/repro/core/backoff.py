@@ -16,6 +16,7 @@ distinguishing transaction types.
 from __future__ import annotations
 
 import json
+import math
 from typing import List, Optional
 
 from ..config import CostModel
@@ -24,6 +25,13 @@ from ..ioutil import atomic_write_text
 
 #: discrete alpha choices (bounded, includes 0 = "leave backoff unchanged")
 ALPHA_CHOICES = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+#: hard ceiling on exponential backoff growth: ``2.0 ** n`` overflows a
+#: Python float to ``inf`` around n = 1024, and a long doom cascade can
+#: accumulate thousands of aborted attempts; 2^63 microseconds (~292k
+#: years simulated) is already beyond any run horizon, so the clamp never
+#: changes an observable pause — it only keeps the arithmetic finite
+MAX_BACKOFF_DOUBLINGS = 63
 
 #: prior-abort buckets: 0, 1, 2-or-more (§4.5)
 N_ABORT_BUCKETS = 3
@@ -39,10 +47,20 @@ def abort_bucket(prior_aborts: int) -> int:
 
 
 class BackoffPolicy:
-    """The learned backoff table: alpha indices per (type, status, bucket)."""
+    """The learned backoff table: alpha indices per (type, status, bucket).
+
+    Optionally carries deployment bounds alongside the table: ``cap`` (a
+    hard ceiling on any pause the policy produces, ticks) and ``jitter``
+    (the fraction of each pause randomised away by open-loop retry).  Both
+    are validated at construction/load time — a corrupted artifact with a
+    NaN, infinite or negative bound is rejected with an error naming the
+    offending field, never silently deployed.
+    """
 
     def __init__(self, n_types: int,
-                 alpha_indices: Optional[List[List[List[int]]]] = None) -> None:
+                 alpha_indices: Optional[List[List[List[int]]]] = None,
+                 cap: Optional[float] = None,
+                 jitter: Optional[float] = None) -> None:
         if n_types <= 0:
             raise PolicyShapeError("backoff policy needs n_types > 0")
         self.n_types = n_types
@@ -50,6 +68,10 @@ class BackoffPolicy:
             alpha_indices = [[[0] * N_ABORT_BUCKETS for _ in range(N_STATUSES)]
                              for _ in range(n_types)]
         self.alpha_indices = alpha_indices
+        #: optional hard ceiling (ticks) on any pause this policy produces
+        self.cap = cap
+        #: optional jitter fraction in [0, 1] for open-loop retry pauses
+        self.jitter = jitter
         self.validate()
 
     def validate(self) -> None:
@@ -64,6 +86,17 @@ class BackoffPolicy:
                 for idx in per_status:
                     if not 0 <= idx < len(ALPHA_CHOICES):
                         raise PolicyValueError(f"alpha index {idx} out of range")
+        if self.cap is not None and (
+                not math.isfinite(self.cap) or self.cap <= 0):
+            raise PolicyValueError(
+                f"backoff policy field 'cap' must be a positive finite "
+                f"tick count, got {self.cap!r}")
+        if self.jitter is not None and (
+                not math.isfinite(self.jitter)
+                or not 0.0 <= self.jitter <= 1.0):
+            raise PolicyValueError(
+                f"backoff policy field 'jitter' must lie in [0, 1], "
+                f"got {self.jitter!r}")
 
     def alpha(self, type_index: int, status: int, prior_aborts: int) -> float:
         return ALPHA_CHOICES[
@@ -73,13 +106,16 @@ class BackoffPolicy:
         return BackoffPolicy(
             self.n_types,
             [[list(bucket) for bucket in per_type]
-             for per_type in self.alpha_indices])
+             for per_type in self.alpha_indices],
+            cap=self.cap, jitter=self.jitter)
 
     def as_tuple(self) -> tuple:
         return tuple(tuple(tuple(b) for b in t) for t in self.alpha_indices)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, BackoffPolicy) and self.as_tuple() == other.as_tuple()
+        return (isinstance(other, BackoffPolicy)
+                and self.as_tuple() == other.as_tuple()
+                and (self.cap, self.jitter) == (other.cap, other.jitter))
 
     def __hash__(self) -> int:
         return hash(self.as_tuple())
@@ -87,7 +123,14 @@ class BackoffPolicy:
     # ------------------------------------------------------------------ #
 
     def to_dict(self) -> dict:
-        return {"n_types": self.n_types, "alpha_indices": self.alpha_indices}
+        data = {"n_types": self.n_types, "alpha_indices": self.alpha_indices}
+        # emitted only when set, so artifacts without deployment bounds
+        # stay byte-identical to ones written before the fields existed
+        if self.cap is not None:
+            data["cap"] = self.cap
+        if self.jitter is not None:
+            data["jitter"] = self.jitter
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "BackoffPolicy":
@@ -109,7 +152,15 @@ class BackoffPolicy:
         except (TypeError, ValueError) as exc:
             raise PolicyFormatError(
                 f"backoff policy field 'alpha_indices': {exc}") from exc
-        return cls(n_types, table)
+        bounds = {}
+        for name in ("cap", "jitter"):
+            if data.get(name) is not None:
+                try:
+                    bounds[name] = float(data[name])
+                except (TypeError, ValueError) as exc:
+                    raise PolicyFormatError(
+                        f"backoff policy field {name!r}: {exc}") from exc
+        return cls(n_types, table, **bounds)
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict())
@@ -138,12 +189,15 @@ class BackoffPolicy:
 class LearnedBackoffManager:
     """Per-worker runtime state applying a :class:`BackoffPolicy`."""
 
-    __slots__ = ("policy", "cost", "_backoff")
+    __slots__ = ("policy", "cost", "_backoff", "_max")
 
     def __init__(self, policy: BackoffPolicy, cost: CostModel) -> None:
         self.policy = policy
         self.cost = cost
         self._backoff = [cost.backoff_initial] * policy.n_types
+        #: ceiling on any pause: the policy's deployment cap when it
+        #: carries one, else the cost model's backoff_max
+        self._max = policy.cap if policy.cap is not None else cost.backoff_max
 
     def on_abort(self, type_index: int, attempt: int) -> float:
         """Called after an aborted attempt; returns the pause before retry.
@@ -153,7 +207,7 @@ class LearnedBackoffManager:
         """
         alpha = self.policy.alpha(type_index, STATUS_ABORTED, attempt - 1)
         updated = self._backoff[type_index] * (1.0 + alpha)
-        self._backoff[type_index] = min(updated, self.cost.backoff_max)
+        self._backoff[type_index] = min(updated, self._max)
         return self._backoff[type_index]
 
     def on_commit(self, type_index: int, attempts: int) -> None:
@@ -178,7 +232,8 @@ class ExponentialBackoffManager:
         self.cost = cost
 
     def on_abort(self, type_index: int, attempt: int) -> float:
-        pause = self.cost.backoff_initial * (2.0 ** (attempt - 1))
+        doublings = min(attempt - 1, MAX_BACKOFF_DOUBLINGS)
+        pause = self.cost.backoff_initial * (2.0 ** doublings)
         return min(pause, self.cost.backoff_max)
 
     def on_commit(self, type_index: int, attempts: int) -> None:

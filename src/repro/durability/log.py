@@ -49,11 +49,13 @@ class LogRecord:
     """One committed transaction's log entry."""
 
     __slots__ = ("seqno", "epoch", "txn_id", "worker_id", "type_name",
-                 "first_start", "commit_time", "writes", "nbytes")
+                 "first_start", "commit_time", "writes", "nbytes",
+                 "deadline")
 
     def __init__(self, seqno: int, epoch: int, txn_id: int, worker_id: int,
                  type_name: str, first_start: float, commit_time: float,
-                 writes: List[WriteImage]) -> None:
+                 writes: List[WriteImage],
+                 deadline: Optional[float] = None) -> None:
         #: global commit sequence number (1-based, install order)
         self.seqno = seqno
         #: epoch the commit belongs to (assigned at install time, so it is
@@ -67,6 +69,11 @@ class LogRecord:
         self.commit_time = commit_time
         self.writes = writes
         self.nbytes = RECORD_HEADER_BYTES + sum(w.nbytes() for w in writes)
+        #: absolute SLO deadline of the invocation (open-loop runs only);
+        #: the ack at flush time compares against it, so a transaction that
+        #: commits in memory before its deadline but flushes after counts
+        #: as a late commit — an SLO miss, never a lost transaction
+        self.deadline = deadline
 
     def digest(self) -> Tuple[int, int, int, int]:
         """Compact identity used by prefix-equality tests:

@@ -225,7 +225,9 @@ class DurabilityManager:
         ]
         record = LogRecord(self.seqno, self.current_epoch, ctx.txn_id,
                            worker_id, ctx.type_name, ctx.priority[0],
-                           self.scheduler.now, writes)
+                           self.scheduler.now, writes,
+                           deadline=worker.deadline
+                           if worker is not None else None)
         self._buffers.setdefault(worker_id, []).append(record)
         self._pending_cost[worker_id] = (
             self._pending_cost.get(worker_id, 0.0)
@@ -299,7 +301,8 @@ class DurabilityManager:
             # the client ack: the transaction is durable, so *now* it
             # counts as committed (group-commit latency included)
             self.stats.record_commit(record.type_name, now,
-                                     now - record.first_start)
+                                     now - record.first_start,
+                                     deadline=record.deadline)
             if acks is not None:
                 stat = acks.setdefault(record.type_name, [0, 0.0])
                 stat[0] += 1

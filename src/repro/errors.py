@@ -108,6 +108,9 @@ class AbortReason:
     FAULT = "fault"
     #: the progress watchdog sacrificed the oldest blocked transaction
     LIVELOCK = "livelock"
+    #: the invocation's deadline passed while the attempt was in flight
+    #: (open-loop admission control; see :mod:`repro.frontend`)
+    DEADLINE = "deadline"
     USER = "user"
 
     ALL = (
@@ -119,6 +122,7 @@ class AbortReason:
         WAIT_TIMEOUT,
         FAULT,
         LIVELOCK,
+        DEADLINE,
         USER,
     )
 

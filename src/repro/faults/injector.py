@@ -81,6 +81,12 @@ class FaultInjector:
                     raise FaultPlanError(
                         f"events[{index}]: node_crash requires durability "
                         f"(run with --durability / SimConfig.durability)")
+            elif event.kind == "burst":
+                if getattr(scheduler, "frontend", None) is None:
+                    raise FaultPlanError(
+                        f"events[{index}]: burst requires an open-loop "
+                        f"frontend (run with --arrival-rate / "
+                        f"SimConfig.frontend)")
             elif event.worker >= n_workers:
                 raise FaultPlanError(
                     f"events[{index}].worker: worker {event.worker} does not "
@@ -194,6 +200,13 @@ class FaultInjector:
             # checkpoint-plus-replay recovery and restarts the workers
             self._record("node_crash", -1, None, "scripted")
             scheduler.durability.node_crash()
+            return
+        if event.kind == "burst":
+            # overload chaos: multiply the arrival rate for a window; the
+            # frontend applies it from its next inter-arrival draw
+            self._record("burst", -1, None, "scripted",
+                         factor=event.factor, duration=event.duration)
+            scheduler.frontend.apply_burst(event.factor, event.duration)
             return
         worker = scheduler._workers[event.worker]
         if worker.finished:

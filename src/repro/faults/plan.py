@@ -28,6 +28,9 @@ node      the *whole node* crashes at an exact simulated time
 _crash    (scripted only; requires ``SimConfig.durability``): every
           worker dies, the log is truncated to the persistent epoch,
           and the run continues after checkpoint-plus-replay recovery
+burst     the open-loop arrival rate is multiplied by ``factor`` for
+          ``duration`` ticks (scripted only; requires
+          ``SimConfig.frontend``) — the overload chaos event
 ========  ===========================================================
 
 Plans serialize to/from JSON (``repro run --faults PLAN.json``) and are
@@ -50,7 +53,8 @@ FAULT_PLAN_FORMAT_VERSION = 1
 RATE_KINDS = ("stall", "abort", "crash", "doom", "slow")
 
 #: scripted event kinds
-EVENT_KINDS = ("stall", "abort", "crash", "doom", "slow", "node_crash")
+EVENT_KINDS = ("stall", "abort", "crash", "doom", "slow", "node_crash",
+               "burst")
 
 
 @dataclass
@@ -60,15 +64,18 @@ class ScriptedFault:
     time: float
     kind: str
     #: target worker id; ignored by ``node_crash`` (which takes down the
-    #: whole node), where the conventional value is ``-1``
+    #: whole node) and ``burst`` (which targets the arrival process),
+    #: where the conventional value is ``-1``
     worker: int = -1
     #: stall length (``kind == "stall"``)
     ticks: float = 0.0
     #: worker downtime after the crash (``kind == "crash"``)
     downtime: float = 0.0
-    #: cost multiplier (``kind == "slow"``)
+    #: cost multiplier (``kind == "slow"``) or arrival-rate multiplier
+    #: (``kind == "burst"``)
     factor: float = 1.0
-    #: how long the slowdown lasts; 0 = until the end of the run
+    #: how long the slowdown / burst lasts; 0 = until the end of the run
+    #: (``burst`` requires a bounded duration)
     duration: float = 0.0
 
     def validate(self, index: int) -> None:
@@ -79,7 +86,7 @@ class ScriptedFault:
                 f"(expected one of {', '.join(EVENT_KINDS)})")
         if self.time < 0:
             raise FaultPlanError(f"{where}.time: must be >= 0, got {self.time}")
-        if self.worker < 0 and self.kind != "node_crash":
+        if self.worker < 0 and self.kind not in ("node_crash", "burst"):
             raise FaultPlanError(
                 f"{where}.worker: must be >= 0, got {self.worker}")
         if self.kind == "stall" and self.ticks <= 0:
@@ -95,10 +102,18 @@ class ScriptedFault:
             if self.duration < 0:
                 raise FaultPlanError(
                     f"{where}.duration: must be >= 0, got {self.duration}")
+        if self.kind == "burst":
+            if self.factor <= 0:
+                raise FaultPlanError(
+                    f"{where}.factor: must be > 0, got {self.factor}")
+            if self.duration <= 0:
+                raise FaultPlanError(
+                    f"{where}.duration: burst needs a bounded window "
+                    f"(duration > 0), got {self.duration}")
 
     def to_dict(self) -> dict:
         data = {"time": self.time, "kind": self.kind}
-        if self.kind != "node_crash":
+        if self.kind not in ("node_crash", "burst"):
             data["worker"] = self.worker
         if self.kind == "stall":
             data["ticks"] = self.ticks
@@ -108,6 +123,9 @@ class ScriptedFault:
             data["factor"] = self.factor
             if self.duration:
                 data["duration"] = self.duration
+        elif self.kind == "burst":
+            data["factor"] = self.factor
+            data["duration"] = self.duration
         return data
 
     @classmethod

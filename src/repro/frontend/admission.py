@@ -1,0 +1,139 @@
+"""The bounded admission queue and its shed policies.
+
+The queue is FIFO in arrival order.  When an arrival finds it full, the
+configured shed policy decides who loses:
+
+* ``reject-newest`` — the arrival itself is dropped (classic tail drop).
+* ``reject-oldest`` — the queue head is evicted and the arrival admitted
+  (the head has burned the most of its deadline, so it is the entry least
+  likely to still make its SLO).
+* ``priority`` — the lowest-priority entry is evicted if the arrival
+  outranks it; ties and lower-ranked arrivals are dropped.  Priorities come
+  from ``FrontendConfig.priorities``; unlisted types rank 0.
+
+Deadline expiry inside the queue is *lazy*: expired entries are collected
+(and counted) when a worker dequeues past them, and at end of run.  All
+decisions are pure functions of queue state, so a seeded run's shed
+sequence is deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Mapping, Optional, Tuple
+
+#: an arrival was dropped because the queue was full (reject-newest, or a
+#: priority arrival that did not outrank anyone)
+SHED_QUEUE_FULL = "queue_full"
+#: an admitted entry was evicted to make room (reject-oldest / priority)
+SHED_EVICTED = "evicted"
+#: an admitted entry's deadline passed while it waited in the queue
+SHED_DEADLINE_QUEUE = "deadline_queue"
+#: a dequeued invocation's deadline passed while it was in flight and it
+#: was permanently rejected (no retry can make its SLO)
+SHED_DEADLINE_INFLIGHT = "deadline_inflight"
+#: a dequeued invocation spent its retry budget and was permanently rejected
+SHED_RETRY_BUDGET = "retry_budget"
+
+#: every reason a transaction can be shed, in reporting order
+SHED_REASONS = (SHED_QUEUE_FULL, SHED_EVICTED, SHED_DEADLINE_QUEUE,
+                SHED_DEADLINE_INFLIGHT, SHED_RETRY_BUDGET)
+
+
+class QueuedInvocation:
+    """One timestamped arrival waiting for (or holding) a worker."""
+
+    __slots__ = ("invocation", "arrival_time", "deadline", "seq", "priority")
+
+    def __init__(self, invocation, arrival_time: float,
+                 deadline: Optional[float], seq: int,
+                 priority: float = 0.0) -> None:
+        self.invocation = invocation
+        #: simulated time the arrival process generated this invocation
+        self.arrival_time = arrival_time
+        #: absolute deadline tick (``None`` = no deadline)
+        self.deadline = deadline
+        #: global arrival sequence number (1-based), the FIFO tie-break
+        self.seq = seq
+        #: shed-policy rank (``priority`` policy only; higher survives)
+        self.priority = priority
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"QueuedInvocation(#{self.seq} {self.invocation.type_name} "
+                f"@{self.arrival_time})")
+
+
+class AdmissionQueue:
+    """Bounded FIFO with a pluggable full-queue shed policy."""
+
+    __slots__ = ("cap", "policy", "priorities", "_items", "depth_max")
+
+    def __init__(self, cap: int, policy: str = "reject-newest",
+                 priorities: Optional[Mapping[str, float]] = None) -> None:
+        self.cap = cap
+        self.policy = policy
+        self.priorities = dict(priorities or {})
+        self._items: Deque[QueuedInvocation] = deque()
+        #: high-water mark of the queue depth over the whole run
+        self.depth_max = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def has_work(self) -> bool:
+        """Zero-argument predicate for idle workers' arrival waits."""
+        return bool(self._items)
+
+    def priority_of(self, type_name: str) -> float:
+        return self.priorities.get(type_name, 0.0)
+
+    def offer(self, item: QueuedInvocation
+              ) -> Tuple[bool, List[QueuedInvocation], Optional[str]]:
+        """Try to admit ``item``.  Returns ``(admitted, evicted, reason)``
+        where ``evicted`` lists previously admitted entries shed to make
+        room and ``reason`` is the shed reason when ``item`` itself was
+        rejected (``None`` when admitted)."""
+        items = self._items
+        if len(items) < self.cap:
+            items.append(item)
+            if len(items) > self.depth_max:
+                self.depth_max = len(items)
+            return True, [], None
+        if self.policy == "reject-oldest":
+            victim = items.popleft()
+            items.append(item)
+            return True, [victim], None
+        if self.policy == "priority":
+            victim = min(items, key=lambda q: (q.priority, -q.seq))
+            if item.priority > victim.priority:
+                items.remove(victim)
+                items.append(item)
+                return True, [victim], None
+            return False, [], SHED_QUEUE_FULL
+        # reject-newest (tail drop)
+        return False, [], SHED_QUEUE_FULL
+
+    def pop_live(self, now: float
+                 ) -> Tuple[Optional[QueuedInvocation],
+                            List[QueuedInvocation]]:
+        """Dequeue the oldest entry whose deadline has not passed.  Entries
+        expired in queue are collected into the second return value (the
+        caller counts them as ``deadline_queue`` sheds)."""
+        items = self._items
+        expired: List[QueuedInvocation] = []
+        while items:
+            item = items.popleft()
+            if item.expired(now):
+                expired.append(item)
+                continue
+            return item, expired
+        return None, expired
+
+    def drain(self) -> List[QueuedInvocation]:
+        """Remove and return everything still queued (end-of-run sweep)."""
+        remaining = list(self._items)
+        self._items.clear()
+        return remaining

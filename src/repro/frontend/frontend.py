@@ -1,0 +1,287 @@
+"""The open-loop frontend: Poisson arrivals, bursts, and the overload oracle.
+
+One :class:`Frontend` per run.  It owns the arrival process (a dedicated
+RNG stream seeded from the run seed and :data:`ARRIVAL_RNG_SALT`), the
+bounded :class:`~repro.frontend.admission.AdmissionQueue`, and the run's
+admission accounting.  Workers in open-loop mode pull invocations via
+:meth:`Frontend.next_item` and report every outcome back via
+:meth:`Frontend.note_done`, so the frontend can verify conservation at the
+end of the run: every arrival is admitted or shed, every admitted
+invocation is dequeued, evicted, expired or still queued, and every
+dequeued invocation commits, is permanently rejected, or was abandoned at
+teardown.  Nothing is lost and nothing is double-counted.
+
+Arrival scheduling is lazy: each arrival draws the gap to the next one
+from the rate in force *now*, so scripted bursts (from
+``FrontendConfig.bursts`` or a fault plan's ``burst`` events) take effect
+from the next draw after their window opens.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..config import SimConfig
+from ..core.backoff import MAX_BACKOFF_DOUBLINGS
+from ..obs.tracing import EventKind, TraceEvent
+from ..rng import spawn_rng
+from .admission import (AdmissionQueue, QueuedInvocation,
+                        SHED_DEADLINE_INFLIGHT, SHED_DEADLINE_QUEUE,
+                        SHED_EVICTED, SHED_RETRY_BUDGET)
+
+#: salt for the arrival RNG stream: distinct from worker ids (small ints),
+#: ``FAULT_RNG_SALT`` and ``EVAL_RNG_SALT``, so open-loop arrivals never
+#: correlate with any other seeded stream
+ARRIVAL_RNG_SALT = 0x41525256  # "ARRV"
+
+
+class Frontend:
+    """Seeded open-loop arrival process plus admission accounting."""
+
+    def __init__(self, config: SimConfig, workload, stats,
+                 backoff_policy=None) -> None:
+        """``backoff_policy`` (a :class:`~repro.core.backoff.BackoffPolicy`)
+        may carry deployment bounds: its ``cap`` tightens the retry cap and
+        its ``jitter`` overrides the configured jitter fraction."""
+        fc = config.frontend
+        if fc is None:
+            raise ValueError("Frontend requires config.frontend to be set")
+        self.config = config
+        self.fc = fc
+        self.workload = workload
+        self.stats = stats
+        self.rng = spawn_rng(config.seed, ARRIVAL_RNG_SALT)
+        self.queue = AdmissionQueue(fc.queue_cap, fc.shed_policy,
+                                    dict(fc.priorities))
+        self.scheduler = None
+        self.n_clients = fc.n_clients or config.n_workers
+        self._retry_initial = (fc.retry_initial
+                               if fc.retry_initial is not None
+                               else config.cost.backoff_initial)
+        self._retry_cap = (fc.retry_cap if fc.retry_cap is not None
+                           else config.cost.backoff_max)
+        self._retry_jitter = fc.retry_jitter
+        if backoff_policy is not None:
+            if backoff_policy.cap is not None:
+                self._retry_cap = min(self._retry_cap, backoff_policy.cap)
+            if backoff_policy.jitter is not None:
+                self._retry_jitter = backoff_policy.jitter
+        if self._retry_cap < self._retry_initial:
+            self._retry_cap = self._retry_initial
+        #: scripted + fault-injected burst windows: (start, end, factor)
+        self._bursts: List[Tuple[float, float, float]] = [
+            (start, start + duration, factor)
+            for start, duration, factor in fc.bursts]
+        # --- conservation counters (the overload oracle's ledger) -------- #
+        self.arrivals = 0
+        self.admitted = 0
+        self.rejected_arrivals = 0      # shed at admission (queue_full)
+        self.evicted = 0                # shed from queue to make room
+        self.expired_queue = 0          # deadline passed while queued
+        self.dequeued = 0
+        self.committed = 0
+        self.rejected_inflight = {SHED_DEADLINE_INFLIGHT: 0,
+                                  SHED_RETRY_BUDGET: 0}
+        self.abandoned = 0              # torn down mid-flight (horizon/crash)
+        self.queued_at_end = 0
+        self.inflight = 0               # dequeued but not yet done
+
+    # ------------------------------------------------------------------ #
+    # wiring
+
+    def install(self, scheduler) -> None:
+        """Attach to ``scheduler`` and schedule the first arrival."""
+        self.scheduler = scheduler
+        scheduler.frontend = self
+        self.stats.open_loop = True
+        self._schedule_next_arrival()
+
+    def has_work(self) -> bool:
+        """Wait predicate for idle workers (see ``WaitKind.ARRIVAL``)."""
+        return self.queue.has_work()
+
+    def idle(self) -> bool:
+        """True when there is nothing the workers could be committing:
+        the queue is empty and no dequeued invocation is in flight.  The
+        progress watchdog treats this as starvation, not livelock."""
+        return self.inflight == 0 and not self.queue.has_work()
+
+    # ------------------------------------------------------------------ #
+    # arrival process
+
+    def rate_at(self, now: float) -> float:
+        """Arrivals per tick in force at ``now`` (base rate times every
+        open burst window's factor; overlapping bursts multiply)."""
+        rate = self.fc.arrivals_per_tick
+        for start, end, factor in self._bursts:
+            if start <= now < end:
+                rate *= factor
+        return rate
+
+    def apply_burst(self, factor: float, duration: float) -> None:
+        """Open a burst window at the current instant (fault injector's
+        scripted ``burst`` event).  Takes effect from the next gap draw."""
+        now = self.scheduler.now
+        self._bursts.append((now, now + duration, factor))
+
+    def _schedule_next_arrival(self) -> None:
+        now = self.scheduler.now
+        gap = self.rng.expovariate(self.rate_at(now))
+        self.scheduler.schedule_callback(now + gap, self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        scheduler = self.scheduler
+        now = scheduler.now
+        self.arrivals += 1
+        invocation = self.workload.next_invocation(
+            self.rng, (self.arrivals - 1) % self.n_clients)
+        if invocation is None:
+            return  # workload exhausted (replay mode): arrivals stop
+        deadline = None if self.fc.deadline is None else now + self.fc.deadline
+        item = QueuedInvocation(invocation, now, deadline, self.arrivals,
+                                self.queue.priority_of(invocation.type_name))
+        admitted, evicted, reason = self.queue.offer(item)
+        for victim in evicted:
+            self.evicted += 1
+            self._record_shed(victim, SHED_EVICTED, now)
+        if admitted:
+            self.admitted += 1
+        else:
+            self.rejected_arrivals += 1
+            self._record_shed(item, reason, now)
+        depth = len(self.queue)
+        trace = scheduler.trace
+        if trace.enabled:
+            trace.emit(TraceEvent(
+                now, EventKind.ARRIVAL, -1,
+                txn_type=invocation.type_name,
+                attrs={"seq": item.seq, "admitted": admitted,
+                       "depth": depth}))
+        timeline = scheduler.timeline
+        if timeline is not None:
+            timeline.on_queue_depth(now, depth)
+        if admitted:
+            # the run loop executes callbacks without a condition re-check,
+            # so wake idle workers parked on the (previously empty) queue
+            scheduler.notify_lock(self)
+            scheduler.wake_parked()
+        self._schedule_next_arrival()
+
+    # ------------------------------------------------------------------ #
+    # worker side
+
+    def next_item(self) -> Optional[QueuedInvocation]:
+        """Dequeue the oldest live invocation (or ``None`` if the queue is
+        empty / holds only expired entries).  Expired entries passed over
+        are counted as ``deadline_queue`` sheds."""
+        now = self.scheduler.now
+        item, expired = self.queue.pop_live(now)
+        for victim in expired:
+            self.expired_queue += 1
+            self._record_shed(victim, SHED_DEADLINE_QUEUE, now)
+        if expired and self.scheduler.timeline is not None:
+            self.scheduler.timeline.on_queue_depth(now, len(self.queue))
+        if item is None:
+            return None
+        self.dequeued += 1
+        self.inflight += 1
+        self.stats.record_queue_wait(now - item.arrival_time, now)
+        if self.scheduler.timeline is not None:
+            self.scheduler.timeline.on_queue_depth(now, len(self.queue))
+        return item
+
+    def retry_pause(self, attempt: int, rng) -> float:
+        """Capped, jittered exponential backoff for retry ``attempt``
+        (1-based).  The exponent clamp keeps long cascades finite."""
+        doublings = min(attempt - 1, MAX_BACKOFF_DOUBLINGS)
+        pause = self._retry_initial * (2.0 ** doublings)
+        if pause > self._retry_cap:
+            pause = self._retry_cap
+        jitter = self._retry_jitter
+        if jitter > 0.0:
+            pause *= 1.0 - jitter * rng.random()
+        return pause
+
+    def note_done(self, item: QueuedInvocation,
+                  outcome: Optional[str]) -> None:
+        """Record the fate of a dequeued invocation.  ``outcome`` is
+        ``"commit"``, a permanent-rejection shed reason
+        (``deadline_inflight`` / ``retry_budget``), or ``None`` when the
+        worker was torn down mid-flight (run horizon or node crash)."""
+        self.inflight -= 1
+        if outcome == "commit":
+            self.committed += 1
+        elif outcome is None:
+            self.abandoned += 1
+        else:
+            self.rejected_inflight[outcome] += 1
+            self._record_shed(item, outcome, self.scheduler.now)
+
+    # ------------------------------------------------------------------ #
+    # accounting
+
+    def _record_shed(self, item: QueuedInvocation, reason: str,
+                     now: float) -> None:
+        self.stats.record_shed(reason, item.invocation.type_name, now)
+        trace = self.scheduler.trace
+        if trace.enabled:
+            trace.emit(TraceEvent(
+                now, EventKind.SHED, -1,
+                txn_type=item.invocation.type_name,
+                attrs={"reason": reason, "seq": item.seq,
+                       "queued": now - item.arrival_time}))
+        timeline = self.scheduler.timeline
+        if timeline is not None:
+            timeline.on_shed(now)
+
+    def finalize(self, now: float) -> None:
+        """End-of-run sweep: classify everything still queued.  Entries
+        whose deadline has passed are deadline_queue sheds; live ones are
+        censored (``queued_at_end``), not shed."""
+        for item in self.queue.drain():
+            if item.expired(now):
+                self.expired_queue += 1
+                self._record_shed(item, SHED_DEADLINE_QUEUE, now)
+            else:
+                self.queued_at_end += 1
+
+    @property
+    def depth_max(self) -> int:
+        return self.queue.depth_max
+
+    def shed_total(self) -> int:
+        return (self.rejected_arrivals + self.evicted + self.expired_queue
+                + sum(self.rejected_inflight.values()))
+
+    def check_invariants(self) -> List[str]:
+        """The overload oracle's conservation checks.  Call after the run
+        is closed and :meth:`finalize` has swept the queue."""
+        violations: List[str] = []
+        if self.depth_max > self.fc.queue_cap:
+            violations.append(
+                f"overload: queue depth {self.depth_max} exceeded cap "
+                f"{self.fc.queue_cap}")
+        if self.arrivals != self.admitted + self.rejected_arrivals:
+            violations.append(
+                f"overload: arrivals {self.arrivals} != admitted "
+                f"{self.admitted} + rejected {self.rejected_arrivals}")
+        accounted = (self.dequeued + self.evicted + self.expired_queue
+                     + self.queued_at_end)
+        if self.admitted != accounted:
+            violations.append(
+                f"overload: admitted {self.admitted} != dequeued "
+                f"{self.dequeued} + evicted {self.evicted} + expired "
+                f"{self.expired_queue} + queued_at_end {self.queued_at_end}")
+        resolved = (self.committed + sum(self.rejected_inflight.values())
+                    + self.abandoned)
+        if self.dequeued != resolved:
+            violations.append(
+                f"overload: dequeued {self.dequeued} != committed "
+                f"{self.committed} + rejected "
+                f"{dict(self.rejected_inflight)} + abandoned "
+                f"{self.abandoned}")
+        if self.inflight != 0:
+            violations.append(
+                f"overload: {self.inflight} invocations still marked "
+                "in flight after teardown")
+        return violations

@@ -90,6 +90,30 @@ def _summary_from_metrics(rows: List[dict]) -> dict:
             summary.setdefault("latency_p99_us", {})[
                 f"{labels.get('cc', '?')}/{labels.get('type', '?')}"] = \
                 row.get("value", 0.0)
+        elif name == "frontend_goodput_tps":
+            summary.setdefault("slo", {}).setdefault("goodput_tps", {})[
+                labels.get("cc", "?")] = row.get("value", 0.0)
+        elif name == "frontend_slo_attainment":
+            summary.setdefault("slo", {}).setdefault("attainment", {})[
+                labels.get("cc", "?")] = row.get("value", 0.0)
+        elif name == "frontend_shed_total":
+            shed = summary.setdefault("slo", {}).setdefault("shed", {})
+            reason = labels.get("reason", "?")
+            shed[reason] = shed.get(reason, 0) + row.get("value", 0)
+        elif name == "frontend_arrivals_total":
+            slo = summary.setdefault("slo", {})
+            slo["arrivals"] = slo.get("arrivals", 0) + row.get("value", 0)
+        elif name == "frontend_admitted_total":
+            slo = summary.setdefault("slo", {})
+            slo["admitted"] = slo.get("admitted", 0) + row.get("value", 0)
+        elif name == "frontend_queue_depth_max":
+            slo = summary.setdefault("slo", {})
+            slo["queue_depth_max"] = max(slo.get("queue_depth_max", 0),
+                                         row.get("value", 0))
+        elif name == "frontend_queue_wait_p99_us":
+            summary.setdefault("slo", {}).setdefault(
+                "queue_wait_p99_us", {})[labels.get("cc", "?")] = \
+                row.get("value", 0.0)
     return summary
 
 
@@ -159,6 +183,37 @@ def render_markdown(report: dict) -> str:
             lines.append(f"- commits: {_fmt(int(summary['commits_total']))}")
     else:
         lines.append("_no metrics artifact — no summary data_")
+    lines.append("")
+
+    lines.append("## Overload & SLO")
+    slo = (summary or {}).get("slo")
+    if slo:
+        for cc, goodput in sorted(slo.get("goodput_tps", {}).items()):
+            attainment = slo.get("attainment", {}).get(cc, 0.0)
+            lines.append(f"- **{cc}**: goodput {_fmt(goodput, 0)} TPS "
+                         f"(commits within deadline), SLO attainment "
+                         f"{attainment:.3f}")
+        if "arrivals" in slo:
+            admitted = int(slo.get("admitted", 0))
+            lines.append(f"- arrivals: {_fmt(int(slo['arrivals']))} "
+                         f"({_fmt(admitted)} admitted)")
+        if "queue_depth_max" in slo:
+            lines.append("- admission queue depth max: "
+                         f"{_fmt(int(slo['queue_depth_max']))}")
+        for cc, wait in sorted(slo.get("queue_wait_p99_us", {}).items()):
+            lines.append(f"- queue wait p99 [{cc}]: {_fmt(wait)} us")
+        shed = slo.get("shed") or {}
+        if shed:
+            lines.append("")
+            lines.extend(_table(
+                ["shed reason", "count"],
+                [[reason, _fmt(int(count))]
+                 for reason, count in sorted(shed.items())]))
+        else:
+            lines.append("- shed: none")
+    else:
+        lines.append("_closed-loop run (or no metrics artifact) — "
+                     "no admission-control data_")
     lines.append("")
 
     lines.append("## Timeline")

@@ -61,7 +61,7 @@ class TimelineSampler:
 
     __slots__ = ("window", "n_workers", "_commits", "_aborts", "_dooms",
                  "_backoff", "_wait", "_flushes", "_flush_stalls",
-                 "_latency", "_max_window")
+                 "_latency", "_max_window", "_queue_depth", "_shed")
 
     def __init__(self, window: float, n_workers: int) -> None:
         if window <= 0:
@@ -80,6 +80,10 @@ class TimelineSampler:
         self._flush_stalls: Dict[int, int] = {}
         #: window -> commit-latency samples (for the window's mean / p99)
         self._latency: Dict[int, List[float]] = {}
+        #: window -> max admission-queue depth observed (open-loop runs)
+        self._queue_depth: Dict[int, int] = {}
+        #: window -> shed invocations (open-loop runs)
+        self._shed: Dict[int, int] = {}
         self._max_window = -1
 
     # ------------------------------------------------------------------ #
@@ -120,6 +124,19 @@ class TimelineSampler:
         self._flushes[index] = self._flushes.get(index, 0) + 1
         if stalled:
             self._flush_stalls[index] = self._flush_stalls.get(index, 0) + 1
+
+    def on_queue_depth(self, now: float, depth: int) -> None:
+        """Track the admission queue's max depth per window (open-loop
+        frontend hook; never called in closed-loop runs, so closed-loop
+        timelines carry no queue columns and stay byte-identical)."""
+        index = self._index(now)
+        if depth > self._queue_depth.get(index, -1):
+            self._queue_depth[index] = depth
+
+    def on_shed(self, now: float) -> None:
+        """Count one shed invocation (any reason) in ``now``'s window."""
+        index = self._index(now)
+        self._shed[index] = self._shed.get(index, 0) + 1
 
     def on_recovery(self, start: float, end: float, n_workers: int) -> None:
         """Spread post-crash downtime (charged as ``wait:recovery``) across
@@ -182,6 +199,11 @@ class TimelineSampler:
             }
             for kind in kinds:
                 row[f"wait:{kind}"] = waits.get(kind, 0.0)
+            # open-loop columns appear only when a frontend fed the sampler,
+            # so closed-loop timeline artifacts stay byte-identical
+            if self._queue_depth or self._shed:
+                row["queue_depth_max"] = self._queue_depth.get(index, 0)
+                row["shed"] = self._shed.get(index, 0)
             out.append(row)
         return out
 
@@ -199,6 +221,11 @@ class TimelineSampler:
             if row["flush_stalls"]:
                 registry.gauge("timeline_flush_stalls", window=window,
                                **labels).set(row["flush_stalls"])
+            if "queue_depth_max" in row:
+                registry.gauge("timeline_queue_depth_max", window=window,
+                               **labels).set(row["queue_depth_max"])
+                registry.gauge("timeline_shed", window=window,
+                               **labels).set(row["shed"])
 
     # ------------------------------------------------------------------ #
     # export

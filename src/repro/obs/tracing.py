@@ -75,10 +75,16 @@ class EventKind:
     NODE_CRASH = "node_crash"
     #: recovery finished; workers restart (attrs: replayed, recovery_ticks)
     RECOVERY = "recovery"
+    #: an open-loop invocation arrived at the admission queue
+    #: (attrs: seq, admitted, depth)
+    ARRIVAL = "arrival"
+    #: an invocation was shed by admission control
+    #: (attrs: reason, seq, queued)
+    SHED = "shed"
 
     ALL = (TX_START, ACCESS, WAIT_BEGIN, WAIT_END, VALIDATE, ABORT, COMMIT,
            BACKOFF, PIECE_RETRY, DOOM, LOCK, FAULT, LIVELOCK, EPOCH,
-           NODE_CRASH, RECOVERY)
+           NODE_CRASH, RECOVERY, ARRIVAL, SHED)
 
 
 class TraceEvent:

@@ -35,6 +35,10 @@ class WaitKind:
     #: waiting for a record lock (commit phase or native 2PL); on a cycle
     #: the waiter must abort.
     LOCK = "lock"
+    #: an idle open-loop worker parked on an empty admission queue waiting
+    #: for the next arrival (:mod:`repro.frontend`).  Not a conflict wait:
+    #: it never aborts on a break and takes no part in cycle detection.
+    ARRIVAL = "arrival"
 
 
 class CostKind:

@@ -76,6 +76,15 @@ class Scheduler:
         #: by the bench runner; ``None`` keeps the timeline hooks to one
         #: falsy attribute check per site (same contract as the tracer)
         self.timeline = None
+        #: optional :class:`~repro.frontend.Frontend`, attached by the
+        #: bench runner when ``config.frontend`` is set; ``None`` keeps the
+        #: run closed-loop with zero frontend hooks on the hot path
+        self.frontend = None
+        #: workers whose invocation deadline fired while they were running
+        #: or sleeping; the abort is delivered at their next advance (only
+        #: if the attempt is still active — a committed transaction merely
+        #: becomes a late commit / SLO miss)
+        self._pending_deadline: Set[Worker] = set()
         self._heap: List[Tuple[float, int, int, object]] = []
         self._seq = itertools.count()
         self._workers: List[Worker] = []
@@ -191,6 +200,13 @@ class Scheduler:
                     self.accountant.on_exec(worker.worker_id, ticks)
         if exc is None and self._pending_exc:
             exc = self._pending_exc.pop(worker, None)
+        if exc is None and self._pending_deadline \
+                and worker in self._pending_deadline:
+            self._pending_deadline.discard(worker)
+            ctx = worker.current_ctx
+            if ctx is not None and ctx.is_active():
+                exc = TransactionAborted(AbortReason.DEADLINE,
+                                         "invocation deadline passed")
         if exc is None and self.faults is not None \
                 and self.faults.has_pending(worker.worker_id):
             exc, downtime = self.faults.consume_pending(worker)
@@ -325,6 +341,14 @@ class Scheduler:
         subs = self._subs.get(key)
         if subs:
             self._dirty.update(subs)
+
+    def wake_parked(self) -> None:
+        """Re-check parked wait conditions at the current instant.  The run
+        loop executes scheduled callbacks without a condition re-check (only
+        worker advances end in one), so a callback that creates work — the
+        frontend's arrival enqueue — must trigger the re-check itself after
+        flagging subscribers via :meth:`notify` / :meth:`notify_lock`."""
+        self._notify_parked()
 
     def _notify_parked(self) -> None:
         """Wake every parked worker whose condition has become true.
@@ -497,6 +521,29 @@ class Scheduler:
         self.schedule_callback(deadline, fire)
 
     # ------------------------------------------------------------------ #
+    # deadline enforcement (repro.frontend)
+
+    def arm_deadline(self, worker: Worker, deadline: float,
+                     token: int) -> None:
+        """Schedule a deadline abort for ``worker``'s current invocation at
+        ``deadline``.  ``token`` is the worker's ``deadline_token`` at arm
+        time; the callback is a no-op if the worker has moved on.  A parked
+        worker is interrupted immediately; a sleeping one consumes the
+        pending abort at its next advance.  Either way the abort is only
+        delivered while the attempt is still active — an already-committed
+        transaction just becomes a late commit (SLO miss)."""
+
+        def fire() -> None:
+            if worker.finished or worker.deadline_token != token:
+                return  # the invocation already completed
+            self._pending_deadline.add(worker)
+            if worker in self._parked:
+                self._unpark(worker, outcome="deadline")
+                self._advance(worker)
+
+        self.schedule_callback(deadline, fire)
+
+    # ------------------------------------------------------------------ #
     # fault-injection support
 
     def is_parked(self, worker: Worker) -> bool:
@@ -549,6 +596,7 @@ class Scheduler:
                                                    committed=False)
         self._sleep_charge.clear()
         self._dirty.clear()
+        self._pending_deadline.clear()
         return lost_inflight
 
     def replace_workers(self, workers: List[Worker],
@@ -574,6 +622,13 @@ class Scheduler:
             return
         if all(worker.finished for worker in self._workers):
             return  # drained: nothing left that could commit
+        if self.frontend is not None and self.frontend.idle():
+            # open-loop starvation, not livelock: the admission queue is
+            # empty and nothing is in flight, so "no commits" just means
+            # offered load is (currently) zero.  Restart the window.
+            self.last_commit_time = self.now
+            self.schedule_callback(self.now + window, self._watchdog_fire)
+            return
         diagnostics = self._livelock_diagnostics(window)
         self.livelock_fires += 1
         if self.trace.enabled:

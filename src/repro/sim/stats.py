@@ -124,21 +124,66 @@ class RunStats:
         self.sampler = None
         self.start_time = 0.0
         self.end_time = 0.0
+        #: True when an open-loop frontend drives this run; gates the SLO
+        #: block in :meth:`summary` so closed-loop artifacts are unchanged
+        self.open_loop = False
+        #: measurement-window commits that met / missed their deadline
+        #: (every commit counts as met when no deadline is configured)
+        self.slo_commits = 0
+        self.late_commits = 0
+        self.warmup_slo_commits = 0
+        self.warmup_late_commits = 0
+        #: invocations shed by admission control, by reason
+        self.shed: Dict[str, int] = {}
+        self.warmup_shed = 0
+        #: time spent waiting in the admission queue before dispatch
+        self.queue_wait = LatencyDigest()
+        self.warmup_queue_waits = 0
 
     # ------------------------------------------------------------------ #
 
-    def record_commit(self, type_name: str, now: float, latency: float) -> None:
+    def record_commit(self, type_name: str, now: float, latency: float,
+                      deadline: Optional[float] = None) -> None:
+        """``deadline`` (open-loop runs only) is the invocation's absolute
+        deadline; a commit acked after it counts as a late commit — an SLO
+        miss, but still a commit (never lost)."""
         if self.timeline_bucket is not None:
             bucket = int(now // self.timeline_bucket)
             self.timeline[bucket] = self.timeline.get(bucket, 0) + 1
         if self.sampler is not None:
             self.sampler.on_commit(now, type_name, latency)
+        late = deadline is not None and now > deadline
         if now < self.warmup_end:
             self.warmup_commits += 1
+            if self.open_loop:
+                if late:
+                    self.warmup_late_commits += 1
+                else:
+                    self.warmup_slo_commits += 1
             return
         self.commits[type_name] += 1
+        if self.open_loop:
+            if late:
+                self.late_commits += 1
+            else:
+                self.slo_commits += 1
         if self.collect_latency:
             self.latency[type_name].record(latency)
+
+    def record_shed(self, reason: str, type_name: str, now: float) -> None:
+        """One invocation shed by admission control (``reason`` is a
+        :data:`repro.frontend.SHED_REASONS` member)."""
+        if now < self.warmup_end:
+            self.warmup_shed += 1
+            return
+        self.shed[reason] = self.shed.get(reason, 0) + 1
+
+    def record_queue_wait(self, wait: float, now: float) -> None:
+        """Admission-queue residence time of one dispatched invocation."""
+        if now < self.warmup_end:
+            self.warmup_queue_waits += 1
+            return
+        self.queue_wait.record(wait)
 
     def record_piece_retry(self, type_name: str, now: float) -> None:
         if now < self.warmup_end:
@@ -204,6 +249,29 @@ class RunStats:
         attempts = self.total_commits + self.total_aborts
         return self.total_aborts / attempts if attempts else 0.0
 
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed.values())
+
+    def goodput(self) -> float:
+        """Commits that met their deadline, per simulated second (equals
+        :meth:`throughput` when no deadline is configured)."""
+        if not self.open_loop:
+            return self.throughput()
+        span = self.measured_span
+        if span <= 0:
+            return 0.0
+        return self.slo_commits / span * TICKS_PER_SECOND
+
+    def slo_attainment(self) -> float:
+        """In-deadline commits over every resolved invocation (commits plus
+        everything shed) in the measurement window.  1.0 when nothing was
+        resolved — an idle system violates no SLO."""
+        total = self.slo_commits + self.late_commits + self.total_shed
+        if total == 0:
+            return 1.0
+        return self.slo_commits / total
+
     def timeline_series(self) -> List[float]:
         """Commits-per-second series over timeline buckets (Fig 10)."""
         if self.timeline_bucket is None or not self.timeline:
@@ -213,7 +281,7 @@ class RunStats:
         return [self.timeline.get(i, 0) * scale for i in range(last + 1)]
 
     def summary(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "throughput_tps": self.throughput(),
             "commits": dict(self.commits),
             "aborts": dict(self.aborts),
@@ -223,6 +291,18 @@ class RunStats:
                            for name, digest in self.latency.items()
                            if digest.count},
         }
+        if self.open_loop:
+            # only open-loop runs grow the SLO block, so closed-loop
+            # summaries stay byte-identical to pre-frontend builds
+            data["slo"] = {
+                "goodput_tps": self.goodput(),
+                "attainment": self.slo_attainment(),
+                "slo_commits": self.slo_commits,
+                "late_commits": self.late_commits,
+                "shed": dict(self.shed),
+                "queue_wait_us": self.queue_wait.summary(),
+            }
+        return data
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"RunStats(tput={self.throughput():.0f} TPS, "

@@ -18,9 +18,9 @@ from __future__ import annotations
 import random
 from typing import Generator, Optional, TYPE_CHECKING, Union
 
-from ..errors import TransactionAborted
+from ..errors import AbortReason, TransactionAborted
 from ..obs.tracing import EventKind, TraceEvent
-from .events import Cost, CostKind, WaitFor
+from .events import Cost, CostKind, WaitFor, WaitKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..config import SimConfig
@@ -36,7 +36,8 @@ class Worker:
 
     __slots__ = ("worker_id", "scheduler", "cc", "workload", "stats", "config",
                  "rng", "generation", "park_token", "finished", "current_ctx",
-                 "trace", "faults", "backoff_manager", "_gen")
+                 "trace", "faults", "backoff_manager", "deadline",
+                 "deadline_token", "_gen")
 
     def __init__(self, worker_id: int, scheduler: "Scheduler", cc, workload,
                  stats: "RunStats", config: "SimConfig",
@@ -62,6 +63,12 @@ class Worker:
         self.finished = False
         #: context of the in-flight attempt (for wait-graph edges)
         self.current_ctx: Optional["TxnContext"] = None
+        #: absolute deadline of the current open-loop invocation (``None``
+        #: in closed-loop mode or when deadlines are off); captured into
+        #: the durability log so deferred acks can detect SLO misses
+        self.deadline: Optional[float] = None
+        #: bumped per open-loop invocation; guards armed deadline callbacks
+        self.deadline_token = 0
         self._gen: Generator[Directive, None, None] = self._main()
 
     # ------------------------------------------------------------------ #
@@ -89,6 +96,9 @@ class Worker:
     # ------------------------------------------------------------------ #
 
     def _main(self) -> Generator[Directive, None, None]:
+        if self.scheduler.frontend is not None:
+            yield from self._open_loop(self.scheduler.frontend)
+            return
         backoff = self.cc.make_backoff(self)
         self.backoff_manager = backoff
         trace = self.trace
@@ -172,6 +182,127 @@ class Worker:
                 if log_cost > 0.0:
                     yield Cost(log_cost)
                 break
+
+    # ------------------------------------------------------------------ #
+    # open-loop mode (repro.frontend)
+
+    def _open_loop(self, frontend) -> Generator[Directive, None, None]:
+        """Pull invocations from the admission queue instead of drawing
+        them; park on an arrival wait when the queue is empty.  Retries are
+        bounded by the frontend's retry budget and deadline rather than
+        running until success."""
+        self.backoff_manager = self.cc.make_backoff(self)
+        arrival_wait = WaitFor(frontend.has_work, WaitKind.ARRIVAL,
+                               abort_on_break=False, wake_keys=(frontend,))
+        while True:
+            item = frontend.next_item()
+            if item is None:
+                yield arrival_wait
+                continue
+            yield from self._run_item(frontend, item)
+
+    def _run_item(self, frontend,
+                  item) -> Generator[Directive, None, None]:
+        invocation = item.invocation
+        scheduler = self.scheduler
+        trace = self.trace
+        accountant = scheduler.accountant
+        durability = scheduler.durability
+        retry_budget = frontend.fc.retry_budget
+        self.deadline = item.deadline
+        self.deadline_token += 1
+        if item.deadline is not None:
+            scheduler.arm_deadline(self, item.deadline, self.deadline_token)
+        first_start = item.arrival_time
+        attempt = 0
+        outcome = None
+        try:
+            while True:
+                now = scheduler.now
+                if self.deadline is not None and now >= self.deadline:
+                    # the deadline passed between attempts (e.g. during a
+                    # retry backoff): no retry can make the SLO
+                    outcome = "deadline_inflight"
+                    return
+                if trace.enabled:
+                    trace.emit(TraceEvent(
+                        now, EventKind.TX_START, self.worker_id,
+                        txn_type=invocation.type_name,
+                        attrs={"attempt": attempt}))
+                try:
+                    yield from self.cc.run_transaction(self, invocation,
+                                                       attempt, first_start)
+                except TransactionAborted as exc:
+                    self.current_ctx = None
+                    now = scheduler.now
+                    self.stats.record_abort(invocation.type_name, now,
+                                            exc.reason)
+                    if accountant is not None:
+                        accountant.on_attempt_end(self.worker_id,
+                                                  committed=False)
+                    if trace.enabled:
+                        attrs = {"reason": exc.reason, "attempt": attempt}
+                        site = getattr(exc, "site", None)
+                        if site is not None:
+                            attrs["table"] = site[0]
+                            attrs["key"] = list(site[1])
+                        trace.emit(TraceEvent(
+                            now, EventKind.ABORT, self.worker_id,
+                            txn_type=invocation.type_name, attrs=attrs))
+                    attempt += 1
+                    if exc.reason == AbortReason.DEADLINE or (
+                            self.deadline is not None
+                            and now >= self.deadline):
+                        outcome = "deadline_inflight"
+                        return
+                    if retry_budget is not None and attempt > retry_budget:
+                        outcome = "retry_budget"
+                        return
+                    pause = frontend.retry_pause(attempt, self.rng)
+                    if self.faults is not None:
+                        pause += self.faults.take_restart_delay(
+                            self.worker_id)
+                    if pause > 0:
+                        self.stats.record_backoff(pause, now)
+                        if trace.enabled:
+                            trace.emit(TraceEvent(
+                                now, EventKind.BACKOFF, self.worker_id,
+                                txn_type=invocation.type_name,
+                                attrs={"pause": pause, "level": attempt}))
+                        yield Cost(pause, CostKind.BACKOFF)
+                    continue
+                self.current_ctx = None
+                now = scheduler.now
+                scheduler.last_commit_time = now
+                if durability is None:
+                    self.stats.record_commit(invocation.type_name, now,
+                                             now - first_start,
+                                             deadline=self.deadline)
+                if accountant is not None:
+                    accountant.on_attempt_end(self.worker_id, committed=True)
+                log_cost = 0.0
+                if durability is not None:
+                    # the ack (and its SLO verdict) waits for the epoch
+                    # flush; the record carries the deadline there
+                    log_cost = durability.consume_log_cost(self.worker_id)
+                if trace.enabled:
+                    attrs = {"attempts": attempt + 1,
+                             "latency": now - first_start}
+                    if self.deadline is not None:
+                        attrs["deadline_met"] = now <= self.deadline
+                    if durability is not None:
+                        attrs["log_cost"] = log_cost
+                    trace.emit(TraceEvent(
+                        now, EventKind.COMMIT, self.worker_id,
+                        txn_type=invocation.type_name, attrs=attrs))
+                outcome = "commit"
+                if log_cost > 0.0:
+                    yield Cost(log_cost)
+                return
+        finally:
+            self.deadline = None
+            self.deadline_token += 1  # disarm any scheduled deadline fire
+            frontend.note_done(item, outcome)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Worker({self.worker_id})"

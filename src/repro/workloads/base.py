@@ -64,7 +64,13 @@ class Workload(abc.ABC):
                         worker_id: int) -> Optional[TxnInvocation]:
         """Sample the mix and generate the next transaction.
 
-        Returning ``None`` ends the worker (used by trace replay).
+        ``worker_id`` is a *logical client index*: in closed-loop mode it
+        is the simulated worker's id; in open-loop mode the frontend
+        round-robins arrivals over ``FrontendConfig.n_clients`` logical
+        clients, decoupling data-partition affinity from worker count.
+
+        Returning ``None`` ends the worker (used by trace replay); in
+        open-loop mode it stops the arrival process instead.
         """
         type_name = weighted_choice(rng, self._mix_names, self._mix_weights)
         return self.make_invocation(type_name, rng, worker_id)

@@ -1,0 +1,98 @@
+"""BackoffPolicy hardening (satellite): deployment bounds are validated
+at construction/load time naming the offending field, and exponential
+growth is clamped so doom cascades can never overflow to float inf."""
+
+import math
+
+import pytest
+
+from repro.config import CostModel
+from repro.core.backoff import (MAX_BACKOFF_DOUBLINGS, BackoffPolicy,
+                                ExponentialBackoffManager,
+                                LearnedBackoffManager)
+from repro.errors import PolicyFormatError, PolicyValueError
+
+
+# ---------------------------------------------------------------------- #
+# validation
+
+
+@pytest.mark.parametrize("cap", [0.0, -1.0, float("nan"), float("inf"),
+                                 float("-inf")])
+def test_bad_cap_rejected_naming_field(cap):
+    with pytest.raises(PolicyValueError, match="'cap'"):
+        BackoffPolicy(1, cap=cap)
+
+
+@pytest.mark.parametrize("jitter", [-0.01, 1.01, float("nan"), float("inf")])
+def test_bad_jitter_rejected_naming_field(jitter):
+    with pytest.raises(PolicyValueError, match="'jitter'"):
+        BackoffPolicy(1, jitter=jitter)
+
+
+def test_good_bounds_accepted():
+    policy = BackoffPolicy(2, cap=500.0, jitter=0.25)
+    assert policy.cap == 500.0 and policy.jitter == 0.25
+    assert BackoffPolicy(1).cap is None
+
+
+def test_corrupted_artifact_rejected_at_load():
+    good = BackoffPolicy(1, cap=100.0).to_dict()
+    assert BackoffPolicy.from_dict(good) == BackoffPolicy(1, cap=100.0)
+    bad = dict(good, cap=float("nan"))
+    with pytest.raises(PolicyValueError, match="'cap'"):
+        BackoffPolicy.from_dict(bad)
+    with pytest.raises(PolicyFormatError, match="'cap'"):
+        BackoffPolicy.from_dict(dict(good, cap="not-a-number"))
+    with pytest.raises(PolicyFormatError, match="'jitter'"):
+        BackoffPolicy.from_dict(dict(good, jitter=[1, 2]))
+
+
+def test_bounds_survive_round_trip_clone_and_eq():
+    policy = BackoffPolicy(2, cap=321.0, jitter=0.5)
+    assert BackoffPolicy.from_json(policy.to_json()) == policy
+    assert policy.clone() == policy
+    assert policy != BackoffPolicy(2, cap=321.0, jitter=0.4)
+
+
+def test_artifact_without_bounds_has_no_bound_keys():
+    # byte-identity with artifacts written before the fields existed
+    data = BackoffPolicy(1).to_dict()
+    assert "cap" not in data and "jitter" not in data
+
+
+# ---------------------------------------------------------------------- #
+# exponent clamp
+
+
+def test_exponential_backoff_never_overflows():
+    cost = CostModel()
+    manager = ExponentialBackoffManager(cost)
+    for attempt in (1, 64, 1024, 100_000):
+        pause = manager.on_abort(0, attempt)
+        assert math.isfinite(pause)
+        assert pause <= cost.backoff_max
+
+
+def test_exponential_backoff_doubles_until_cap():
+    cost = CostModel(backoff_initial=2.0, backoff_max=1e30)
+    manager = ExponentialBackoffManager(cost)
+    assert manager.on_abort(0, 1) == 2.0
+    assert manager.on_abort(0, 2) == 4.0
+    assert manager.on_abort(0, 5) == 32.0
+    # clamp: attempts beyond the doubling ceiling all produce the same pause
+    ceiling = 2.0 * 2.0 ** MAX_BACKOFF_DOUBLINGS
+    assert manager.on_abort(0, MAX_BACKOFF_DOUBLINGS + 1) == ceiling
+    assert manager.on_abort(0, 10_000) == ceiling
+
+
+def test_learned_manager_honours_policy_cap():
+    cost = CostModel(backoff_initial=4.0, backoff_max=4_000.0)
+    capped = LearnedBackoffManager(BackoffPolicy(1, [[[5] * 3] * 2],
+                                                 cap=40.0), cost)
+    for attempt in range(1, 50):
+        assert capped.on_abort(0, attempt) <= 40.0
+    uncapped = LearnedBackoffManager(BackoffPolicy(1, [[[5] * 3] * 2]), cost)
+    pauses = [uncapped.on_abort(0, attempt) for attempt in range(1, 50)]
+    assert max(pauses) == cost.backoff_max
+    assert all(math.isfinite(p) for p in pauses)

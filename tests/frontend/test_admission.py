@@ -1,0 +1,99 @@
+"""AdmissionQueue unit tests: capacity, shed policies, lazy expiry."""
+
+from repro.frontend import AdmissionQueue, QueuedInvocation
+from repro.frontend.admission import (SHED_QUEUE_FULL)
+
+
+class FakeInvocation:
+    def __init__(self, type_name="t"):
+        self.type_name = type_name
+
+
+def item(seq, arrival=0.0, deadline=None, priority=0.0, type_name="t"):
+    return QueuedInvocation(FakeInvocation(type_name), arrival, deadline,
+                            seq, priority)
+
+
+def fill(queue, n, **kwargs):
+    for seq in range(n):
+        admitted, evicted, reason = queue.offer(item(seq, **kwargs))
+        assert admitted and not evicted
+    return queue
+
+
+def test_under_cap_admits_in_fifo_order():
+    queue = fill(AdmissionQueue(4, "reject-newest", {}), 4)
+    assert len(queue) == 4
+    assert queue.depth_max == 4
+    first, expired = queue.pop_live(0.0)
+    assert first.seq == 0 and not expired
+
+
+def test_reject_newest_sheds_the_arrival():
+    queue = fill(AdmissionQueue(2, "reject-newest", {}), 2)
+    admitted, evicted, reason = queue.offer(item(99))
+    assert not admitted and not evicted and reason == SHED_QUEUE_FULL
+    assert [q.seq for q in queue.drain()] == [0, 1]
+
+
+def test_reject_oldest_evicts_head_and_admits():
+    queue = fill(AdmissionQueue(2, "reject-oldest", {}), 2)
+    admitted, evicted, reason = queue.offer(item(99))
+    assert admitted and [v.seq for v in evicted] == [0]
+    assert len(queue) == 2
+    assert [q.seq for q in queue.drain()] == [1, 99]
+
+
+def test_priority_evicts_lowest_priority_newest_victim():
+    queue = AdmissionQueue(2, "priority", {"hi": 2.0, "lo": 0.0})
+    queue.offer(item(0, priority=0.0, type_name="lo"))
+    queue.offer(item(1, priority=0.0, type_name="lo"))
+    admitted, evicted, reason = queue.offer(
+        item(2, priority=2.0, type_name="hi"))
+    # newest of the tied lowest-priority entries is the victim
+    assert admitted and [v.seq for v in evicted] == [1]
+    assert [q.seq for q in queue.drain()] == [0, 2]
+
+
+def test_priority_rejects_when_arrival_does_not_outrank():
+    queue = AdmissionQueue(1, "priority", {"hi": 2.0, "lo": 0.0})
+    queue.offer(item(0, priority=2.0, type_name="hi"))
+    admitted, evicted, reason = queue.offer(
+        item(1, priority=0.0, type_name="lo"))
+    assert not admitted and not evicted and reason == SHED_QUEUE_FULL
+    # equal priority does not outrank either
+    admitted, _, _ = queue.offer(item(2, priority=2.0, type_name="hi"))
+    assert not admitted
+
+
+def test_priority_of_uses_configured_map():
+    queue = AdmissionQueue(1, "priority", {"hi": 2.0})
+    assert queue.priority_of("hi") == 2.0
+    assert queue.priority_of("unlisted") == 0.0
+
+
+def test_pop_live_skips_expired_entries():
+    queue = AdmissionQueue(4, "reject-newest", {})
+    queue.offer(item(0, deadline=10.0))
+    queue.offer(item(1, deadline=10.0))
+    queue.offer(item(2, deadline=100.0))
+    live, expired = queue.pop_live(50.0)
+    assert live.seq == 2
+    assert [q.seq for q in expired] == [0, 1]
+    live, expired = queue.pop_live(50.0)
+    assert live is None and not expired
+
+
+def test_depth_max_tracks_high_water_mark():
+    queue = fill(AdmissionQueue(8, "reject-newest", {}), 5)
+    queue.pop_live(0.0)
+    queue.pop_live(0.0)
+    assert len(queue) == 3
+    assert queue.depth_max == 5
+
+
+def test_expired_predicate():
+    entry = item(0, arrival=0.0, deadline=10.0)
+    assert not entry.expired(9.9)
+    assert entry.expired(10.0)
+    assert not item(1, deadline=None).expired(1e9)

@@ -1,0 +1,100 @@
+"""Scripted ``burst`` arrival events: plan validation, the overload chaos
+path, and the no-residue guarantee for shed / deadline-aborted txns."""
+
+import pytest
+
+from repro.bench.runner import run_protocol
+from repro.cc import make_cc
+from repro.config import FrontendConfig, SimConfig
+from repro.core.validation import storage_residue
+from repro.errors import FaultPlanError
+from repro.faults import FaultPlan, ScriptedFault
+
+from tests.helpers import CounterWorkload
+
+
+def burst_plan(time=5_000.0, factor=20.0, duration=5_000.0):
+    return FaultPlan(events=[ScriptedFault(time=time, kind="burst",
+                                           factor=factor,
+                                           duration=duration)],
+                     name="burst")
+
+
+def open_loop_config(**frontend):
+    frontend.setdefault("arrival_rate", 200_000.0)
+    frontend.setdefault("queue_cap", 8)
+    return SimConfig(n_workers=4, duration=20_000.0, warmup=0.0, seed=31,
+                     frontend=FrontendConfig(**frontend))
+
+
+def run_counter(config, plan=None):
+    return run_protocol(lambda: CounterWorkload(n_keys=16), make_cc("silo"),
+                        config, fault_plan=plan)
+
+
+def test_burst_validation():
+    with pytest.raises(FaultPlanError, match="factor"):
+        ScriptedFault(1.0, "burst", factor=0.0, duration=10.0).validate(0)
+    with pytest.raises(FaultPlanError, match="duration"):
+        ScriptedFault(1.0, "burst", factor=2.0, duration=0.0).validate(0)
+
+
+def test_burst_round_trips_through_json():
+    plan = FaultPlan.from_json(burst_plan().to_json())
+    event = plan.events[0]
+    assert event.kind == "burst"
+    assert event.factor == 20.0 and event.duration == 5_000.0
+
+
+def test_burst_requires_open_loop_frontend():
+    config = SimConfig(n_workers=4, duration=10_000.0, seed=31)
+    with pytest.raises(FaultPlanError, match="frontend"):
+        run_counter(config, burst_plan())
+
+
+def test_burst_multiplies_arrivals_in_window():
+    calm = run_counter(open_loop_config()).frontend.arrivals
+    burst = run_counter(open_loop_config(), burst_plan()).frontend
+    # a 20x burst over a quarter of the run multiplies total arrivals
+    assert burst.arrivals > 2 * calm
+
+
+def test_burst_overload_oracle_and_no_residue():
+    config = open_loop_config(deadline=500.0, retry_budget=2)
+    result = run_counter(config, burst_plan(factor=50.0))
+    assert result.invariant_violations == []
+    frontend = result.frontend
+    assert frontend.check_invariants() == []
+    # depth never exceeded the cap, even at 50x offered load
+    assert frontend.depth_max <= config.frontend.queue_cap
+    assert frontend.shed_total() > 0
+    assert result.fault_counts.get("burst") == 1
+
+
+def test_shed_and_deadline_aborted_txns_leave_no_residue():
+    workload = CounterWorkload(n_keys=4)
+    result = run_protocol(
+        lambda: workload, make_cc("2pl"),
+        open_loop_config(arrival_rate=2_000_000.0, deadline=100.0,
+                         retry_budget=1),
+        fault_plan=burst_plan(factor=10.0))
+    assert result.invariant_violations == []
+    # explicit re-check: no lock or access-list entries survive teardown
+    assert storage_residue(workload.db) == []
+
+
+def test_burst_run_deterministic():
+    def ledger():
+        frontend = run_counter(open_loop_config(deadline=500.0),
+                               burst_plan(factor=50.0)).frontend
+        return (frontend.arrivals, frontend.admitted, frontend.committed,
+                frontend.shed_total())
+
+    assert ledger() == ledger()
+
+
+def test_config_scripted_bursts_equivalent_mechanism():
+    # bursts scripted in FrontendConfig use the same window machinery
+    config = open_loop_config(bursts=((5_000.0, 5_000.0, 20.0),))
+    calm = run_counter(open_loop_config()).frontend.arrivals
+    assert run_counter(config).frontend.arrivals > 2 * calm

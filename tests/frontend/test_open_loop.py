@@ -1,0 +1,156 @@
+"""End-to-end open-loop runs: the overload oracle, determinism, shedding,
+deadlines, retry budgets and the SLO summary block."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import run_protocol
+from repro.cc import make_cc
+from repro.config import FrontendConfig, SimConfig
+from repro.obs import MemorySink
+from repro.obs.tracing import EventKind
+
+from tests.helpers import CounterWorkload
+
+
+def open_loop_config(seed=11, duration=20_000.0, warmup=2_000.0, **frontend):
+    frontend.setdefault("arrival_rate", 400_000.0)
+    frontend.setdefault("queue_cap", 8)
+    return SimConfig(n_workers=4, duration=duration, warmup=warmup,
+                     seed=seed, frontend=FrontendConfig(**frontend))
+
+
+def run_counter(config, cc_name="silo", **kwargs):
+    return run_protocol(lambda: CounterWorkload(n_keys=16), make_cc(cc_name),
+                        config, **kwargs)
+
+
+def test_open_loop_clean_and_conserving():
+    result = run_counter(open_loop_config())
+    assert result.invariant_violations == []
+    frontend = result.frontend
+    assert frontend is not None
+    assert frontend.arrivals > 0
+    assert frontend.committed > 0
+    assert frontend.check_invariants() == []
+    assert frontend.depth_max <= 8
+
+
+def test_open_loop_overload_sheds_and_stays_bounded():
+    result = run_counter(open_loop_config(arrival_rate=5_000_000.0,
+                                          queue_cap=4))
+    assert result.invariant_violations == []
+    frontend = result.frontend
+    assert frontend.rejected_arrivals > 0
+    assert frontend.depth_max <= 4
+    assert result.livelock_fires == 0
+    assert result.stats.shed.get("queue_full", 0) > 0
+
+
+@pytest.mark.parametrize("cc_name", ["silo", "2pl", "ic3"])
+def test_open_loop_all_protocols_clean(cc_name):
+    result = run_counter(open_loop_config(), cc_name=cc_name)
+    assert result.invariant_violations == []
+    assert result.frontend.committed > 0
+
+
+def test_open_loop_bit_deterministic():
+    def artifacts():
+        sink = MemorySink()
+        result = run_counter(open_loop_config(seed=77), trace_sink=sink)
+        return (json.dumps(result.stats.summary(), sort_keys=True),
+                json.dumps([e.to_dict() for e in sink.events],
+                           sort_keys=True))
+
+    assert artifacts() == artifacts()
+
+
+def test_different_seeds_differ():
+    a = run_counter(open_loop_config(seed=1)).frontend.arrivals
+    b = run_counter(open_loop_config(seed=2)).frontend.arrivals
+    assert a != b
+
+
+def test_deadline_queue_and_inflight_sheds():
+    # deadline shorter than one execution: everything admitted dies either
+    # in the queue or in flight, and the ledger still balances
+    result = run_counter(open_loop_config(arrival_rate=2_000_000.0,
+                                          queue_cap=8, deadline=5.0))
+    assert result.invariant_violations == []
+    stats = result.stats
+    shed = stats.shed
+    assert shed.get("deadline_inflight", 0) > 0
+    assert stats.slo_commits == 0
+    assert result.frontend.committed == 0
+
+
+def test_deadline_met_when_loose():
+    result = run_counter(open_loop_config(deadline=50_000.0))
+    stats = result.stats
+    assert stats.late_commits == 0
+    assert stats.slo_commits == stats.total_commits
+    assert stats.slo_attainment() > 0.0
+
+
+def test_retry_budget_exhaustion_sheds():
+    # 2PL-free high contention on one key with zero budget: any abort is a
+    # permanent rejection
+    result = run_protocol(
+        lambda: CounterWorkload(n_keys=1, n_accesses=1),
+        make_cc("silo"),
+        open_loop_config(arrival_rate=1_000_000.0, retry_budget=0),
+    )
+    assert result.invariant_violations == []
+    if result.stats.total_aborts:
+        assert result.stats.shed.get("retry_budget", 0) > 0
+
+
+def test_slo_summary_block_only_in_open_loop():
+    open_summary = run_counter(open_loop_config()).stats.summary()
+    assert "slo" in open_summary
+    assert open_summary["slo"]["slo_commits"] > 0
+    closed = run_protocol(
+        lambda: CounterWorkload(n_keys=16), make_cc("silo"),
+        SimConfig(n_workers=4, duration=20_000.0, warmup=2_000.0, seed=11))
+    assert "slo" not in closed.stats.summary()
+    assert closed.frontend is None
+
+
+def test_goodput_counts_only_in_deadline_commits():
+    result = run_counter(open_loop_config(deadline=50_000.0))
+    stats = result.stats
+    assert stats.goodput() == pytest.approx(
+        stats.slo_commits / (stats.end_time - stats.warmup_end) * 1e6)
+
+
+def test_watchdog_treats_empty_queue_as_starvation_not_livelock():
+    # trickle arrivals: long idle gaps between commits must not trip the
+    # progress watchdog in open-loop mode
+    config = SimConfig(n_workers=2, duration=50_000.0, warmup=0.0, seed=3,
+                       watchdog_window=1_000.0,
+                       frontend=FrontendConfig(arrival_rate=200.0,
+                                               queue_cap=4))
+    result = run_counter(config)
+    assert result.invariant_violations == []
+    assert result.livelock_fires == 0
+
+
+def test_arrival_and_shed_trace_events():
+    sink = MemorySink()
+    result = run_counter(open_loop_config(arrival_rate=5_000_000.0,
+                                          queue_cap=4), trace_sink=sink)
+    kinds = {e.kind for e in sink.events}
+    assert EventKind.ARRIVAL in kinds
+    assert EventKind.SHED in kinds
+    arrival = next(e for e in sink.events if e.kind == EventKind.ARRIVAL)
+    assert "seq" in arrival.attrs and "depth" in arrival.attrs
+    shed = next(e for e in sink.events if e.kind == EventKind.SHED)
+    assert shed.attrs["reason"] == "queue_full"
+    assert result.frontend.shed_total() > 0
+
+
+def test_queue_wait_recorded():
+    result = run_counter(open_loop_config(arrival_rate=2_000_000.0))
+    assert result.stats.queue_wait.count > 0
+    assert result.stats.queue_wait.pct(0.99) >= 0.0
