@@ -15,9 +15,11 @@ is a standalone CLI used by the ``sim-perf-smoke`` CI job::
     PYTHONPATH=src python benchmarks/bench_sim.py --quick --check BENCH_sim.json
     PYTHONPATH=src python benchmarks/bench_sim.py --write BENCH_sim.json
 
-``--check`` compares the measured numbers against the recorded baseline
-with a generous budget (wall-clock noise on shared CI runners is large;
-bit-identity and the presence of a speedup are the real assertions).
+``--check`` compares the measured numbers against the recorded baseline:
+bit-identity (event/poll summaries equal, simulated event count exactly
+as recorded), the presence of an event-over-poll speedup, a generous
+wall budget, and an event-throughput floor — a >10% events/s regression
+against the recorded cell fails the check (``check.max_eps_regression``).
 ``--write`` refreshes the recorded baseline for the selected profile.
 """
 
@@ -130,6 +132,7 @@ def check(results: Dict[str, Dict], baseline_path: Path, profile: str) -> int:
     budget = baseline.get("check", {})
     min_speedup = budget.get("min_speedup", 1.05)
     wall_budget = budget.get("wall_budget_factor", 3.0)
+    max_eps_regression = budget.get("max_eps_regression", 0.10)
     failures = []
     for name, row in results.items():
         if row["speedup"] < min_speedup:
@@ -143,6 +146,12 @@ def check(results: Dict[str, Dict], baseline_path: Path, profile: str) -> int:
             failures.append(
                 f"{name}: event-mode wall {row['event_wall_s']}s exceeds "
                 f"{wall_budget}x the recorded {base_row['event_wall_s']}s")
+        eps_floor = base_row["event_events_per_s"] * (1 - max_eps_regression)
+        if row["event_events_per_s"] < eps_floor:
+            failures.append(
+                f"{name}: event throughput {row['event_events_per_s']} ev/s "
+                f"regressed more than {max_eps_regression:.0%} below the "
+                f"recorded {base_row['event_events_per_s']} ev/s")
         if row["events"] != base_row["events"]:
             failures.append(
                 f"{name}: simulated event count {row['events']} != recorded "
@@ -183,8 +192,10 @@ def main(argv=None) -> int:
         path = Path(args.write)
         data = json.loads(path.read_text()) if path.exists() else {}
         data[profile] = results
-        data.setdefault("check", {"min_speedup": 1.05,
-                                  "wall_budget_factor": 3.0})
+        data.setdefault("check", {})
+        data["check"].setdefault("min_speedup", 1.05)
+        data["check"].setdefault("wall_budget_factor", 3.0)
+        data["check"].setdefault("max_eps_regression", 0.10)
         path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
         print(f"recorded {profile} baseline -> {path}")
     if args.check:

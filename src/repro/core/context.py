@@ -98,7 +98,7 @@ class TxnContext:
         #: accesses made since the last successful early validation; these
         #: have not yet been appended to access lists (Algorithm 1 defers
         #: appends until a validation succeeds)
-        self.buffer: List[tuple] = []  # ("read", ReadEntry) | ("write", WriteEntry)
+        self.buffer: List["ReadEntry"] = []  # unpublished reads of the window
         #: undo records for the same window, so a failed early validation
         #: can roll the read/write sets back to the last validation point
         #: (piece-level retry, §4.3)

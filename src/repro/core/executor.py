@@ -30,6 +30,7 @@ The unvalidated suffix (tracked in an undo log) is rolled back.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Generator, Iterable, Optional, TYPE_CHECKING
 
 from ..errors import AbortReason, PieceRetry, TransactionAborted, WorkloadError
@@ -54,6 +55,36 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: back to a full abort after this many piece retries
 MAX_PIECE_RETRIES = 200
 
+_ACTIVE = TxnStatus.ACTIVE
+_ORDER_KEY = attrgetter("order")
+_SITE_KEY = attrgetter("table", "key")
+
+
+class CompiledRow:
+    """One policy row pre-resolved for the access hot path.
+
+    The per-access work of ``policy.row()`` — bounds-checked state-index
+    arithmetic — and of the wait action — comparing each stored wait value
+    against the dependent type's access count — is loop-invariant for a
+    fixed policy, so it is hoisted into this table once per policy swap:
+
+    * ``wait_plan[dep_type]`` is ``None`` (NO_WAIT), ``REQUIRE_COMMIT``,
+      or the progress target the dependent transaction must reach;
+    * ``next_row`` is the compiled row of ``min(access_id + 1, d - 1)`` —
+      the consolidated-wait row early validation consults (§4.3).
+    """
+
+    __slots__ = ("read_dirty", "write_public", "early_validate", "wait_plan",
+                 "next_row")
+
+    def __init__(self, read_dirty: int, write_public: int,
+                 early_validate: int, wait_plan: tuple) -> None:
+        self.read_dirty = read_dirty
+        self.write_public = write_public
+        self.early_validate = early_validate
+        self.wait_plan = wait_plan
+        self.next_row: "CompiledRow" = self
+
 
 class PolicyExecutor(ConcurrencyControl):
     """Executes transactions according to a learned (or seeded) CC policy."""
@@ -74,6 +105,18 @@ class PolicyExecutor(ConcurrencyControl):
         self._extra_access_cost = extra_access_cost
         self._overhead = 0.0
         self._progress_tables = []
+        #: compiled decision tables, keyed by policy object identity: the
+        #: policy the tables were built from, and one list of CompiledRow
+        #: per transaction type.  Rebuilt lazily whenever the policy pointer
+        #: changes (set_policy or direct assignment); in-flight transactions
+        #: hold a reference to the tables they started with, mirroring the
+        #: per-transaction policy-pointer snapshot (§6)
+        self._compiled_for: Optional[CCPolicy] = None
+        self._compiled_rows: list = []
+        self._access_cost = Cost(0.0)
+        self._ev_costs: list = []
+        self._tables: dict = {}
+        self._last_access: list = []
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -88,6 +131,58 @@ class PolicyExecutor(ConcurrencyControl):
                           if self._extra_access_cost is None
                           else self._extra_access_cost)
         self._progress_tables = [t.progress_at_start for t in spec.types]
+        # the database's table dict is mutated in place, never reassigned,
+        # so it can be cached for the per-access lookup (refreshed when
+        # recovery swaps the database, see on_node_recovery)
+        self._tables = db._tables
+        # the per-access cost is fixed for a run, so one immutable Cost
+        # directive is yielded over and over instead of allocating ~one
+        # object per access (the scheduler only ever reads ticks/kind)
+        self._access_cost = Cost(config.cost.access + self._overhead)
+        # same idea for early-validation costs: the ticks depend only on
+        # the (small) entry count, so cache one Cost per count
+        per_entry = config.cost.early_validate_entry
+        self._ev_costs = [Cost(per_entry * max(1, n)) for n in range(33)]
+        self._last_access = [t.n_accesses - 1 for t in spec.types]
+        self._compile(self.policy)
+
+    def on_node_recovery(self, new_db) -> None:
+        super().on_node_recovery(new_db)
+        self._tables = new_db._tables
+
+    def _compile_wait_plan(self, wait: list) -> Optional[tuple]:
+        """Resolve one row's stored wait values against the spec: ``None``
+        for NO_WAIT, ``REQUIRE_COMMIT`` for wait-until-commit, else the
+        progress target.  An all-NO_WAIT row compiles to ``None`` so the
+        access path can skip the conflict-set scan entirely."""
+        plan = []
+        any_wait = False
+        for dep_type, value in enumerate(wait):
+            if value == NO_WAIT:
+                plan.append(None)
+            elif value >= self.spec.n_accesses(dep_type):
+                plan.append(REQUIRE_COMMIT)
+                any_wait = True
+            else:
+                plan.append(value)
+                any_wait = True
+        return tuple(plan) if any_wait else None
+
+    def _compile(self, policy: CCPolicy) -> None:
+        """Build the per-(type, access) decision tables for ``policy``."""
+        tables = []
+        for type_index, type_spec in enumerate(self.spec.types):
+            rows = []
+            for access_id in range(type_spec.n_accesses):
+                row = policy.row(type_index, access_id)
+                rows.append(CompiledRow(
+                    row.read_dirty, row.write_public, row.early_validate,
+                    self._compile_wait_plan(row.wait)))
+            for access_id, crow in enumerate(rows):
+                crow.next_row = rows[min(access_id + 1, len(rows) - 1)]
+            tables.append(rows)
+        self._compiled_rows = tables
+        self._compiled_for = policy
 
     def set_policy(self, policy: CCPolicy,
                    backoff_policy: Optional[BackoffPolicy] = None) -> None:
@@ -117,6 +212,11 @@ class PolicyExecutor(ConcurrencyControl):
                          worker, (first_start, txn_id), worker.scheduler.now)
         worker.current_ctx = ctx
         policy = self.policy  # pointer snapshot: policy switches are per-txn
+        if policy is not self._compiled_for:
+            self._compile(policy)
+        # table snapshot: like the policy pointer, the compiled rows this
+        # transaction starts with stay with it across policy switches (§6)
+        rows = self._compiled_rows[invocation.type_index]
         result_log: list = []   # results of validated-prefix operations
         checkpoint = 0          # ops [0, checkpoint) are validated & replayable
         piece_retries = 0
@@ -136,7 +236,7 @@ class PolicyExecutor(ConcurrencyControl):
                             # no cost, no effects (state is already in place)
                             result = result_log[op_seq]
                         else:
-                            result = yield from self._execute_op(ctx, policy, op)
+                            result = yield from self._execute_op(ctx, rows, op)
                             if op_seq < len(result_log):
                                 result_log[op_seq] = result
                             else:
@@ -198,7 +298,14 @@ class PolicyExecutor(ConcurrencyControl):
     # ------------------------------------------------------------------ #
     # operations
 
-    def _execute_op(self, ctx: TxnContext, policy: CCPolicy, op) -> Generator:
+    def _execute_op(self, ctx: TxnContext, rows: list, op) -> Generator:
+        """Dispatch one operation, returning the handler *generator*.
+
+        Deliberately not a generator itself: the caller's ``yield from``
+        drives the handler directly, so every Cost/WaitFor resume crosses
+        one fewer frame.  The pre-access bookkeeping below runs at call
+        time, which is the same instant ``yield from`` would have started
+        a wrapping generator."""
         worker = ctx.worker
         if worker is not None and worker.faults is not None:
             worker.faults.on_access(ctx)
@@ -217,23 +324,30 @@ class PolicyExecutor(ConcurrencyControl):
                  "key": list(op.key) if getattr(op, "key", None) is not None
                  else None,
                  "op": type(op).__name__}))
-        if isinstance(op, ReadOp):
-            return (yield from self._do_read(ctx, policy, op))
         if isinstance(op, UpdateOp):
-            return (yield from self._do_update(ctx, policy, op))
+            return self._do_update(ctx, rows, op)
+        if isinstance(op, ReadOp):
+            return self._do_read(ctx, rows, op)
         if isinstance(op, WriteOp):
-            return (yield from self._do_write(ctx, policy, op, is_insert=False))
+            return self._do_write(ctx, rows, op, is_insert=False)
         if isinstance(op, InsertOp):
-            return (yield from self._do_write(ctx, policy, op, is_insert=True))
+            return self._do_write(ctx, rows, op, is_insert=True)
         if isinstance(op, ScanOp):
-            return (yield from self._do_scan(ctx, op))
+            return self._do_scan(ctx, op)
         raise WorkloadError(f"unknown operation: {op!r}")
 
-    def _do_read(self, ctx: TxnContext, policy: CCPolicy, op: ReadOp) -> Generator:
-        row = policy.row(ctx.type_index, op.access_id)
-        record = self.db.table(op.table).get_record(op.key)
-        yield from self._access_wait(ctx, row, record)
-        yield Cost(self.config.cost.access + self._overhead)
+    def _do_read(self, ctx: TxnContext, rows: list, op: ReadOp) -> Generator:
+        crow = rows[op.access_id]
+        try:
+            table = self._tables[op.table]
+        except KeyError:
+            table = self.db.table(op.table)  # raises UnknownTableError
+        record = table.get_record(op.key)
+        if ctx.deps and crow.wait_plan is not None:
+            wait = self._wait_over(ctx, ctx.deps, crow.wait_plan)
+            if wait is not None:
+                yield wait
+        yield self._access_cost
 
         key = (op.table, op.key)
         wentry = ctx.wset.get(key)
@@ -243,15 +357,19 @@ class PolicyExecutor(ConcurrencyControl):
         else:
             rentry = ctx.rset.get(key)
             if rentry is None:
-                rentry = self._observe(ctx, row, record, op.table, op.key)
+                rentry = self._observe(ctx, crow, record, op.table, op.key)
             value = dict(rentry.value) if rentry.value is not None else None
 
-        if row.early_validate:
-            yield from self._early_validate(ctx, policy, op.access_id,
-                                            publish_writes=False)
+        if crow.early_validate:
+            wait, cost, n_entries = \
+                self._early_validate_prelude(ctx, crow, False)
+            if wait is not None:
+                yield wait
+            yield cost
+            self._early_validate_finish(ctx, n_entries, False)
         return value
 
-    def _observe(self, ctx: TxnContext, row: PolicyRow,
+    def _observe(self, ctx: TxnContext, row: CompiledRow,
                  record: Optional["Record"], table: str, key: tuple) -> ReadEntry:
         """Perform the version choice of a first read and record it."""
         if record is None:
@@ -273,7 +391,7 @@ class PolicyExecutor(ConcurrencyControl):
         rentry = ReadEntry(table, key, record, observed_vid, stored, from_ctx,
                            intended_dirty=bool(row.read_dirty))
         ctx.rset[(table, key)] = rentry
-        ctx.buffer.append(("read", rentry))
+        ctx.buffer.append(rentry)
         ctx.undo_log.append(("read", (table, key)))
         ctx.touched_records.add(record)
         if from_ctx is not None:
@@ -281,10 +399,13 @@ class PolicyExecutor(ConcurrencyControl):
             from_ctx.readers[ctx] = None
         return rentry
 
-    def _do_write(self, ctx: TxnContext, policy: CCPolicy, op,
+    def _do_write(self, ctx: TxnContext, rows: list, op,
                   is_insert: bool) -> Generator:
-        row = policy.row(ctx.type_index, op.access_id)
-        table = self.db.table(op.table)
+        crow = rows[op.access_id]
+        try:
+            table = self._tables[op.table]
+        except KeyError:
+            table = self.db.table(op.table)  # raises UnknownTableError
         if is_insert:
             record = table.ensure_record(op.key, self.db.allocator.next_initial())
             if record.value is not None:
@@ -296,8 +417,11 @@ class PolicyExecutor(ConcurrencyControl):
             record = table.get_record(op.key)
             if record is None:
                 record = table.ensure_record(op.key, self.db.allocator.next_initial())
-        yield from self._access_wait(ctx, row, record)
-        yield Cost(self.config.cost.access + self._overhead)
+        if ctx.deps and crow.wait_plan is not None:
+            wait = self._wait_over(ctx, ctx.deps, crow.wait_plan)
+            if wait is not None:
+                yield wait
+        yield self._access_cost
 
         key = (op.table, op.key)
         if is_insert and key not in ctx.rset:
@@ -306,7 +430,7 @@ class PolicyExecutor(ConcurrencyControl):
             rentry = ReadEntry(op.table, op.key, record, record.version_id,
                                None, None)
             ctx.rset[key] = rentry
-            ctx.buffer.append(("read", rentry))
+            ctx.buffer.append(rentry)
             ctx.undo_log.append(("read", key))
 
         wentry = ctx.wset.get(key)
@@ -322,22 +446,32 @@ class PolicyExecutor(ConcurrencyControl):
             wentry.dirty_since_expose = True
         ctx.touched_records.add(record)
 
-        if row.write_public:
-            yield from self._early_validate(ctx, policy, op.access_id,
-                                            publish_writes=True)
+        if crow.write_public:
+            wait, cost, n_entries = \
+                self._early_validate_prelude(ctx, crow, True)
+            if wait is not None:
+                yield wait
+            yield cost
+            self._early_validate_finish(ctx, n_entries, True)
         return None
 
-    def _do_update(self, ctx: TxnContext, policy: CCPolicy,
+    def _do_update(self, ctx: TxnContext, rows: list,
                    op: UpdateOp) -> Generator:
         """Read-modify-write at one access site: the read honours the
         read-version action, the write honours write-visibility."""
-        row = policy.row(ctx.type_index, op.access_id)
-        table = self.db.table(op.table)
+        crow = rows[op.access_id]
+        try:
+            table = self._tables[op.table]
+        except KeyError:
+            table = self.db.table(op.table)  # raises UnknownTableError
         record = table.get_record(op.key)
         if record is None:
             record = table.ensure_record(op.key, self.db.allocator.next_initial())
-        yield from self._access_wait(ctx, row, record)
-        yield Cost(self.config.cost.access + self._overhead)
+        if ctx.deps and crow.wait_plan is not None:
+            wait = self._wait_over(ctx, ctx.deps, crow.wait_plan)
+            if wait is not None:
+                yield wait
+        yield self._access_cost
 
         key = (op.table, op.key)
         wentry = ctx.wset.get(key)
@@ -346,7 +480,7 @@ class PolicyExecutor(ConcurrencyControl):
         else:
             rentry = ctx.rset.get(key)
             if rentry is None:
-                rentry = self._observe(ctx, row, record, op.table, op.key)
+                rentry = self._observe(ctx, crow, record, op.table, op.key)
             old = dict(rentry.value) if rentry.value is not None else None
         new_value = op.update_fn(old)
         if wentry is None:
@@ -361,12 +495,14 @@ class PolicyExecutor(ConcurrencyControl):
             wentry.dirty_since_expose = True
         ctx.touched_records.add(record)
 
-        if row.write_public:
-            yield from self._early_validate(ctx, policy, op.access_id,
-                                            publish_writes=True)
-        elif row.early_validate:
-            yield from self._early_validate(ctx, policy, op.access_id,
-                                            publish_writes=False)
+        if crow.write_public or crow.early_validate:
+            publish = crow.write_public
+            wait, cost, n_entries = \
+                self._early_validate_prelude(ctx, crow, publish)
+            if wait is not None:
+                yield wait
+            yield cost
+            self._early_validate_finish(ctx, n_entries, publish)
         return dict(new_value) if new_value is not None else None
 
     def _do_scan(self, ctx: TxnContext, op: ScanOp) -> Generator:
@@ -388,7 +524,7 @@ class PolicyExecutor(ConcurrencyControl):
             rows.append((key, record, record.version_id, dict(record.value)))
             if op.limit is not None and len(rows) >= op.limit:
                 break
-        yield Cost(self.config.cost.access + self._overhead
+        yield Cost(self._access_cost.ticks
                    + self.config.cost.scan_per_row * len(rows))
         results = []
         for key, record, version_id, value in rows:
@@ -397,7 +533,7 @@ class PolicyExecutor(ConcurrencyControl):
                 rentry = ReadEntry(op.table, key, record, version_id,
                                    dict(value), None)
                 ctx.rset[entry_key] = rentry
-                ctx.buffer.append(("read", rentry))
+                ctx.buffer.append(rentry)
                 ctx.undo_log.append(("read", entry_key))
                 ctx.touched_records.add(record)
             results.append((key, value))
@@ -406,10 +542,10 @@ class PolicyExecutor(ConcurrencyControl):
     # ------------------------------------------------------------------ #
     # waits
 
-    def _access_wait(self, ctx: TxnContext, row: PolicyRow,
-                     record: Optional["Record"]) -> Generator:
+    def _wait_over(self, ctx: TxnContext, targets: Iterable[TxnContext],
+                   plan: tuple) -> Optional[WaitFor]:
         """The wait action before a data access (§4.3): wait for the
-        transactions T already depends on (T_dep) to reach the policy's
+        transactions T already depends on (T_dep) to reach the compiled
         per-type progress targets — Algorithm 1's ``WaitUntil(action.waits)``.
 
         Dependency *order* with not-yet-dependent transactions is
@@ -418,29 +554,31 @@ class PolicyExecutor(ConcurrencyControl):
         order at every later conflicting access, exactly as IC3-style
         pipelining prescribes.
         """
-        if not ctx.deps:
-            return
-        wait = self._build_wait(ctx, ctx.deps, row)
-        if wait is not None:
-            yield wait
-
-    def _build_wait(self, ctx: TxnContext, targets: Iterable[TxnContext],
-                    row: PolicyRow) -> Optional[WaitFor]:
         reqs = []
+        dead = None
+        exempt = ctx.wait_exempt
         for dep in targets:
-            if dep is ctx or not dep.is_active():
+            if dep is ctx:
                 continue
-            if dep in ctx.wait_exempt:
+            if dep.status != _ACTIVE:
+                # a terminal dependency can never become active again, so
+                # drop it from the dependency set: contended runs would
+                # otherwise re-scan an ever-growing tail of dead contexts
+                # at every later wait (and pin them in memory)
+                if dead is None:
+                    dead = [dep]
+                else:
+                    dead.append(dep)
+                continue
+            if dep in exempt:
                 continue  # a broken wait cycle involved this dependency
-            spec_value = row.wait[dep.type_index]
-            if spec_value == NO_WAIT:
+            required = plan[dep.type_index]
+            if required is None:  # NO_WAIT
                 continue
-            if spec_value >= self.spec.n_accesses(dep.type_index):
-                required = REQUIRE_COMMIT
-            else:
-                required = spec_value
             if required == REQUIRE_COMMIT or dep.progress < required:
                 reqs.append((dep, required))
+        if dead is not None and targets is ctx.deps:
+            targets.difference_update(dead)
         if not reqs:
             return None
 
@@ -448,30 +586,54 @@ class PolicyExecutor(ConcurrencyControl):
             if ctx.doomed:
                 return True  # wake up to die
             for dep, required in reqs:
-                if dep.is_active() and (required == REQUIRE_COMMIT
-                                        or dep.progress < required):
+                if dep.status == _ACTIVE and (required == REQUIRE_COMMIT
+                                              or dep.progress < required):
                     return False
             return True
 
         return WaitFor(satisfied, WaitKind.PROGRESS,
                        [dep for dep, _ in reqs])
 
+    def _build_wait(self, ctx: TxnContext, targets: Iterable[TxnContext],
+                    row: PolicyRow) -> Optional[WaitFor]:
+        """Wait action over a raw (uncompiled) :class:`PolicyRow`; the hot
+        path goes through :meth:`_wait_over` with a precompiled plan."""
+        plan = self._compile_wait_plan(row.wait)
+        if plan is None:
+            return None
+        return self._wait_over(ctx, targets, plan)
+
     # ------------------------------------------------------------------ #
     # early validation and publication (Algorithm 1 lines 8-16 / 28-36)
 
-    def _early_validate(self, ctx: TxnContext, policy: CCPolicy,
-                        access_id: int, publish_writes: bool) -> Generator:
-        cost = self.config.cost
+    def _early_validate_prelude(self, ctx: TxnContext, crow: CompiledRow,
+                                publish_writes: bool):
+        """First half of early validation, up to (not including) its
+        directives: returns ``(wait_or_None, cost_directive, n_entries)``.
+
+        Split from :meth:`_early_validate_finish` so the *handler*
+        generator yields the directives itself — early validation runs
+        ~once per access on IC3-style policies, and a nested generator
+        here would add a frame to every scheduler resume of the chain."""
         # consolidated wait: use the wait action of the *next* access-id
-        n_accesses = self.spec.n_accesses(ctx.type_index)
-        next_id = min(access_id + 1, n_accesses - 1)
-        row = policy.row(ctx.type_index, next_id)
-        wait = self._build_wait(ctx, ctx.deps, row)
-        if wait is not None:
-            yield wait
-        pending_writes = sum(1 for w in ctx.wset.values() if w.dirty_since_expose)
-        n_entries = len(ctx.buffer) + (pending_writes if publish_writes else 0)
-        yield Cost(cost.early_validate_entry * max(1, n_entries))
+        plan = crow.next_row.wait_plan
+        wait = None
+        if ctx.deps and plan is not None:
+            wait = self._wait_over(ctx, ctx.deps, plan)
+        n_entries = len(ctx.buffer)
+        if publish_writes:
+            for w in ctx.wset.values():
+                if w.dirty_since_expose:
+                    n_entries += 1
+        costs = self._ev_costs
+        cost = costs[n_entries] if n_entries < len(costs) else \
+            Cost(self.config.cost.early_validate_entry * n_entries)
+        return wait, cost, n_entries
+
+    def _early_validate_finish(self, ctx: TxnContext, n_entries: int,
+                               publish_writes: bool) -> None:
+        """Second half of early validation, after the cost directive has
+        elapsed: doom checks over the buffered reads, then publication."""
         worker = ctx.worker
         if worker is not None and worker.trace.enabled:
             worker.trace.emit(TraceEvent(
@@ -479,9 +641,7 @@ class PolicyExecutor(ConcurrencyControl):
                 ctx.txn_id, ctx.type_name,
                 {"phase": "early", "entries": n_entries,
                  "publish": bool(publish_writes)}))
-        for kind, entry in ctx.buffer:
-            if kind != "read":
-                continue
+        for entry in ctx.buffer:
             doom = validation.read_entry_doomed(ctx, entry)
             if doom is not None:
                 raise PieceRetry(doom, site=(entry.table, entry.key))
@@ -491,8 +651,8 @@ class PolicyExecutor(ConcurrencyControl):
     def _publish(self, ctx: TxnContext, publish_writes: bool) -> None:
         """Append buffered reads (and, on a PUBLIC write, all pending
         writes) to access lists, accumulating the induced dependencies."""
-        for kind, rentry in ctx.buffer:
-            if kind != "read" or rentry.record is None:
+        for rentry in ctx.buffer:
+            if rentry.record is None:
                 continue
             access_list = rentry.record.access_list
             entry = AccessEntry(ctx, AccessKind.READ, rentry.version_id)
@@ -511,7 +671,7 @@ class PolicyExecutor(ConcurrencyControl):
         ctx.buffer.clear()
         if not publish_writes:
             return
-        for wentry in sorted(ctx.wset.values(), key=lambda w: w.order):
+        for wentry in sorted(ctx.wset.values(), key=_ORDER_KEY):
             if not wentry.dirty_since_expose:
                 continue
             access_list = wentry.record.access_list
@@ -530,21 +690,25 @@ class PolicyExecutor(ConcurrencyControl):
     def _commit(self, ctx: TxnContext) -> Generator:
         cost = self.config.cost
         # reaching the commit phase completes every access site
-        ctx.note_progress(self.spec.n_accesses(ctx.type_index) - 1)
+        ctx.note_progress(self._last_access[ctx.type_index])
         # step 1: wait for every dependency to finish committing/aborting
-        deps = {dep for dep in ctx.deps if dep.is_active()}
+        deps = tuple(dep for dep in ctx.deps if dep.status == _ACTIVE)
         if deps:
-            yield WaitFor(
-                lambda deps=frozenset(deps): ctx.doomed or
-                all(not d.is_active() for d in deps),
-                WaitKind.COMMIT_DEPS, deps)
+            def deps_done() -> bool:
+                if ctx.doomed:
+                    return True
+                for d in deps:
+                    if d.status == _ACTIVE:
+                        return False
+                return True
+            yield WaitFor(deps_done, WaitKind.COMMIT_DEPS, deps)
         if ctx.doomed:
             raise TransactionAborted(AbortReason.DIRTY_READ_OF_ABORTED,
                                      "dirty-read source aborted")
         # step 2: lock the write set in a global order (no deadlocks),
         # accumulating the cost and flushing only when we must block
         pending = cost.commit_base
-        for wentry in sorted(ctx.wset.values(), key=lambda w: (w.table, w.key)):
+        for wentry in sorted(ctx.wset.values(), key=_SITE_KEY):
             record = wentry.record
             while not record.try_lock(ctx):
                 if pending:
@@ -576,7 +740,7 @@ class PolicyExecutor(ConcurrencyControl):
                     f"read of {rentry.table}{rentry.key} invalidated",
                     site=(rentry.table, rentry.key))
         # step 4: install writes, then release locks / scrub access lists
-        for wentry in sorted(ctx.wset.values(), key=lambda w: w.order):
+        for wentry in sorted(ctx.wset.values(), key=_ORDER_KEY):
             if wentry.dirty_since_expose or wentry.exposed_vid is None:
                 vid = ctx.next_version_id()
             else:

@@ -82,6 +82,11 @@ def scrub(ctx: TxnContext) -> None:
     scheduler = worker.scheduler if worker is not None else None
     for record in ctx.touched_records:
         record.access_list.remove_txn(ctx)
+        if record.writer_ctx is ctx:
+            # drop the install-provenance pointer: a terminal context kept
+            # reachable from storage would pin its whole dependency graph
+            # (worker, read/write sets, deps) for the run's lifetime
+            record.writer_ctx = None
         if record.lock_owner is ctx:
             record.unlock(ctx)
             if scheduler is not None:
@@ -160,6 +165,12 @@ def storage_residue(db: "Database") -> List[str]:
                 problems.append(
                     f"{table_name}{record.key}: lock held by terminated "
                     f"txn {owner.txn_id} ({owner.status})")
+            writer = record.writer_ctx
+            if writer is not None and not writer.is_active():
+                problems.append(
+                    f"{table_name}{record.key}: writer_ctx still references "
+                    f"terminated txn {writer.txn_id} ({writer.status}) — "
+                    f"terminal contexts must not stay reachable from storage")
             for entry in record.access_list:
                 if not entry.ctx.is_active():
                     problems.append(

@@ -3,9 +3,11 @@
 One :class:`LogRecord` is appended per committed transaction, in install
 order (the commit locks serialise installs, so append order — the global
 ``seqno`` — *is* the commit order; replaying records in seqno order
-reproduces the committed state exactly).  Each record carries deep-enough
-copies of the installed write images that later installs cannot mutate
-what the log saw.
+reproduces the committed state exactly).  Each record carries its own
+copy of the installed write images so later installs cannot mutate what
+the log saw; values are flat field->scalar dicts and ``Record.install``
+replaces values wholesale, so a one-level ``dict()`` copy detaches them
+fully.
 
 The byte sizes are deterministic estimates (field names + fixed-width
 scalars), good enough for the ``durability_log_bytes_total`` metric and
@@ -14,7 +16,6 @@ for reasoning about flush volume; nothing is actually serialised.
 
 from __future__ import annotations
 
-import copy
 from typing import List, Optional, Tuple
 
 #: fixed per-record header estimate: seqno + epoch + txn id (8 bytes each)
@@ -32,7 +33,7 @@ class WriteImage:
                  vid: tuple) -> None:
         self.table = table
         self.key = key
-        self.value = None if value is None else copy.deepcopy(value)
+        self.value = None if value is None else dict(value)
         self.vid = vid
 
     def nbytes(self) -> int:
@@ -91,5 +92,5 @@ def apply_record(db, record: LogRecord) -> None:
     delete as a tombstone, matching what ``Record.install`` produced."""
     for image in record.writes:
         table = db.create_table(image.table)
-        value = None if image.value is None else copy.deepcopy(image.value)
+        value = None if image.value is None else dict(image.value)
         table.restore_row(image.key, value, image.vid)

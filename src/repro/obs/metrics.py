@@ -11,40 +11,29 @@ benches export snapshots next to their result artifacts.
 
 Histograms keep raw samples — runs are short enough that exact
 percentiles beat bucketed approximations, and :class:`Histogram` shares
-the lazy-sort strategy of :class:`repro.sim.stats.LatencyDigest`.  This
-module depends only on :mod:`repro.errors` so the simulator can import
-the observability layer without cycles.
+both the lazy-sort strategy and the nearest-rank percentile of
+:class:`repro.sim.stats.LatencyDigest`.  This module depends only on
+:mod:`repro.errors` and the dependency-free :mod:`repro.sim.stats`, so
+the simulator can import the observability layer without cycles.
 """
 
 from __future__ import annotations
 
 import csv
 import json
-import math
-from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
+from typing import Dict, IO, List, Optional, Tuple, Union
 
 from ..errors import ReproError
+# the one canonical nearest-rank percentile (zero-sample -> 0.0, fraction
+# <= 0 -> first, >= 1 -> last); sim.stats imports only config and errors,
+# so this adds no import cycle
+from ..sim.stats import percentile as _percentile
 
 LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
 #: schema tag/version of JSON metrics exports (see load_metrics_json)
 METRICS_SCHEMA = "repro.metrics"
 METRICS_SCHEMA_VERSION = 1
-
-
-def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile (mirrors :func:`repro.sim.stats.percentile`,
-    including its zero-sample guard: an empty sample set yields ``0.0``, not
-    NaN, so exported JSON stays valid)."""
-    if not sorted_values:
-        return 0.0
-    if fraction <= 0:
-        return sorted_values[0]
-    if fraction >= 1:
-        return sorted_values[-1]
-    rank = max(0, min(len(sorted_values) - 1,
-                      int(math.ceil(fraction * len(sorted_values))) - 1))
-    return sorted_values[rank]
 
 
 class Metric:

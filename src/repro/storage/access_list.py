@@ -172,9 +172,21 @@ class AccessList:
         return deps
 
     def remove_txn(self, ctx: "TxnContext") -> None:
-        """Scrub every entry of ``ctx`` (on commit or abort)."""
-        if any(entry.ctx is ctx for entry in self._entries):
-            self._entries = [e for e in self._entries if e.ctx is not ctx]
+        """Scrub every entry of ``ctx`` (on commit or abort).
+
+        Single pass: scan up to the first hit, then keep filtering from
+        there into a fresh list.  Entries before the first hit are copied
+        untouched, and a list with no hits is left as-is (no reallocation)
+        — behaviour identical to a filter, without scanning twice."""
+        entries = self._entries
+        for index, entry in enumerate(entries):
+            if entry.ctx is ctx:
+                kept = entries[:index]
+                for later in entries[index + 1:]:
+                    if later.ctx is not ctx:
+                        kept.append(later)
+                self._entries = kept
+                return
 
     def is_write_still_latest(self, entry: AccessEntry) -> bool:
         """True if ``entry`` is still the latest visible write by its txn.

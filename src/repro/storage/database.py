@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import copy
 from typing import Dict, Iterable, List, Optional
 
 from ..errors import UnknownTableError
@@ -117,7 +116,7 @@ class Database:
     # committed-state snapshots (checkpoints + the durability oracle)
 
     def snapshot(self) -> Snapshot:
-        """Deep copy of the committed state: {table: {key: (vid, value)}}.
+        """Copy of the committed state: {table: {key: (vid, value)}}.
 
         Only live rows are captured (a tombstone behaves exactly like an
         absent key for committed reads).  Because :meth:`Record.install` is
@@ -125,15 +124,21 @@ class Database:
         scheduler events is a transaction-consistent committed state, even
         with transactions in flight.  Iteration is sorted, so two equal
         states produce byte-identical (e.g. pickled) snapshots.
+
+        Row values are flat field->scalar dicts and ``Record.install``
+        replaces a record's value wholesale (never mutates it in place),
+        so a one-level ``dict()`` copy fully detaches the snapshot.
         """
         tables: Snapshot = {}
         for name in sorted(self._tables):
+            table = self._tables[name]
+            records = table._records
             rows: Dict[tuple, tuple] = {}
-            for key in self._tables[name]._sorted_keys:
-                record = self._tables[name]._records[key]
+            for key in table.sorted_keys():
+                record = records[key]
                 if record.value is None:
                     continue
-                rows[key] = (record.version_id, copy.deepcopy(record.value))
+                rows[key] = (record.version_id, dict(record.value))
             tables[name] = rows
         return tables
 
@@ -147,7 +152,7 @@ class Database:
             table = db.create_table(name)
             for key in sorted(snapshot[name]):
                 vid, value = snapshot[name][key]
-                table.restore_row(key, copy.deepcopy(value), vid)
+                table.restore_row(key, dict(value), vid)
         db.allocator._next_seq = allocator_seq
         return db
 

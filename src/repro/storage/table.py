@@ -21,7 +21,14 @@ from .record import Record, VersionId, VersionIdAllocator
 
 
 class Table:
-    """A named table of :class:`Record` keyed by tuples."""
+    """A named table of :class:`Record` keyed by tuples.
+
+    The key index is sorted *lazily*: inserts append and mark the index
+    dirty, and the first scan (or :meth:`sorted_keys`) re-sorts it.  Bulk
+    loads and insert-heavy transactional workloads that never scan — the
+    common case — thus skip the per-insert ``bisect.insort`` memmove
+    entirely.
+    """
 
     __slots__ = ("name", "_records", "_sorted_keys", "_keys_dirty")
 
@@ -30,6 +37,17 @@ class Table:
         self._records: dict = {}
         self._sorted_keys: List[tuple] = []
         self._keys_dirty = False
+
+    def _ensure_sorted(self) -> None:
+        if self._keys_dirty:
+            self._sorted_keys.sort()
+            self._keys_dirty = False
+
+    def sorted_keys(self) -> List[tuple]:
+        """All known keys (live and tombstoned) in sorted order.  The
+        returned list is the live index — callers must not mutate it."""
+        self._ensure_sorted()
+        return self._sorted_keys
 
     def __len__(self) -> int:
         """Number of *live* rows (tombstoned / not-yet-committed records
@@ -47,7 +65,8 @@ class Table:
             raise DuplicateKeyError(f"{self.name}: duplicate initial key {key!r}")
         record = Record(key, value, allocator.next_initial())
         self._records[key] = record
-        bisect.insort(self._sorted_keys, key)
+        self._sorted_keys.append(key)
+        self._keys_dirty = True
         return record
 
     def get_record(self, key: tuple) -> Optional[Record]:
@@ -62,7 +81,8 @@ class Table:
         if record is None:
             record = Record(key, None, version_id)
             self._records[key] = record
-            bisect.insort(self._sorted_keys, key)
+            self._sorted_keys.append(key)
+            self._keys_dirty = True
         return record
 
     def restore_row(self, key: tuple, value: Optional[dict],
@@ -74,7 +94,8 @@ class Table:
         if record is None:
             record = Record(key, value, version_id)
             self._records[key] = record
-            bisect.insort(self._sorted_keys, key)
+            self._sorted_keys.append(key)
+            self._keys_dirty = True
         else:
             record.value = value
             record.version_id = version_id
@@ -93,6 +114,7 @@ class Table:
         Tombstoned keys are skipped.  Reads are of committed state only
         (Silo-style snapshot scan, per §6).
         """
+        self._ensure_sorted()
         start = bisect.bisect_left(self._sorted_keys, lo)
         end = bisect.bisect_left(self._sorted_keys, hi)
         keys = self._sorted_keys[start:end]
@@ -110,6 +132,7 @@ class Table:
 
     def keys(self) -> Iterator[tuple]:
         """Iterate all live (non-tombstoned) keys in sorted order."""
+        self._ensure_sorted()
         for key in self._sorted_keys:
             if self._records[key].value is not None:
                 yield key

@@ -167,3 +167,59 @@ class TestFinishAndScrub:
         writer.readers[reader] = None
         validation.finish(writer, TxnStatus.COMMITTED)
         assert not reader.doomed
+
+
+class TestWriterCtxRetention:
+    """``Record.writer_ctx`` is install provenance only; once the writer
+    terminates it must not stay reachable from storage (it would pin the
+    context's whole dependency graph for the run's lifetime)."""
+
+    def test_scrub_clears_own_writer_ctx(self):
+        ctx = make_ctx(1)
+        record = make_record()
+        record.install({"v": 1}, (1, 0), ctx)
+        ctx.touched_records.add(record)
+        assert record.writer_ctx is ctx
+        validation.scrub(ctx)
+        assert record.writer_ctx is None
+
+    def test_scrub_leaves_other_writer_ctx(self):
+        # a newer install by another txn owns the pointer now; scrubbing
+        # the older writer must not erase the newer provenance
+        old, new = make_ctx(1), make_ctx(2)
+        record = make_record()
+        record.install({"v": 1}, (1, 0), old)
+        record.install({"v": 2}, (2, 0), new)
+        old.touched_records.add(record)
+        validation.scrub(old)
+        assert record.writer_ctx is new
+
+    def test_finish_clears_writer_ctx_on_commit_and_abort(self):
+        for status in (TxnStatus.COMMITTED, TxnStatus.ABORTED):
+            ctx = make_ctx(1)
+            record = make_record()
+            record.install({"v": 1}, (1, 0), ctx)
+            ctx.touched_records.add(record)
+            validation.finish(ctx, status)
+            assert record.writer_ctx is None
+
+    def test_residue_oracle_flags_terminal_writer_ctx(self):
+        from repro.storage.database import Database
+
+        db = Database()
+        db.create_table("t")
+        record = db.load("t", (1,), {"v": 0})
+        ctx = make_ctx(7)
+        ctx.status = TxnStatus.COMMITTED
+        record.writer_ctx = ctx  # plant a stale provenance pointer
+        problems = validation.storage_residue(db)
+        assert any("writer_ctx" in p for p in problems)
+
+    def test_residue_oracle_allows_active_writer_ctx(self):
+        from repro.storage.database import Database
+
+        db = Database()
+        db.create_table("t")
+        record = db.load("t", (1,), {"v": 0})
+        record.writer_ctx = make_ctx(7)  # still ACTIVE: legitimate owner
+        assert validation.storage_residue(db) == []

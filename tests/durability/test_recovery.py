@@ -9,7 +9,8 @@ from repro.analysis.serializability import HistoryRecorder, SerializabilityCheck
 from repro.bench.runner import run_named
 from repro.cc.seeds import occ_policy
 from repro.config import DurabilityConfig, SimConfig
-from repro.durability import apply_record, filter_history
+from repro.durability import LogRecord, WriteImage, apply_record, \
+    filter_history
 from repro.errors import FaultPlanError
 from repro.faults import FaultPlan, ScriptedFault
 from repro.obs import TimeAccountant, check_accounting
@@ -137,3 +138,75 @@ class TestCrashSemantics:
         config = SimConfig(n_workers=4, duration=2_000.0, seed=19)
         with pytest.raises(FaultPlanError, match="node_crash"):
             run_cell("silo", config, crash_plan(1_000.0))
+
+
+class TestLogDetachment:
+    """The log must own its write images: later in-place mutation of a
+    live row dict (or of a restored row) may never reach back into the
+    log.  Regression tests for the deepcopy -> dict() copy change."""
+
+    def test_image_detached_from_source_value(self):
+        value = {"balance": 100}
+        image = WriteImage("accounts", (1,), value, (7, 0))
+        value["balance"] = -1  # in-place mutation after logging
+        assert image.value == {"balance": 100}
+
+    def test_recovery_restores_logged_value_not_mutated_row(self):
+        # install a row, log its image, then mutate the live row's dict in
+        # place (no installer does this today, but the log must not care)
+        db = Database()
+        db.create_table("accounts")
+        record = db.load("accounts", (1,), {"balance": 100})
+        log_record = LogRecord(
+            seqno=1, epoch=0, txn_id=5, worker_id=0, type_name="pay",
+            first_start=0.0, commit_time=10.0,
+            writes=[WriteImage("accounts", (1,), record.value,
+                               record.version_id)])
+        record.value["balance"] = 999
+
+        recovered = Database()
+        apply_record(recovered, log_record)
+        assert recovered.committed_value("accounts", (1,)) == \
+            {"balance": 100}
+
+    def test_restored_row_detached_from_image(self):
+        # replaying the same record twice must give independent rows —
+        # mutating one replay's row may not corrupt the image or the other
+        image = WriteImage("accounts", (1,), {"balance": 100}, (7, 0))
+        log_record = LogRecord(
+            seqno=1, epoch=0, txn_id=5, worker_id=0, type_name="pay",
+            first_start=0.0, commit_time=10.0, writes=[image])
+        first, second = Database(), Database()
+        apply_record(first, log_record)
+        apply_record(second, log_record)
+        first.committed_value("accounts", (1,))["balance"] = -1
+        assert image.value == {"balance": 100}
+        assert second.committed_value("accounts", (1,)) == {"balance": 100}
+
+    def test_durable_log_survives_post_run_row_mutation(self):
+        # end to end: replaying the durable log reproduces the recovered
+        # snapshot even after the crashed run's rows are scribbled over
+        result = run_cell("silo", make_config(), crash_plan())
+        manager = result.durability
+        report = manager.recoveries[0]
+        initial = CounterWorkload(n_keys=8).build_database().snapshot()
+        replayed = Database.from_snapshot(initial)
+        for record in manager.durable_log[:report.durable_seqno]:
+            apply_record(replayed, record)
+            for image in record.writes:
+                if image.value is not None:
+                    image_copy = dict(image.value)
+                    # mutating the freshly-restored row in place ...
+                    restored = replayed.committed_value(image.table,
+                                                        image.key)
+                    if restored is not None:
+                        for field in restored:
+                            restored[field] = object()
+                        # ... must leave the logged image untouched
+                        assert image.value == image_copy
+        # re-replay onto a clean database still matches the recovery oracle
+        fresh = Database.from_snapshot(initial)
+        for record in manager.durable_log[:report.durable_seqno]:
+            apply_record(fresh, record)
+        assert diff_snapshots(report.recovered_snapshot,
+                              fresh.snapshot()) == []

@@ -1,0 +1,123 @@
+"""Shared machinery for the hot-path bit-identity suite.
+
+The hot-path overhaul (precomputed policy tables, slot-indexed storage,
+batched dispatch) is pure mechanism: it must never change *what* a seeded
+run does, only how fast the simulator gets there.  This module defines a
+matrix of seeded runs — every in-tree protocol crossed with closed-loop,
+open-loop and durable modes, plus a fault-plan run — and produces a
+canonical digest of each: the full stats summary, a SHA-256 over the
+structured trace, and a SHA-256 over the metrics snapshot.
+
+``gen_fixtures.py`` records the digests produced by a known-good build into
+``data/fixtures.json``; ``test_bit_identity.py`` re-runs the matrix and
+compares byte-for-byte.  Any divergence means an optimisation changed
+observable behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Optional
+
+from repro.bench.runner import run_named
+from repro.config import DurabilityConfig, FrontendConfig, SimConfig
+from repro.core.ops import UpdateOp
+from repro.core.protocol import TxnInvocation
+from repro.faults.plan import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import MemorySink
+
+from tests.helpers import CounterWorkload, counter_spec
+
+PROTOCOLS = ["silo", "2pl", "ic3", "polyjuice"]
+MODES = ["closed", "open_loop", "durable"]
+
+#: contended enough that every wait/cycle/backoff path fires
+N_WORKERS = 8
+N_KEYS = 4
+N_ACCESSES = 3
+DURATION = 20_000.0
+WARMUP = 2_000.0
+SEED = 11
+
+
+class OrderedCounterWorkload(CounterWorkload):
+    """CounterWorkload with keys accessed in global (sorted) order so the
+    2PL baseline's ordered-acquisition assumption holds under contention."""
+
+    def make_invocation(self, type_name: str, rng: random.Random,
+                        worker_id: int) -> TxnInvocation:
+        invocation = super().make_invocation(type_name, rng, worker_id)
+        ops = sorted(invocation.program(), key=lambda op: op.key)
+
+        def program():
+            for access_id, op in enumerate(ops):
+                yield UpdateOp(op.table, op.key, op.update_fn, access_id)
+
+        return TxnInvocation(invocation.type_index, invocation.type_name,
+                             program)
+
+
+def cell_names():
+    names = [f"{cc}-{mode}" for cc in PROTOCOLS for mode in MODES]
+    names.append("polyjuice-faults")
+    return names
+
+
+def _config(mode: str) -> SimConfig:
+    kwargs = dict(n_workers=N_WORKERS, duration=DURATION, warmup=WARMUP,
+                  seed=SEED)
+    if mode == "durable":
+        kwargs["durability"] = DurabilityConfig()
+    elif mode == "open_loop":
+        kwargs["frontend"] = FrontendConfig(arrival_rate=150_000.0,
+                                            queue_cap=32, deadline=8_000.0,
+                                            retry_budget=5)
+    return SimConfig(**kwargs)
+
+
+def _policy_for(cc_name: str):
+    if cc_name != "polyjuice":
+        return None
+    from repro.cc.seeds import occ_policy
+    return occ_policy(counter_spec(N_ACCESSES))
+
+
+def run_cell(name: str, obs: bool = True):
+    """Run one matrix cell; returns (digest dict, ExperimentResult)."""
+    if name == "polyjuice-faults":
+        cc_name, mode = "polyjuice", "closed"
+        fault_plan = FaultPlan(rates={"stall": 0.01, "abort": 0.005,
+                                      "doom": 0.005})
+    else:
+        cc_name, mode = name.rsplit("-", 1)
+        fault_plan = None
+    config = _config(mode)
+    sink = MemorySink() if obs else None
+    metrics = MetricsRegistry() if obs else None
+    result = run_named(
+        lambda: OrderedCounterWorkload(n_keys=N_KEYS, n_accesses=N_ACCESSES),
+        cc_name, config, policy=_policy_for(cc_name), trace_sink=sink,
+        metrics=metrics, fault_plan=fault_plan)
+    digest = {"summary": result.stats.summary()}
+    if obs:
+        digest["trace_sha"] = _trace_sha(sink)
+        digest["metrics_sha"] = _metrics_sha(metrics)
+    return digest, result
+
+
+def _trace_sha(sink: MemorySink) -> str:
+    payload = json.dumps([event.to_dict() for event in sink.events],
+                         sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _metrics_sha(metrics: MetricsRegistry) -> str:
+    payload = json.dumps(metrics.snapshot(), sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def canonical(digest: dict) -> str:
+    return json.dumps(digest, sort_keys=True)

@@ -1,0 +1,45 @@
+"""Regenerate the hot-path bit-identity fixtures.
+
+Run from the repo root against a known-good build (normally the commit
+*before* a hot-path change lands)::
+
+    PYTHONPATH=src:. python tests/hotpath/gen_fixtures.py
+
+The output (``tests/hotpath/data/fixtures.json``) pins, per matrix cell,
+the full stats summary plus SHA-256 digests of the structured trace and the
+metrics snapshot.  ``test_bit_identity.py`` compares live runs against this
+file byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+from tests.hotpath.common import cell_names, run_cell  # noqa: E402
+
+FIXTURE_PATH = os.path.join(os.path.dirname(__file__), "data",
+                            "fixtures.json")
+
+
+def main() -> None:
+    fixtures = {}
+    for name in cell_names():
+        digest, result = run_cell(name)
+        assert result.invariant_violations == [], (name,
+                                                   result.invariant_violations)
+        assert result.stats.total_commits > 0, name
+        fixtures[name] = digest
+        print(f"{name}: commits={result.stats.total_commits} "
+              f"trace={digest['trace_sha'][:12]}")
+    with open(FIXTURE_PATH, "w") as fh:
+        json.dump(fixtures, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {FIXTURE_PATH} ({len(fixtures)} cells)")
+
+
+if __name__ == "__main__":
+    main()

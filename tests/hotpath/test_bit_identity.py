@@ -1,0 +1,45 @@
+"""Bit-identity of the overhauled hot path against pinned fixtures.
+
+Every cell re-runs a seeded experiment and compares the full stats summary
+plus trace/metrics SHA-256 digests against ``data/fixtures.json``, which was
+generated at the commit *before* the hot-path overhaul.  A mismatch means an
+optimisation changed observable behaviour — never acceptable here, whatever
+the speedup.  ``gen_fixtures.py`` documents how to regenerate after an
+*intentional* behaviour change elsewhere in the stack.
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.hotpath.common import canonical, cell_names, run_cell
+
+FIXTURE_PATH = os.path.join(os.path.dirname(__file__), "data",
+                            "fixtures.json")
+
+
+@pytest.fixture(scope="module")
+def fixtures():
+    with open(FIXTURE_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("name", cell_names())
+def test_matches_pinned_fixture(name, fixtures):
+    assert name in fixtures, (
+        f"no pinned fixture for {name}; run tests/hotpath/gen_fixtures.py "
+        f"on a known-good build")
+    digest, result = run_cell(name)
+    assert result.invariant_violations == []
+    assert canonical(digest) == canonical(fixtures[name])
+
+
+@pytest.mark.parametrize("name", ["ic3-closed", "polyjuice-closed"])
+def test_obs_off_matches_obs_on_summary(name, fixtures):
+    """Observability must stay zero-impact: with trace/metrics detached the
+    seeded run's summary is byte-identical to the obs-on fixture."""
+    digest, result = run_cell(name, obs=False)
+    assert result.invariant_violations == []
+    assert json.dumps(digest["summary"], sort_keys=True) == \
+        json.dumps(fixtures[name]["summary"], sort_keys=True)

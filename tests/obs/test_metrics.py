@@ -6,6 +6,8 @@ import json
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import SimConfig
 from repro.bench.runner import run_named
@@ -58,6 +60,57 @@ class TestHistogram:
         hist = MetricsRegistry().histogram("h")
         assert hist.value_dict() == {"count": 0, "sum": 0.0}
         assert hist.pct(0.5) == 0.0  # zero-sample guard, not NaN
+
+
+class TestPercentileConvention:
+    """The registry must share the one canonical nearest-rank percentile
+    (``repro.sim.stats.percentile``) rather than keep a private clone —
+    two implementations with different zero-sample or boundary behaviour
+    would make histogram exports disagree with the run summaries."""
+
+    def test_single_shared_implementation(self):
+        from repro.obs import metrics
+        from repro.sim.stats import percentile
+
+        assert metrics._percentile is percentile
+
+    def test_zero_sample_convention(self):
+        # empty window -> 0.0, never NaN (NaN breaks json.dumps artifacts)
+        from repro.obs.metrics import _percentile
+
+        result = _percentile([], 0.5)
+        assert result == 0.0 and not math.isnan(result)
+
+    def test_boundary_fraction_convention(self):
+        from repro.obs.metrics import _percentile
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 0.0) == 1.0   # <= 0 clamps to first
+        assert _percentile(values, -0.5) == 1.0
+        assert _percentile(values, 1.0) == 4.0   # >= 1 clamps to last
+        assert _percentile(values, 1.5) == 4.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=40),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_histogram_pct_matches_stats_percentile(self, values, fraction):
+        from repro.sim.stats import percentile
+
+        hist = MetricsRegistry().histogram("h")
+        for value in values:
+            hist.observe(value)
+        assert hist.pct(fraction) == percentile(sorted(values), fraction)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=40),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_nearest_rank_is_a_member(self, values, fraction):
+        from repro.obs.metrics import _percentile
+
+        values.sort()
+        assert _percentile(values, fraction) in values
 
 
 class TestRegistry:

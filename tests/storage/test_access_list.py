@@ -152,3 +152,66 @@ def test_status_helpers():
     assert ctx.is_active()
     ctx.status = TxnStatus.COMMITTED
     assert ctx.is_terminal()
+
+
+class TestRemoveTxnSinglePass:
+    """Behaviour pins for the single-pass ``remove_txn`` rewrite: same
+    results as the old filter, plus no reallocation when nothing matches."""
+
+    def test_removes_all_entries_of_txn(self):
+        access_list = AccessList()
+        a, b = make_ctx(1), make_ctx(2)
+        access_list.append(write_entry(a, 0))
+        access_list.append(read_entry(a, (1, 0)))
+        access_list.append(write_entry(a, 1))
+        access_list.remove_txn(a)
+        assert len(access_list) == 0
+        access_list.append(write_entry(b))
+        assert access_list.latest_visible_write().ctx is b
+
+    def test_preserves_order_of_survivors(self):
+        access_list = AccessList()
+        a, b, c = make_ctx(1), make_ctx(2), make_ctx(3)
+        access_list.append(write_entry(b, 0))
+        access_list.append(write_entry(a, 0))
+        access_list.append(read_entry(c, (2, 0)))
+        access_list.append(write_entry(a, 1))
+        access_list.append(write_entry(c, 0))
+        access_list.remove_txn(a)
+        survivors = [(e.ctx.txn_id, e.kind) for e in access_list]
+        assert survivors == [(2, AccessKind.WRITE), (3, AccessKind.READ),
+                             (3, AccessKind.WRITE)]
+
+    def test_no_hit_leaves_list_object_untouched(self):
+        access_list = AccessList()
+        a = make_ctx(1)
+        access_list.append(write_entry(a))
+        access_list.append(read_entry(a, (1, 0)))
+        before = access_list._entries
+        access_list.remove_txn(make_ctx(9))
+        # the miss path must not rebuild the list (identity, not equality)
+        assert access_list._entries is before
+        assert len(access_list) == 2
+
+    def test_empty_list_noop(self):
+        access_list = AccessList()
+        access_list.remove_txn(make_ctx(1))
+        assert len(access_list) == 0
+
+    def test_hit_at_head_and_tail(self):
+        access_list = AccessList()
+        a, b = make_ctx(1), make_ctx(2)
+        access_list.append(write_entry(a, 0))
+        access_list.append(write_entry(b, 0))
+        access_list.append(write_entry(a, 1))
+        access_list.remove_txn(a)
+        assert [e.ctx.txn_id for e in access_list] == [2]
+
+    def test_idempotent(self):
+        access_list = AccessList()
+        a, b = make_ctx(1), make_ctx(2)
+        access_list.append(write_entry(a))
+        access_list.append(write_entry(b))
+        access_list.remove_txn(a)
+        access_list.remove_txn(a)
+        assert [e.ctx.txn_id for e in access_list] == [2]
