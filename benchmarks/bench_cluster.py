@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Cluster scaling benchmark: committed TPS vs shard count under 2PC.
+
+Runs TPC-C weak-scaling cells — workers and warehouses grow with the
+shard count — at 0% and 10% cross-shard traffic, with durability (per-
+shard WALs, group commit) on everywhere.  The 1-shard cell takes the
+plain single-node path, so the reported scaling factors measure exactly
+what the cluster layer adds: partitioned WAL bandwidth and worker
+parallelism against network round trips and 2PC prepare cost.
+
+Simulated results are deterministic for a seed; every cell is run
+``--repeat`` times and must reproduce bit-identically (commits and TPS),
+so the benchmark doubles as a cluster determinism smoke.  Used by the
+``cluster-smoke`` CI job::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py                # full
+    PYTHONPATH=src python benchmarks/bench_cluster.py --quick        # CI-sized
+    PYTHONPATH=src python benchmarks/bench_cluster.py --quick --check BENCH_cluster.json
+    PYTHONPATH=src python benchmarks/bench_cluster.py --write BENCH_cluster.json
+
+``--check`` enforces: the 4-shard/0%-cross weak-scaling floor over the
+1-shard cell (``check.min_scaling_4x``, the PR acceptance floor of 3x),
+cross-shard cells actually committing cross-shard transactions, exact
+reproduction of each recorded cell's commits and TPS (behaviour change
+detector), and a generous wall budget.  ``--write`` refreshes the
+recorded baseline for the selected profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.bench.runner import run_protocol
+from repro.cc.registry import make_cc
+from repro.cluster.workloads import make_cluster_tpcc_factory
+from repro.config import ClusterConfig, DurabilityConfig, SimConfig
+from repro.workloads.tpcc import make_tpcc_factory
+from repro.workloads.tpcc.schema import TPCCScale
+
+#: workers (and warehouses) per shard — weak scaling holds both fixed
+PER_SHARD = 8
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    n_shards: int
+    cross_shard_ratio: float
+    duration: float
+    warmup: float
+    seed: int = 11
+
+
+def scenarios(quick: bool):
+    duration = 4_000.0 if quick else 12_000.0
+    warmup = 500.0 if quick else 1_000.0
+    return [
+        Scenario("shards1", 1, 0.0, duration, warmup),
+        Scenario("shards2_cross0", 2, 0.0, duration, warmup),
+        Scenario("shards4_cross0", 4, 0.0, duration, warmup),
+        Scenario("shards4_cross10", 4, 0.10, duration, warmup),
+    ]
+
+
+def run_once(scenario: Scenario):
+    """One simulated run; wall-clock covers the whole protocol run."""
+    n_workers = PER_SHARD * scenario.n_shards
+    n_warehouses = PER_SHARD * scenario.n_shards
+    cluster = None
+    if scenario.n_shards > 1:
+        cluster = ClusterConfig(n_shards=scenario.n_shards,
+                                cross_shard_ratio=scenario.cross_shard_ratio)
+        factory = make_cluster_tpcc_factory(
+            scenario.n_shards, n_workers,
+            cross_shard_ratio=scenario.cross_shard_ratio,
+            n_warehouses=n_warehouses, seed=scenario.seed)
+    else:
+        factory = make_tpcc_factory(
+            scale=TPCCScale(n_warehouses=n_warehouses))
+    config = SimConfig(n_workers=n_workers, duration=scenario.duration,
+                       warmup=scenario.warmup, seed=scenario.seed,
+                       durability=DurabilityConfig(), cluster=cluster)
+    gc.collect()
+    start = time.perf_counter()
+    result = run_protocol(factory, make_cc("silo"), config)
+    wall = time.perf_counter() - start
+    if result.invariant_violations:
+        raise SystemExit(f"{scenario.name}: invariant violations "
+                         f"{result.invariant_violations}")
+    return result, wall
+
+
+def measure(scenario: Scenario, repeat: int) -> Dict:
+    best_wall = float("inf")
+    fingerprint: Optional[tuple] = None
+    result = None
+    for _ in range(repeat):
+        result, wall = run_once(scenario)
+        best_wall = min(best_wall, wall)
+        current = (result.stats.total_commits,
+                   round(result.stats.throughput(), 3))
+        if fingerprint is None:
+            fingerprint = current
+        elif current != fingerprint:
+            raise SystemExit(f"{scenario.name}: repeated runs DIVERGED "
+                             f"({current} != {fingerprint}) — "
+                             f"determinism bug")
+    row = {
+        "shards": scenario.n_shards,
+        "cross_shard_ratio": scenario.cross_shard_ratio,
+        "commits": result.stats.total_commits,
+        "tps": round(result.stats.throughput(), 1),
+        "wall_s": round(best_wall, 3),
+    }
+    durability = result.durability
+    runtime = getattr(durability, "runtime", None)
+    if runtime is not None:
+        row["cross_shard_commits"] = runtime.cross_shard_commits
+        row["remote_accesses"] = runtime.remote_accesses
+    return row
+
+
+def check(results: Dict[str, Dict], baseline_path: Path, profile: str) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    recorded = baseline.get(profile, {})
+    budget = baseline.get("check", {})
+    min_scaling = budget.get("min_scaling_4x", 3.0)
+    wall_budget = budget.get("wall_budget_factor", 4.0)
+    failures = []
+    base_tps = results["shards1"]["tps"]
+    scaling = results["shards4_cross0"]["tps"] / base_tps
+    if scaling < min_scaling:
+        failures.append(f"weak scaling {scaling:.2f}x (4 shards / 1 shard, "
+                        f"0% cross) below the floor {min_scaling}x")
+    for name, row in results.items():
+        if row["shards"] > 1 and row["cross_shard_ratio"] > 0 \
+                and not row.get("cross_shard_commits"):
+            failures.append(f"{name}: no cross-shard commits despite "
+                            f"ratio {row['cross_shard_ratio']}")
+        base_row = recorded.get(name)
+        if base_row is None:
+            continue
+        for field in ("commits", "tps"):
+            if row[field] != base_row[field]:
+                failures.append(
+                    f"{name}: {field} {row[field]} != recorded "
+                    f"{base_row[field]} (behaviour changed for the "
+                    f"same seed)")
+        limit = base_row["wall_s"] * wall_budget
+        if row["wall_s"] > limit:
+            failures.append(f"{name}: wall {row['wall_s']}s exceeds "
+                            f"{wall_budget}x the recorded "
+                            f"{base_row['wall_s']}s")
+    for line in failures:
+        print("CHECK FAILED:", line, file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized runs (shorter horizons)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a recorded BENCH_cluster.json")
+    parser.add_argument("--write", metavar="BASELINE",
+                        help="record results into BENCH_cluster.json")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="repetitions per cell (default: 1 quick, "
+                             "2 full); best-of wall, bit-identity asserted")
+    args = parser.parse_args(argv)
+    profile = "quick" if args.quick else "full"
+    repeat = args.repeat if args.repeat is not None else (1 if args.quick
+                                                          else 2)
+
+    results: Dict[str, Dict] = {}
+    for scenario in scenarios(args.quick):
+        row = measure(scenario, repeat)
+        results[scenario.name] = row
+        cross = row.get("cross_shard_commits", 0)
+        print(f"{scenario.name:>16}: {row['tps']:>11,.0f} TPS   "
+              f"commits {row['commits']:>6}   cross-shard {cross:>5}   "
+              f"wall {row['wall_s']:6.3f}s")
+    scaling = results["shards4_cross0"]["tps"] / results["shards1"]["tps"]
+    print(f"{'weak scaling':>16}: {scaling:.2f}x (4 shards vs 1, 0% cross)")
+
+    if args.write:
+        path = Path(args.write)
+        data = json.loads(path.read_text()) if path.exists() else {}
+        data[profile] = results
+        data.setdefault("check", {})
+        data["check"].setdefault("min_scaling_4x", 3.0)
+        data["check"].setdefault("wall_budget_factor", 4.0)
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"recorded {profile} baseline -> {path}")
+    if args.check:
+        return check(results, Path(args.check), profile)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

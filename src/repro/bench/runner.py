@@ -10,6 +10,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..cluster import (ClusterCC, ClusterDurability, ClusterRuntime,
+                       ShardedFrontend, partitioner_for)
 from ..config import SimConfig
 from ..durability.manager import DurabilityManager
 from ..errors import ConfigError
@@ -96,6 +98,15 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
                            timeline)
     workload = workload_factory()
     db = workload.build_database()
+    runtime = None
+    if config.cluster is not None:
+        runtime = ClusterRuntime(
+            config, partitioner_for(workload, config.cluster.n_shards))
+        # shard the tables before CC setup (the executor caches the table
+        # dict at setup time), and wrap the protocol so transactional
+        # accesses are classified and charged
+        runtime.shard_tables(db)
+        cc = ClusterCC(cc, runtime)
     cc.setup(db, workload.spec, config)
     if recorder is not None:
         cc.recorder = recorder
@@ -108,6 +119,8 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
                                  spawn_rng(config.seed, FAULT_RNG_SALT))
     scheduler = Scheduler(config, trace=trace_sink, accountant=accountant,
                           faults=injector)
+    if runtime is not None:
+        runtime.install(scheduler)
     if timeline is not None:
         # the windowed run-insight sampler: the scheduler feeds it waits,
         # stats feeds commits/aborts/backoff, durability feeds flushes
@@ -115,13 +128,23 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
         stats.sampler = timeline
     manager = None
     if config.durability is not None:
-        manager = DurabilityManager(config, db, workload, cc, stats)
+        if runtime is not None:
+            manager = ClusterDurability(config, db, workload, cc, stats,
+                                        runtime)
+        else:
+            manager = DurabilityManager(config, db, workload, cc, stats)
         scheduler.durability = manager
     frontend = None
     if config.frontend is not None:
-        frontend = Frontend(config, workload, stats,
-                            backoff_policy=getattr(cc, "backoff_policy",
-                                                   None))
+        if runtime is not None:
+            frontend = ShardedFrontend(
+                config, workload, stats,
+                backoff_policy=getattr(cc, "backoff_policy", None),
+                runtime=runtime)
+        else:
+            frontend = Frontend(config, workload, stats,
+                                backoff_policy=getattr(cc, "backoff_policy",
+                                                       None))
     for worker_id in range(config.n_workers):
         worker = Worker(worker_id, scheduler, cc, workload, stats, config,
                         spawn_rng(config.seed, worker_id))
@@ -162,7 +185,7 @@ def run_protocol(workload_factory: WorkloadFactory, cc, config: SimConfig,
     cc_name = getattr(cc, "name", "cc")
     if metrics is not None:
         _record_run_metrics(metrics, cc_name, stats, scheduler, injector,
-                            manager, frontend)
+                            manager, frontend, runtime)
         if timeline is not None:
             timeline.install_metrics(metrics, cc=cc_name)
     return ExperimentResult(cc_name, stats, violations,
@@ -177,7 +200,8 @@ def _record_run_metrics(metrics: MetricsRegistry, cc_name: str,
                         stats: RunStats, scheduler: Scheduler,
                         injector: Optional[FaultInjector] = None,
                         manager: Optional[DurabilityManager] = None,
-                        frontend: Optional[Frontend] = None) -> None:
+                        frontend: Optional[Frontend] = None,
+                        runtime: Optional[ClusterRuntime] = None) -> None:
     """Populate the registry with one run's end-of-run aggregates."""
     metrics.gauge("run_throughput_tps", cc=cc_name).set(stats.throughput())
     metrics.gauge("run_abort_rate", cc=cc_name).set(stats.abort_rate())
@@ -251,6 +275,12 @@ def _record_run_metrics(metrics: MetricsRegistry, cc_name: str,
         if stats.queue_wait.count:
             metrics.gauge("frontend_queue_wait_p99_us",
                           cc=cc_name).set(stats.queue_wait.pct(0.99))
+    if runtime is not None:
+        for name, value in runtime.metrics_rows():
+            metrics.gauge(name, cc=cc_name).set(value)
+        if isinstance(manager, ClusterDurability):
+            for name, value in manager.metrics_rows():
+                metrics.gauge(name, cc=cc_name).set(value)
     for type_name, digest in stats.latency.items():
         if digest.count:
             metrics.gauge("run_latency_p99_us", cc=cc_name,

@@ -24,7 +24,13 @@ per-transaction ``--deadline`` enforcement and a bounded
 ``chaos`` accept ``--durability`` (epoch group-commit logging with
 deferred acks, see :mod:`repro.durability`); ``chaos --node-crash TIME``
 crashes the whole node mid-run and audits checkpoint-plus-replay
-recovery with the durability oracle.  ``train`` accepts
+recovery with the durability oracle.  ``run``, ``compare`` and ``chaos``
+accept ``--shards N`` (partition the database across N simulated nodes
+with cross-shard two-phase commit; ``--cross-shard-ratio`` steers that
+fraction of transactions at remote shards, ``--net-latency`` /
+``--net-jitter`` / ``--net-bandwidth`` shape the simulated network;
+``--shards 1``, the default, is exactly the single-node code path — see
+:mod:`repro.cluster`).  ``train`` accepts
 ``--checkpoint DIR`` / ``--resume`` for crash-safe resumable training;
 an interrupt (Ctrl-C) still writes the best policy found so far.
 ``train --jobs N`` fans fitness evaluations out to N worker processes
@@ -58,7 +64,7 @@ import os
 import sys
 from typing import Optional
 
-from .config import DurabilityConfig, FrontendConfig, SimConfig
+from .config import ClusterConfig, DurabilityConfig, FrontendConfig, SimConfig
 from .bench.reporting import format_table
 from .bench.runner import run_named
 from .core.backoff import BackoffPolicy
@@ -68,21 +74,58 @@ from .ioutil import atomic_write
 
 
 def _workload(args):
-    """Resolve (spec, workload factory) from CLI arguments."""
+    """Resolve (spec, workload factory) from CLI arguments.  With
+    ``--shards N >= 2`` the cluster workload adapters replace the
+    single-node factories (same spec, same programs, partitioned data)."""
+    shards = getattr(args, "shards", 1)
     if args.workload == "tpcc":
         from .workloads.tpcc import make_tpcc_factory, tpcc_spec
+        if shards > 1:
+            from .cluster import make_cluster_tpcc_factory
+            return tpcc_spec(), make_cluster_tpcc_factory(
+                shards, args.workers,
+                cross_shard_ratio=args.cross_shard_ratio,
+                n_warehouses=max(args.warehouses, shards), seed=args.seed)
         return tpcc_spec(), make_tpcc_factory(n_warehouses=args.warehouses,
                                               seed=args.seed)
     if args.workload == "tpce":
         from .workloads.tpce import make_tpce_factory, tpce_spec
+        if shards > 1:
+            from .cluster import make_cluster_tpce_factory
+            return tpce_spec(), make_cluster_tpce_factory(
+                shards, args.workers,
+                cross_shard_ratio=args.cross_shard_ratio,
+                theta=args.theta, seed=args.seed)
         return tpce_spec(), make_tpce_factory(theta=args.theta,
                                               seed=args.seed)
     if args.workload == "micro":
         from .workloads.micro import make_micro_factory
         from .workloads.micro.workload import micro_spec
+        if shards > 1:
+            from .cluster import make_cluster_micro_factory
+            return micro_spec(), make_cluster_micro_factory(
+                shards, args.workers,
+                cross_shard_ratio=args.cross_shard_ratio,
+                theta=args.theta, seed=args.seed)
         return micro_spec(), make_micro_factory(theta=args.theta,
                                                 seed=args.seed)
     raise ReproError(f"unknown workload {args.workload!r}")
+
+
+def _cluster_config(args) -> Optional[ClusterConfig]:
+    """Build the cluster config; ``--shards 1`` (the default) returns
+    ``None`` so single-node runs take literally the pre-cluster code path
+    and stay bit-identical."""
+    shards = getattr(args, "shards", 1)
+    if shards < 1:
+        raise ReproError(f"--shards must be >= 1, got {shards}")
+    if shards == 1:
+        return None
+    return ClusterConfig(n_shards=shards,
+                         cross_shard_ratio=args.cross_shard_ratio,
+                         net_latency=args.net_latency,
+                         net_jitter=args.net_jitter,
+                         net_bandwidth=args.net_bandwidth)
 
 
 def _durability_config(args) -> Optional[DurabilityConfig]:
@@ -113,7 +156,8 @@ def _sim_config(args) -> SimConfig:
                      watchdog_action=getattr(args, "watchdog_action",
                                              "abort_oldest"),
                      durability=_durability_config(args),
-                     frontend=_frontend_config(args))
+                     frontend=_frontend_config(args),
+                     cluster=_cluster_config(args))
 
 
 def _load_fault_plan(args):
@@ -453,6 +497,14 @@ def cmd_chaos(args) -> int:
         else:
             for plan in plans:
                 plan.events.append(crash)
+    if getattr(args, "shards", 1) > 1 and plans is None:
+        # sharded sweep: add the cross-shard 2PC chaos cells (the
+        # node-crash cells need durability for recovery)
+        from .faults.chaos import cluster_plans
+        plans = list(default_plans())
+        plans.extend(p for p in cluster_plans(args.duration, args.shards)
+                     if args.durability
+                     or not any(e.kind == "node_crash" for e in p.events))
     cc_names = [cc.strip() for cc in args.ccs.split(",")]
     rows = []
     failures = 0
@@ -653,6 +705,26 @@ def _add_frontend(parser) -> None:
                         help="what to drop when the admission queue is full")
 
 
+def _add_cluster(parser) -> None:
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="partition the database across N simulated "
+                             "shards with cross-shard 2PC (default 1 = "
+                             "single node, the exact pre-cluster code path)")
+    parser.add_argument("--cross-shard-ratio", dest="cross_shard_ratio",
+                        type=float, default=0.1, metavar="R",
+                        help="fraction of transactions steered at remote "
+                             "shards (cluster runs)")
+    parser.add_argument("--net-latency", dest="net_latency", type=float,
+                        default=15.0, metavar="TICKS",
+                        help="one-way inter-shard message latency")
+    parser.add_argument("--net-jitter", dest="net_jitter", type=float,
+                        default=0.1, metavar="FRAC",
+                        help="uniform +/- latency jitter fraction (seeded)")
+    parser.add_argument("--net-bandwidth", dest="net_bandwidth", type=float,
+                        default=0.0, metavar="TICKS_PER_BYTE",
+                        help="extra ticks charged per payload byte")
+
+
 def _add_faults(parser, watchdog_default: Optional[float] = None) -> None:
     parser.add_argument("--faults", metavar="PLAN.json",
                         help="fault plan to inject (see repro.faults)")
@@ -678,6 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults(run_parser)
     _add_durability(run_parser)
     _add_frontend(run_parser)
+    _add_cluster(run_parser)
     run_parser.add_argument("--cc", default="silo")
     run_parser.add_argument("--policy", help="policy JSON (for polyjuice)")
     run_parser.add_argument("--backoff", help="backoff JSON")
@@ -689,6 +762,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults(compare_parser)
     _add_durability(compare_parser)
     _add_frontend(compare_parser)
+    _add_cluster(compare_parser)
     compare_parser.add_argument("--ccs", default="silo,2pl,ic3,tebaldi")
     compare_parser.add_argument("--policy")
     compare_parser.add_argument("--backoff")
@@ -744,6 +818,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--policy", help="policy JSON (polyjuice)")
     chaos_parser.add_argument("--backoff", help="backoff JSON")
     _add_frontend(chaos_parser)  # burst fault plans need an open loop
+    _add_cluster(chaos_parser)
     chaos_parser.set_defaults(fn=cmd_chaos)
 
     profile_parser = sub.add_parser(

@@ -1,0 +1,49 @@
+"""Sharded multi-node cluster simulation with cross-shard 2PC.
+
+The cluster layer partitions the database across N simulated shards,
+pins workers to home shards, charges remote record accesses as network
+round trips, and commits cross-shard transactions with two-phase commit
+over per-shard epoch WALs (presumed abort; see
+:mod:`repro.cluster.durability`).  ``config.cluster is None`` disables
+the whole layer — single-node runs execute literally the same code as
+before the cluster existed.
+"""
+
+from .cc import ClusterCC
+from .durability import (ClusterDurability, DecisionMarker, DecisionRecord,
+                         PrepareRecord)
+from .frontend import ShardedFrontend, ShardView
+from .network import NET_RNG_SALT, Network
+from .partition import (HashPartitioner, ModuloPartitioner, Partitioner,
+                        RangePartitioner)
+from .runtime import ClusterRuntime, ShardedTable
+from .workloads import (ClusterMicro, ClusterTPCC, ClusterTPCE,
+                        TPCEPartitioner, make_cluster_micro_factory,
+                        make_cluster_tpcc_factory, make_cluster_tpce_factory,
+                        partitioner_for)
+
+__all__ = [
+    "ClusterCC",
+    "ClusterDurability",
+    "ClusterMicro",
+    "ClusterRuntime",
+    "ClusterTPCC",
+    "ClusterTPCE",
+    "DecisionMarker",
+    "DecisionRecord",
+    "HashPartitioner",
+    "ModuloPartitioner",
+    "NET_RNG_SALT",
+    "Network",
+    "Partitioner",
+    "PrepareRecord",
+    "RangePartitioner",
+    "ShardView",
+    "ShardedFrontend",
+    "ShardedTable",
+    "TPCEPartitioner",
+    "partitioner_for",
+    "make_cluster_micro_factory",
+    "make_cluster_tpcc_factory",
+    "make_cluster_tpce_factory",
+]

@@ -1,0 +1,524 @@
+"""Per-shard WALs, 2PC prepare/decision records, cluster-wide recovery.
+
+Extends the single-node epoch group commit
+(:class:`~repro.durability.manager.DurabilityManager`) to N shards:
+
+* **per-shard logs and flush devices** — each shard buffers its own
+  epoch records and flushes them on its own serial log device, so log
+  bandwidth scales with shard count.  One *global* epoch clock closes
+  all shards' epochs together (Silo/COCO-style synchronized epochs).
+* **the cluster watermark** — an epoch is *committed* only once its
+  flush completed on **every** shard; ``persistent_epoch`` is
+  ``min(per-shard persistent epochs)``.  Acks happen at watermark
+  advance, in seqno order, cluster-wide.
+* **2PC records** — a cross-shard commit writes one
+  :class:`PrepareRecord` per participant shard (the participant's write
+  images, naming the coordinator) and one :class:`DecisionRecord` on the
+  coordinator (its own images, naming the participants), all in the same
+  epoch, at the shared install point.  Asynchronous decision messages
+  then travel the simulated network; on arrival each participant appends
+  a :class:`DecisionMarker` to its log (deduplicating duplicates), which
+  is what lets a *later* recovery resolve the prepare locally.
+* **node crash = whole-cluster crash** — every shard truncates to the
+  watermark (epochs flushed on only *some* shards are discarded, which
+  is exactly what makes cross-shard commits atomic under failure), then
+  recovery replays the per-shard logs merged in seqno order.  A durable
+  ``PrepareRecord`` with no ``DecisionMarker`` on its shard is
+  **in doubt**: recovery consults the coordinator shard's durable log —
+  a durable ``DecisionRecord`` means commit (apply the images), absence
+  means **presumed abort** (skip them).  With synchronized epochs the
+  abort branch is unreachable after a whole-cluster crash (prepare and
+  decision share an epoch, and the watermark covers whole epochs on all
+  shards); it is the safety net for the general protocol and is
+  exercised directly by unit tests on hand-built logs.
+
+The acked prefix remains dependency-closed for the same reason as on a
+single node — acks follow seqno order under a watermark that only ever
+covers whole epochs — so the filtered serializability oracle stays
+sound with cross-shard edges (see ``repro.durability.oracle``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from ..durability.log import LogRecord, WriteImage, apply_record
+from ..durability.manager import (Checkpoint, DurabilityManager,
+                                  RecoveryReport, RESTART_RNG_SALT)
+from ..durability.oracle import verify_recovery
+from ..errors import ReproError
+from ..obs.tracing import EventKind, TraceEvent
+from ..rng import spawn_rng
+from ..storage.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import SimConfig
+    from ..core.context import TxnContext
+    from ..sim.stats import RunStats
+    from .runtime import ClusterRuntime
+
+#: simulated size of a 2PC decision message (txn id + epoch + framing)
+DECISION_MSG_BYTES = 24
+
+
+class PrepareRecord(LogRecord):
+    """A participant shard's half of a cross-shard commit: the images it
+    owns, durable *before* the decision is known locally."""
+
+    __slots__ = ("coordinator",)
+
+    def __init__(self, *args, coordinator: int = -1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: home shard of the coordinator (where the DecisionRecord lives)
+        self.coordinator = coordinator
+
+
+class DecisionRecord(LogRecord):
+    """The coordinator's commit decision: its own images plus the list
+    of participant shards.  The ack record of a cross-shard commit."""
+
+    __slots__ = ("participants",)
+
+    def __init__(self, *args, participants=(), **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.participants = tuple(participants)
+
+
+class DecisionMarker(LogRecord):
+    """Logged by a participant when the decision message arrives: the
+    local proof that its PrepareRecord is decided-commit.  Carries no
+    images and is never acked."""
+
+    __slots__ = ("origin",)
+
+    def __init__(self, *args, origin: int = -1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: coordinator shard that sent the decision
+        self.origin = origin
+
+
+class ClusterDurability(DurabilityManager):
+    """Sharded WAL + 2PC records over the single-node epoch machinery."""
+
+    def __init__(self, config: "SimConfig", db: Database, workload, cc,
+                 stats: "RunStats", runtime: "ClusterRuntime") -> None:
+        super().__init__(config, db, workload, cc, stats)
+        self.runtime = runtime
+        self.n_shards = runtime.n_shards
+        # -- per-shard log state ----------------------------------------- #
+        #: current-epoch buffers, one per shard (append order = seqno
+        #: order: every append takes a fresh global seqno under the
+        #: install lock)
+        self._shard_buffers: List[List[LogRecord]] = [
+            [] for _ in range(self.n_shards)]
+        #: per-shard serial log device free times
+        self._shard_flush_free: List[float] = [0.0] * self.n_shards
+        #: per-shard in-flight flushes: epoch -> records
+        self._shard_inflight: List[Dict[int, List[LogRecord]]] = [
+            {} for _ in range(self.n_shards)]
+        #: per-shard latest flushed epoch; the cluster watermark
+        #: (``persistent_epoch``) is the min over shards
+        self._shard_persistent: List[int] = [0] * self.n_shards
+        #: flushed records awaiting watermark coverage: epoch -> shard ->
+        #: records (durable on their own shard, not yet cluster-committed)
+        self._awaiting: Dict[int, Dict[int, List[LogRecord]]] = {}
+        #: the durable per-shard logs (watermark-covered, seqno order)
+        self.shard_logs: List[List[LogRecord]] = [
+            [] for _ in range(self.n_shards)]
+        # -- 2PC state ---------------------------------------------------- #
+        #: per-shard txn ids whose decision arrived (message dedup + the
+        #: runtime marker set; rebuilt from durable markers at recovery)
+        self._decided: List[Set[int]] = [set() for _ in range(self.n_shards)]
+        #: txn ids with a *durable* DecisionRecord (the consult target of
+        #: in-doubt recovery)
+        self._decision_txns: Set[int] = set()
+        #: txn ids acked to clients (presumed-abort oracle: an acked txn
+        #: may never resolve as abort)
+        self._acked_txns: Set[int] = set()
+        # -- counters ----------------------------------------------------- #
+        self.decision_messages = 0
+        self.duplicate_decisions = 0
+        self.in_doubt_total = 0
+        self.in_doubt_commits = 0
+        self.in_doubt_aborts = 0
+
+    # ------------------------------------------------------------------ #
+    # logging (called once per commit, at the shared install point)
+
+    def log_commit(self, ctx: "TxnContext") -> None:
+        runtime = self.runtime
+        worker = ctx.worker
+        worker_id = worker.worker_id if worker is not None else -1
+        home = (runtime.shard_of_worker(worker_id) if worker_id >= 0 else 0)
+        deadline = worker.deadline if worker is not None else None
+        now = self.scheduler.now
+        images_by_shard: Dict[int, List[WriteImage]] = {}
+        n_images = 0
+        for entry in sorted(ctx.wset.values(), key=lambda e: e.order):
+            if entry.installed_vid is None:
+                continue
+            if runtime.partitioner.is_replicated(entry.table):
+                raise ReproError(
+                    f"replicated table {entry.table!r} written by "
+                    f"{ctx.type_name} — replicated tables are read-only")
+            shard = runtime.durability_shard(entry.table, entry.key)
+            images_by_shard.setdefault(shard, []).append(
+                WriteImage(entry.table, entry.key, entry.value,
+                           entry.installed_vid))
+            n_images += 1
+        participants = sorted(s for s in images_by_shard if s != home)
+        if not participants:
+            # single-shard commit: one plain record on the home WAL
+            self.seqno += 1
+            record = LogRecord(self.seqno, self.current_epoch, ctx.txn_id,
+                               worker_id, ctx.type_name, ctx.priority[0],
+                               now, images_by_shard.get(home, []),
+                               deadline=deadline)
+            self._shard_buffers[home].append(record)
+            self._pending_cost[worker_id] = (
+                self._pending_cost.get(worker_id, 0.0)
+                + self.dc.log_write * (1 + n_images))
+            return
+        # cross-shard commit: prepares on the participants, then the
+        # decision on the coordinator (all in the current epoch)
+        for shard in participants:
+            self.seqno += 1
+            self._shard_buffers[shard].append(PrepareRecord(
+                self.seqno, self.current_epoch, ctx.txn_id, worker_id,
+                ctx.type_name, ctx.priority[0], now, images_by_shard[shard],
+                deadline=deadline, coordinator=home))
+        self.seqno += 1
+        self._shard_buffers[home].append(DecisionRecord(
+            self.seqno, self.current_epoch, ctx.txn_id, worker_id,
+            ctx.type_name, ctx.priority[0], now,
+            images_by_shard.get(home, []), deadline=deadline,
+            participants=participants))
+        # one header per record (prepares + decision) plus one per image
+        self._pending_cost[worker_id] = (
+            self._pending_cost.get(worker_id, 0.0)
+            + self.dc.log_write * (1 + len(participants) + n_images))
+        self._send_decisions(home, participants, ctx.txn_id, ctx.type_name)
+
+    # ------------------------------------------------------------------ #
+    # asynchronous decision messages
+
+    def _send_decisions(self, home: int, participants, txn_id: int,
+                        type_name: str) -> None:
+        scheduler = self.scheduler
+        now = scheduler.now
+        generation = self._crash_generation
+        network = self.runtime.network
+        for shard in participants:
+            arrive, duplicate = network.delivery_time(home, shard, now,
+                                                      DECISION_MSG_BYTES)
+            self.decision_messages += 1
+            scheduler.schedule_callback(
+                arrive, lambda s=shard: self._deliver_decision(
+                    s, home, txn_id, type_name, generation))
+            if duplicate is not None:
+                scheduler.schedule_callback(
+                    duplicate, lambda s=shard: self._deliver_decision(
+                        s, home, txn_id, type_name, generation))
+
+    def _deliver_decision(self, shard: int, origin: int, txn_id: int,
+                          type_name: str, generation: int) -> None:
+        if generation != self._crash_generation:
+            return  # the message died with the crashed cluster
+        if txn_id in self._decided[shard]:
+            self.duplicate_decisions += 1
+            return  # duplicate delivery: the marker is already logged
+        self._decided[shard].add(txn_id)
+        self.seqno += 1
+        now = self.scheduler.now
+        self._shard_buffers[shard].append(DecisionMarker(
+            self.seqno, self.current_epoch, txn_id, -1, type_name,
+            now, now, [], origin=origin))
+
+    # ------------------------------------------------------------------ #
+    # the global epoch clock over per-shard flush devices
+
+    def _on_epoch_boundary(self, generation: int) -> None:
+        if generation != self._crash_generation:
+            return
+        scheduler = self.scheduler
+        now = scheduler.now
+        closing = self.current_epoch
+        self.current_epoch += 1
+        scheduler.schedule_callback(
+            now + self.dc.epoch_length,
+            lambda: self._on_epoch_boundary(generation))
+        lag = closing - self.persistent_epoch
+        if lag > self.max_epoch_lag:
+            self.max_epoch_lag = lag
+        timeline = getattr(scheduler, "timeline", None)
+        for shard in range(self.n_shards):
+            records = self._shard_buffers[shard]
+            self._shard_buffers[shard] = []
+            start = max(now, self._shard_flush_free[shard])
+            if records:
+                self.flushes += 1
+                if start > now:
+                    self.flush_stalls += 1
+                if timeline is not None:
+                    timeline.on_flush(now, stalled=start > now)
+                completion = start + self.dc.log_flush
+            else:
+                completion = start  # empty epoch: free ordering marker
+            self._shard_flush_free[shard] = completion
+            self._shard_inflight[shard][closing] = records
+            if completion <= now:
+                self._complete_shard_flush(shard, closing, generation)
+            else:
+                scheduler.schedule_callback(
+                    completion,
+                    lambda s=shard: self._complete_shard_flush(
+                        s, closing, generation))
+
+    def _complete_shard_flush(self, shard: int, epoch: int,
+                              generation: int) -> None:
+        if generation != self._crash_generation:
+            return
+        records = self._shard_inflight[shard].pop(epoch, [])
+        self._shard_persistent[shard] = epoch
+        self._awaiting.setdefault(epoch, {})[shard] = records
+        watermark = min(self._shard_persistent)
+        while self.persistent_epoch < watermark:
+            next_epoch = self.persistent_epoch + 1
+            self._ack_epoch(next_epoch)
+            self.persistent_epoch = next_epoch
+
+    def _ack_epoch(self, epoch: int) -> None:
+        """The watermark reached ``epoch`` on every shard: its records
+        are cluster-committed.  Append them to the durable logs, ack the
+        client-visible commits in seqno order, fold them into the
+        durable view."""
+        by_shard = self._awaiting.pop(epoch, {})
+        merged: List[LogRecord] = []
+        for shard in sorted(by_shard):
+            self.shard_logs[shard].extend(by_shard[shard])
+            merged.extend(by_shard[shard])
+        merged.sort(key=lambda r: r.seqno)
+        scheduler = self.scheduler
+        now = scheduler.now
+        nbytes = 0
+        acks = {} if scheduler.trace.enabled else None
+        for record in merged:
+            self.durable_log.append(record)
+            for image in record.writes:
+                self._durable_vids.add(image.vid)
+            nbytes += record.nbytes
+            if isinstance(record, DecisionRecord):
+                self._decision_txns.add(record.txn_id)
+            if not isinstance(record, (PrepareRecord, DecisionMarker)):
+                # the client ack: plain single-shard records and 2PC
+                # decision records, exactly once per transaction
+                self.stats.record_commit(record.type_name, now,
+                                         now - record.first_start,
+                                         deadline=record.deadline)
+                if acks is not None:
+                    stat = acks.setdefault(record.type_name, [0, 0.0])
+                    stat[0] += 1
+                    stat[1] += now - record.first_start
+                self.acked_commits += 1
+                self.max_acked_seqno = record.seqno
+                self._acked_txns.add(record.txn_id)
+        for record in merged:
+            apply_record(self.durable_view, record)
+        self.log_records_total += len(merged)
+        self.log_bytes_total += nbytes
+        if scheduler.trace.enabled:
+            scheduler.trace.emit(TraceEvent(
+                now, EventKind.EPOCH, -1,
+                attrs={"epoch": epoch, "records": len(merged),
+                       "bytes": nbytes, "acks": acks,
+                       "shards": sorted(by_shard)}))
+        self._prune_checkpoints()
+
+    # ------------------------------------------------------------------ #
+    # whole-cluster crash and recovery
+
+    def resolve_in_doubt(self) -> Dict[int, bool]:
+        """Scan the durable shard logs for prepares without a local
+        decision marker and resolve each against the coordinator's
+        durable log: txn_id -> True (commit) / False (presumed abort).
+        Called during recovery; public for the hand-built-log tests."""
+        durable_decided: List[Set[int]] = [set()
+                                           for _ in range(self.n_shards)]
+        for shard in range(self.n_shards):
+            for record in self.shard_logs[shard]:
+                if isinstance(record, DecisionMarker):
+                    durable_decided[shard].add(record.txn_id)
+        resolutions: Dict[int, bool] = {}
+        for shard in range(self.n_shards):
+            for record in self.shard_logs[shard]:
+                if not isinstance(record, PrepareRecord):
+                    continue
+                if record.txn_id in durable_decided[shard]:
+                    continue  # locally decided: nothing in doubt
+                self.in_doubt_total += 1
+                committed = record.txn_id in self._decision_txns
+                resolutions[record.txn_id] = committed
+                if committed:
+                    self.in_doubt_commits += 1
+                    durable_decided[shard].add(record.txn_id)
+                else:
+                    self.in_doubt_aborts += 1
+                    if record.txn_id in self._acked_txns:
+                        self.violations.append(
+                            f"2pc: acked txn {record.txn_id} resolved as "
+                            f"presumed abort on shard {shard}")
+                    self.lost_txn_ids.add(record.txn_id)
+        # the message-dedup state restarts from what is provably durable
+        self._decided = durable_decided
+        return resolutions
+
+    def node_crash(self) -> RecoveryReport:
+        scheduler = self.scheduler
+        now = scheduler.now
+        self.crash_count += 1
+        self._crash_generation += 1
+        # -- truncate every shard to the cluster watermark ---------------- #
+        # Epochs flushed on only some shards (_awaiting) are discarded too:
+        # an epoch is committed only when durable everywhere, which is what
+        # keeps cross-shard commits atomic under failure.
+        lost_records: List[LogRecord] = []
+        for shard in range(self.n_shards):
+            lost_records.extend(self._shard_buffers[shard])
+            self._shard_buffers[shard] = []
+            for epoch in sorted(self._shard_inflight[shard]):
+                lost_records.extend(self._shard_inflight[shard][epoch])
+            self._shard_inflight[shard].clear()
+            self._shard_flush_free[shard] = 0.0
+        for epoch in sorted(self._awaiting):
+            for shard in sorted(self._awaiting[epoch]):
+                lost_records.extend(self._awaiting[epoch][shard])
+        self._awaiting.clear()
+        self._pending_cost.clear()
+        self.runtime.network.clear_faults()
+        lost_unflushed = len(lost_records)
+        # markers reference *older* durable transactions — losing a marker
+        # never loses the transaction it points at
+        self.lost_txn_ids.update(r.txn_id for r in lost_records
+                                 if not isinstance(r, DecisionMarker))
+        self.lost_unflushed_total += lost_unflushed
+        # -- kill every worker across the cluster ------------------------- #
+        lost_inflight = scheduler.crash_all_workers()
+        self.lost_inflight_total += lost_inflight
+        if scheduler.faults is not None:
+            scheduler.faults.on_node_crash()
+        # -- resolve in-doubt prepares, then replay ----------------------- #
+        resolutions = self.resolve_in_doubt()
+        aborted = {txn_id for txn_id, committed in resolutions.items()
+                   if not committed}
+        durable_seqno = self._durable_seqno()
+        checkpoint = self._usable_checkpoint()
+        allocator_seq = self.db.allocator._next_seq
+        new_db = Database.from_snapshot(checkpoint.snapshot,
+                                        allocator_seq=allocator_seq)
+        replayed = 0
+        for record in self.durable_log:
+            if record.seqno <= checkpoint.last_seqno:
+                continue
+            if isinstance(record, PrepareRecord) and record.txn_id in aborted:
+                continue  # presumed abort: its images must not surface
+            apply_record(new_db, record)
+            replayed += 1
+        recovered_snapshot = new_db.snapshot()
+        # -- durability oracle -------------------------------------------- #
+        violations = verify_recovery(
+            self.durable_view, new_db, self.max_acked_seqno, durable_seqno,
+            self._durable_vids)
+        self.violations.extend(
+            f"durability(crash #{self.crash_count} @ {now}): {v}"
+            for v in violations)
+        # -- downtime, database swap, worker restart ---------------------- #
+        recovery_ticks = (self.dc.recovery_base
+                          + self.dc.replay_per_record * replayed)
+        self.recovery_ticks_total += recovery_ticks
+        restart = now + recovery_ticks
+        self.db = new_db
+        self.workload.db = new_db
+        # re-shard before the CC re-binds: the executor caches the table
+        # dict at recovery exactly like at setup
+        self.runtime.shard_tables(new_db)
+        self.cc.on_node_recovery(new_db)
+        charged_until = min(restart, self.config.duration)
+        if scheduler.accountant is not None and charged_until > now:
+            for worker_id in range(self.config.n_workers):
+                scheduler.accountant.on_wait(worker_id, "recovery",
+                                             charged_until - now)
+        timeline = getattr(scheduler, "timeline", None)
+        if timeline is not None:
+            timeline.on_recovery(now, charged_until, self.config.n_workers)
+        if scheduler.trace.enabled:
+            scheduler.trace.emit(TraceEvent(
+                now, EventKind.NODE_CRASH, -1,
+                attrs={"persistent_epoch": self.persistent_epoch,
+                       "durable_seqno": durable_seqno,
+                       "lost_inflight": lost_inflight,
+                       "lost_unflushed": lost_unflushed,
+                       "in_doubt": len(resolutions)}))
+            scheduler.trace.emit(TraceEvent(
+                now, EventKind.RECOVERY, -1,
+                attrs={"checkpoint_seqno": checkpoint.last_seqno,
+                       "replayed": replayed,
+                       "recovery_ticks": recovery_ticks,
+                       "restart": restart}))
+        new_workers = [
+            self._worker_factory(
+                worker_id,
+                spawn_rng(self.config.seed, worker_id,
+                          RESTART_RNG_SALT + self.crash_count))
+            for worker_id in range(self.config.n_workers)
+        ]
+        scheduler.replace_workers(new_workers, restart)
+        scheduler.last_commit_time = max(scheduler.last_commit_time, restart)
+        # -- restart the epoch clocks at the watermark --------------------- #
+        self.current_epoch = self.persistent_epoch + 1
+        self._shard_persistent = [self.persistent_epoch] * self.n_shards
+        generation = self._crash_generation
+        scheduler.schedule_callback(
+            restart + self.dc.epoch_length,
+            lambda: self._on_epoch_boundary(generation))
+        self.checkpoints.append(Checkpoint(restart, durable_seqno,
+                                           recovered_snapshot))
+        self.checkpoints_taken += 1
+        self._prune_checkpoints()
+        if self.dc.checkpoint_interval > 0:
+            scheduler.schedule_callback(
+                restart + self.dc.checkpoint_interval,
+                lambda: self._on_checkpoint(generation))
+        report = RecoveryReport(
+            now, restart, self.persistent_epoch, durable_seqno,
+            checkpoint.last_seqno, replayed, lost_inflight, lost_unflushed,
+            recovery_ticks, violations, recovered_snapshot)
+        self.recoveries.append(report)
+        return report
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def unflushed_records(self) -> int:
+        """Records not yet cluster-committed: current buffers, in-flight
+        shard flushes, and flushed epochs awaiting the watermark."""
+        total = sum(len(buf) for buf in self._shard_buffers)
+        for inflight in self._shard_inflight:
+            total += sum(len(records) for records in inflight.values())
+        for by_shard in self._awaiting.values():
+            total += sum(len(records) for records in by_shard.values())
+        return total
+
+    def metrics_rows(self):
+        return [
+            ("cluster_decision_messages", float(self.decision_messages)),
+            ("cluster_duplicate_decisions", float(self.duplicate_decisions)),
+            ("cluster_in_doubt_total", float(self.in_doubt_total)),
+            ("cluster_in_doubt_commits", float(self.in_doubt_commits)),
+            ("cluster_in_doubt_aborts", float(self.in_doubt_aborts)),
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ClusterDurability(shards={self.n_shards}, "
+                f"epoch={self.current_epoch}, "
+                f"watermark={self.persistent_epoch}, "
+                f"crashes={self.crash_count})")

@@ -1,0 +1,171 @@
+"""Shard-aware admission: per-shard queues under one arrival process.
+
+One Poisson arrival stream (same RNG, same draw order as the single-node
+:class:`~repro.frontend.frontend.Frontend`, so nothing else in the run
+perturbs) routes each arrival to its **home shard's** admission queue:
+the client id already determines the home shard, because cluster
+workload adapters draw a client's transactions from that client's
+shard-local id ranges (``client * n_shards // n_clients`` — the same
+contiguous-block formula that pins workers to shards).
+
+Workers pull work only from their own shard's queue, through the
+:meth:`view_for` indirection the base frontend also implements (where it
+returns itself).  Each :class:`ShardView` is a distinct wait/wake key,
+so an arrival wakes only workers of the shard it landed on.
+
+The conservation ledger stays **global** — arrivals, admissions, sheds,
+dequeues and outcomes are counted cluster-wide, so the overload oracle's
+invariants hold unchanged.  ``queue_cap`` bounds each shard's queue
+individually (the cluster has N queue slots pools, not one).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from ..frontend.admission import (AdmissionQueue, QueuedInvocation,
+                                  SHED_DEADLINE_QUEUE, SHED_EVICTED)
+from ..frontend.frontend import Frontend
+from ..obs.tracing import EventKind, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import ClusterRuntime
+
+
+class ShardView:
+    """A worker-facing handle on one shard's queue: wait predicate,
+    dequeue, and the wake key idle workers park on."""
+
+    __slots__ = ("fe", "shard")
+
+    def __init__(self, fe: "ShardedFrontend", shard: int) -> None:
+        self.fe = fe
+        self.shard = shard
+
+    def has_work(self) -> bool:
+        return self.fe.shard_queues[self.shard].has_work()
+
+    def next_item(self) -> Optional[QueuedInvocation]:
+        return self.fe.next_item_for(self.shard)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShardView({self.shard})"
+
+
+class ShardedFrontend(Frontend):
+    """Per-shard admission queues behind the single-node frontend API."""
+
+    def __init__(self, config, workload, stats, backoff_policy=None,
+                 runtime: "ClusterRuntime" = None) -> None:
+        super().__init__(config, workload, stats, backoff_policy)
+        if runtime is None:
+            raise ValueError("ShardedFrontend requires the cluster runtime")
+        self.runtime = runtime
+        fc = self.fc
+        self.shard_queues: List[AdmissionQueue] = [
+            AdmissionQueue(fc.queue_cap, fc.shed_policy, dict(fc.priorities))
+            for _ in range(runtime.n_shards)]
+        self._views = [ShardView(self, shard)
+                       for shard in range(runtime.n_shards)]
+
+    # ------------------------------------------------------------------ #
+    # routing
+
+    def view_for(self, worker_id: int) -> ShardView:
+        return self._views[self.runtime.shard_of_worker(worker_id)]
+
+    def shard_of_client(self, client: int) -> int:
+        """Home shard of a client id — the same contiguous-block formula
+        that pins workers, so client c's transactions (drawn shard-local
+        by the cluster workload adapters) land on workers that own their
+        data."""
+        return client * self.runtime.n_shards // self.n_clients
+
+    # ------------------------------------------------------------------ #
+    # overridden queue plumbing
+
+    def has_work(self) -> bool:
+        return any(queue.has_work() for queue in self.shard_queues)
+
+    def idle(self) -> bool:
+        return self.inflight == 0 and not self.has_work()
+
+    def _on_arrival(self) -> None:
+        scheduler = self.scheduler
+        now = scheduler.now
+        self.arrivals += 1
+        client = (self.arrivals - 1) % self.n_clients
+        invocation = self.workload.next_invocation(self.rng, client)
+        if invocation is None:
+            return  # workload exhausted (replay mode): arrivals stop
+        shard = self.shard_of_client(client)
+        queue = self.shard_queues[shard]
+        deadline = None if self.fc.deadline is None else now + self.fc.deadline
+        item = QueuedInvocation(invocation, now, deadline, self.arrivals,
+                                queue.priority_of(invocation.type_name))
+        admitted, evicted, reason = queue.offer(item)
+        for victim in evicted:
+            self.evicted += 1
+            self._record_shed(victim, SHED_EVICTED, now)
+        if admitted:
+            self.admitted += 1
+        else:
+            self.rejected_arrivals += 1
+            self._record_shed(item, reason, now)
+        depth = sum(len(q) for q in self.shard_queues)
+        trace = scheduler.trace
+        if trace.enabled:
+            trace.emit(TraceEvent(
+                now, EventKind.ARRIVAL, -1,
+                txn_type=invocation.type_name,
+                attrs={"seq": item.seq, "admitted": admitted,
+                       "depth": depth, "shard": shard}))
+        timeline = scheduler.timeline
+        if timeline is not None:
+            timeline.on_queue_depth(now, depth)
+        if admitted:
+            # wake only workers parked on this shard's (view) key
+            scheduler.notify_lock(self._views[shard])
+            scheduler.wake_parked()
+        self._schedule_next_arrival()
+
+    def next_item_for(self, shard: int) -> Optional[QueuedInvocation]:
+        now = self.scheduler.now
+        queue = self.shard_queues[shard]
+        item, expired = queue.pop_live(now)
+        for victim in expired:
+            self.expired_queue += 1
+            self._record_shed(victim, SHED_DEADLINE_QUEUE, now)
+        timeline = self.scheduler.timeline
+        if (expired or item is not None) and timeline is not None:
+            timeline.on_queue_depth(
+                now, sum(len(q) for q in self.shard_queues))
+        if item is None:
+            return None
+        self.dequeued += 1
+        self.inflight += 1
+        self.stats.record_queue_wait(now - item.arrival_time, now)
+        return item
+
+    def next_item(self) -> Optional[QueuedInvocation]:
+        """Global dequeue (tests / non-view callers): first shard with
+        live work, in shard order."""
+        for shard in range(self.runtime.n_shards):
+            item = self.next_item_for(shard)
+            if item is not None:
+                return item
+        return None
+
+    def finalize(self, now: float) -> None:
+        for queue in self.shard_queues:
+            for item in queue.drain():
+                if item.expired(now):
+                    self.expired_queue += 1
+                    self._record_shed(item, SHED_DEADLINE_QUEUE, now)
+                else:
+                    self.queued_at_end += 1
+
+    @property
+    def depth_max(self) -> int:
+        """Deepest any single shard queue got (the cap is per shard)."""
+        return max(queue.depth_max for queue in self.shard_queues)

@@ -1,0 +1,146 @@
+"""The simulated inter-shard network: latency/bandwidth cost, faults.
+
+Every cross-shard interaction is charged through this one object so the
+cost model stays in one place:
+
+* **remote record access** — the accessing worker pays one round trip
+  (``2 * delay``) per remote shard touch, charged as plain ``work`` ticks
+  by the cluster CC wrapper.
+* **2PC prepare** — the coordinating worker pays one round trip to the
+  farthest participant (prepares fan out in parallel) before its commit
+  completes.
+* **decision messages** — asynchronous one-way messages from coordinator
+  to participants, delivered via scheduler callbacks ``delay`` ticks
+  later; nobody blocks on them (presumed-abort 2PC: the decision is
+  already durable at the coordinator).
+
+Per-link delay is ``net_latency * factor(now) * jitter + net_bandwidth *
+nbytes``; jitter draws come from the network's own RNG stream
+(``spawn_rng(seed, NET_RNG_SALT)``), so enabling jitter perturbs nothing
+else and zero-jitter runs consume no randomness at all.
+
+Fault windows (scripted via the fault plan's ``net_partition``,
+``net_delay`` and ``net_dup`` events):
+
+* a **partition** isolates one shard from all others for its duration —
+  sends into or out of the isolated shard are impossible until the
+  window closes (senders either abort or wait for :meth:`heal_time`);
+* a **delay window** multiplies every link latency by ``factor``;
+* a **dup window** makes every asynchronous delivery arrive twice (the
+  duplicate one extra ``delay`` later) — receivers must deduplicate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..rng import spawn_rng
+
+#: salt for the network's private RNG stream ("NETW")
+NET_RNG_SALT = 0x4E455457
+
+
+class Network:
+    """Cost model + fault state for the simulated shard interconnect."""
+
+    __slots__ = ("n_shards", "latency", "jitter", "bandwidth", "rng",
+                 "_partitions", "_slow", "_dup",
+                 "messages_total", "bytes_total", "dup_deliveries")
+
+    def __init__(self, n_shards: int, latency: float, jitter: float,
+                 bandwidth: float, seed: int) -> None:
+        self.n_shards = n_shards
+        self.latency = latency
+        self.jitter = jitter
+        self.bandwidth = bandwidth
+        self.rng = spawn_rng(seed, NET_RNG_SALT)
+        #: active/scheduled partition windows: (shard, start, end)
+        self._partitions: List[Tuple[int, float, float]] = []
+        #: latency-multiplier windows: (factor, start, end)
+        self._slow: List[Tuple[float, float, float]] = []
+        #: duplicate-delivery windows: (start, end)
+        self._dup: List[Tuple[float, float]] = []
+        self.messages_total = 0
+        self.bytes_total = 0
+        self.dup_deliveries = 0
+
+    # ------------------------------------------------------------------ #
+    # fault windows (installed by the fault injector)
+
+    def add_partition(self, shard: int, start: float, end: float) -> None:
+        self._partitions.append((shard, start, end))
+
+    def add_slow(self, factor: float, start: float, end: float) -> None:
+        self._slow.append((factor, start, end))
+
+    def add_dup(self, start: float, end: float) -> None:
+        self._dup.append((start, end))
+
+    def clear_faults(self) -> None:
+        """A whole-cluster crash supersedes in-progress network faults."""
+        self._partitions.clear()
+        self._slow.clear()
+        self._dup.clear()
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def is_partitioned(self, a: int, b: int, now: float) -> bool:
+        """True iff shards ``a`` and ``b`` cannot talk at ``now``."""
+        if a == b:
+            return False
+        for shard, start, end in self._partitions:
+            if (shard == a or shard == b) and start <= now < end:
+                return True
+        return False
+
+    def heal_time(self, a: int, b: int, now: float) -> float:
+        """Earliest time >= now at which ``a`` and ``b`` can talk."""
+        heal = now
+        for shard, start, end in self._partitions:
+            if (shard == a or shard == b) and start <= heal < end:
+                heal = end
+        return heal
+
+    def delay_factor(self, now: float) -> float:
+        factor = 1.0
+        for f, start, end in self._slow:
+            if start <= now < end:
+                factor *= f
+        return factor
+
+    def in_dup_window(self, now: float) -> bool:
+        return any(start <= now < end for start, end in self._dup)
+
+    # ------------------------------------------------------------------ #
+    # the cost model
+
+    def delay(self, src: int, dst: int, now: float, nbytes: int = 0) -> float:
+        """One-way message latency from ``src`` to ``dst`` at ``now``.
+        Does not check partitions — callers decide whether to wait for
+        :meth:`heal_time` or abort."""
+        if src == dst:
+            return 0.0
+        base = self.latency * self.delay_factor(now)
+        if self.jitter > 0.0:
+            base *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        self.messages_total += 1
+        self.bytes_total += nbytes
+        return base + self.bandwidth * nbytes
+
+    def delivery_time(self, src: int, dst: int, now: float,
+                      nbytes: int = 0) -> Tuple[float, Optional[float]]:
+        """Arrival time of an asynchronous message sent at ``now``, plus
+        the arrival time of its duplicate (None outside dup windows).
+        A partitioned link defers the send until it heals."""
+        send = self.heal_time(src, dst, now)
+        arrive = send + self.delay(src, dst, send, nbytes)
+        duplicate = None
+        if self.in_dup_window(now):
+            self.dup_deliveries += 1
+            duplicate = arrive + self.delay(src, dst, send, nbytes)
+        return arrive, duplicate
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Network(shards={self.n_shards}, latency={self.latency}, "
+                f"messages={self.messages_total})")

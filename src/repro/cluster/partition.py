@@ -1,0 +1,140 @@
+"""Partitioners: map (table, key) pairs to home shards.
+
+A :class:`Partitioner` answers one question — which shard owns a row —
+and answers it the same way for the whole run (no re-partitioning).  The
+cluster runtime consults it on every record access to decide whether the
+access is shard-local (free) or remote (pays a network round trip), and
+the cluster durability manager consults it to split a commit's write
+images across per-shard WALs.
+
+Three concrete strategies cover the bundled workloads:
+
+* :class:`RangePartitioner` — contiguous ranges of a single integer key
+  component (warehouses for TPC-C, securities for the TPC-E subset, the
+  key space for micro).  Matches how these benchmarks are partitioned in
+  practice: all rows of one warehouse/security live together.
+* :class:`ModuloPartitioner` — hash-style ``key[i] % n_shards`` for
+  tables whose ids are drawn from per-shard congruent streams (TPC-E
+  trades, TPC-C history).
+* :class:`HashPartitioner` — the generic fallback for workloads without
+  a cluster adapter: every table is partitioned by ``hash of key[0]``.
+
+Tables may also be **replicated** (read-only reference data: ITEM,
+TAXRATE, ...): every shard holds a copy, so reads are always local and
+writes are a configuration error.  Replicated tables report shard 0 as
+their durability home so their (nonexistent) log traffic has a
+well-defined owner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..errors import ReproError
+
+
+class Partitioner:
+    """Base class: subclasses implement :meth:`shard_of`."""
+
+    def __init__(self, n_shards: int,
+                 replicated: FrozenSet[str] = frozenset()) -> None:
+        if n_shards < 1:
+            raise ReproError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        #: read-only reference tables present on every shard (reads local
+        #: everywhere; writes are rejected by the cluster runtime)
+        self.replicated = replicated
+
+    def shard_of(self, table: str, key: tuple) -> int:
+        """Home shard of a row.  Must be deterministic and stable."""
+        raise NotImplementedError
+
+    def is_replicated(self, table: str) -> bool:
+        return table in self.replicated
+
+    def home_shard(self, table: str, key: tuple) -> int:
+        """Durability home: replicated tables log on shard 0 by
+        convention (they are never written, so this is only used to give
+        their rows a well-defined owner in snapshots/replay)."""
+        if table in self.replicated:
+            return 0
+        return self.shard_of(table, key)
+
+
+class HashPartitioner(Partitioner):
+    """Generic fallback: partition every table by its first key component.
+
+    Uses the value itself for ints (stable, readable in tests) and
+    ``hash()`` for anything else; Python hashes of ints/strs/tuples are
+    deterministic within a run, and str hashes are stable here because
+    the test/CI harness runs with a fixed ``PYTHONHASHSEED`` via the
+    seeded simulation (no str keys exist in the bundled workloads)."""
+
+    def shard_of(self, table: str, key: tuple) -> int:
+        head = key[0] if key else 0
+        if isinstance(head, int):
+            return head % self.n_shards
+        return hash(head) % self.n_shards
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous ranges of one integer key component per table.
+
+    ``ranges`` maps table name -> (key_index, lo, hi): keys with
+    ``lo <= key[key_index] <= hi`` are split into ``n_shards`` contiguous
+    blocks, earlier blocks taking the remainder rows (block sizes differ
+    by at most one).  Tables not listed fall back to ``default``, which
+    defaults to modulo on ``key[0]``."""
+
+    def __init__(self, n_shards: int,
+                 ranges: Dict[str, Tuple[int, int, int]],
+                 replicated: FrozenSet[str] = frozenset(),
+                 default: "Partitioner" = None) -> None:
+        super().__init__(n_shards, replicated)
+        for table, (index, lo, hi) in ranges.items():
+            if hi < lo:
+                raise ReproError(f"range for {table!r} is empty: "
+                                 f"[{lo}, {hi}]")
+        self.ranges = dict(ranges)
+        self.default = default or HashPartitioner(n_shards)
+
+    def shard_of(self, table: str, key: tuple) -> int:
+        spec = self.ranges.get(table)
+        if spec is None:
+            return self.default.shard_of(table, key)
+        index, lo, hi = spec
+        value = key[index]
+        if value < lo:
+            value = lo
+        elif value > hi:
+            value = hi
+        span = hi - lo + 1
+        return (value - lo) * self.n_shards // span
+
+    def shard_range(self, table: str, shard: int) -> Tuple[int, int]:
+        """Inclusive [lo, hi] of the key component owned by ``shard`` —
+        workload adapters use this to draw shard-local ids."""
+        index, lo, hi = self.ranges[table]
+        span = hi - lo + 1
+        n = self.n_shards
+        # smallest/largest offsets x with (x * n) // span == shard
+        first = lo + (shard * span + n - 1) // n
+        last = lo + ((shard + 1) * span - 1) // n
+        return first, min(last, hi)
+
+
+class ModuloPartitioner(Partitioner):
+    """``key[index] % n_shards`` per table (per-table key index)."""
+
+    def __init__(self, n_shards: int, indexes: Dict[str, int],
+                 replicated: FrozenSet[str] = frozenset(),
+                 default: "Partitioner" = None) -> None:
+        super().__init__(n_shards, replicated)
+        self.indexes = dict(indexes)
+        self.default = default or HashPartitioner(n_shards)
+
+    def shard_of(self, table: str, key: tuple) -> int:
+        index = self.indexes.get(table)
+        if index is None:
+            return self.default.shard_of(table, key)
+        return key[index] % self.n_shards

@@ -257,6 +257,62 @@ class FrontendConfig:
         return self.arrival_rate / TICKS_PER_SECOND
 
 
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Sharded multi-node cluster with cross-shard two-phase commit
+    (:mod:`repro.cluster`).
+
+    When attached to a :class:`SimConfig` (with ``n_shards >= 2``) the run
+    partitions the database across ``n_shards`` simulated nodes: each
+    worker is pinned to a home shard, accesses to records owned by another
+    shard pay a simulated network round trip, and transactions that write
+    more than one shard commit through two-phase commit — prepare records
+    on every participant shard's WAL, a decision record on the
+    coordinator's, and lazily delivered decision messages, so a node crash
+    mid-2PC recovers in-doubt transactions via presumed abort.
+
+    ``n_shards == 1`` is normalised to no cluster at all by the CLI: a
+    seeded ``--shards 1`` run takes exactly the single-node code path and
+    stays bit-identical to a build without the cluster subsystem.
+
+    Attributes:
+        n_shards: number of simulated shards (nodes).  ``SimConfig.n_workers``
+            stays the *total* worker count and must divide evenly across
+            shards; worker ``w`` is homed on shard
+            ``w * n_shards // n_workers``.
+        cross_shard_ratio: fraction of generated transactions the cluster
+            workload adapters steer at remote-shard data (0.0 = perfectly
+            partitionable, the scaling best case).
+        net_latency: one-way message latency between any two shards, in
+            ticks.
+        net_jitter: uniform +/- jitter fraction applied per message from
+            the network's own RNG stream (``spawn_rng(seed, NET_RNG_SALT)``).
+        net_bandwidth: additional ticks charged per payload byte (0 = pure
+            latency model).
+        partitioner: name of the partitioning strategy (``"hash"`` or a
+            workload-provided one via ``Workload.make_partitioner``).
+    """
+
+    n_shards: int = 2
+    cross_shard_ratio: float = 0.1
+    net_latency: float = 15.0
+    net_jitter: float = 0.1
+    net_bandwidth: float = 0.0
+    partitioner: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigError("cluster n_shards must be >= 1")
+        if not 0.0 <= self.cross_shard_ratio <= 1.0:
+            raise ConfigError("cluster cross_shard_ratio must lie in [0, 1]")
+        if not math.isfinite(self.net_latency) or self.net_latency < 0:
+            raise ConfigError("cluster net_latency must be >= 0 and finite")
+        if not 0.0 <= self.net_jitter <= 1.0:
+            raise ConfigError("cluster net_jitter must lie in [0, 1]")
+        if not math.isfinite(self.net_bandwidth) or self.net_bandwidth < 0:
+            raise ConfigError("cluster net_bandwidth must be >= 0 and finite")
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalise a ``--jobs`` value into a concrete worker-process count.
 
@@ -312,6 +368,10 @@ class SimConfig:
         frontend: open-loop admission control (:class:`FrontendConfig`).
             ``None`` (the default) keeps the paper's closed-loop workers,
             bit-identical to a build without the frontend subsystem.
+        cluster: sharded multi-node execution with cross-shard 2PC
+            (:class:`ClusterConfig`).  ``None`` (the default) runs the
+            single-node path, bit-identical to a build without the
+            cluster subsystem.
     """
 
     n_workers: int = 8
@@ -327,6 +387,7 @@ class SimConfig:
     wait_wakeups: str = "event"
     durability: Optional[DurabilityConfig] = None
     frontend: Optional[FrontendConfig] = None
+    cluster: Optional[ClusterConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_workers <= 0:
@@ -349,3 +410,8 @@ class SimConfig:
             raise ConfigError(
                 f"unknown wait_wakeups mode: {self.wait_wakeups!r} "
                 "(expected 'event' or 'poll')")
+        if self.cluster is not None:
+            if self.n_workers % self.cluster.n_shards != 0:
+                raise ConfigError(
+                    f"n_workers ({self.n_workers}) must divide evenly "
+                    f"across cluster shards ({self.cluster.n_shards})")

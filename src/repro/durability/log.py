@@ -5,9 +5,9 @@ order (the commit locks serialise installs, so append order — the global
 ``seqno`` — *is* the commit order; replaying records in seqno order
 reproduces the committed state exactly).  Each record carries its own
 copy of the installed write images so later installs cannot mutate what
-the log saw; values are flat field->scalar dicts and ``Record.install``
-replaces values wholesale, so a one-level ``dict()`` copy detaches them
-fully.
+the log saw; :func:`~repro.storage.database.detach_row` also detaches
+nested mutable field values, so even a row holding a list/dict cannot be
+rewritten inside the log by a later in-place mutation.
 
 The byte sizes are deterministic estimates (field names + fixed-width
 scalars), good enough for the ``durability_log_bytes_total`` metric and
@@ -17,6 +17,8 @@ for reasoning about flush volume; nothing is actually serialised.
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
+
+from ..storage.database import detach_row
 
 #: fixed per-record header estimate: seqno + epoch + txn id (8 bytes each)
 RECORD_HEADER_BYTES = 24
@@ -33,7 +35,7 @@ class WriteImage:
                  vid: tuple) -> None:
         self.table = table
         self.key = key
-        self.value = None if value is None else dict(value)
+        self.value = None if value is None else detach_row(value)
         self.vid = vid
 
     def nbytes(self) -> int:
@@ -92,5 +94,5 @@ def apply_record(db, record: LogRecord) -> None:
     delete as a tombstone, matching what ``Record.install`` produced."""
     for image in record.writes:
         table = db.create_table(image.table)
-        value = None if image.value is None else dict(image.value)
+        value = None if image.value is None else detach_row(image.value)
         table.restore_row(image.key, value, image.vid)

@@ -14,10 +14,20 @@ Three properties, straight from the Silo/SiloR contract:
 
 :func:`filter_history` supports the serializability check *across* a
 crash: committed-but-lost transactions are erased from the recorded
-history.  This is sound because the lost set is dependency-closed (the
-commit-phase dependency wait orders a dependency's install — and hence its
-seqno and epoch — before its dependent's, so truncating to the persistent
-epoch removes a suffix that no surviving transaction read from).
+history.  This is sound *only if* the lost set is dependency-closed — no
+surviving transaction read a version a lost transaction wrote.  On a
+single node the commit-phase dependency wait guarantees it (a
+dependency's install, and hence its seqno and epoch, is ordered before
+its dependent's, so truncating to the persistent epoch removes a clean
+suffix); on a cluster the same must hold *across shards* — a cross-shard
+commit's writes land on several shard WALs, and the cluster watermark
+(min over all shards' persistent epochs) is what keeps the surviving
+prefix closed under those cross-shard commit dependencies.  Rather than
+trust either argument, :func:`filter_history` *verifies* closure and
+fails loudly (:class:`~repro.errors.ReproError`) on a non-closed prefix:
+a violation means the durability layer truncated dependents and
+dependencies inconsistently, and silently filtering would hand the
+serializability oracle a history that was never produced by any run.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from __future__ import annotations
 from typing import Iterable, List, Set
 
 from ..analysis.serializability import HistoryRecorder
+from ..errors import ReproError
 from ..storage.database import Database, diff_snapshots
 from ..storage.record import INITIAL_TXN_ID
 
@@ -60,12 +71,27 @@ def filter_history(recorder: HistoryRecorder,
     survivors' writes in sequence reproduces each chain minus the lost
     versions).  The result is the history that actually survives the run:
     the durable prefix plus everything committed after recovery.
+
+    Raises :class:`~repro.errors.ReproError` if the lost set is not
+    dependency-closed — some surviving transaction read a version written
+    by a lost transaction (including reads that follow a cross-shard
+    commit dependency onto another shard's truncated WAL).  Erasing the
+    writer but keeping the reader would fabricate a history no execution
+    produced, so the oracle must fail the run instead of filtering on.
     """
     lost = set(lost_txn_ids)
     filtered = HistoryRecorder()
     for txn in recorder.committed:
         if txn.txn_id in lost:
             continue
+        for key, vid in txn.reads:
+            if vid[0] in lost:
+                raise ReproError(
+                    f"crash-lost set is not dependency-closed: surviving "
+                    f"txn {txn.txn_id} ({txn.type_name}) read "
+                    f"{key[0]}{key[1]} version {vid} written by lost txn "
+                    f"{vid[0]} — the durability layer truncated a "
+                    f"dependency without its dependent")
         filtered.committed.append(txn)
         for key, vid in txn.writes:
             filtered.version_chain.setdefault(key, []).append(vid)

@@ -23,7 +23,7 @@ from ..core.backoff import BackoffPolicy
 from ..core.policy import CCPolicy
 from ..obs.profile import TimeAccountant, check_accounting
 from ..workloads.base import Workload
-from .plan import FaultPlan
+from .plan import FaultPlan, ScriptedFault
 
 #: default fault-rate levels swept by ``repro chaos`` (per work cost)
 DEFAULT_RATES = (0.0005, 0.002)
@@ -68,6 +68,46 @@ def default_plans(kinds: Sequence[str] = DEFAULT_KINDS,
     mixed = {kind: min(rates) for kind in kinds}
     plans.append(FaultPlan(rates=mixed, name="mixed"))
     return plans
+
+
+def cluster_plans(duration: float, n_shards: int) -> List[FaultPlan]:
+    """The cross-shard 2PC chaos cells (cluster runs only).
+
+    Four plans targeting the seams two-phase commit opens up:
+
+    * ``partition@prepare`` — a shard is partitioned away mid-run, so
+      coordinators hit the partition at remote-access time (clean abort)
+      and at prepare time (stall until heal);
+    * ``partition+node-crash`` — the cluster crashes *inside* a partition
+      window, while decision messages to the isolated shard are still
+      queued behind the heal: transactions prepared on the isolated shard
+      are in-doubt at recovery and must resolve exactly once;
+    * ``dup-decision`` — every asynchronous 2PC decision delivery in the
+      window arrives twice; participants must deduplicate;
+    * ``node-crash-mid-2pc`` — the cluster crashes with no partition
+      cover, catching transactions between prepare and decision delivery.
+    """
+    mid = duration / 2.0
+    window = duration / 5.0
+    isolated = n_shards - 1
+    return [
+        FaultPlan(events=[
+            ScriptedFault(time=mid - window / 2.0, kind="net_partition",
+                          worker=isolated, duration=window),
+        ], name="partition@prepare"),
+        FaultPlan(events=[
+            ScriptedFault(time=mid - window / 2.0, kind="net_partition",
+                          worker=isolated, duration=window),
+            ScriptedFault(time=mid, kind="node_crash"),
+        ], name="partition+node-crash"),
+        FaultPlan(events=[
+            ScriptedFault(time=mid - window / 2.0, kind="net_dup",
+                          duration=window),
+        ], name="dup-decision"),
+        FaultPlan(events=[
+            ScriptedFault(time=mid, kind="node_crash"),
+        ], name="node-crash-mid-2pc"),
+    ]
 
 
 def run_chaos_cell(workload_factory: Callable[[], Workload], cc_name: str,

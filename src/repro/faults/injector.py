@@ -87,6 +87,17 @@ class FaultInjector:
                         f"events[{index}]: burst requires an open-loop "
                         f"frontend (run with --arrival-rate / "
                         f"SimConfig.frontend)")
+            elif event.kind in ("net_partition", "net_delay", "net_dup"):
+                cluster = getattr(scheduler, "cluster", None)
+                if cluster is None:
+                    raise FaultPlanError(
+                        f"events[{index}]: {event.kind} requires a sharded "
+                        f"cluster (run with --shards / SimConfig.cluster)")
+                if event.kind == "net_partition" \
+                        and event.worker >= cluster.n_shards:
+                    raise FaultPlanError(
+                        f"events[{index}].worker: shard {event.worker} does "
+                        f"not exist (cluster has {cluster.n_shards} shards)")
             elif event.worker >= n_workers:
                 raise FaultPlanError(
                     f"events[{index}].worker: worker {event.worker} does not "
@@ -207,6 +218,25 @@ class FaultInjector:
             self._record("burst", -1, None, "scripted",
                          factor=event.factor, duration=event.duration)
             scheduler.frontend.apply_burst(event.factor, event.duration)
+            return
+        if event.kind in ("net_partition", "net_delay", "net_dup"):
+            # network chaos: open a fault window on the cluster's
+            # interconnect (remote accesses / 2PC messages react to it)
+            network = scheduler.cluster.network
+            now = scheduler.now
+            if event.kind == "net_partition":
+                network.add_partition(event.worker, now,
+                                      now + event.duration)
+                self._record("net_partition", event.worker, None,
+                             "scripted", duration=event.duration)
+            elif event.kind == "net_delay":
+                network.add_slow(event.factor, now, now + event.duration)
+                self._record("net_delay", -1, None, "scripted",
+                             factor=event.factor, duration=event.duration)
+            else:
+                network.add_dup(now, now + event.duration)
+                self._record("net_dup", -1, None, "scripted",
+                             duration=event.duration)
             return
         worker = scheduler._workers[event.worker]
         if worker.finished:

@@ -31,6 +31,16 @@ _crash    (scripted only; requires ``SimConfig.durability``): every
 burst     the open-loop arrival rate is multiplied by ``factor`` for
           ``duration`` ticks (scripted only; requires
           ``SimConfig.frontend``) — the overload chaos event
+net       shard ``worker`` is partitioned from every other shard for
+_partition  ``duration`` ticks (scripted only; requires
+          ``SimConfig.cluster``): in-flight remote accesses abort,
+          2PC decision deliveries stall until the window closes
+net       every inter-shard message latency is multiplied by
+_delay    ``factor`` for ``duration`` ticks (scripted only; requires
+          ``SimConfig.cluster``)
+net_dup   every asynchronous inter-shard delivery in the window
+          arrives twice — receivers must deduplicate (scripted only;
+          requires ``SimConfig.cluster``)
 ========  ===========================================================
 
 Plans serialize to/from JSON (``repro run --faults PLAN.json``) and are
@@ -54,7 +64,13 @@ RATE_KINDS = ("stall", "abort", "crash", "doom", "slow")
 
 #: scripted event kinds
 EVENT_KINDS = ("stall", "abort", "crash", "doom", "slow", "node_crash",
-               "burst")
+               "burst", "net_partition", "net_delay", "net_dup")
+
+#: scripted kinds whose ``worker`` field is not a worker id: whole-node /
+#: arrival-process / whole-network events (conventional value -1) and
+#: ``net_partition``, where ``worker`` names the *shard* to isolate
+NON_WORKER_KINDS = ("node_crash", "burst", "net_partition", "net_delay",
+                    "net_dup")
 
 
 @dataclass
@@ -63,9 +79,10 @@ class ScriptedFault:
 
     time: float
     kind: str
-    #: target worker id; ignored by ``node_crash`` (which takes down the
-    #: whole node) and ``burst`` (which targets the arrival process),
-    #: where the conventional value is ``-1``
+    #: target worker id; for ``net_partition`` this is the *shard* to
+    #: isolate, and it is ignored by ``node_crash`` (which takes down the
+    #: whole node), ``burst`` (the arrival process) and ``net_delay`` /
+    #: ``net_dup`` (every link), where the conventional value is ``-1``
     worker: int = -1
     #: stall length (``kind == "stall"``)
     ticks: float = 0.0
@@ -86,9 +103,21 @@ class ScriptedFault:
                 f"(expected one of {', '.join(EVENT_KINDS)})")
         if self.time < 0:
             raise FaultPlanError(f"{where}.time: must be >= 0, got {self.time}")
-        if self.worker < 0 and self.kind not in ("node_crash", "burst"):
+        if self.worker < 0 and self.kind not in NON_WORKER_KINDS:
             raise FaultPlanError(
                 f"{where}.worker: must be >= 0, got {self.worker}")
+        if self.kind == "net_partition" and self.worker < 0:
+            raise FaultPlanError(
+                f"{where}.worker: net_partition needs the shard to "
+                f"isolate (>= 0), got {self.worker}")
+        if self.kind in ("net_partition", "net_delay", "net_dup") \
+                and self.duration <= 0:
+            raise FaultPlanError(
+                f"{where}.duration: {self.kind} needs a bounded window "
+                f"(duration > 0), got {self.duration}")
+        if self.kind == "net_delay" and self.factor <= 0:
+            raise FaultPlanError(
+                f"{where}.factor: must be > 0, got {self.factor}")
         if self.kind == "stall" and self.ticks <= 0:
             raise FaultPlanError(
                 f"{where}.ticks: stall needs ticks > 0, got {self.ticks}")
@@ -113,7 +142,7 @@ class ScriptedFault:
 
     def to_dict(self) -> dict:
         data = {"time": self.time, "kind": self.kind}
-        if self.kind not in ("node_crash", "burst"):
+        if self.kind not in NON_WORKER_KINDS or self.kind == "net_partition":
             data["worker"] = self.worker
         if self.kind == "stall":
             data["ticks"] = self.ticks
@@ -123,8 +152,10 @@ class ScriptedFault:
             data["factor"] = self.factor
             if self.duration:
                 data["duration"] = self.duration
-        elif self.kind == "burst":
+        elif self.kind in ("burst", "net_delay"):
             data["factor"] = self.factor
+            data["duration"] = self.duration
+        elif self.kind in ("net_partition", "net_dup"):
             data["duration"] = self.duration
         return data
 

@@ -100,6 +100,13 @@ class Frontend:
         """Wait predicate for idle workers (see ``WaitKind.ARRIVAL``)."""
         return self.queue.has_work()
 
+    def view_for(self, worker_id: int) -> "Frontend":
+        """The queue handle worker ``worker_id`` should pull from and
+        park on.  The single-node frontend is its own (only) view; the
+        cluster's :class:`~repro.cluster.frontend.ShardedFrontend`
+        returns the worker's home-shard view."""
+        return self
+
     def idle(self) -> bool:
         """True when there is nothing the workers could be committing:
         the queue is empty and no dequeued invocation is in flight.  The

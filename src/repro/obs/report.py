@@ -114,6 +114,15 @@ def _summary_from_metrics(rows: List[dict]) -> dict:
             summary.setdefault("slo", {}).setdefault(
                 "queue_wait_p99_us", {})[labels.get("cc", "?")] = \
                 row.get("value", 0.0)
+        elif isinstance(name, str) and name.startswith("cluster_"):
+            cluster = summary.setdefault("cluster", {})
+            short = name[len("cluster_"):]
+            if short.startswith("commits_shard"):
+                cluster.setdefault("shard_commits", {})[
+                    short[len("commits_shard"):]] = row.get("value", 0.0)
+            else:
+                cluster[short] = cluster.get(short, 0.0) \
+                    + row.get("value", 0.0)
     return summary
 
 
@@ -214,6 +223,56 @@ def render_markdown(report: dict) -> str:
     else:
         lines.append("_closed-loop run (or no metrics artifact) — "
                      "no admission-control data_")
+    lines.append("")
+
+    lines.append("## Cluster")
+    cluster = (summary or {}).get("cluster")
+    if cluster:
+        shards = int(cluster.get("shards", 0))
+        cross = int(cluster.get("cross_shard_commits", 0))
+        lines.append(f"- shards: {shards}")
+        lines.append(f"- cross-shard commits: {_fmt(cross)} "
+                     f"({_fmt(int(cluster.get('prepares_total', 0)))} "
+                     "prepares, "
+                     f"{_fmt(int(cluster.get('decision_messages', 0)))} "
+                     "decision messages)")
+        lines.append(f"- remote accesses: "
+                     f"{_fmt(int(cluster.get('remote_accesses', 0)))}, "
+                     "network messages: "
+                     f"{_fmt(int(cluster.get('net_messages', 0)))}")
+        # cross-shard latency decomposition: of the network ticks a
+        # cross-shard commit paid, how much was the 2PC prepare round
+        # versus remote record round trips during execution
+        net = cluster.get("net_ticks_total", 0.0)
+        prepare = cluster.get("prepare_ticks_total", 0.0)
+        if cross:
+            lines.append("- cross-shard commit cost: "
+                         f"{_fmt(net / cross)} net ticks/commit "
+                         f"({_fmt(prepare / cross)} prepare round, "
+                         f"{_fmt((net - prepare) / cross)} remote accesses)")
+        if cluster.get("partition_aborts"):
+            lines.append("- partition aborts: "
+                         f"{_fmt(int(cluster['partition_aborts']))}")
+        if cluster.get("in_doubt_total"):
+            lines.append("- in-doubt at recovery: "
+                         f"{_fmt(int(cluster['in_doubt_total']))} "
+                         f"({_fmt(int(cluster.get('in_doubt_commits', 0)))} "
+                         "resolved commit, "
+                         f"{_fmt(int(cluster.get('in_doubt_aborts', 0)))} "
+                         "presumed abort)")
+        if cluster.get("duplicate_decisions"):
+            lines.append("- duplicate decision messages absorbed: "
+                         f"{_fmt(int(cluster['duplicate_decisions']))}")
+        shard_commits = cluster.get("shard_commits") or {}
+        if shard_commits:
+            lines.append("")
+            lines.extend(_table(
+                ["shard", "commits"],
+                [[shard, _fmt(int(count))] for shard, count
+                 in sorted(shard_commits.items(), key=lambda kv: int(kv[0]))]))
+    else:
+        lines.append("_single-node run (or no metrics artifact) — "
+                     "no cluster data_")
     lines.append("")
 
     lines.append("## Timeline")

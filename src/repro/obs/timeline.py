@@ -61,7 +61,8 @@ class TimelineSampler:
 
     __slots__ = ("window", "n_workers", "_commits", "_aborts", "_dooms",
                  "_backoff", "_wait", "_flushes", "_flush_stalls",
-                 "_latency", "_max_window", "_queue_depth", "_shed")
+                 "_latency", "_max_window", "_queue_depth", "_shed",
+                 "_shard_commits")
 
     def __init__(self, window: float, n_workers: int) -> None:
         if window <= 0:
@@ -84,6 +85,8 @@ class TimelineSampler:
         self._queue_depth: Dict[int, int] = {}
         #: window -> shed invocations (open-loop runs)
         self._shed: Dict[int, int] = {}
+        #: window -> home shard -> commits (cluster runs)
+        self._shard_commits: Dict[int, Dict[int, int]] = {}
         self._max_window = -1
 
     # ------------------------------------------------------------------ #
@@ -138,6 +141,14 @@ class TimelineSampler:
         index = self._index(now)
         self._shed[index] = self._shed.get(index, 0) + 1
 
+    def on_shard_commit(self, now: float, shard: int) -> None:
+        """Count one commit against its coordinator's home shard (cluster
+        runtime hook; never called in single-node runs, so non-cluster
+        timelines carry no per-shard columns and stay byte-identical)."""
+        index = self._index(now)
+        shards = self._shard_commits.setdefault(index, {})
+        shards[shard] = shards.get(shard, 0) + 1
+
     def on_recovery(self, start: float, end: float, n_workers: int) -> None:
         """Spread post-crash downtime (charged as ``wait:recovery``) across
         every window the outage overlaps, ``n_workers`` ticks per tick."""
@@ -169,6 +180,8 @@ class TimelineSampler:
         """One dict per window, windows 0..max observed (gaps included, so
         a flat-lined series renders as zeros, not missing points)."""
         kinds = self.wait_kinds()
+        shards = sorted({shard for per_window in self._shard_commits.values()
+                         for shard in per_window})
         capacity = self.window * self.n_workers
         out: List[dict] = []
         for index in range(self._max_window + 1):
@@ -204,6 +217,12 @@ class TimelineSampler:
             if self._queue_depth or self._shed:
                 row["queue_depth_max"] = self._queue_depth.get(index, 0)
                 row["shed"] = self._shed.get(index, 0)
+            # per-shard columns appear only when a cluster runtime fed the
+            # sampler, so single-node timelines stay byte-identical
+            if shards:
+                per_window = self._shard_commits.get(index, {})
+                for shard in shards:
+                    row[f"commits_shard{shard}"] = per_window.get(shard, 0)
             out.append(row)
         return out
 

@@ -90,6 +90,10 @@ class Scheduler:
         #: bench runner when ``config.frontend`` is set; ``None`` keeps the
         #: run closed-loop with zero frontend hooks on the hot path
         self.frontend = None
+        #: optional :class:`~repro.cluster.ClusterRuntime`, attached by the
+        #: bench runner when ``config.cluster`` is set; ``None`` means the
+        #: run is single-node and no cluster hook exists anywhere
+        self.cluster = None
         #: workers whose invocation deadline fired while they were running
         #: or sleeping; the abort is delivered at their next advance (only
         #: if the attempt is still active — a committed transaction merely

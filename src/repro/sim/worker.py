@@ -192,10 +192,11 @@ class Worker:
         bounded by the frontend's retry budget and deadline rather than
         running until success."""
         self.backoff_manager = self.cc.make_backoff(self)
-        arrival_wait = WaitFor(frontend.has_work, WaitKind.ARRIVAL,
-                               abort_on_break=False, wake_keys=(frontend,))
+        view = frontend.view_for(self.worker_id)
+        arrival_wait = WaitFor(view.has_work, WaitKind.ARRIVAL,
+                               abort_on_break=False, wake_keys=(view,))
         while True:
-            item = frontend.next_item()
+            item = view.next_item()
             if item is None:
                 yield arrival_wait
                 continue

@@ -13,7 +13,7 @@ Public surface:
 """
 
 from .access_list import AccessEntry, AccessKind, AccessList
-from .database import Database
+from .database import Database, detach_row
 from .locks import LockMode, LockRequestOutcome, LockTable
 from .record import Record, VersionIdAllocator
 from .table import Table
@@ -29,4 +29,5 @@ __all__ = [
     "Record",
     "Table",
     "VersionIdAllocator",
+    "detach_row",
 ]

@@ -13,6 +13,34 @@ from .table import Table
 Snapshot = Dict[str, Dict[tuple, tuple]]
 
 
+def detach_row(value: dict) -> dict:
+    """Detached copy of a row value: a one-level ``dict()`` copy plus a
+    recursive copy of any *nested mutable* field value (dict/list/set).
+
+    Most rows are flat field->scalar dicts, for which this is exactly a
+    ``dict(value)`` — but nothing stops a workload from storing a list or
+    dict in a field, and a snapshot (or log record) that shares such a
+    nested object with the live row is silently corrupted the moment an
+    update-function mutates it in place.  Scalars (and tuples of scalars,
+    which are immutable) are shared — only mutable containers are copied.
+    """
+    detached = dict(value)
+    for field, item in detached.items():
+        if isinstance(item, (dict, list, set)):
+            detached[field] = _detach_value(item)
+    return detached
+
+
+def _detach_value(item):
+    if isinstance(item, dict):
+        return {k: _detach_value(v) for k, v in item.items()}
+    if isinstance(item, list):
+        return [_detach_value(v) for v in item]
+    if isinstance(item, set):
+        return set(item)
+    return item
+
+
 class Mismatch:
     """One structured difference between two committed states."""
 
@@ -125,9 +153,11 @@ class Database:
         with transactions in flight.  Iteration is sorted, so two equal
         states produce byte-identical (e.g. pickled) snapshots.
 
-        Row values are flat field->scalar dicts and ``Record.install``
+        Values are detached with :func:`detach_row`: ``Record.install``
         replaces a record's value wholesale (never mutates it in place),
-        so a one-level ``dict()`` copy fully detaches the snapshot.
+        but a *nested* mutable field value (a list or dict inside a row)
+        would stay shared under a one-level copy and let later in-place
+        mutations rewrite history inside the snapshot.
         """
         tables: Snapshot = {}
         for name in sorted(self._tables):
@@ -138,7 +168,7 @@ class Database:
                 record = records[key]
                 if record.value is None:
                     continue
-                rows[key] = (record.version_id, dict(record.value))
+                rows[key] = (record.version_id, detach_row(record.value))
             tables[name] = rows
         return tables
 
@@ -152,7 +182,7 @@ class Database:
             table = db.create_table(name)
             for key in sorted(snapshot[name]):
                 vid, value = snapshot[name][key]
-                table.restore_row(key, dict(value), vid)
+                table.restore_row(key, detach_row(value), vid)
         db.allocator._next_seq = allocator_seq
         return db
 

@@ -40,7 +40,13 @@ class NewOrderInput:
 
 
 def generate_neworder(rng: random.Random, scale: TPCCScale,
-                      home_w: int, now: int) -> NewOrderInput:
+                      home_w: int, now: int, *,
+                      remote_prob: float = None,
+                      remote_pool: List[int] = None) -> NewOrderInput:
+    """``remote_pool``/``remote_prob`` (cluster adapters) replace the
+    spec's fixed 1% remote-warehouse draw with a draw from an explicit
+    warehouse pool; when ``remote_pool`` is ``None`` the single-node
+    behaviour (and its draw sequence) is untouched."""
     d_id = rng.randint(1, scale.districts_per_warehouse)
     c_id = nurand(rng, 1023, 1, scale.customers_per_district) \
         if scale.customers_per_district >= 1023 \
@@ -55,7 +61,10 @@ def generate_neworder(rng: random.Random, scale: TPCCScale,
             continue
         seen.add(i_id)
         supply_w = home_w
-        if scale.n_warehouses > 1 and rng.random() < 0.01:
+        if remote_pool is not None:
+            if remote_prob and remote_pool and rng.random() < remote_prob:
+                supply_w = rng.choice(remote_pool)
+        elif scale.n_warehouses > 1 and rng.random() < 0.01:
             supply_w = rng.choice(
                 [w for w in range(1, scale.n_warehouses + 1) if w != home_w])
         items.append((i_id, supply_w, rng.randint(1, 10)))
@@ -145,10 +154,18 @@ class PaymentInput:
 
 
 def generate_payment(rng: random.Random, scale: TPCCScale, home_w: int,
-                     h_id: int) -> PaymentInput:
+                     h_id: int, *, remote_prob: float = None,
+                     remote_pool: List[int] = None) -> PaymentInput:
+    """``remote_pool``/``remote_prob`` (cluster adapters) replace the
+    spec's fixed 15% remote-customer draw with a draw from an explicit
+    warehouse pool; ``None`` keeps the single-node draw sequence."""
     d_id = rng.randint(1, scale.districts_per_warehouse)
     c_w_id, c_d_id = home_w, d_id
-    if scale.n_warehouses > 1 and rng.random() < 0.15:
+    if remote_pool is not None:
+        if remote_prob and remote_pool and rng.random() < remote_prob:
+            c_w_id = rng.choice(remote_pool)
+            c_d_id = rng.randint(1, scale.districts_per_warehouse)
+    elif scale.n_warehouses > 1 and rng.random() < 0.15:
         c_w_id = rng.choice(
             [w for w in range(1, scale.n_warehouses + 1) if w != home_w])
         c_d_id = rng.randint(1, scale.districts_per_warehouse)

@@ -1,0 +1,83 @@
+"""2PC chaos cells: partitions, duplicate decisions, and node crashes
+mid-commit must leave every oracle green and resolve in-doubt
+transactions exactly once."""
+
+import pytest
+
+from repro.bench.runner import run_protocol
+from repro.cc import make_cc
+from repro.config import ClusterConfig, DurabilityConfig, SimConfig
+from repro.cluster.workloads import make_cluster_tpcc_factory
+from repro.faults.chaos import cluster_plans, run_chaos_cell
+
+DURATION = 6_000.0
+N_SHARDS = 2
+
+
+def make_config(seed=31):
+    return SimConfig(
+        n_workers=4, duration=DURATION, warmup=0.0, seed=seed,
+        durability=DurabilityConfig(epoch_length=500.0,
+                                    checkpoint_interval=2_000.0),
+        cluster=ClusterConfig(n_shards=N_SHARDS, cross_shard_ratio=0.3))
+
+
+def make_factory(seed=31):
+    return make_cluster_tpcc_factory(N_SHARDS, 4, cross_shard_ratio=0.3,
+                                     n_warehouses=4, seed=seed)
+
+
+PLANS = {plan.name: plan for plan in cluster_plans(DURATION, N_SHARDS)}
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+def test_cluster_chaos_cell_all_oracles_clean(plan_name):
+    """Serializability (crash-filtered), workload invariants, time
+    accounting and the durability oracle under each 2PC fault plan."""
+    cell = run_chaos_cell(make_factory(), "silo", make_config(),
+                          PLANS[plan_name])
+    assert cell.ok, cell.violations
+    assert cell.commits > 0
+
+
+def test_duplicate_decisions_are_absorbed_exactly_once():
+    """net_dup doubles decision deliveries in the window; participants
+    must deduplicate (one marker per prepare, no double-apply)."""
+    result = run_protocol(make_factory(), make_cc("silo"), make_config(),
+                          fault_plan=PLANS["dup-decision"])
+    assert result.invariant_violations == []
+    durability = result.durability
+    assert durability.duplicate_decisions > 0
+    # duplicates never fabricate in-doubt state or crash bookkeeping
+    assert durability.in_doubt_total == 0
+    assert durability.crash_count == 0
+
+
+def test_in_doubt_transaction_resolves_exactly_once():
+    """A node crash inside a partition window catches transactions
+    prepared on the isolated shard with the decision message still queued
+    behind the heal: recovery must resolve each in-doubt prepare exactly
+    once, and — with synchronized epochs — always as commit (the prepare
+    and decision share an epoch under the cluster watermark)."""
+    result = run_protocol(make_factory(), make_cc("silo"), make_config(),
+                          fault_plan=PLANS["partition+node-crash"])
+    assert result.invariant_violations == []
+    durability = result.durability
+    assert durability.crash_count == 1
+    assert durability.in_doubt_total >= 1
+    assert (durability.in_doubt_commits + durability.in_doubt_aborts
+            == durability.in_doubt_total)
+    assert durability.in_doubt_aborts == 0
+    # the resolution counters surface in the metrics rows
+    rows = dict(durability.metrics_rows())
+    assert rows["cluster_in_doubt_total"] == float(durability.in_doubt_total)
+
+
+def test_partition_aborts_transactions_that_cannot_reach_a_shard():
+    result = run_protocol(make_factory(), make_cc("silo"), make_config(),
+                          fault_plan=PLANS["partition@prepare"])
+    assert result.invariant_violations == []
+    runtime = result.durability.runtime
+    assert runtime.partition_aborts > 0
+    # the partition healed: traffic resumed afterwards
+    assert runtime.cross_shard_commits > 0

@@ -1,0 +1,149 @@
+"""Cluster integration: full-oracle 4-shard runs, metrics surface,
+weak scaling, open-loop admission, and the shards=1 normalisation."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import run_protocol
+from repro.cc import make_cc
+from repro.config import (ClusterConfig, DurabilityConfig, FrontendConfig,
+                          SimConfig)
+from repro.errors import ReproError
+from repro.cluster.workloads import (make_cluster_micro_factory,
+                                     make_cluster_tpcc_factory,
+                                     make_cluster_tpce_factory)
+from repro.faults import FaultPlan
+from repro.faults.chaos import run_chaos_cell
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.tpcc import make_tpcc_factory
+from repro.workloads.tpcc.schema import TPCCScale
+
+N_SHARDS = 4
+N_WORKERS = 8
+
+
+def cluster_config(duration=6_000.0, cross_shard_ratio=0.2, seed=23,
+                   **kwargs):
+    return SimConfig(
+        n_workers=N_WORKERS, duration=duration, warmup=0.0, seed=seed,
+        durability=DurabilityConfig(epoch_length=500.0,
+                                    checkpoint_interval=2_000.0),
+        cluster=ClusterConfig(n_shards=N_SHARDS,
+                              cross_shard_ratio=cross_shard_ratio),
+        **kwargs)
+
+
+FACTORIES = {
+    "tpcc": lambda ratio, seed: make_cluster_tpcc_factory(
+        N_SHARDS, N_WORKERS, cross_shard_ratio=ratio, n_warehouses=8,
+        seed=seed),
+    "tpce": lambda ratio, seed: make_cluster_tpce_factory(
+        N_SHARDS, N_WORKERS, cross_shard_ratio=ratio, seed=seed),
+    "micro": lambda ratio, seed: make_cluster_micro_factory(
+        N_SHARDS, N_WORKERS, cross_shard_ratio=ratio),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(FACTORIES))
+def test_four_shard_run_passes_every_oracle(workload):
+    """Serializability, workload invariants, time accounting and the
+    durability oracle on a 4-shard run with 20% cross-shard traffic."""
+    config = cluster_config()
+    factory = FACTORIES[workload](0.2, config.seed)
+    cell = run_chaos_cell(factory, "silo", config,
+                          FaultPlan(name="baseline"))
+    assert cell.ok, cell.violations
+    assert cell.commits > 0
+
+
+def test_cross_shard_commits_pay_2pc_and_show_up_in_metrics():
+    config = cluster_config()
+    metrics = MetricsRegistry()
+    factory = FACTORIES["tpcc"](0.2, config.seed)
+    result = run_protocol(factory, make_cc("silo"), config, metrics=metrics)
+    assert result.invariant_violations == []
+    rows = {row["name"]: row for row in metrics.snapshot()}
+    assert rows["cluster_shards"]["value"] == float(N_SHARDS)
+    assert rows["cluster_cross_shard_commits"]["value"] > 0
+    assert rows["cluster_remote_accesses"]["value"] > 0
+    assert rows["cluster_prepares_total"]["value"] > 0
+    assert rows["cluster_decision_messages"]["value"] > 0
+    # every 2PC round costs network time, and the per-shard split covers
+    # all commits
+    assert rows["cluster_prepare_ticks_total"]["value"] > 0
+    # per-shard counters tick at install time; acked commits lag by up
+    # to the unflushed group-commit tail at run end
+    per_shard = sum(rows[f"cluster_commits_shard{shard}"]["value"]
+                    for shard in range(N_SHARDS))
+    assert per_shard >= float(result.stats.total_commits) > 0
+    # the artifact stays valid JSON
+    json.loads(metrics.to_json())
+
+
+def test_zero_cross_shard_ratio_never_touches_the_network():
+    config = cluster_config(cross_shard_ratio=0.0)
+    metrics = MetricsRegistry()
+    factory = FACTORIES["tpcc"](0.0, config.seed)
+    result = run_protocol(factory, make_cc("silo"), config, metrics=metrics)
+    assert result.invariant_violations == []
+    rows = {row["name"]: row["value"] for row in metrics.snapshot()}
+    assert rows["cluster_cross_shard_commits"] == 0
+    assert rows["cluster_remote_accesses"] == 0
+    assert rows["cluster_net_ticks_total"] == 0.0
+
+
+def test_weak_scaling_four_shards_at_least_3x_one_node():
+    """The acceptance floor: 4 shards with 4x the workers and 4x the
+    warehouses at 0% cross-shard traffic must deliver >= 3x the
+    committed TPS of one node (durability on for both)."""
+    duration, warmup = 8_000.0, 1_000.0
+    single = SimConfig(n_workers=8, duration=duration, warmup=warmup,
+                       seed=11, durability=DurabilityConfig())
+    r1 = run_protocol(make_tpcc_factory(scale=TPCCScale(n_warehouses=8)),
+                      make_cc("silo"), single)
+    sharded = SimConfig(
+        n_workers=32, duration=duration, warmup=warmup, seed=11,
+        durability=DurabilityConfig(),
+        cluster=ClusterConfig(n_shards=4, cross_shard_ratio=0.0))
+    r4 = run_protocol(
+        make_cluster_tpcc_factory(4, 32, cross_shard_ratio=0.0,
+                                  n_warehouses=32, seed=11),
+        make_cc("silo"), sharded)
+    assert r1.invariant_violations == []
+    assert r4.invariant_violations == []
+    assert r1.stats.total_commits > 0
+    ratio = r4.stats.throughput() / r1.stats.throughput()
+    assert ratio >= 3.0, f"weak scaling {ratio:.2f}x < 3x"
+
+
+def test_open_loop_cluster_run_conserves_arrivals():
+    """Shard-aware admission: every arrival is dequeued, shed, expired
+    or still queued (the conservation identity is folded into
+    invariant_violations by the runner)."""
+    config = cluster_config(
+        frontend=FrontendConfig(arrival_rate=500.0, queue_cap=64))
+    factory = FACTORIES["micro"](0.2, config.seed)
+    result = run_protocol(factory, make_cc("silo"), config)
+    assert result.invariant_violations == []
+    assert result.frontend is not None
+    assert result.frontend.arrivals > 0
+    assert result.stats.total_commits > 0
+
+
+def test_cli_normalises_one_shard_to_no_cluster():
+    """--shards 1 must take literally the single-node code path."""
+    import argparse
+
+    from repro.cli import _cluster_config
+
+    args = argparse.Namespace(shards=1, cross_shard_ratio=0.1,
+                              net_latency=15.0, net_jitter=0.1,
+                              net_bandwidth=0.0)
+    assert _cluster_config(args) is None
+    args.shards = 2
+    cluster = _cluster_config(args)
+    assert cluster is not None and cluster.n_shards == 2
+    args.shards = 0
+    with pytest.raises(ReproError, match="--shards"):
+        _cluster_config(args)

@@ -1,0 +1,127 @@
+"""Partitioner units: shard_of/shard_range consistency, replication,
+the TPC-E trade-family placement, and the workload hook."""
+
+import pytest
+
+from repro.cluster.partition import (HashPartitioner, ModuloPartitioner,
+                                     Partitioner, RangePartitioner)
+from repro.cluster.workloads import (NEW_TRADE_BLOCK, ClusterTPCE,
+                                     TPCEPartitioner, partitioner_for)
+from repro.errors import ReproError
+from repro.workloads.tpce import schema as tpce_schema
+from repro.workloads.tpce.schema import TPCEScale
+from repro.workloads.tpce.workload import TRADE_ID_BASE
+
+
+class TestRangePartitioner:
+    def test_every_key_maps_into_its_shard_range(self):
+        """shard_range must be the exact inverse image of shard_of."""
+        for n_shards in (1, 2, 3, 4, 7):
+            part = RangePartitioner(n_shards, {"T": (0, 1, 23)})
+            owned = {shard: [] for shard in range(n_shards)}
+            for key in range(1, 24):
+                shard = part.shard_of("T", (key,))
+                assert 0 <= shard < n_shards
+                owned[shard].append(key)
+            for shard in range(n_shards):
+                lo, hi = part.shard_range("T", shard)
+                assert owned[shard] == list(range(lo, hi + 1))
+
+    def test_blocks_are_contiguous_and_balanced(self):
+        part = RangePartitioner(4, {"W": (0, 1, 10)})
+        sizes = []
+        for shard in range(4):
+            lo, hi = part.shard_range("W", shard)
+            sizes.append(hi - lo + 1)
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_out_of_range_keys_clamp_to_edge_shards(self):
+        part = RangePartitioner(4, {"T": (0, 10, 49)})
+        assert part.shard_of("T", (0,)) == part.shard_of("T", (10,))
+        assert part.shard_of("T", (1_000,)) == part.shard_of("T", (49,))
+
+    def test_key_index_selects_the_partitioning_component(self):
+        part = RangePartitioner(2, {"T": (1, 1, 10)})
+        assert part.shard_of("T", (999, 1)) == 0
+        assert part.shard_of("T", (0, 10)) == 1
+
+    def test_unlisted_tables_fall_back_to_the_default(self):
+        part = RangePartitioner(3, {"T": (0, 1, 9)})
+        assert part.shard_of("OTHER", (7,)) == 7 % 3
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ReproError, match="empty"):
+            RangePartitioner(2, {"T": (0, 5, 4)})
+
+
+def test_modulo_partitioner_uses_per_table_key_index():
+    part = ModuloPartitioner(4, {"H": 2})
+    assert part.shard_of("H", (9, 9, 6)) == 6 % 4
+    # unlisted table: hash fallback on key[0]
+    assert part.shard_of("X", (11,)) == 11 % 4
+
+
+def test_hash_partitioner_int_head_is_modulo():
+    part = HashPartitioner(8)
+    assert all(part.shard_of("T", (k,)) == k % 8 for k in range(32))
+
+
+def test_replicated_tables_read_local_and_home_on_shard_zero():
+    part = RangePartitioner(4, {"T": (0, 1, 8)},
+                            replicated=frozenset({"ITEM"}))
+    assert part.is_replicated("ITEM")
+    assert not part.is_replicated("T")
+    assert part.home_shard("ITEM", (123456,)) == 0
+    # non-replicated tables home where they shard
+    assert part.home_shard("T", (8,)) == part.shard_of("T", (8,))
+
+
+def test_n_shards_must_be_positive():
+    with pytest.raises(ReproError, match="n_shards"):
+        HashPartitioner(0)
+
+
+class TestTPCEPartitioner:
+    def test_initial_trades_range_partitioned(self):
+        scale = TPCEScale()
+        part = TPCEPartitioner(4, scale)
+        shards = {part.shard_of(tpce_schema.TRADE, (t_id,))
+                  for t_id in range(1, scale.initial_trades + 1)}
+        assert shards == set(range(4))
+        # the whole trade family co-locates on t_id
+        for t_id in (1, scale.initial_trades // 2, scale.initial_trades):
+            home = part.shard_of(tpce_schema.TRADE, (t_id,))
+            assert part.shard_of(tpce_schema.SETTLEMENT, (t_id,)) == home
+            assert part.shard_of(tpce_schema.TRADE_HISTORY,
+                                 (t_id, 0)) == home
+            assert part.shard_of(tpce_schema.CASH_TRANSACTION,
+                                 (t_id,)) == home
+
+    def test_new_trades_live_in_per_shard_private_blocks(self):
+        part = TPCEPartitioner(4, TPCEScale())
+        for shard in range(4):
+            t_id = TRADE_ID_BASE + shard * NEW_TRADE_BLOCK + 17
+            assert part.shard_of(tpce_schema.TRADE, (t_id,)) == shard
+        # ids beyond the last block clamp to the last shard
+        huge = TRADE_ID_BASE + 99 * NEW_TRADE_BLOCK
+        assert part.shard_of(tpce_schema.TRADE, (huge,)) == 3
+
+    def test_reference_tables_replicated(self):
+        part = TPCEPartitioner(2, TPCEScale())
+        assert part.is_replicated(tpce_schema.TAXRATE)
+        assert part.is_replicated(tpce_schema.CUSTOMER)
+        assert not part.is_replicated(tpce_schema.TRADE)
+
+
+def test_partitioner_for_prefers_the_workload_hook():
+    workload = ClusterTPCE(2, 4, cross_shard_ratio=0.0)
+    part = partitioner_for(workload, 2)
+    assert isinstance(part, TPCEPartitioner)
+
+    class Plain:
+        pass
+
+    fallback = partitioner_for(Plain(), 3)
+    assert isinstance(fallback, HashPartitioner)
+    assert fallback.n_shards == 3

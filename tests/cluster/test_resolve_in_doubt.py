@@ -1,0 +1,105 @@
+"""resolve_in_doubt unit tests on hand-built durable logs.
+
+A healthy run never exercises the presumed-abort branch (prepare and
+decision share an epoch under the cluster watermark), so these tests
+plant PrepareRecords directly in the durable shard logs to pin all three
+resolution outcomes: durable decision -> commit, no decision -> presumed
+abort, and the must-never-happen case of an *acked* transaction
+resolving abort (a recorded violation, not a silent data loss)."""
+
+import pytest
+
+from repro.bench.runner import run_protocol
+from repro.cc import make_cc
+from repro.config import ClusterConfig, DurabilityConfig, SimConfig
+from repro.cluster.durability import (ClusterDurability, DecisionMarker,
+                                      PrepareRecord)
+from repro.cluster.workloads import make_cluster_micro_factory
+
+
+@pytest.fixture()
+def manager() -> ClusterDurability:
+    """A live 2-shard ClusterDurability with no cross-shard traffic:
+    the durable logs hold only plain records, so planted prepares are
+    the only in-doubt candidates."""
+    config = SimConfig(
+        n_workers=2, duration=2_000.0, warmup=0.0, seed=5,
+        durability=DurabilityConfig(epoch_length=400.0),
+        cluster=ClusterConfig(n_shards=2, cross_shard_ratio=0.0))
+    factory = make_cluster_micro_factory(2, 2, cross_shard_ratio=0.0)
+    result = run_protocol(factory, make_cc("silo"), config)
+    assert result.invariant_violations == []
+    durability = result.durability
+    assert isinstance(durability, ClusterDurability)
+    assert not any(isinstance(r, PrepareRecord)
+                   for log in durability.shard_logs for r in log)
+    return durability
+
+
+def plant_prepare(manager, txn_id, shard=1, coordinator=0):
+    seqno = max((r.seqno for log in manager.shard_logs for r in log),
+                default=0) + 1
+    manager.shard_logs[shard].append(PrepareRecord(
+        seqno, manager.persistent_epoch, txn_id, 0, "planted", 0.0, 1.0,
+        [], coordinator=coordinator))
+
+
+def test_prepare_without_decision_resolves_presumed_abort(manager):
+    plant_prepare(manager, 999_999)
+    resolutions = manager.resolve_in_doubt()
+    assert resolutions == {999_999: False}
+    assert manager.in_doubt_total == 1
+    assert manager.in_doubt_aborts == 1
+    assert 999_999 in manager.lost_txn_ids
+    # unacked: presumed abort is legal, no violation
+    assert manager.violations == []
+
+
+def test_prepare_with_durable_decision_resolves_commit(manager):
+    plant_prepare(manager, 999_998)
+    manager._decision_txns.add(999_998)
+    resolutions = manager.resolve_in_doubt()
+    assert resolutions == {999_998: True}
+    assert manager.in_doubt_commits == 1
+    assert 999_998 not in manager.lost_txn_ids
+    assert manager.violations == []
+
+
+def test_locally_decided_prepare_is_not_in_doubt(manager):
+    plant_prepare(manager, 999_997)
+    seqno = max(r.seqno for r in manager.shard_logs[1]) + 1
+    manager.shard_logs[1].append(DecisionMarker(
+        seqno, manager.persistent_epoch, 999_997, -1, "planted", 1.0, 1.0,
+        [], origin=0))
+    assert manager.resolve_in_doubt() == {}
+    assert manager.in_doubt_total == 0
+
+
+def test_acked_txn_resolving_abort_is_a_recorded_violation(manager):
+    """The presumed-abort safety net: if an acked transaction ever
+    resolved as abort the protocol would have lied to a client — the
+    oracle must say so rather than silently losing the txn."""
+    plant_prepare(manager, 999_996)
+    manager._acked_txns.add(999_996)
+    resolutions = manager.resolve_in_doubt()
+    assert resolutions == {999_996: False}
+    assert any("2pc" in v and "999996" in v for v in manager.violations)
+
+
+def test_resolutions_are_idempotent_and_never_flip(manager):
+    """Each recovery resolves every in-doubt prepare exactly once, and
+    resolution is a pure function of durable state: a second recovery
+    over the same logs reaches the identical outcome for both branches
+    (commit stays commit, presumed abort stays abort — never flips)."""
+    plant_prepare(manager, 999_995)           # -> presumed abort
+    plant_prepare(manager, 999_994, shard=0, coordinator=1)
+    manager._decision_txns.add(999_994)       # -> commit
+    first = manager.resolve_in_doubt()
+    assert first == {999_995: False, 999_994: True}
+    assert manager.in_doubt_total == 2
+    second = manager.resolve_in_doubt()
+    assert second == first
+    assert manager.in_doubt_aborts == 2 and manager.in_doubt_commits == 2
+    assert manager.lost_txn_ids >= {999_995}
+    assert 999_994 not in manager.lost_txn_ids
+    assert manager.violations == []

@@ -1,0 +1,71 @@
+"""Satellite regression: ``filter_history`` must verify dependency
+closure of the crash-lost set instead of trusting it.
+
+If a surviving transaction read a version written by a lost transaction
+(e.g. a cross-shard commit dependency truncated on one shard but not the
+other), silently erasing the writer fabricates a history no execution
+produced — the oracle must fail loudly instead.
+"""
+
+import pytest
+
+from repro.analysis.serializability import CommittedTxn, HistoryRecorder
+from repro.durability.oracle import filter_history
+from repro.errors import ReproError
+
+KEY = ("T", (1,))
+
+
+def _recorder(txns):
+    recorder = HistoryRecorder()
+    for txn in txns:
+        recorder.committed.append(txn)
+        for key, vid in txn.writes:
+            recorder.version_chain.setdefault(key, []).append(vid)
+    return recorder
+
+
+def test_closed_lost_set_filters_cleanly():
+    writer = CommittedTxn(1, "w", reads=[], writes=[(KEY, (1, 0))])
+    reader = CommittedTxn(2, "r", reads=[(KEY, (1, 0))], writes=[])
+    recorder = _recorder([writer, reader])
+    # both lost: the reader goes down with its dependency — closed
+    filtered = filter_history(recorder, lost_txn_ids={1, 2})
+    assert filtered.committed == []
+    assert filtered.version_chain == {}
+    # neither lost: nothing filtered
+    survived = filter_history(recorder, lost_txn_ids=set())
+    assert [t.txn_id for t in survived.committed] == [1, 2]
+    assert survived.version_chain == {KEY: [(1, 0)]}
+
+
+def test_non_closed_prefix_fails_loudly():
+    writer = CommittedTxn(1, "w", reads=[], writes=[(KEY, (1, 0))])
+    reader = CommittedTxn(2, "r", reads=[(KEY, (1, 0))], writes=[])
+    recorder = _recorder([writer, reader])
+    # the writer is lost but its reader survives: non-closed
+    with pytest.raises(ReproError, match="not dependency-closed"):
+        filter_history(recorder, lost_txn_ids={1})
+
+
+def test_reads_of_initial_versions_never_trip_the_check():
+    from repro.storage.record import INITIAL_TXN_ID
+    reader = CommittedTxn(7, "r", reads=[(KEY, (INITIAL_TXN_ID, 0))],
+                          writes=[])
+    recorder = _recorder([reader])
+    filtered = filter_history(recorder, lost_txn_ids={3, 4})
+    assert [t.txn_id for t in filtered.committed] == [7]
+
+
+def test_cross_shard_shaped_dependency_is_caught():
+    """The cluster seam: a cross-shard commit's writes land on two
+    shards; if one shard's WAL is truncated past the writer while a
+    dependent on the other shard survives, closure is violated."""
+    other = ("U", (9,))
+    cross = CommittedTxn(10, "x", reads=[],
+                         writes=[(KEY, (10, 0)), (other, (10, 1))])
+    dependent = CommittedTxn(11, "y", reads=[(other, (10, 1))],
+                             writes=[(KEY, (11, 0))])
+    recorder = _recorder([cross, dependent])
+    with pytest.raises(ReproError, match="lost txn 10"):
+        filter_history(recorder, lost_txn_ids={10})

@@ -1,0 +1,70 @@
+"""Net fault kinds: plan validation, JSON roundtrip, injector gating.
+
+``net_partition`` / ``net_delay`` / ``net_dup`` are whole-network
+scripted events; ``net_partition``'s ``worker`` field names the *shard*
+to isolate.  They require a sharded cluster at install time.
+"""
+
+import pytest
+
+from repro.bench.runner import run_protocol
+from repro.cc import make_cc
+from repro.config import SimConfig
+from repro.errors import FaultPlanError
+from repro.faults import EVENT_KINDS, FaultPlan, ScriptedFault
+from repro.faults.plan import NON_WORKER_KINDS
+
+from tests.helpers import CounterWorkload
+
+
+def test_net_kinds_are_registered():
+    for kind in ("net_partition", "net_delay", "net_dup"):
+        assert kind in EVENT_KINDS
+        assert kind in NON_WORKER_KINDS
+
+
+class TestValidation:
+    def test_net_partition_requires_the_shard_to_isolate(self):
+        event = ScriptedFault(time=10.0, kind="net_partition", duration=5.0)
+        with pytest.raises(FaultPlanError, match="shard to"):
+            event.validate(0)
+
+    @pytest.mark.parametrize("kind", ["net_partition", "net_delay",
+                                      "net_dup"])
+    def test_net_kinds_need_a_bounded_window(self, kind):
+        event = ScriptedFault(time=10.0, kind=kind, worker=0, factor=2.0)
+        with pytest.raises(FaultPlanError, match="bounded window"):
+            event.validate(0)
+
+    def test_net_delay_needs_a_positive_factor(self):
+        event = ScriptedFault(time=10.0, kind="net_delay", duration=5.0,
+                              factor=0.0)
+        with pytest.raises(FaultPlanError, match="factor"):
+            event.validate(0)
+
+
+def test_json_roundtrip_is_exact():
+    plan = FaultPlan(events=[
+        ScriptedFault(time=100.0, kind="net_partition", worker=1,
+                      duration=200.0),
+        ScriptedFault(time=150.0, kind="net_delay", factor=4.0,
+                      duration=50.0),
+        ScriptedFault(time=300.0, kind="net_dup", duration=75.0),
+    ], name="net-roundtrip")
+    restored = FaultPlan.from_dict(plan.to_dict())
+    assert restored.to_dict() == plan.to_dict()
+    events = restored.events
+    assert events[0].worker == 1 and events[0].duration == 200.0
+    assert events[1].factor == 4.0
+    assert events[2].kind == "net_dup"
+
+
+def test_net_faults_require_a_cluster_at_install_time():
+    """A net fault against a single-node run is a plan error, not a
+    silent no-op."""
+    plan = FaultPlan(events=[ScriptedFault(
+        time=100.0, kind="net_partition", worker=0, duration=50.0)])
+    config = SimConfig(n_workers=2, duration=500.0, seed=1)
+    with pytest.raises(FaultPlanError, match="sharded cluster"):
+        run_protocol(lambda: CounterWorkload(), make_cc("silo"), config,
+                     fault_plan=plan)

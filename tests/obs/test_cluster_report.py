@@ -1,0 +1,83 @@
+"""Cluster observability: per-shard timeline columns and the report's
+Cluster section."""
+
+from repro.obs.report import _summary_from_metrics, render_markdown
+from repro.obs.timeline import TimelineSampler
+
+
+class TestShardTimelineColumns:
+    def test_single_node_rows_have_no_shard_columns(self):
+        sampler = TimelineSampler(window=100.0, n_workers=2)
+        sampler.on_commit(50.0, "t", 10.0)
+        rows = sampler.rows()
+        assert not any(k.startswith("commits_shard") for k in rows[0])
+
+    def test_shard_commits_fan_out_into_per_shard_columns(self):
+        sampler = TimelineSampler(window=100.0, n_workers=4)
+        sampler.on_commit(50.0, "t", 10.0)
+        sampler.on_shard_commit(50.0, 0)
+        sampler.on_commit(60.0, "t", 10.0)
+        sampler.on_shard_commit(60.0, 2)
+        sampler.on_commit(150.0, "t", 10.0)
+        sampler.on_shard_commit(150.0, 2)
+        rows = sampler.rows()
+        assert rows[0]["commits_shard0"] == 1
+        assert rows[0]["commits_shard2"] == 1
+        assert rows[1]["commits_shard0"] == 0
+        assert rows[1]["commits_shard2"] == 1
+        # every row carries the same column set (JSONL-friendly), and
+        # only for shards that ever committed
+        for row in rows:
+            assert "commits_shard2" in row
+            assert "commits_shard1" not in row
+
+
+CLUSTER_ROWS = [
+    {"name": "cluster_shards", "labels": {}, "value": 2.0},
+    {"name": "cluster_cross_shard_commits", "labels": {}, "value": 40.0},
+    {"name": "cluster_partition_aborts", "labels": {}, "value": 3.0},
+    {"name": "cluster_remote_accesses", "labels": {}, "value": 120.0},
+    {"name": "cluster_net_ticks_total", "labels": {}, "value": 8_000.0},
+    {"name": "cluster_prepare_ticks_total", "labels": {}, "value": 2_000.0},
+    {"name": "cluster_prepares_total", "labels": {}, "value": 40.0},
+    {"name": "cluster_net_messages", "labels": {}, "value": 200.0},
+    {"name": "cluster_decision_messages", "labels": {}, "value": 40.0},
+    {"name": "cluster_duplicate_decisions", "labels": {}, "value": 5.0},
+    {"name": "cluster_in_doubt_total", "labels": {}, "value": 2.0},
+    {"name": "cluster_in_doubt_commits", "labels": {}, "value": 2.0},
+    {"name": "cluster_in_doubt_aborts", "labels": {}, "value": 0.0},
+    {"name": "cluster_commits_shard0", "labels": {}, "value": 90.0},
+    {"name": "cluster_commits_shard1", "labels": {}, "value": 110.0},
+]
+
+
+def test_summary_collects_cluster_rows():
+    summary = _summary_from_metrics(CLUSTER_ROWS)
+    cluster = summary["cluster"]
+    assert cluster["shards"] == 2.0
+    assert cluster["cross_shard_commits"] == 40.0
+    assert cluster["shard_commits"] == {"0": 90.0, "1": 110.0}
+    assert cluster["net_ticks_total"] == 8_000.0
+
+
+def test_report_renders_cluster_section():
+    text = render_markdown({"summary": _summary_from_metrics(CLUSTER_ROWS)})
+    assert "## Cluster" in text
+    assert "cross-shard commits" in text
+    # the latency decomposition: 8000/40 = 200 net ticks per cross-shard
+    # commit, 2000/40 = 50 of them the prepare round
+    assert "200.0 net ticks/commit" in text
+    assert "50.0 prepare round" in text
+    assert "in-doubt at recovery" in text
+    assert "2 (2 resolved commit, 0 presumed abort)" in text
+    assert "duplicate decision messages absorbed: 5" in text
+    # per-shard commit table
+    assert "| shard | commits |" in text
+    assert "| 0 | 90 |" in text and "| 1 | 110 |" in text
+
+
+def test_report_without_cluster_rows_says_single_node():
+    summary = _summary_from_metrics([
+        {"name": "run_commits_total", "labels": {}, "value": 10.0}])
+    text = render_markdown({"summary": summary})
+    assert "single-node run" in text

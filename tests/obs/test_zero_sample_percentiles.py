@@ -1,0 +1,82 @@
+"""Satellite pin: every percentile path survives a zero-sample window.
+
+Arrivals-but-zero-dequeues windows are reachable in open-loop overload
+(everything queued or shed before any dequeue) and in node-crash windows
+(no commits while the cluster recovers).  Each aggregation path must
+yield 0.0 — never NaN (which poisons JSON artifacts) and never a
+ZeroDivisionError.
+"""
+
+import json
+import math
+
+from repro.config import FrontendConfig, SimConfig
+from repro.bench.runner import run_protocol
+from repro.cc.registry import make_cc
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.timeline import TimelineSampler
+from repro.sim.stats import LatencyDigest, RunStats, percentile
+
+from tests.helpers import CounterWorkload
+
+
+def test_percentile_of_empty_is_zero_not_nan():
+    assert percentile([], 0.0) == 0.0
+    assert percentile([], 0.5) == 0.0
+    assert percentile([], 0.99) == 0.0
+    assert percentile([], 1.0) == 0.0
+
+
+def test_latency_digest_zero_samples():
+    digest = LatencyDigest()
+    summary = digest.summary()
+    assert summary == {"avg": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+    assert not any(math.isnan(v) for v in summary.values())
+
+
+def test_histogram_zero_samples():
+    histogram = Histogram("x", {})
+    assert histogram.pct(0.99) == 0.0
+    assert histogram.value_dict() == {"count": 0, "sum": 0.0}
+
+
+def test_timeline_window_with_aborts_but_zero_commits():
+    """A window can record aborts/waits and not a single commit (e.g.
+    mid-recovery): its p99/mean must be 0.0 and the rows JSON-clean."""
+    sampler = TimelineSampler(window=100.0, n_workers=2)
+    sampler.on_abort(50.0, "t", "validation")
+    sampler.on_wait(60.0, "lock", 10.0)
+    # a later window gets the only commit, leaving window 0 commit-free
+    sampler.on_commit(250.0, "t", 42.0)
+    rows = sampler.rows()
+    assert rows[0]["commits"] == 0
+    assert rows[0]["latency_mean_us"] == 0.0
+    assert rows[0]["latency_p99_us"] == 0.0
+    assert rows[0]["abort_rate"] == 1.0
+    assert rows[1]["commits"] == 0  # gap window: all-zero, not missing
+    text = json.dumps(rows)
+    assert "NaN" not in text
+
+
+def test_queue_wait_percentiles_with_arrivals_but_zero_dequeues():
+    """Open-loop run whose measurement window is a sliver at the very
+    end of the run: arrivals happen throughout, but every dequeue's
+    queue wait lands in warmup and is discarded, so the measured
+    queue-wait digest has zero samples.  Metrics recording and the
+    stats export must stay NaN-free."""
+    config = SimConfig(
+        n_workers=2, duration=300.0, warmup=299.9999, seed=3,
+        frontend=FrontendConfig(arrival_rate=1_000_000.0, queue_cap=4))
+    metrics = MetricsRegistry()
+    result = run_protocol(lambda: CounterWorkload(), make_cc("silo"),
+                          config, metrics=metrics)
+    assert result.invariant_violations == []
+    stats: RunStats = result.stats
+    assert result.frontend.arrivals > 0
+    assert stats.queue_wait.count == 0  # the zero-sample window, for real
+    summary = stats.queue_wait.summary()
+    assert not any(math.isnan(v) for v in summary.values())
+    # the registry export must be valid JSON end to end
+    text = metrics.to_json()
+    assert "NaN" not in text
+    json.loads(text)
