@@ -499,12 +499,13 @@ def cmd_chaos(args) -> int:
                 plan.events.append(crash)
     if getattr(args, "shards", 1) > 1 and plans is None:
         # sharded sweep: add the cross-shard 2PC chaos cells (the
-        # node-crash cells need durability for recovery)
+        # node-crash and shard-crash cells need durability for recovery)
         from .faults.chaos import cluster_plans
         plans = list(default_plans())
         plans.extend(p for p in cluster_plans(args.duration, args.shards)
                      if args.durability
-                     or not any(e.kind == "node_crash" for e in p.events))
+                     or not any(e.kind in ("node_crash", "shard_crash")
+                                for e in p.events))
     cc_names = [cc.strip() for cc in args.ccs.split(",")]
     rows = []
     failures = 0

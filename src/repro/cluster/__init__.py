@@ -11,7 +11,8 @@ before the cluster existed.
 
 from .cc import ClusterCC
 from .durability import (ClusterDurability, DecisionMarker, DecisionRecord,
-                         PrepareRecord)
+                         PrepareRecord, SHARD_RESTART_RNG_SALT,
+                         ShardCrashReport)
 from .frontend import ShardedFrontend, ShardView
 from .network import NET_RNG_SALT, Network
 from .partition import (HashPartitioner, ModuloPartitioner, Partitioner,
@@ -38,6 +39,8 @@ __all__ = [
     "Partitioner",
     "PrepareRecord",
     "RangePartitioner",
+    "SHARD_RESTART_RNG_SALT",
+    "ShardCrashReport",
     "ShardView",
     "ShardedFrontend",
     "ShardedTable",

@@ -24,7 +24,8 @@ from __future__ import annotations
 from typing import List, Optional, TYPE_CHECKING
 
 from ..frontend.admission import (AdmissionQueue, QueuedInvocation,
-                                  SHED_DEADLINE_QUEUE, SHED_EVICTED)
+                                  SHED_DEADLINE_QUEUE, SHED_EVICTED,
+                                  SHED_SHARD_DOWN)
 from ..frontend.frontend import Frontend
 from ..obs.tracing import EventKind, TraceEvent
 
@@ -103,7 +104,14 @@ class ShardedFrontend(Frontend):
         deadline = None if self.fc.deadline is None else now + self.fc.deadline
         item = QueuedInvocation(invocation, now, deadline, self.arrivals,
                                 queue.priority_of(invocation.type_name))
-        admitted, evicted, reason = queue.offer(item)
+        if self.runtime.any_down and self.runtime.shard_down[shard]:
+            # degraded mode: the home shard is down, so no worker could
+            # ever serve this arrival — shed at admission instead of
+            # letting it rot in the queue (the RNG draw above already
+            # happened, so the arrival stream is unperturbed)
+            admitted, evicted, reason = False, (), SHED_SHARD_DOWN
+        else:
+            admitted, evicted, reason = queue.offer(item)
         for victim in evicted:
             self.evicted += 1
             self._record_shed(victim, SHED_EVICTED, now)

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
 from ..errors import AbortReason, ReproError, TransactionAborted
+from ..frontend.admission import SHED_SHARD_DOWN
 from ..storage.table import Table
 from .network import Network
 from .partition import Partitioner
@@ -98,6 +99,13 @@ class ClusterRuntime:
         self._pending_net: Dict[int, float] = {}
         #: remote shards touched by each worker's current transaction
         self._touched: Dict[int, Set[int]] = {}
+        # -- partial-failure state ---------------------------------------- #
+        #: per-shard down flags (scripted ``shard_crash``); ``any_down``
+        #: gates every hot-path check so a crash-free run never pays
+        self.shard_down: List[bool] = [False] * self.n_shards
+        self.any_down = False
+        self._ever_down = False
+        self.shard_down_aborts = 0
         # -- counters ---------------------------------------------------- #
         self.shard_commits: List[int] = [0] * self.n_shards
         self.cross_shard_commits = 0
@@ -136,6 +144,18 @@ class ClusterRuntime:
         return self.partitioner.home_shard(table, key)
 
     # ------------------------------------------------------------------ #
+    # partial failure (driven by ClusterDurability.shard_crash / rejoin)
+
+    def mark_shard_down(self, shard: int) -> None:
+        self.shard_down[shard] = True
+        self.any_down = True
+        self._ever_down = True
+
+    def mark_shard_up(self, shard: int) -> None:
+        self.shard_down[shard] = False
+        self.any_down = any(self.shard_down)
+
+    # ------------------------------------------------------------------ #
     # the access hot path (called from ShardedTable on every record touch)
 
     def note_access(self, table: str, key: tuple) -> None:
@@ -147,6 +167,16 @@ class ClusterRuntime:
         shard = self.partitioner.shard_of(table, key)
         if shard == home:
             return
+        if self.any_down and self.shard_down[shard]:
+            # degraded mode: the first remote access to a down shard
+            # rejects the transaction (admission filters arrivals whose
+            # *home* shard is down; cross-shard reach is caught here)
+            self.shard_down_aborts += 1
+            raise TransactionAborted(
+                AbortReason.FAULT,
+                f"shard {shard} is down",
+                site=f"{table}{key}",
+                reject_reason=SHED_SHARD_DOWN)
         now = self.scheduler.now
         if self.network.is_partitioned(home, shard, now):
             self.partition_aborts += 1
@@ -227,6 +257,9 @@ class ClusterRuntime:
             ("cluster_prepares_total", float(self.prepares_total)),
             ("cluster_net_messages", float(self.network.messages_total)),
         ]
+        if self._ever_down:
+            rows.append(("cluster_shard_down_aborts",
+                         float(self.shard_down_aborts)))
         for shard, commits in enumerate(self.shard_commits):
             rows.append((f"cluster_commits_shard{shard}", float(commits)))
         return rows

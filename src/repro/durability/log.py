@@ -53,12 +53,13 @@ class LogRecord:
 
     __slots__ = ("seqno", "epoch", "txn_id", "worker_id", "type_name",
                  "first_start", "commit_time", "writes", "nbytes",
-                 "deadline")
+                 "deadline", "reads")
 
     def __init__(self, seqno: int, epoch: int, txn_id: int, worker_id: int,
                  type_name: str, first_start: float, commit_time: float,
                  writes: List[WriteImage],
-                 deadline: Optional[float] = None) -> None:
+                 deadline: Optional[float] = None,
+                 reads=()) -> None:
         #: global commit sequence number (1-based, install order)
         self.seqno = seqno
         #: epoch the commit belongs to (assigned at install time, so it is
@@ -77,6 +78,11 @@ class LogRecord:
         #: commits in memory before its deadline but flushes after counts
         #: as a late commit — an SLO miss, never a lost transaction
         self.deadline = deadline
+        #: txn ids whose versions this commit read (cluster runs only);
+        #: a partial crash chases these edges to keep the lost set
+        #: dependency-closed.  Excluded from ``nbytes`` — real WALs do not
+        #: ship read sets, this is oracle bookkeeping
+        self.reads = reads
 
     def digest(self) -> Tuple[int, int, int, int]:
         """Compact identity used by prefix-equality tests:

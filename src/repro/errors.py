@@ -150,7 +150,8 @@ class TransactionAborted(ReproError):
     the paper's retry-until-commit methodology (§7.1).
     """
 
-    def __init__(self, reason: str, detail: str = "", site=None) -> None:
+    def __init__(self, reason: str, detail: str = "", site=None,
+                 reject_reason=None) -> None:
         if reason not in AbortReason.ALL:
             raise ValueError(f"unknown abort reason: {reason!r}")
         super().__init__(f"transaction aborted: {reason}" + (f" ({detail})" if detail else ""))
@@ -159,3 +160,8 @@ class TransactionAborted(ReproError):
         #: optional ``(table, key)`` of the conflicting access, used by the
         #: tracer for conflict attribution (None when no single site applies)
         self.site = site
+        #: when set, retrying can never succeed until the cluster heals
+        #: (e.g. the target shard is down): the invocation is *rejected* —
+        #: closed-loop workers drop it and move on, open-loop workers shed
+        #: it under this reason — instead of retried into starvation
+        self.reject_reason = reject_reason

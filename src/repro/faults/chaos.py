@@ -73,7 +73,7 @@ def default_plans(kinds: Sequence[str] = DEFAULT_KINDS,
 def cluster_plans(duration: float, n_shards: int) -> List[FaultPlan]:
     """The cross-shard 2PC chaos cells (cluster runs only).
 
-    Four plans targeting the seams two-phase commit opens up:
+    Seven plans targeting the seams two-phase commit opens up:
 
     * ``partition@prepare`` — a shard is partitioned away mid-run, so
       coordinators hit the partition at remote-access time (clean abort)
@@ -86,6 +86,16 @@ def cluster_plans(duration: float, n_shards: int) -> List[FaultPlan]:
       window arrives twice; participants must deduplicate;
     * ``node-crash-mid-2pc`` — the cluster crashes with no partition
       cover, catching transactions between prepare and decision delivery.
+    * ``shard-crash-coordinator`` — shard 0 (the busiest coordinator
+      home) crashes mid-run and rejoins after extra downtime: survivors'
+      durable prepares coordinated by it must block in doubt and resolve
+      by presumed abort at rejoin, exactly once;
+    * ``shard-crash-participant`` — the last shard crashes just before
+      mid-run, catching cross-shard transactions at prepare time on the
+      participant side (their staged prepares void, the coordinator-side
+      decisions become residue);
+    * ``shard-crash+partition`` — a shard crashes while another is
+      partitioned away, overlapping degraded mode with network failure.
     """
     mid = duration / 2.0
     window = duration / 5.0
@@ -107,6 +117,20 @@ def cluster_plans(duration: float, n_shards: int) -> List[FaultPlan]:
         FaultPlan(events=[
             ScriptedFault(time=mid, kind="node_crash"),
         ], name="node-crash-mid-2pc"),
+        FaultPlan(events=[
+            ScriptedFault(time=mid, kind="shard_crash", worker=0,
+                          downtime=window / 2.0),
+        ], name="shard-crash-coordinator"),
+        FaultPlan(events=[
+            ScriptedFault(time=mid - window / 2.0, kind="shard_crash",
+                          worker=isolated, downtime=window / 4.0),
+        ], name="shard-crash-participant"),
+        FaultPlan(events=[
+            ScriptedFault(time=mid - window / 2.0, kind="net_partition",
+                          worker=isolated, duration=window),
+            ScriptedFault(time=mid, kind="shard_crash", worker=0,
+                          downtime=window / 2.0),
+        ], name="shard-crash+partition"),
     ]
 
 

@@ -31,9 +31,9 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional, TYPE_CHECKING, Tuple
 
-from ..errors import AbortReason, FaultPlanError, TransactionAborted
+from ..errors import AbortReason, TransactionAborted
 from ..obs.tracing import EventKind, TraceEvent
-from .plan import FaultPlan, ScriptedFault
+from .plan import FaultPlan, ScriptedFault, validate_event_against_run
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.context import TxnContext
@@ -75,33 +75,14 @@ class FaultInjector:
         Must be called after all workers are registered."""
         self.scheduler = scheduler
         n_workers = len(scheduler._workers)
+        cluster = getattr(scheduler, "cluster", None)
+        has_durability = getattr(scheduler, "durability", None) is not None
+        has_frontend = getattr(scheduler, "frontend", None) is not None
         for index, event in enumerate(self.plan.events):
-            if event.kind == "node_crash":
-                if getattr(scheduler, "durability", None) is None:
-                    raise FaultPlanError(
-                        f"events[{index}]: node_crash requires durability "
-                        f"(run with --durability / SimConfig.durability)")
-            elif event.kind == "burst":
-                if getattr(scheduler, "frontend", None) is None:
-                    raise FaultPlanError(
-                        f"events[{index}]: burst requires an open-loop "
-                        f"frontend (run with --arrival-rate / "
-                        f"SimConfig.frontend)")
-            elif event.kind in ("net_partition", "net_delay", "net_dup"):
-                cluster = getattr(scheduler, "cluster", None)
-                if cluster is None:
-                    raise FaultPlanError(
-                        f"events[{index}]: {event.kind} requires a sharded "
-                        f"cluster (run with --shards / SimConfig.cluster)")
-                if event.kind == "net_partition" \
-                        and event.worker >= cluster.n_shards:
-                    raise FaultPlanError(
-                        f"events[{index}].worker: shard {event.worker} does "
-                        f"not exist (cluster has {cluster.n_shards} shards)")
-            elif event.worker >= n_workers:
-                raise FaultPlanError(
-                    f"events[{index}].worker: worker {event.worker} does not "
-                    f"exist (run has {n_workers} workers)")
+            validate_event_against_run(
+                event, index, n_workers=n_workers,
+                n_shards=cluster.n_shards if cluster is not None else None,
+                has_durability=has_durability, has_frontend=has_frontend)
             scheduler.schedule_callback(
                 event.time, lambda e=event: self._fire_scripted(e))
 
@@ -200,6 +181,15 @@ class FaultInjector:
         self._restart_delay.clear()
         self._slow.clear()
 
+    def on_shard_crash(self, worker_ids) -> None:
+        """Drop pending state for the crashed shard's workers only — the
+        survivors keep theirs (a partial crash perturbs nobody else)."""
+        for worker_id in worker_ids:
+            self._pending_abort.pop(worker_id, None)
+            self._pending_stall.pop(worker_id, None)
+            self._restart_delay.pop(worker_id, None)
+            self._slow.pop(worker_id, None)
+
     # ------------------------------------------------------------------ #
     # scripted events
 
@@ -211,6 +201,22 @@ class FaultInjector:
             # checkpoint-plus-replay recovery and restarts the workers
             self._record("node_crash", -1, None, "scripted")
             scheduler.durability.node_crash()
+            return
+        if event.kind == "shard_crash":
+            # partial failure: one shard halts while the rest keep running.
+            # Fire-time guards (vs install-time validation): a shard that
+            # is already down, or the last live shard, cannot crash —
+            # the event is counted as skipped, like a dead worker target
+            cluster = scheduler.cluster
+            shard = event.worker
+            if cluster.shard_down[shard] \
+                    or sum(1 for down in cluster.shard_down if not down) <= 1:
+                self.skipped["shard_crash"] = \
+                    self.skipped.get("shard_crash", 0) + 1
+                return
+            self._record("shard_crash", shard, None, "scripted",
+                         downtime=event.downtime)
+            scheduler.durability.shard_crash(shard, event.downtime)
             return
         if event.kind == "burst":
             # overload chaos: multiply the arrival rate for a window; the

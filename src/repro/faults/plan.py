@@ -41,6 +41,12 @@ _delay    ``factor`` for ``duration`` ticks (scripted only; requires
 net_dup   every asynchronous inter-shard delivery in the window
           arrives twice — receivers must deduplicate (scripted only;
           requires ``SimConfig.cluster``)
+shard     shard ``worker`` crashes at an exact simulated time while the
+_crash    rest of the cluster keeps running (scripted only; requires
+          ``SimConfig.cluster`` *and* ``SimConfig.durability``): the
+          shard's pinned workers die, its WAL truncates to its *own*
+          persistent epoch, survivors run in degraded mode until the
+          shard rejoins after recovery plus ``downtime`` extra ticks
 ========  ===========================================================
 
 Plans serialize to/from JSON (``repro run --faults PLAN.json``) and are
@@ -64,13 +70,19 @@ RATE_KINDS = ("stall", "abort", "crash", "doom", "slow")
 
 #: scripted event kinds
 EVENT_KINDS = ("stall", "abort", "crash", "doom", "slow", "node_crash",
-               "burst", "net_partition", "net_delay", "net_dup")
+               "burst", "net_partition", "net_delay", "net_dup",
+               "shard_crash")
 
-#: scripted kinds whose ``worker`` field is not a worker id: whole-node /
-#: arrival-process / whole-network events (conventional value -1) and
-#: ``net_partition``, where ``worker`` names the *shard* to isolate
-NON_WORKER_KINDS = ("node_crash", "burst", "net_partition", "net_delay",
-                    "net_dup")
+#: scripted kinds that target the whole node / arrival process / every
+#: network link at once: a ``worker`` field is meaningless and rejected
+WHOLE_NODE_KINDS = ("node_crash", "burst", "net_delay", "net_dup")
+
+#: scripted kinds whose ``worker`` field names a *shard*, not a worker
+SHARD_KINDS = ("net_partition", "shard_crash")
+
+#: scripted kinds whose ``worker`` field is not a worker id (the union of
+#: the whole-node and shard-targeted kinds; kept for back-compat)
+NON_WORKER_KINDS = WHOLE_NODE_KINDS + SHARD_KINDS
 
 
 @dataclass
@@ -79,14 +91,15 @@ class ScriptedFault:
 
     time: float
     kind: str
-    #: target worker id; for ``net_partition`` this is the *shard* to
-    #: isolate, and it is ignored by ``node_crash`` (which takes down the
-    #: whole node), ``burst`` (the arrival process) and ``net_delay`` /
-    #: ``net_dup`` (every link), where the conventional value is ``-1``
+    #: target worker id; for ``net_partition`` / ``shard_crash`` this is
+    #: the *shard* to isolate or crash, and it must stay ``-1`` for
+    #: ``node_crash`` (which takes down the whole node), ``burst`` (the
+    #: arrival process) and ``net_delay`` / ``net_dup`` (every link)
     worker: int = -1
     #: stall length (``kind == "stall"``)
     ticks: float = 0.0
-    #: worker downtime after the crash (``kind == "crash"``)
+    #: worker downtime after the crash (``kind == "crash"``), or extra
+    #: shard outage beyond recovery time (``kind == "shard_crash"``)
     downtime: float = 0.0
     #: cost multiplier (``kind == "slow"``) or arrival-rate multiplier
     #: (``kind == "burst"``)
@@ -106,10 +119,19 @@ class ScriptedFault:
         if self.worker < 0 and self.kind not in NON_WORKER_KINDS:
             raise FaultPlanError(
                 f"{where}.worker: must be >= 0, got {self.worker}")
-        if self.kind == "net_partition" and self.worker < 0:
+        if self.kind in WHOLE_NODE_KINDS and self.worker >= 0:
             raise FaultPlanError(
-                f"{where}.worker: net_partition needs the shard to "
-                f"isolate (>= 0), got {self.worker}")
+                f"{where}.worker: {self.kind} targets the whole node — "
+                f"a worker field is meaningless (got {self.worker}; "
+                f"omit it or use -1)")
+        if self.kind in SHARD_KINDS and self.worker < 0:
+            raise FaultPlanError(
+                f"{where}.worker: {self.kind} needs the shard to "
+                f"{'crash' if self.kind == 'shard_crash' else 'isolate'} "
+                f"(>= 0), got {self.worker}")
+        if self.kind == "shard_crash" and self.downtime < 0:
+            raise FaultPlanError(
+                f"{where}.downtime: must be >= 0, got {self.downtime}")
         if self.kind in ("net_partition", "net_delay", "net_dup") \
                 and self.duration <= 0:
             raise FaultPlanError(
@@ -142,11 +164,11 @@ class ScriptedFault:
 
     def to_dict(self) -> dict:
         data = {"time": self.time, "kind": self.kind}
-        if self.kind not in NON_WORKER_KINDS or self.kind == "net_partition":
+        if self.kind not in WHOLE_NODE_KINDS:
             data["worker"] = self.worker
         if self.kind == "stall":
             data["ticks"] = self.ticks
-        elif self.kind == "crash":
+        elif self.kind in ("crash", "shard_crash"):
             data["downtime"] = self.downtime
         elif self.kind == "slow":
             data["factor"] = self.factor
@@ -178,6 +200,47 @@ class ScriptedFault:
             raise FaultPlanError(f"{where}: {exc}") from exc
         event.validate(index)
         return event
+
+
+def validate_event_against_run(event: "ScriptedFault", index: int, *,
+                               n_workers: int,
+                               n_shards: Optional[int] = None,
+                               has_durability: bool = False,
+                               has_frontend: bool = False) -> None:
+    """Install-time validation of one scripted event against the run's
+    actual topology.  ``ScriptedFault.validate`` can only check
+    self-consistency; worker ids, shard ranges and feature requirements
+    (durability, an open-loop frontend, a cluster) need the run, so the
+    injector validates every event through this one code path before
+    scheduling anything."""
+    if event.kind == "node_crash":
+        if not has_durability:
+            raise FaultPlanError(
+                f"events[{index}]: node_crash requires durability "
+                f"(run with --durability / SimConfig.durability)")
+    elif event.kind == "burst":
+        if not has_frontend:
+            raise FaultPlanError(
+                f"events[{index}]: burst requires an open-loop "
+                f"frontend (run with --arrival-rate / "
+                f"SimConfig.frontend)")
+    elif event.kind in SHARD_KINDS or event.kind in ("net_delay", "net_dup"):
+        if n_shards is None:
+            raise FaultPlanError(
+                f"events[{index}]: {event.kind} requires a sharded "
+                f"cluster (run with --shards / SimConfig.cluster)")
+        if event.kind in SHARD_KINDS and event.worker >= n_shards:
+            raise FaultPlanError(
+                f"events[{index}].worker: shard {event.worker} does "
+                f"not exist (cluster has {n_shards} shards)")
+        if event.kind == "shard_crash" and not has_durability:
+            raise FaultPlanError(
+                f"events[{index}]: shard_crash requires durability "
+                f"(run with --durability / SimConfig.durability)")
+    elif event.worker >= n_workers:
+        raise FaultPlanError(
+            f"events[{index}].worker: worker {event.worker} does not "
+            f"exist (run has {n_workers} workers)")
 
 
 @dataclass

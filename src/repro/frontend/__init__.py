@@ -17,7 +17,8 @@ admission queue's shed decisions are pure functions of queue state.
 
 from .admission import (AdmissionQueue, QueuedInvocation, SHED_REASONS,
                         SHED_DEADLINE_INFLIGHT, SHED_DEADLINE_QUEUE,
-                        SHED_EVICTED, SHED_QUEUE_FULL, SHED_RETRY_BUDGET)
+                        SHED_EVICTED, SHED_QUEUE_FULL, SHED_RETRY_BUDGET,
+                        SHED_SHARD_DOWN)
 from .frontend import ARRIVAL_RNG_SALT, Frontend
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "SHED_DEADLINE_QUEUE",
     "SHED_DEADLINE_INFLIGHT",
     "SHED_RETRY_BUDGET",
+    "SHED_SHARD_DOWN",
 ]

@@ -34,10 +34,13 @@ SHED_DEADLINE_QUEUE = "deadline_queue"
 SHED_DEADLINE_INFLIGHT = "deadline_inflight"
 #: a dequeued invocation spent its retry budget and was permanently rejected
 SHED_RETRY_BUDGET = "retry_budget"
+#: an arrival was rejected at admission because its home shard is down
+#: (cluster degraded mode during a single-shard crash)
+SHED_SHARD_DOWN = "shard_down"
 
 #: every reason a transaction can be shed, in reporting order
 SHED_REASONS = (SHED_QUEUE_FULL, SHED_EVICTED, SHED_DEADLINE_QUEUE,
-                SHED_DEADLINE_INFLIGHT, SHED_RETRY_BUDGET)
+                SHED_DEADLINE_INFLIGHT, SHED_RETRY_BUDGET, SHED_SHARD_DOWN)
 
 
 class QueuedInvocation:

@@ -27,7 +27,7 @@ from ..obs.tracing import EventKind, TraceEvent
 from ..rng import spawn_rng
 from .admission import (AdmissionQueue, QueuedInvocation,
                         SHED_DEADLINE_INFLIGHT, SHED_DEADLINE_QUEUE,
-                        SHED_EVICTED, SHED_RETRY_BUDGET)
+                        SHED_EVICTED, SHED_RETRY_BUDGET, SHED_SHARD_DOWN)
 
 #: salt for the arrival RNG stream: distinct from worker ids (small ints),
 #: ``FAULT_RNG_SALT`` and ``EVAL_RNG_SALT``, so open-loop arrivals never
@@ -81,7 +81,8 @@ class Frontend:
         self.dequeued = 0
         self.committed = 0
         self.rejected_inflight = {SHED_DEADLINE_INFLIGHT: 0,
-                                  SHED_RETRY_BUDGET: 0}
+                                  SHED_RETRY_BUDGET: 0,
+                                  SHED_SHARD_DOWN: 0}
         self.abandoned = 0              # torn down mid-flight (horizon/crash)
         self.queued_at_end = 0
         self.inflight = 0               # dequeued but not yet done
@@ -213,8 +214,9 @@ class Frontend:
                   outcome: Optional[str]) -> None:
         """Record the fate of a dequeued invocation.  ``outcome`` is
         ``"commit"``, a permanent-rejection shed reason
-        (``deadline_inflight`` / ``retry_budget``), or ``None`` when the
-        worker was torn down mid-flight (run horizon or node crash)."""
+        (``deadline_inflight`` / ``retry_budget`` / ``shard_down``), or
+        ``None`` when the worker was torn down mid-flight (run horizon
+        or node crash)."""
         self.inflight -= 1
         if outcome == "commit":
             self.committed += 1

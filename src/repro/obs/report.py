@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 from typing import List, Optional
 
+from ..config import TICKS_PER_SECOND
 from ..errors import ReproError
 from .insight import conflict_attribution, latency_critical_path, policy_audit
 from .metrics import load_metrics_json
@@ -274,6 +275,43 @@ def render_markdown(report: dict) -> str:
         lines.append("_single-node run (or no metrics artifact) — "
                      "no cluster data_")
     lines.append("")
+
+    # the Availability section appears only when a shard crash left its
+    # marks in the artifacts, so crash-free reports are unchanged
+    shard_crashes = int((cluster or {}).get("shard_crashes", 0))
+    if shard_crashes:
+        lines.append("## Availability")
+        lines.append(f"- shard crashes: {shard_crashes}, total downtime "
+                     f"{_fmt(cluster.get('shard_downtime_total', 0.0), 0)} "
+                     "ticks")
+        lines.append("- transactions voided by truncation: "
+                     f"{_fmt(int(cluster.get('voided_txns', 0)))}, "
+                     "prepares blocked in doubt: "
+                     f"{_fmt(int(cluster.get('blocked_in_doubt_total', 0)))}")
+        degraded_bits = []
+        down_aborts = int(cluster.get("shard_down_aborts", 0))
+        degraded_bits.append(f"{_fmt(down_aborts)} remote-access aborts")
+        shard_down_shed = int(((summary or {}).get("slo") or {})
+                              .get("shed", {}).get("shard_down", 0))
+        degraded_bits.append(f"{_fmt(shard_down_shed)} arrivals shed "
+                             "at admission")
+        lines.append("- degraded-mode rejections: "
+                     + ", ".join(degraded_bits))
+        timeline_rows = (report.get("timeline") or {}).get("rows") or []
+        degraded_rows = [
+            r for r in timeline_rows
+            if any(key.startswith("down_shard") and r[key] > 0.0
+                   for key in r)]
+        if degraded_rows:
+            window = sum(r["end"] - r["start"] for r in degraded_rows)
+            commits = sum(r["commits"] for r in degraded_rows)
+            tps = commits / window * TICKS_PER_SECOND if window else 0.0
+            live = sum(1 for r in degraded_rows if r["commits"] > 0)
+            lines.append(
+                f"- degraded window: {len(degraded_rows)} timeline "
+                f"windows ({live} with commits), goodput "
+                f"{_fmt(tps, 0)} TPS on surviving shards")
+        lines.append("")
 
     lines.append("## Timeline")
     timeline = report.get("timeline")

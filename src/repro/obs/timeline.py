@@ -62,7 +62,7 @@ class TimelineSampler:
     __slots__ = ("window", "n_workers", "_commits", "_aborts", "_dooms",
                  "_backoff", "_wait", "_flushes", "_flush_stalls",
                  "_latency", "_max_window", "_queue_depth", "_shed",
-                 "_shard_commits")
+                 "_shard_commits", "_shard_down")
 
     def __init__(self, window: float, n_workers: int) -> None:
         if window <= 0:
@@ -87,6 +87,8 @@ class TimelineSampler:
         self._shed: Dict[int, int] = {}
         #: window -> home shard -> commits (cluster runs)
         self._shard_commits: Dict[int, Dict[int, int]] = {}
+        #: window -> shard -> ticks the shard spent down (shard crashes)
+        self._shard_down: Dict[int, Dict[int, float]] = {}
         self._max_window = -1
 
     # ------------------------------------------------------------------ #
@@ -167,6 +169,25 @@ class TimelineSampler:
             cursor = boundary
             index += 1
 
+    def on_shard_down(self, start: float, end: float, shard: int) -> None:
+        """Attribute one shard's outage to every window it overlaps
+        (cluster shard-crash hook; never called otherwise, so timelines
+        without shard crashes carry no down columns and stay
+        byte-identical)."""
+        if end <= start:
+            return
+        index = int(start // self.window)
+        cursor = start
+        while cursor < end:
+            boundary = (index + 1) * self.window
+            span = min(end, boundary) - cursor
+            per_shard = self._shard_down.setdefault(index, {})
+            per_shard[shard] = per_shard.get(shard, 0.0) + span
+            if index > self._max_window:
+                self._max_window = index
+            cursor = boundary
+            index += 1
+
     # ------------------------------------------------------------------ #
     # reporting
 
@@ -182,6 +203,9 @@ class TimelineSampler:
         kinds = self.wait_kinds()
         shards = sorted({shard for per_window in self._shard_commits.values()
                          for shard in per_window})
+        down_shards = sorted({shard
+                              for per_window in self._shard_down.values()
+                              for shard in per_window})
         capacity = self.window * self.n_workers
         out: List[dict] = []
         for index in range(self._max_window + 1):
@@ -223,6 +247,12 @@ class TimelineSampler:
                 per_window = self._shard_commits.get(index, {})
                 for shard in shards:
                     row[f"commits_shard{shard}"] = per_window.get(shard, 0)
+            # shard up/down columns appear only when a shard crash fed
+            # the sampler, so crash-free timelines stay byte-identical
+            if down_shards:
+                per_window = self._shard_down.get(index, {})
+                for shard in down_shards:
+                    row[f"down_shard{shard}"] = per_window.get(shard, 0.0)
             out.append(row)
         return out
 

@@ -73,6 +73,9 @@ class EventKind:
     EPOCH = "epoch"
     #: the whole node crashed (attrs: crash, lost_inflight, lost_unflushed)
     NODE_CRASH = "node_crash"
+    #: one shard crashed while the rest kept running
+    #: (attrs: shard, crash, lost_inflight, lost_unflushed, blocked_in_doubt)
+    SHARD_CRASH = "shard_crash"
     #: recovery finished; workers restart (attrs: replayed, recovery_ticks)
     RECOVERY = "recovery"
     #: an open-loop invocation arrived at the admission queue
@@ -84,7 +87,7 @@ class EventKind:
 
     ALL = (TX_START, ACCESS, WAIT_BEGIN, WAIT_END, VALIDATE, ABORT, COMMIT,
            BACKOFF, PIECE_RETRY, DOOM, LOCK, FAULT, LIVELOCK, EPOCH,
-           NODE_CRASH, RECOVERY, ARRIVAL, SHED)
+           NODE_CRASH, SHARD_CRASH, RECOVERY, ARRIVAL, SHED)
 
 
 class TraceEvent:

@@ -653,12 +653,25 @@ class Scheduler:
         refunded, and each generator is closed in worker-id order so
         in-flight attempts abort through their normal cleanup paths.
         Returns the number of in-flight transaction attempts lost."""
+        lost_inflight = self.crash_workers(self._workers,
+                                           outcome="node_crash")
+        self._sleep_charge.clear()
+        self._dirty.clear()
+        self._pending_deadline.clear()
+        return lost_inflight
+
+    def crash_workers(self, workers, outcome: str = "node_crash") -> int:
+        """Tear down a subset of workers at the current instant (a partial
+        crash: one shard's pinned workers).  Same refund/teardown contract
+        as :meth:`crash_all_workers`, but per-worker state is discarded
+        per worker — survivors keep their sleep charges, dirty flags and
+        armed deadlines.  Returns the in-flight attempts lost."""
         lost_inflight = 0
-        for worker in self._workers:
+        for worker in workers:
             if worker.finished:
                 continue
             if worker in self._parked:
-                self._unpark(worker, outcome="node_crash")
+                self._unpark(worker, outcome=outcome)
             else:
                 sleep = self._sleep_charge.pop(worker, None)
                 if sleep is not None and self.accountant is not None:
@@ -678,14 +691,15 @@ class Scheduler:
             ctx = worker.current_ctx
             had_active = ctx is not None and ctx.is_active()
             worker.close()
+            # discard after close: teardown cascades may notify survivors
+            self._sleep_charge.pop(worker, None)
+            self._dirty.discard(worker)
+            self._pending_deadline.discard(worker)
             if had_active:
                 lost_inflight += 1
                 if self.accountant is not None:
                     self.accountant.on_attempt_end(worker.worker_id,
                                                    committed=False)
-        self._sleep_charge.clear()
-        self._dirty.clear()
-        self._pending_deadline.clear()
         return lost_inflight
 
     def replace_workers(self, workers: List[Worker],
@@ -695,6 +709,15 @@ class Scheduler:
         their stale heap events are skipped via the generation guard."""
         self._workers = list(workers)
         for worker in self._workers:
+            self._schedule_worker(worker, start_time)
+
+    def replace_worker_subset(self, workers: List[Worker],
+                              start_time: float) -> None:
+        """Swap fresh workers in *by id* (a crashed shard's workers
+        restarting at rejoin) and schedule each at ``start_time``.  The
+        rest of the worker list — the survivors — is untouched."""
+        for worker in workers:
+            self._workers[worker.worker_id] = worker
             self._schedule_worker(worker, start_time)
 
     # ------------------------------------------------------------------ #

@@ -136,6 +136,12 @@ class Worker:
                             now, EventKind.ABORT, self.worker_id,
                             txn_type=invocation.type_name, attrs=attrs))
                     attempt += 1
+                    if exc.reject_reason is not None:
+                        # degraded mode: the request was *rejected* (its
+                        # target shard is down) — retrying cannot succeed
+                        # until the cluster heals, so the closed-loop
+                        # client moves on to its next request
+                        break
                     limit = self.config.max_retries
                     if limit is not None and attempt > limit:
                         break  # give up (test configurations only)
@@ -251,6 +257,12 @@ class Worker:
                             now, EventKind.ABORT, self.worker_id,
                             txn_type=invocation.type_name, attrs=attrs))
                     attempt += 1
+                    if exc.reject_reason is not None:
+                        # permanent rejection (e.g. the target shard is
+                        # down): shed under the exception's reason rather
+                        # than burning the retry budget on a lost cause
+                        outcome = exc.reject_reason
+                        return
                     if exc.reason == AbortReason.DEADLINE or (
                             self.deadline is not None
                             and now >= self.deadline):

@@ -13,7 +13,7 @@ from repro.bench.runner import run_protocol
 from repro.cc import make_cc
 from repro.config import ClusterConfig, DurabilityConfig, SimConfig
 from repro.cluster.durability import (ClusterDurability, DecisionMarker,
-                                      PrepareRecord)
+                                      DecisionRecord, PrepareRecord)
 from repro.cluster.workloads import make_cluster_micro_factory
 
 
@@ -103,3 +103,90 @@ def test_resolutions_are_idempotent_and_never_flip(manager):
     assert manager.lost_txn_ids >= {999_995}
     assert 999_994 not in manager.lost_txn_ids
     assert manager.violations == []
+
+
+# --------------------------------------------------------------------- #
+# blocked-in-doubt: prepares orphaned by a *coordinator shard* crash
+# (resolve_blocked — the partial-failure twin of resolve_in_doubt)
+
+def plant_blocked(manager, txn_id, participant=1, coordinator=0):
+    """A durable prepare on a live participant whose coordinator died
+    before its decision flushed — exactly what ``shard_crash`` collects
+    into ``_blocked``."""
+    seqno = max((r.seqno for log in manager.shard_logs for r in log),
+                default=0) + 1
+    record = PrepareRecord(
+        seqno, manager.persistent_epoch, txn_id, 0, "planted", 0.0, 1.0,
+        [], coordinator=coordinator)
+    manager._blocked.append((participant, record))
+    return record
+
+
+def test_blocked_prepare_resolves_presumed_abort_exactly_once(manager):
+    """The recovered coordinator log holds no decision for the txn, so
+    the participant resolves it by presumed abort — once.  A second
+    resolution pass finds nothing left to decide."""
+    plant_blocked(manager, 888_888)
+    resolutions = manager.resolve_blocked(0)
+    assert resolutions == {888_888: False}
+    assert manager.in_doubt_total == 1
+    assert manager.in_doubt_aborts == 1
+    assert 888_888 in manager.lost_txn_ids
+    assert manager._blocked == []
+    # unacked: presumed abort is legal, no violation
+    assert manager.violations == []
+    assert manager.resolve_blocked(0) == {}
+    assert manager.in_doubt_total == 1
+
+
+def test_blocked_prepare_with_recovered_decision_commits(manager):
+    """The decision *did* reach the coordinator's durable log before the
+    crash: the blocked participant resolves commit and records the
+    decision for message dedup."""
+    plant_blocked(manager, 888_887)
+    seqno = max((r.seqno for log in manager.shard_logs for r in log),
+                default=0) + 1
+    manager.shard_logs[0].append(DecisionRecord(
+        seqno, manager.persistent_epoch, 888_887, 0, "planted", 0.0, 1.0,
+        [], participants=(1,)))
+    resolutions = manager.resolve_blocked(0)
+    assert resolutions == {888_887: True}
+    assert manager.in_doubt_commits == 1
+    assert 888_887 in manager._decided[1]
+    assert 888_887 not in manager.lost_txn_ids
+    assert manager.violations == []
+
+
+def test_blocked_resolution_never_flips_a_voided_decision(manager):
+    """A durable decision whose transaction was voided by the crash's
+    truncation closure must still resolve abort — the decision record
+    is residue of a transaction that no longer exists."""
+    plant_blocked(manager, 888_886)
+    seqno = max((r.seqno for log in manager.shard_logs for r in log),
+                default=0) + 1
+    manager.shard_logs[0].append(DecisionRecord(
+        seqno, manager.persistent_epoch, 888_886, 0, "planted", 0.0, 1.0,
+        [], participants=(1,)))
+    manager.lost_txn_ids.add(888_886)
+    resolutions = manager.resolve_blocked(0)
+    assert resolutions == {888_886: False}
+    assert manager.in_doubt_aborts == 1
+
+
+def test_acked_blocked_prepare_resolving_abort_is_a_violation(manager):
+    """If an *acked* transaction ever resolved as presumed abort the
+    protocol lied to a client; the oracle records it loudly."""
+    plant_blocked(manager, 888_885)
+    manager._acked_txns.add(888_885)
+    resolutions = manager.resolve_blocked(0)
+    assert resolutions == {888_885: False}
+    assert any("2pc" in v and "888885" in v for v in manager.violations)
+
+
+def test_blocked_prepare_for_another_coordinator_stays_blocked(manager):
+    """Rejoin of shard 0 only resolves prepares *it* coordinated;
+    prepares blocked on a different dead coordinator keep blocking."""
+    plant_blocked(manager, 888_884, participant=0, coordinator=1)
+    assert manager.resolve_blocked(0) == {}
+    assert manager.in_doubt_total == 0
+    assert len(manager._blocked) == 1

@@ -32,7 +32,11 @@ class TestValidation:
     @pytest.mark.parametrize("kind", ["net_partition", "net_delay",
                                       "net_dup"])
     def test_net_kinds_need_a_bounded_window(self, kind):
-        event = ScriptedFault(time=10.0, kind=kind, worker=0, factor=2.0)
+        # whole-node kinds reject a worker field outright, so only the
+        # shard-targeted partition carries one here
+        worker = 0 if kind == "net_partition" else -1
+        event = ScriptedFault(time=10.0, kind=kind, worker=worker,
+                              factor=2.0)
         with pytest.raises(FaultPlanError, match="bounded window"):
             event.validate(0)
 

@@ -1,0 +1,104 @@
+"""shard_crash plan validation: self-consistency at load, topology and
+feature requirements at install — all through the one shared code path
+(:func:`repro.faults.plan.validate_event_against_run`)."""
+
+import pytest
+
+from repro.bench.runner import run_protocol
+from repro.cc import make_cc
+from repro.config import ClusterConfig, DurabilityConfig, SimConfig
+from repro.errors import FaultPlanError
+from repro.faults import EVENT_KINDS, FaultPlan, ScriptedFault
+from repro.faults.plan import (SHARD_KINDS, WHOLE_NODE_KINDS,
+                               validate_event_against_run)
+
+from tests.helpers import CounterWorkload
+
+
+def test_shard_crash_is_registered_as_a_shard_kind():
+    assert "shard_crash" in EVENT_KINDS
+    assert "shard_crash" in SHARD_KINDS
+    assert "shard_crash" not in WHOLE_NODE_KINDS
+
+
+class TestSelfValidation:
+    @pytest.mark.parametrize("kind", sorted(WHOLE_NODE_KINDS))
+    def test_whole_node_kinds_reject_a_worker_field(self, kind):
+        """node_crash / burst / net_delay / net_dup target the whole
+        node: a worker field is meaningless and rejected, not ignored."""
+        event = ScriptedFault(time=10.0, kind=kind, worker=0, factor=2.0,
+                              duration=5.0)
+        with pytest.raises(FaultPlanError, match="whole node"):
+            event.validate(0)
+
+    def test_shard_crash_needs_the_shard_to_crash(self):
+        event = ScriptedFault(time=10.0, kind="shard_crash")
+        with pytest.raises(FaultPlanError, match="shard to crash"):
+            event.validate(0)
+
+    def test_shard_crash_rejects_negative_downtime(self):
+        event = ScriptedFault(time=10.0, kind="shard_crash", worker=0,
+                              downtime=-1.0)
+        with pytest.raises(FaultPlanError, match="downtime"):
+            event.validate(0)
+
+    def test_json_roundtrip_keeps_shard_and_downtime(self):
+        plan = FaultPlan(events=[ScriptedFault(
+            time=100.0, kind="shard_crash", worker=2, downtime=250.0)],
+            name="shard-roundtrip")
+        restored = FaultPlan.from_dict(plan.to_dict())
+        assert restored.to_dict() == plan.to_dict()
+        event = restored.events[0]
+        assert event.worker == 2 and event.downtime == 250.0
+
+
+class TestInstallValidation:
+    def test_shard_crash_requires_a_cluster(self):
+        event = ScriptedFault(time=10.0, kind="shard_crash", worker=0)
+        with pytest.raises(FaultPlanError, match="sharded cluster"):
+            validate_event_against_run(event, 0, n_workers=4, n_shards=None,
+                                       has_durability=True)
+
+    def test_shard_crash_requires_durability(self):
+        event = ScriptedFault(time=10.0, kind="shard_crash", worker=0)
+        with pytest.raises(FaultPlanError, match="durability"):
+            validate_event_against_run(event, 0, n_workers=4, n_shards=2,
+                                       has_durability=False)
+
+    @pytest.mark.parametrize("kind", sorted(SHARD_KINDS))
+    def test_shard_out_of_range_is_an_install_error(self, kind):
+        """Shard-targeted kinds validate the shard id against the actual
+        cluster size, not the worker count."""
+        event = ScriptedFault(time=10.0, kind=kind, worker=2,
+                              duration=5.0)
+        with pytest.raises(FaultPlanError, match="does not exist"):
+            validate_event_against_run(event, 0, n_workers=8, n_shards=2,
+                                       has_durability=True)
+
+    def test_shard_id_valid_for_the_cluster_passes(self):
+        event = ScriptedFault(time=10.0, kind="shard_crash", worker=1,
+                              downtime=100.0)
+        validate_event_against_run(event, 0, n_workers=4, n_shards=2,
+                                   has_durability=True)
+
+
+def test_shard_crash_against_single_node_run_fails_at_install():
+    plan = FaultPlan(events=[ScriptedFault(
+        time=100.0, kind="shard_crash", worker=0, downtime=50.0)])
+    config = SimConfig(n_workers=2, duration=500.0, seed=1,
+                       durability=DurabilityConfig())
+    with pytest.raises(FaultPlanError, match="sharded cluster"):
+        run_protocol(lambda: CounterWorkload(), make_cc("silo"), config,
+                     fault_plan=plan)
+
+
+def test_shard_crash_without_durability_fails_at_install():
+    from repro.cluster.workloads import make_cluster_micro_factory
+    plan = FaultPlan(events=[ScriptedFault(
+        time=100.0, kind="shard_crash", worker=0, downtime=50.0)])
+    config = SimConfig(
+        n_workers=2, duration=500.0, seed=1,
+        cluster=ClusterConfig(n_shards=2, cross_shard_ratio=0.0))
+    factory = make_cluster_micro_factory(2, 2, cross_shard_ratio=0.0)
+    with pytest.raises(FaultPlanError, match="durability"):
+        run_protocol(factory, make_cc("silo"), config, fault_plan=plan)
